@@ -1,0 +1,29 @@
+"""Figure 2: RAG pipeline latency breakdown (flat FP32 retrieval).
+
+Paper: dataset loading accounts for 46% (HotpotQA) and 84% (wiki_en) of
+end-to-end time; totals 37.31s and 172.82s for a 100-query batch.
+"""
+
+import pytest
+
+from repro.experiments.fig02_03 import PAPER_FIG2, run_fig02
+from repro.experiments.report import format_table
+
+
+@pytest.mark.figure("fig2")
+def test_fig02_rag_breakdown(benchmark, show):
+    rows = benchmark.pedantic(run_fig02, rounds=1, iterations=1)
+    show("", "Figure 2 -- RAG latency breakdown (flat FP32):")
+    show(format_table([r.as_dict() for r in rows]))
+    for row in rows:
+        paper_fraction, paper_total = PAPER_FIG2[row.dataset]
+        show(
+            f"  {row.dataset}: loading {row.loading_fraction:.0%} "
+            f"(paper {paper_fraction:.0%}), total {row.total_seconds:.1f}s "
+            f"(paper {paper_total:.1f}s)"
+        )
+    by_name = {r.dataset: r for r in rows}
+    # The headline claims: loading dominates, and more so for wiki_en.
+    assert by_name["wiki_en"].loading_fraction > 0.6
+    assert by_name["wiki_en"].loading_fraction > by_name["hotpotqa"].loading_fraction
+    assert by_name["wiki_en"].total_seconds > by_name["hotpotqa"].total_seconds

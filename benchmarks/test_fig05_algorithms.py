@@ -1,0 +1,37 @@
+"""Figure 5: ANNS algorithm comparison (normalized QPS vs Recall@10).
+
+Paper observations: HNSW is the fastest base algorithm; IVF and HNSW both
+reach high recall while LSH cannot; BQ boosts IVF throughput sharply with
+little recall loss; PQ is worse than BQ; BQ barely changes HNSW.
+"""
+
+import pytest
+
+from repro.experiments.fig05 import best_recall, run_fig05
+from repro.experiments.report import format_table
+
+
+@pytest.mark.figure("fig5")
+def test_fig05_algorithm_sweep(benchmark, show):
+    points = benchmark.pedantic(run_fig05, rounds=1, iterations=1)
+    show("", "Figure 5 -- ANNS algorithms (QPS normalized to exhaustive):")
+    show(format_table([p.as_dict() for p in points]))
+
+    def curve(algorithm):
+        return [p for p in points if p.algorithm == algorithm]
+
+    # (ii) Both HNSW and IVF reach high recall; LSH cannot.
+    assert best_recall(points, "HNSW") > 0.9
+    assert best_recall(points, "IVF") > 0.9
+    assert best_recall(points, "LSH") < best_recall(points, "IVF")
+
+    # (iii) BQ raises IVF throughput at comparable recall.
+    def qps_at(algorithm, recall_floor):
+        eligible = [p.normalized_qps for p in curve(algorithm) if p.recall >= recall_floor]
+        return max(eligible) if eligible else 0.0
+
+    assert qps_at("BQ IVF", 0.9) > qps_at("IVF", 0.9)
+    # PQ performs worse than BQ.
+    assert qps_at("PQ IVF", 0.85) <= qps_at("BQ IVF", 0.85)
+    # (i) HNSW is the best-performing base algorithm.
+    assert qps_at("HNSW", 0.9) > qps_at("IVF", 0.9)

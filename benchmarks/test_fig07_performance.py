@@ -1,0 +1,45 @@
+"""Figure 7: retrieval performance (QPS) normalized to CPU-Real.
+
+Paper: REIS improves performance by 13x on average (max 112x), beats the
+idealized No-I/O baseline by 1.8x on average, and REIS-SSD2 outruns
+REIS-SSD1 by 2.6x on average (max 3.2x).
+"""
+
+import pytest
+
+from repro.experiments.fig07_08 import run_fig07_08, summarize_speedups
+from repro.experiments.report import format_table, geometric_mean
+
+
+@pytest.mark.figure("fig7")
+def test_fig07_performance(benchmark, show):
+    rows = benchmark.pedantic(run_fig07_08, rounds=1, iterations=1)
+    show("", "Figure 7 -- QPS normalized to CPU-Real:")
+    show(format_table([r.as_dict() for r in rows]))
+    summary = summarize_speedups(rows)
+    show(
+        f"  mean speedup {summary['mean_speedup']:.1f}x (paper 13x), "
+        f"max {summary['max_speedup']:.1f}x (paper 112x)"
+    )
+    ssd2_over_ssd1 = [
+        row.reis["REIS-SSD2"].qps / row.reis["REIS-SSD1"].qps for row in rows
+    ]
+    show(
+        f"  SSD2/SSD1 mean {sum(ssd2_over_ssd1)/len(ssd2_over_ssd1):.2f}x "
+        f"(paper 2.6x), max {max(ssd2_over_ssd1):.2f}x (paper 3.2x)"
+    )
+    no_io_ratio = geometric_mean(
+        [
+            row.normalized_qps(name) / row.normalized_qps("no_io")
+            for row in rows
+            for name in row.reis
+        ]
+    )
+    show(f"  REIS vs No-I/O geomean {no_io_ratio:.2f}x (paper avg 1.8x)")
+
+    # Shape assertions.
+    assert all(row.normalized_qps(name) > 1.0 for row in rows for name in row.reis)
+    assert summary["mean_speedup"] > 5.0
+    assert summary["max_speedup"] > 20.0
+    assert min(ssd2_over_ssd1) >= 0.95
+    assert no_io_ratio > 1.0

@@ -1,0 +1,47 @@
+"""Figure 8: energy efficiency (QPS/W) normalized to CPU-Real.
+
+Paper: REIS improves energy efficiency by 55x on average (max 157x),
+fundamentally from the ~30x lower power draw of the SSD versus the CPU
+baseline; SSD2 gains ~2.2x over SSD1, tracking its throughput advantage.
+"""
+
+import pytest
+
+from repro.experiments.fig07_08 import run_fig07_08, summarize_speedups
+from repro.experiments.report import format_table
+
+
+@pytest.mark.figure("fig8")
+def test_fig08_energy(benchmark, show):
+    rows = benchmark.pedantic(run_fig07_08, rounds=1, iterations=1)
+    show("", "Figure 8 -- QPS/W normalized to CPU-Real:")
+    show(
+        format_table(
+            [
+                {
+                    "dataset": row.dataset,
+                    "mode": row.mode,
+                    "SSD1_norm_qps_w": row.normalized_qps_per_watt("REIS-SSD1"),
+                    "SSD2_norm_qps_w": row.normalized_qps_per_watt("REIS-SSD2"),
+                }
+                for row in rows
+            ]
+        )
+    )
+    summary = summarize_speedups(rows)
+    show(
+        f"  mean energy gain {summary['mean_energy_gain']:.1f}x (paper 55x), "
+        f"max {summary['max_energy_gain']:.1f}x (paper 157x)"
+    )
+    # Energy gains exceed performance gains (the power-ratio multiplier).
+    assert summary["mean_energy_gain"] > summary["mean_speedup"]
+    assert all(
+        row.normalized_qps_per_watt(name) > 1.0 for row in rows for name in row.reis
+    )
+    # SSD2's efficiency gain tracks its throughput gain (paper Sec. 6.1).
+    ssd2_gain = [
+        row.normalized_qps_per_watt("REIS-SSD2")
+        / row.normalized_qps_per_watt("REIS-SSD1")
+        for row in rows
+    ]
+    assert sum(ssd2_gain) / len(ssd2_gain) > 1.0

@@ -1,0 +1,43 @@
+"""Figure 9: ablation of DF / PL / MPIBC on wiki_full.
+
+Paper: distance filtering contributes the most (4.7x / 5.7x average over
+NO-OPT on SSD1 / SSD2); pipelining's benefit grows with internal
+bandwidth; MPIBC adds 6% (SSD1) and 26% (SSD2) on top of DF+PL, scaling
+with planes per die.
+"""
+
+import pytest
+
+from repro.experiments.fig09 import (
+    df_contribution,
+    mpibc_contribution,
+    run_fig09,
+)
+from repro.experiments.report import format_table
+
+
+@pytest.mark.figure("fig9")
+def test_fig09_ablation(benchmark, show):
+    rows = benchmark.pedantic(run_fig09, rounds=1, iterations=1)
+    show("", "Figure 9 -- optimization ablation on wiki_full (norm. QPS):")
+    show(format_table([r.as_dict() for r in rows]))
+    df = df_contribution(rows)
+    mpibc = mpibc_contribution(rows)
+    show(
+        f"  +DF over NO-OPT: SSD1 {df['REIS-SSD1']:.1f}x (paper 4.7x), "
+        f"SSD2 {df['REIS-SSD2']:.1f}x (paper 5.7x)"
+    )
+    show(
+        f"  +MPIBC over +PL: SSD1 {mpibc['REIS-SSD1'] - 1:.0%} (paper 6%), "
+        f"SSD2 {mpibc['REIS-SSD2'] - 1:.0%} (paper 26%)"
+    )
+    # DF is the dominant optimization on both configurations.
+    assert df["REIS-SSD1"] > 2.0
+    assert df["REIS-SSD2"] > 2.0
+    # MPIBC gains more on the 4-plane SSD2 than the 2-plane SSD1.
+    assert mpibc["REIS-SSD2"] >= mpibc["REIS-SSD1"]
+    # Cumulative steps never hurt.
+    for row in rows:
+        q = row.normalized_qps
+        assert q["+DF"] >= q["NO-OPT"]
+        assert q["+MPIBC"] >= q["+PL"] * 0.99

@@ -1,0 +1,24 @@
+"""Figure 11: comparison with NDSearch on SIFT-1B and DEEP-1B.
+
+Paper: REIS (IVF) outperforms NDSearch (HNSW and DiskANN) by 1.7x on
+average, up to 2.6x, at Recall@10 = 0.94 / 0.93.
+"""
+
+import pytest
+
+from repro.experiments.fig11 import run_fig11, summarize_fig11
+from repro.experiments.report import format_table
+
+
+@pytest.mark.figure("fig11")
+def test_fig11_vs_ndsearch(benchmark, show):
+    rows = benchmark.pedantic(run_fig11, rounds=1, iterations=1)
+    show("", "Figure 11 -- REIS vs NDSearch (billion-scale):")
+    show(format_table([r.as_dict() for r in rows]))
+    summary = summarize_fig11(rows)
+    show(
+        f"  mean {summary['mean_speedup']:.1f}x (paper 1.7x), "
+        f"max {summary['max_speedup']:.1f}x (paper 2.6x)"
+    )
+    assert summary["min_speedup"] > 1.0
+    assert summary["mean_speedup"] < 10.0  # same order of magnitude

@@ -1,0 +1,28 @@
+"""Sec. 6.3.1: the REIS-ASIC ablation.
+
+Paper: replacing ESP + in-die computation with an ideal controller-side
+ASIC (behind ECC) slows REIS down by 4.1x-5.0x on SSD1 and 3.9x-6.5x on
+SSD2, entirely from the candidate pages that must cross the channels.
+"""
+
+import pytest
+
+from repro.experiments.report import format_table
+from repro.experiments.sec631 import run_sec631, slowdown_range
+
+
+@pytest.mark.figure("sec6.3.1")
+def test_sec631_reis_asic(benchmark, show):
+    rows = benchmark.pedantic(run_sec631, rounds=1, iterations=1)
+    show("", "Sec. 6.3.1 -- REIS-ASIC slowdown relative to REIS:")
+    show(format_table([r.as_dict() for r in rows]))
+    bands = slowdown_range(rows)
+    for config, band in bands.items():
+        paper = "4.1x-5.0x" if config == "REIS-SSD1" else "3.9x-6.5x"
+        show(
+            f"  {config}: {band['min']:.1f}x-{band['max']:.1f}x "
+            f"(mean {band['mean']:.1f}x; paper {paper})"
+        )
+    for band in bands.values():
+        assert band["min"] > 1.0  # the ASIC always loses
+        assert band["mean"] > 2.0  # and by a wide margin

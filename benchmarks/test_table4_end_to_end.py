@@ -1,0 +1,34 @@
+"""Table 4: end-to-end RAG latency breakdown, REIS vs CPU+BQ.
+
+Paper: REIS eliminates dataset loading entirely, its search+retrieval
+contributes only 0.02-0.15% of end-to-end time, generation becomes the
+new bottleneck at ~92%, and end-to-end latency improves by 1.25x
+(HotpotQA) and 3.24x (the paper's second column).
+"""
+
+import pytest
+
+from repro.experiments.report import format_table
+from repro.experiments.table4 import PAPER_TABLE4, end_to_end_speedups, run_table4
+
+
+@pytest.mark.figure("table4")
+def test_table4_end_to_end(benchmark, show):
+    rows = benchmark.pedantic(run_table4, rounds=1, iterations=1)
+    show("", "Table 4 -- end-to-end RAG latency breakdown:")
+    show(format_table([r.as_dict() for r in rows]))
+    speedups = end_to_end_speedups(rows)
+    for dataset, (paper_reis, paper_cpu) in PAPER_TABLE4.items():
+        show(
+            f"  {dataset}: end-to-end speedup {speedups[dataset]:.2f}x "
+            f"(paper {paper_cpu / paper_reis:.2f}x)"
+        )
+
+    reis_rows = {r.dataset: r for r in rows if r.system == "REIS"}
+    for row in reis_rows.values():
+        assert row.fractions["dataset_loading"] == 0.0
+        assert row.fractions["search"] < 0.03  # paper: 0.02-0.15%
+        assert row.fractions["generation"] > 0.7  # paper: ~92%
+    assert all(s > 1.0 for s in speedups.values())
+    # The bigger dataset benefits more (loading dominated its CPU run).
+    assert speedups["wiki_en"] > speedups["hotpotqa"]

@@ -1,0 +1,74 @@
+"""Ablation study: what each REIS optimization buys (a functional Fig. 9).
+
+Run with::
+
+    python examples/ablation_study.py
+
+Deploys the same database four times under cumulative optimization flags
+(NO-OPT, +DF, +PL, +MPIBC) on both evaluated SSD configurations' *analytic*
+models and on a small functional device, and reports:
+
+* per-step throughput (normalized to NO-OPT),
+* where the time goes (read vs channel vs embedded core),
+* what distance filtering drops before the channel.
+"""
+
+from repro.core import NO_OPT, OptFlags, REIS_SSD1, REIS_SSD2, ReisDevice, tiny_config
+from repro.core.analytic import ReisAnalyticModel, ivf_workload
+from repro.rag.datasets import load_dataset
+
+STEPS = (
+    ("NO-OPT", NO_OPT),
+    ("+DF", OptFlags(True, False, False)),
+    ("+PL", OptFlags(True, True, False)),
+    ("+MPIBC", OptFlags(True, True, True)),
+)
+
+
+def functional_ablation() -> None:
+    print("Functional ablation (tiny device, 2000 entries):")
+    dataset = load_dataset("wiki_full", n_entries=2000, n_queries=12)
+    baseline_qps = None
+    for label, flags in STEPS:
+        device = ReisDevice(tiny_config(label), flags=flags)
+        db_id = device.ivf_deploy("abl", dataset.vectors, nlist=24, corpus=dataset.corpus)
+        batch = device.ivf_search(db_id, dataset.queries, k=10, nprobe=8)
+        if baseline_qps is None:
+            baseline_qps = batch.qps
+        transferred = sum(r.stats.entries_transferred for r in batch)
+        filtered = sum(r.stats.entries_filtered for r in batch)
+        print(
+            f"  {label:8s} qps={batch.qps:8,.0f}  ({batch.qps / baseline_qps:5.2f}x) "
+            f" channel entries={transferred:6d}  filtered in-die={filtered:6d}"
+        )
+
+
+def analytic_ablation() -> None:
+    print("\nPaper-scale ablation (wiki_full, 247M entries, IVF@~0.94):")
+    workload = ivf_workload(
+        247_100_000, 1024, nlist=65536, nprobe=256,
+        candidate_fraction=0.004, filter_pass_fraction=0.05,
+    )
+    for config in (REIS_SSD1, REIS_SSD2):
+        print(f"\n  {config.name} ({config.geometry.total_planes} planes, "
+              f"{config.internal_bandwidth_bps / 1e9:.1f} GB/s internal):")
+        baseline = None
+        for label, flags in STEPS:
+            cost = ReisAnalyticModel(config, flags).query_cost(workload)
+            if baseline is None:
+                baseline = cost.seconds
+            top = sorted(cost.report.components.items(), key=lambda kv: -kv[1])[:2]
+            bottleneck = ", ".join(f"{k}={v * 1e3:.2f}ms" for k, v in top)
+            print(
+                f"    {label:8s} {cost.seconds * 1e3:8.2f} ms/query "
+                f"({baseline / cost.seconds:5.2f}x vs NO-OPT)  [{bottleneck}]"
+            )
+
+
+def main() -> None:
+    functional_ablation()
+    analytic_ablation()
+
+
+if __name__ == "__main__":
+    main()

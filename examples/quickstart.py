@@ -1,0 +1,75 @@
+"""Quickstart: deploy a vector database into a simulated SSD and search it
+in storage.
+
+Run with::
+
+    python examples/quickstart.py
+
+This walks the REIS happy path end to end:
+
+1. build a small clustered corpus (embeddings + document chunks);
+2. deploy it with ``IVF_Deploy`` onto a simulated REIS SSD -- binary codes
+   land in the ESP-SLC partition, INT8 twins and documents in TLC, and
+   every embedding's OOB area links it to its document;
+3. run ``IVF_Search`` -- the query executes *inside* the flash dies with
+   XOR + fail-bit counting, is reranked in INT8 on the embedded core, and
+   comes back as ranked document chunks;
+4. inspect the per-phase latency report and the engine statistics.
+"""
+
+from repro.ann.recall import mean_recall_at_k
+from repro.core import ReisDevice, tiny_config
+from repro.rag.datasets import load_dataset
+
+
+def main() -> None:
+    # A functional instantiation of the HotpotQA preset: 2k entries with
+    # realistic cluster structure, query workload and exact ground truth.
+    dataset = load_dataset("hotpotqa", n_entries=2000, n_queries=16)
+    print(f"dataset: {dataset.spec.name}, {dataset.n} entries, dim {dataset.dim}")
+
+    # A small REIS device (2 channels x 2 dies x 2 planes) -- the real
+    # evaluated configurations are repro.core.REIS_SSD1 / REIS_SSD2.
+    device = ReisDevice(tiny_config())
+    db_id = device.ivf_deploy(
+        "hotpotqa-demo", dataset.vectors, nlist=32, corpus=dataset.corpus
+    )
+    print(f"deployed database {db_id}; SSD is now in RAG mode")
+
+    # Top-10 in-storage search for the whole query batch.
+    batch = device.ivf_search(db_id, dataset.queries, k=10, nprobe=6)
+    recall = mean_recall_at_k(batch.ids, dataset.ground_truth, 10)
+    print(f"\nRecall@10 = {recall:.3f}   device QPS = {batch.qps:,.0f}")
+
+    # Look at one query's result in detail.
+    result = batch[0]
+    print("\nquery 0 retrieved documents:")
+    for rank, doc in enumerate(result.documents[:3]):
+        print(f"  #{rank + 1} (id {result.ids[rank]}, dist {result.distances[rank]}):")
+        print(f"      {doc.text[:76]}...")
+
+    print("\nper-phase latency (one query):")
+    for name, seconds in sorted(
+        result.latency.components.items(), key=lambda kv: -kv[1]
+    ):
+        print(f"  {name:20s} {seconds * 1e6:8.1f} us")
+    print(f"  {'TOTAL':20s} {result.latency.total_s * 1e6:8.1f} us")
+
+    stats = result.stats
+    print(
+        f"\nengine stats: {stats.pages_read} pages read, "
+        f"{stats.clusters_probed} clusters probed, "
+        f"{stats.entries_scanned} embeddings scanned in-flash, "
+        f"{stats.entries_filtered} dropped by distance filtering "
+        f"({1 - stats.filter_pass_fraction:.0%} filtered before the channel)"
+    )
+
+    report = device.energy_report(elapsed_s=len(batch) / batch.qps)
+    print(
+        f"energy: {report['energy_j'] * 1e3:.2f} mJ for the batch, "
+        f"average SSD power {report['average_power_w']:.2f} W"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,30 @@
+"""REIS: a retrieval system with in-storage processing (ISCA 2025 reproduction).
+
+This package reproduces the system described in "REIS: A High-Performance and
+Energy-Efficient Retrieval System with In-Storage Processing" (Chen et al.,
+ISCA 2025).  It contains:
+
+* ``repro.sim`` -- simulation kernel (counters, latency composition, RNG).
+* ``repro.nand`` -- functional + timed NAND flash memory substrate.
+* ``repro.ssd`` -- SSD substrate (controller, FTL, DRAM, power, NVMe).
+* ``repro.ann`` -- from-scratch approximate nearest neighbor library.
+* ``repro.rag`` -- retrieval-augmented generation pipeline substrate.
+* ``repro.host`` -- host-side (CPU) retrieval baselines.
+* ``repro.core`` -- the REIS system itself (layout, engine, API).
+* ``repro.baselines`` -- prior-work comparators (ICE, NDSearch, ...).
+* ``repro.experiments`` -- runners that regenerate every paper table/figure.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core.api import ReisDevice
+from repro.core.config import REIS_SSD1, REIS_SSD2, OptFlags, ReisConfig
+
+__all__ = [
+    "ReisDevice",
+    "ReisConfig",
+    "OptFlags",
+    "REIS_SSD1",
+    "REIS_SSD2",
+    "__version__",
+]

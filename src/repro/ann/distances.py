@@ -1,0 +1,64 @@
+"""Distance kernels for dense and quantized embeddings."""
+
+from __future__ import annotations
+
+import numpy as np
+
+_POPCOUNT_TABLE = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint16)
+
+
+def l2_squared(query: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distance between ``query`` (d,) and ``vectors`` (n, d)."""
+    query = np.asarray(query, dtype=np.float32)
+    vectors = np.asarray(vectors, dtype=np.float32)
+    diff = vectors - query[None, :]
+    return np.einsum("ij,ij->i", diff, diff)
+
+
+def inner_product(query: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+    """Inner product similarity (higher = more similar)."""
+    return np.asarray(vectors, dtype=np.float32) @ np.asarray(query, dtype=np.float32)
+
+
+def negative_inner_product(query: np.ndarray, vectors: np.ndarray) -> np.ndarray:
+    """Inner product as a distance (lower = more similar)."""
+    return -inner_product(query, vectors)
+
+
+def hamming_packed(query_bits: np.ndarray, vector_bits: np.ndarray) -> np.ndarray:
+    """Hamming distance between packed binary codes.
+
+    ``query_bits`` is (code_bytes,) uint8; ``vector_bits`` is (n, code_bytes)
+    uint8.  This is exactly the XOR + popcount computation REIS performs with
+    the page-buffer latches and the fail-bit counter.
+    """
+    query_bits = np.asarray(query_bits, dtype=np.uint8)
+    vector_bits = np.atleast_2d(np.asarray(vector_bits, dtype=np.uint8))
+    xored = np.bitwise_xor(vector_bits, query_bits[None, :])
+    return _POPCOUNT_TABLE[xored].sum(axis=1).astype(np.int64)
+
+
+def int8_l2_squared(query_i8: np.ndarray, vectors_i8: np.ndarray) -> np.ndarray:
+    """Squared L2 between INT8-quantized codes (the reranking distance)."""
+    q = np.asarray(query_i8, dtype=np.int32)
+    v = np.asarray(vectors_i8, dtype=np.int32)
+    diff = v - q[None, :]
+    return np.einsum("ij,ij->i", diff, diff).astype(np.int64)
+
+
+METRICS = {
+    "l2": l2_squared,
+    "ip": negative_inner_product,
+}
+
+
+def pairwise_l2_squared(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """All-pairs squared L2 between rows of ``a`` (n, d) and ``b`` (m, d)."""
+    a = np.asarray(a, dtype=np.float32)
+    b = np.asarray(b, dtype=np.float32)
+    a_sq = np.einsum("ij,ij->i", a, a)[:, None]
+    b_sq = np.einsum("ij,ij->i", b, b)[None, :]
+    cross = a @ b.T
+    out = a_sq + b_sq - 2.0 * cross
+    np.maximum(out, 0.0, out=out)
+    return out

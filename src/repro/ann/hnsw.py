@@ -1,0 +1,204 @@
+"""Hierarchical Navigable Small World graphs (Malkov & Yashunin).
+
+Implemented as the graph-based comparison point of Fig. 5 and the algorithm
+behind the NDSearch baseline.  HNSW offers excellent host-side throughput
+but its greedy graph traversal produces the irregular access pattern that
+makes it a poor fit for in-storage execution (Sec. 4.2).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.sim.rng import make_rng
+
+
+class HnswIndex:
+    """A faithful, small-scale HNSW implementation."""
+
+    def __init__(
+        self,
+        dim: int,
+        m: int = 16,
+        ef_construction: int = 100,
+        seed: object = 0,
+    ) -> None:
+        if m < 2:
+            raise ValueError("M must be at least 2")
+        self.dim = dim
+        self.m = m
+        self.m0 = 2 * m  # layer-0 degree bound, as in the original paper
+        self.ef_construction = ef_construction
+        self._level_mult = 1.0 / math.log(m)
+        self._rng = make_rng("hnsw", seed)
+        self._vectors: List[np.ndarray] = []
+        # _graph[level][node] -> list of neighbor ids
+        self._graph: List[List[List[int]]] = []
+        self._levels: List[int] = []
+        self._entry_point: Optional[int] = None
+        self.hop_count = 0  # traversal steps, consumed by the timing models
+
+    def __len__(self) -> int:
+        return len(self._vectors)
+
+    # ------------------------------------------------------------- helpers
+
+    def _distance(self, query: np.ndarray, node: int) -> float:
+        diff = self._vectors[node] - query
+        return float(np.dot(diff, diff))
+
+    def _random_level(self) -> int:
+        return int(-math.log(max(self._rng.random(), 1e-12)) * self._level_mult)
+
+    def _neighbors(self, level: int, node: int) -> List[int]:
+        return self._graph[level][node]
+
+    def _max_degree(self, level: int) -> int:
+        return self.m0 if level == 0 else self.m
+
+    def _search_layer(
+        self, query: np.ndarray, entry: int, ef: int, level: int
+    ) -> List[Tuple[float, int]]:
+        """Greedy best-first search within one layer; returns (dist, id) pairs."""
+        visited: Set[int] = {entry}
+        d_entry = self._distance(query, entry)
+        candidates = [(d_entry, entry)]  # min-heap
+        best = [(-d_entry, entry)]  # max-heap of the ef closest
+        while candidates:
+            dist, node = heapq.heappop(candidates)
+            if dist > -best[0][0]:
+                break
+            for neighbor in self._neighbors(level, node):
+                if neighbor in visited:
+                    continue
+                visited.add(neighbor)
+                self.hop_count += 1
+                d = self._distance(query, neighbor)
+                if len(best) < ef or d < -best[0][0]:
+                    heapq.heappush(candidates, (d, neighbor))
+                    heapq.heappush(best, (-d, neighbor))
+                    if len(best) > ef:
+                        heapq.heappop(best)
+        return sorted((-d, node) for d, node in best)
+
+    def _select_neighbors(
+        self, candidates: List[Tuple[float, int]], max_degree: int
+    ) -> List[int]:
+        """Heuristic neighbor selection (Algorithm 4 of the HNSW paper).
+
+        A candidate is kept only if it is closer to the base point than to
+        every already-selected neighbor.  This diversifies edges so that
+        clustered data stays connected across clusters -- plain
+        closest-first selection fragments the graph and caps recall.
+        """
+        selected: List[Tuple[float, int]] = []
+        for dist, node in sorted(candidates):
+            if len(selected) >= max_degree:
+                break
+            vector = self._vectors[node]
+            keep = True
+            for _, chosen in selected:
+                diff = self._vectors[chosen] - vector
+                if float(np.dot(diff, diff)) < dist:
+                    keep = False
+                    break
+            if keep:
+                selected.append((dist, node))
+        if len(selected) < max_degree:  # backfill with the closest skipped
+            chosen = {node for _, node in selected}
+            for dist, node in sorted(candidates):
+                if len(selected) >= max_degree:
+                    break
+                if node not in chosen:
+                    selected.append((dist, node))
+                    chosen.add(node)
+        return [node for _, node in selected]
+
+    # ----------------------------------------------------------- insertion
+
+    def add(self, vectors: np.ndarray) -> None:
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float32))
+        if vectors.shape[1] != self.dim:
+            raise ValueError(f"expected dim {self.dim}, got {vectors.shape[1]}")
+        for vector in vectors:
+            self._insert(vector)
+
+    def _insert(self, vector: np.ndarray) -> None:
+        node = len(self._vectors)
+        self._vectors.append(vector.copy())
+        level = self._random_level()
+        self._levels.append(level)
+        while len(self._graph) <= level:
+            self._graph.append([])
+        for layer in self._graph:
+            while len(layer) <= node:
+                layer.append([])
+
+        if self._entry_point is None:
+            self._entry_point = node
+            return
+
+        entry = self._entry_point
+        top_level = self._levels[self._entry_point]
+        query = vector
+        # Zoom down from the top to level+1 greedily.
+        for lc in range(top_level, level, -1):
+            entry = self._search_layer(query, entry, ef=1, level=lc)[0][1]
+        # Insert with ef_construction from min(level, top) down to 0.
+        for lc in range(min(level, top_level), -1, -1):
+            found = self._search_layer(query, entry, self.ef_construction, lc)
+            neighbors = self._select_neighbors(found, self._max_degree(lc))
+            self._graph[lc][node] = list(neighbors)
+            for neighbor in neighbors:
+                links = self._graph[lc][neighbor]
+                links.append(node)
+                limit = self._max_degree(lc)
+                if len(links) > limit:
+                    pruned = self._select_neighbors(
+                        [(self._distance(self._vectors[neighbor], n), n) for n in links],
+                        limit,
+                    )
+                    self._graph[lc][neighbor] = pruned
+            entry = found[0][1]
+        if level > top_level:
+            self._entry_point = node
+
+    # -------------------------------------------------------------- search
+
+    def search(
+        self, query: np.ndarray, k: int, ef_search: int = 50
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Return (distances, ids) of the approximate top-k."""
+        if self._entry_point is None:
+            raise RuntimeError("search on an empty index")
+        query = np.asarray(query, dtype=np.float32)
+        entry = self._entry_point
+        for lc in range(self._levels[self._entry_point], 0, -1):
+            entry = self._search_layer(query, entry, ef=1, level=lc)[0][1]
+        found = self._search_layer(query, entry, max(ef_search, k), 0)
+        found = found[:k]
+        ids = np.array([node for _, node in found], dtype=np.int64)
+        distances = np.array([dist for dist, _ in found], dtype=np.float32)
+        return distances, ids
+
+    # ---------------------------------------------------------- statistics
+
+    def graph_bytes(self, bytes_per_link: int = 4) -> int:
+        """Approximate index size: HNSW stores explicit adjacency lists.
+
+        This is why HNSW indexes are much larger than IVF ones -- the
+        property that makes IVF win once loading time counts (Sec. 5).
+        """
+        links = sum(len(nbrs) for layer in self._graph for nbrs in layer)
+        return links * bytes_per_link
+
+    def average_degree(self) -> float:
+        if not self._vectors:
+            return 0.0
+        return len(self._graph[0]) and sum(
+            len(n) for n in self._graph[0]
+        ) / len(self._vectors)

@@ -1,0 +1,138 @@
+"""Product Quantization (Jégou et al.) and the PQ-IVF index."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.ann.distances import pairwise_l2_squared
+from repro.ann.ivf import IvfModel, build_ivf_model, coarse_probe
+from repro.ann.kmeans import kmeans
+
+
+class ProductQuantizer:
+    """Splits vectors into ``m`` sub-vectors, each coded by a small codebook."""
+
+    def __init__(self, dim: int, m: int = 8, bits: int = 8, seed: object = 0) -> None:
+        if dim % m != 0:
+            raise ValueError(f"dim {dim} not divisible by m={m}")
+        if not 1 <= bits <= 8:
+            raise ValueError("bits must be in [1, 8]")
+        self.dim = dim
+        self.m = m
+        self.bits = bits
+        self.ksub = 1 << bits
+        self.dsub = dim // m
+        self.seed = seed
+        self.codebooks: Optional[np.ndarray] = None  # (m, ksub, dsub)
+
+    def fit(self, vectors: np.ndarray) -> "ProductQuantizer":
+        vectors = np.asarray(vectors, dtype=np.float32)
+        if vectors.shape[0] < self.ksub:
+            raise ValueError(
+                f"need at least {self.ksub} training vectors, got {vectors.shape[0]}"
+            )
+        books = np.empty((self.m, self.ksub, self.dsub), dtype=np.float32)
+        for sub in range(self.m):
+            chunk = vectors[:, sub * self.dsub : (sub + 1) * self.dsub]
+            books[sub] = kmeans(chunk, self.ksub, max_iterations=15, seed=(self.seed, sub)).centroids
+        self.codebooks = books
+        return self
+
+    def _require_fitted(self) -> np.ndarray:
+        if self.codebooks is None:
+            raise RuntimeError("quantizer is not fitted; call fit() first")
+        return self.codebooks
+
+    def encode(self, vectors: np.ndarray) -> np.ndarray:
+        """FP32 (n, d) -> codes (n, m) uint8."""
+        books = self._require_fitted()
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float32))
+        codes = np.empty((vectors.shape[0], self.m), dtype=np.uint8)
+        for sub in range(self.m):
+            chunk = vectors[:, sub * self.dsub : (sub + 1) * self.dsub]
+            codes[:, sub] = pairwise_l2_squared(chunk, books[sub]).argmin(axis=1)
+        return codes
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        books = self._require_fitted()
+        codes = np.atleast_2d(codes)
+        out = np.empty((codes.shape[0], self.dim), dtype=np.float32)
+        for sub in range(self.m):
+            out[:, sub * self.dsub : (sub + 1) * self.dsub] = books[sub][codes[:, sub]]
+        return out
+
+    def distance_tables(self, query: np.ndarray) -> np.ndarray:
+        """(m, ksub) table of sub-distances for asymmetric (ADC) search."""
+        books = self._require_fitted()
+        query = np.asarray(query, dtype=np.float32)
+        tables = np.empty((self.m, self.ksub), dtype=np.float32)
+        for sub in range(self.m):
+            sub_q = query[sub * self.dsub : (sub + 1) * self.dsub]
+            tables[sub] = pairwise_l2_squared(sub_q[None, :], books[sub])[0]
+        return tables
+
+    def adc_distances(self, tables: np.ndarray, codes: np.ndarray) -> np.ndarray:
+        """Asymmetric distances of coded vectors via table lookups."""
+        return tables[np.arange(self.m)[None, :], codes].sum(axis=1)
+
+
+class PqIvfIndex:
+    """IVF coarse search + PQ (ADC) fine search, FAISS ``IVF,PQ`` style."""
+
+    def __init__(
+        self, dim: int, nlist: int, m: int = 8, bits: int = 8, seed: object = 0
+    ) -> None:
+        self.dim = dim
+        self.nlist = nlist
+        self.seed = seed
+        self.pq = ProductQuantizer(dim, m=m, bits=bits, seed=seed)
+        self.model: Optional[IvfModel] = None
+        self._codes: Optional[np.ndarray] = None
+        self._vectors: Optional[np.ndarray] = None
+
+    def __len__(self) -> int:
+        return 0 if self._codes is None else self._codes.shape[0]
+
+    def fit(self, vectors: np.ndarray, keep_vectors_for_rerank: bool = True) -> "PqIvfIndex":
+        vectors = np.asarray(vectors, dtype=np.float32)
+        if vectors.shape[1] != self.dim:
+            raise ValueError(f"expected dim {self.dim}, got {vectors.shape[1]}")
+        self.model = build_ivf_model(vectors, self.nlist, seed=self.seed)
+        self.pq.fit(vectors)
+        self._codes = self.pq.encode(vectors)
+        self._vectors = vectors if keep_vectors_for_rerank else None
+        return self
+
+    def search(
+        self, query: np.ndarray, k: int, nprobe: int = 1, rerank_factor: int = 0
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """ADC fine search; optional exact rerank of ``rerank_factor * k``."""
+        if self.model is None or self._codes is None:
+            raise RuntimeError("index is not fitted; call fit() first")
+        query = np.asarray(query, dtype=np.float32)
+        clusters = coarse_probe(self.model, query, nprobe)
+        candidate_ids = (
+            np.concatenate([self.model.lists[c] for c in clusters])
+            if len(clusters)
+            else np.empty(0, dtype=np.int64)
+        )
+        if candidate_ids.size == 0:
+            return np.empty(0, dtype=np.float32), candidate_ids
+        tables = self.pq.distance_tables(query)
+        distances = self.pq.adc_distances(tables, self._codes[candidate_ids])
+        if rerank_factor > 0 and self._vectors is not None:
+            shortlist = min(rerank_factor * k, candidate_ids.size)
+            best = np.argpartition(distances, shortlist - 1)[:shortlist]
+            ids = candidate_ids[best]
+            diff = self._vectors[ids] - query[None, :]
+            exact = np.einsum("ij,ij->i", diff, diff)
+            k = min(k, ids.size)
+            order = np.argsort(exact, kind="stable")[:k]
+            return exact[order], ids[order]
+        k = min(k, candidate_ids.size)
+        top = np.argpartition(distances, k - 1)[:k]
+        order = np.argsort(distances[top], kind="stable")
+        top = top[order]
+        return distances[top], candidate_ids[top]

@@ -1,0 +1,77 @@
+"""Binary and INT8 scalar quantization (Sec. 2.2).
+
+Binary quantization (BQ) compresses each FP32 component to one bit (32x),
+which turns distance computation into XOR + popcount -- the operation the
+NAND peripheral logic can execute.  INT8 scalar quantization (8-bit per
+component, 4x) is the reranking precision REIS stores in the TLC partition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class BinaryQuantizer:
+    """Sign-threshold binary quantizer with packed uint8 codes.
+
+    Components above the (per-dimension) threshold map to 1.  Thresholding at
+    the training mean rather than zero keeps recall high for non-centered
+    embedding distributions (the Cohere-style BQ recipe the paper uses).
+    """
+
+    thresholds: np.ndarray | None = None
+
+    def fit(self, vectors: np.ndarray) -> "BinaryQuantizer":
+        vectors = np.asarray(vectors, dtype=np.float32)
+        self.thresholds = vectors.mean(axis=0)
+        return self
+
+    def encode(self, vectors: np.ndarray) -> np.ndarray:
+        """FP32 (n, d) -> packed codes (n, d/8) uint8.  ``d`` must be /8."""
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float32))
+        dim = vectors.shape[1]
+        if dim % 8 != 0:
+            raise ValueError("dimension must be a multiple of 8 for packing")
+        thresholds = self.thresholds if self.thresholds is not None else 0.0
+        bits = (vectors > thresholds).astype(np.uint8)
+        return np.packbits(bits, axis=1)
+
+    def encode_one(self, vector: np.ndarray) -> np.ndarray:
+        return self.encode(vector[None, :])[0]
+
+    @staticmethod
+    def code_bytes(dim: int) -> int:
+        if dim % 8 != 0:
+            raise ValueError("dimension must be a multiple of 8")
+        return dim // 8
+
+
+@dataclass
+class Int8Quantizer:
+    """Symmetric per-dataset INT8 scalar quantizer."""
+
+    scale: float = 1.0
+    offset: np.ndarray | None = None
+
+    def fit(self, vectors: np.ndarray) -> "Int8Quantizer":
+        vectors = np.asarray(vectors, dtype=np.float32)
+        self.offset = vectors.mean(axis=0)
+        spread = np.abs(vectors - self.offset).max()
+        self.scale = float(spread) / 127.0 if spread > 0 else 1.0
+        return self
+
+    def encode(self, vectors: np.ndarray) -> np.ndarray:
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float32))
+        offset = self.offset if self.offset is not None else 0.0
+        scaled = np.round((vectors - offset) / self.scale)
+        return np.clip(scaled, -127, 127).astype(np.int8)
+
+    def encode_one(self, vector: np.ndarray) -> np.ndarray:
+        return self.encode(vector[None, :])[0]
+
+    def decode(self, codes: np.ndarray) -> np.ndarray:
+        offset = self.offset if self.offset is not None else 0.0
+        return codes.astype(np.float32) * self.scale + offset

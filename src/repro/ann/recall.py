@@ -1,0 +1,50 @@
+"""Recall@k: the accuracy metric of approximate nearest neighbor search."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.ann.distances import METRICS
+
+
+def recall_at_k(retrieved: Sequence[int], ground_truth: Sequence[int], k: int) -> float:
+    """Fraction of the true top-k found in the retrieved top-k."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    truth = set(int(i) for i in ground_truth[:k])
+    if not truth:
+        return 0.0
+    found = set(int(i) for i in retrieved[:k])
+    return len(found & truth) / len(truth)
+
+
+def mean_recall_at_k(
+    retrieved_lists: Sequence[Sequence[int]],
+    ground_truth_lists: Sequence[Sequence[int]],
+    k: int,
+) -> float:
+    """Average Recall@k over a query batch."""
+    if len(retrieved_lists) != len(ground_truth_lists):
+        raise ValueError("mismatched number of queries")
+    if not retrieved_lists:
+        return 0.0
+    total = sum(
+        recall_at_k(r, g, k) for r, g in zip(retrieved_lists, ground_truth_lists)
+    )
+    return total / len(retrieved_lists)
+
+
+def exact_ground_truth(
+    queries: np.ndarray, vectors: np.ndarray, k: int, metric: str = "l2"
+) -> np.ndarray:
+    """(n_queries, k) matrix of exact nearest-neighbor ids."""
+    distance_fn = METRICS[metric]
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+    out = np.empty((queries.shape[0], k), dtype=np.int64)
+    for i, query in enumerate(queries):
+        distances = distance_fn(query, vectors)
+        top = np.argpartition(distances, k - 1)[:k]
+        out[i] = top[np.argsort(distances[top], kind="stable")]
+    return out

@@ -1,0 +1,47 @@
+"""Reranking: re-score a shortlist at higher precision (Sec. 4.3.2, step 7).
+
+REIS performs ANNS in binary precision, shortlists the ``10k`` nearest
+candidates, then recomputes their distances with INT8 embeddings fetched via
+the RADR links and sorts the result -- the low-cost rescoring step that
+recovers most of the recall binary quantization gives up.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.ann.distances import int8_l2_squared, l2_squared
+
+
+def rerank_int8(
+    query_i8: np.ndarray,
+    candidate_ids: np.ndarray,
+    codes_i8: np.ndarray,
+    k: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """INT8 rerank: (distances, ids) of the top-k among the candidates."""
+    candidate_ids = np.asarray(candidate_ids, dtype=np.int64)
+    if candidate_ids.size == 0:
+        return np.empty(0, dtype=np.int64), candidate_ids
+    distances = int8_l2_squared(query_i8, codes_i8[candidate_ids])
+    k = min(k, candidate_ids.size)
+    order = np.argsort(distances, kind="stable")[:k]
+    return distances[order], candidate_ids[order]
+
+
+def rerank_fp32(
+    query: np.ndarray,
+    candidate_ids: np.ndarray,
+    vectors: np.ndarray,
+    k: int,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Full-precision rerank used by host baselines."""
+    candidate_ids = np.asarray(candidate_ids, dtype=np.int64)
+    if candidate_ids.size == 0:
+        return np.empty(0, dtype=np.float32), candidate_ids
+    distances = l2_squared(query, vectors[candidate_ids])
+    k = min(k, candidate_ids.size)
+    order = np.argsort(distances, kind="stable")[:k]
+    return distances[order], candidate_ids[order]

@@ -1,0 +1,47 @@
+"""Selection kernels and their cost models.
+
+The SSD's embedded cores run quickselect (Hoare's FIND) to keep the N best
+entries of the Temporal Top Lists without sorting, and quicksort for the
+final distance-ordered top-k.  The functional implementations here wrap
+NumPy; the *operation counts* feed :class:`repro.ssd.cores.EmbeddedCore`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+
+def quickselect_smallest(
+    values: np.ndarray, k: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Indices and values of the k smallest entries (unsorted, O(n) average)."""
+    values = np.asarray(values)
+    if values.size == 0 or k <= 0:
+        return np.empty(0, dtype=np.int64), values[:0]
+    k = min(k, values.size)
+    idx = np.argpartition(values, k - 1)[:k]
+    return idx.astype(np.int64), values[idx]
+
+
+def sorted_topk(values: np.ndarray, k: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Indices and values of the k smallest entries, distance-ordered."""
+    idx, vals = quickselect_smallest(values, k)
+    order = np.argsort(vals, kind="stable")
+    return idx[order], vals[order]
+
+
+def quickselect_comparisons(n: int, k: int) -> float:
+    """Expected comparison count of quickselect (≈ 2n for k << n)."""
+    if n <= 0:
+        return 0.0
+    return 2.0 * n + k * math.log2(max(k, 2))
+
+
+def quicksort_comparisons(n: int) -> float:
+    """Expected comparison count of quicksort (≈ 1.39 n log2 n)."""
+    if n <= 1:
+        return 0.0
+    return 1.39 * n * math.log2(n)

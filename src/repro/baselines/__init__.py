@@ -1,0 +1,34 @@
+"""Prior-work comparators evaluated against REIS (Sec. 6.4, Sec. 3.2).
+
+Each baseline is a parameterized cost model built over the same
+NAND/SSD timing substrate as REIS, reproducing the design point the
+original paper publishes:
+
+* :mod:`repro.baselines.ice` -- ICE (MICRO'22): in-flash vector similarity
+  with an error-tolerant data encoding (8x storage blow-up for 4-bit
+  precision) instead of ESP, and no document-retrieval path.  Includes the
+  idealized ICE-ESP variant the paper also compares against.
+* :mod:`repro.baselines.ndsearch` -- NDSearch (ISCA'24): near-data graph
+  traversal (HNSW / DiskANN ordering), whose irregular access pattern
+  underutilizes plane/channel parallelism.
+* :mod:`repro.baselines.reis_asic` -- REIS-ASIC (Sec. 6.3.1): an ideal
+  in-controller ASIC that must still move every candidate page through
+  ECC on the controller because it does not use ESP.
+* :mod:`repro.baselines.spann` -- SPANN (NeurIPS'21): the host-side hybrid
+  memory/SSD ANN whose centroid-memory trade-off Sec. 3.2 measures.
+"""
+
+from repro.baselines.ice import IceConfig, IceModel
+from repro.baselines.ndsearch import NdSearchConfig, NdSearchModel
+from repro.baselines.reis_asic import ReisAsicModel
+from repro.baselines.spann import SpannConfig, SpannModel
+
+__all__ = [
+    "IceConfig",
+    "IceModel",
+    "NdSearchConfig",
+    "NdSearchModel",
+    "ReisAsicModel",
+    "SpannConfig",
+    "SpannModel",
+]

@@ -1,0 +1,103 @@
+"""NDSearch: near-data graph-traversal ANNS (Wang et al., ISCA'24).
+
+NDSearch accelerates graph-based search (HNSW / DiskANN orderings) inside
+the storage system.  Graph traversal is inherently sequential: the next
+vertex to visit depends on the distances computed at the current vertex,
+so the search advances hop by hop, and each hop's neighbor fetches land on
+*arbitrary* dies and channels.  Two consequences drive the model (and the
+REIS paper's critique, Sec. 3.2):
+
+1. **Dependency chains** -- a query's critical path is
+   ``hops x (page read + neighbor-distance evaluation)``; the massive
+   plane-level parallelism of the array is idle most of the time.
+2. **Conflict-limited parallelism** -- the neighbor fetches of one hop are
+   random, so channel and die conflicts cap the achievable overlap; an
+   effective-parallelism factor < 1 models the published utilization.
+
+Hop counts and beam widths follow the published operating points of
+HNSW and DiskANN on SIFT-1B / DEEP-1B at the recalls used in Fig. 11.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.config import ReisConfig
+from repro.sim.latency import LatencyReport
+from repro.ssd.cores import EmbeddedCore
+
+
+@dataclass(frozen=True)
+class NdSearchConfig:
+    """One graph-traversal design point (HNSW or DiskANN ordering)."""
+
+    algorithm: str = "hnsw"  # "hnsw" | "diskann"
+    beam_width: int = 16  # candidates expanded per hop
+    degree: int = 64  # neighbors fetched per expanded vertex
+    effective_parallelism: float = 0.30  # conflict-limited overlap factor
+    neighbor_bytes: int = 4  # adjacency entry size
+
+    def hops(self, n_entries: int) -> int:
+        """Traversal depth to convergence (empirically ~ c * log2 N)."""
+        base = math.log2(max(n_entries, 2))
+        factor = 2.2 if self.algorithm == "hnsw" else 2.8
+        return max(4, int(round(factor * base)))
+
+
+HNSW_POINT = NdSearchConfig(algorithm="hnsw")
+DISKANN_POINT = NdSearchConfig(
+    algorithm="diskann", beam_width=12, degree=70, effective_parallelism=0.35
+)
+
+
+class NdSearchModel:
+    """Per-query latency of NDSearch on a REIS SSD configuration."""
+
+    def __init__(self, config: ReisConfig, point: Optional[NdSearchConfig] = None) -> None:
+        self.config = config
+        self.point = point or HNSW_POINT
+        self.geometry = config.geometry
+        self.timing = config.timing
+
+    def query_report(self, n_entries: int, dim: int, k: int = 10) -> LatencyReport:
+        """Latency of one graph-traversal query over ``n_entries`` vectors."""
+        if n_entries <= 0 or dim <= 0:
+            raise ValueError("n_entries and dim must be positive")
+        p = self.point
+        hops = p.hops(n_entries)
+        # Per hop: the beam expands `beam_width` vertices; each expansion
+        # senses one page holding the vertex's vector + adjacency list.
+        # Conflicts limit how many of those senses overlap.
+        reads_per_hop = p.beam_width
+        overlap = max(
+            1.0,
+            min(reads_per_hop, self.geometry.total_planes) * p.effective_parallelism,
+        )
+        sense_s = self.timing.read_time("slc") * reads_per_hop / overlap
+        # Distances for `beam_width * degree` neighbors are computed near
+        # the data; their ids/distances cross the channels each hop.
+        hop_bytes = (
+            p.beam_width * p.degree * (p.neighbor_bytes + 2)
+            + p.beam_width * dim  # fetched vectors (INT8 precision)
+        )
+        channels_used = max(1.0, self.geometry.channels * p.effective_parallelism)
+        transfer_s = hop_bytes / (self.timing.channel_bandwidth_bps * channels_used)
+        core = EmbeddedCore(0, self.config.core_spec)
+        select_s = core.quickselect(p.beam_width * p.degree, p.beam_width)
+
+        # Hops are strictly dependent: no pipelining across hops.
+        per_hop = sense_s + transfer_s + select_s
+        report = LatencyReport()
+        report.add_component("traversal", per_hop * hops)
+        report.total_s += per_hop * hops
+        # Final top-k sort + result return.
+        sort_s = core.quicksort(p.beam_width * 4)
+        report.add_component("finalize", sort_s)
+        report.total_s += sort_s
+        return report
+
+    def qps(self, n_entries: int, dim: int, k: int = 10) -> float:
+        seconds = self.query_report(n_entries, dim, k).total_s
+        return 1.0 / seconds if seconds > 0 else math.inf

@@ -1,0 +1,207 @@
+"""SPANN: the host-side hybrid memory/SSD ANN baseline (Sec. 3.2).
+
+SPANN keeps cluster centroids in host DRAM and posting lists (cluster
+members) on the SSD; a query scans the in-memory centroids, then loads and
+scans the selected posting lists from flash.  The REIS paper's Sec. 3.2
+study finds the approach does not remove the I/O bottleneck: reaching
+0.92 Recall@10 on HotpotQA requires keeping ~24% of all embeddings as
+centroids in memory, for only a ~22% speedup over exhaustive search.
+
+The model combines a *functional* layer (random-sampled centroids over the
+real functional dataset, so the recall-vs-centroid-fraction curve is
+measured, not assumed) with the same paper-scale CPU/IO timing models used
+by the CPU-Real baseline.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.ann.distances import l2_squared
+from repro.ann.recall import recall_at_k
+from repro.host.cpu import CpuSearchModel, CpuSpec
+from repro.host.io import StorageIoModel
+from repro.rag.datasets import VectorDataset
+from repro.sim.rng import make_rng
+
+
+@dataclass(frozen=True)
+class SpannConfig:
+    """One SPANN operating point."""
+
+    centroid_fraction: float = 0.24  # fraction of embeddings kept in DRAM
+    probe_lists: int = 8  # posting lists scanned per query
+    # SPANN duplicates boundary vectors into multiple posting lists
+    # (closure assignment); the published design replicates ~8x.
+    replication: float = 8.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.centroid_fraction <= 1.0:
+            raise ValueError("centroid_fraction must be in (0, 1]")
+        if self.probe_lists <= 0:
+            raise ValueError("probe_lists must be positive")
+
+
+class SpannModel:
+    """Functional recall + paper-scale timing for the SPANN hybrid."""
+
+    def __init__(
+        self,
+        dataset: VectorDataset,
+        config: Optional[SpannConfig] = None,
+        cpu: Optional[CpuSpec] = None,
+        io: Optional[StorageIoModel] = None,
+        seed: object = 0,
+    ) -> None:
+        self.dataset = dataset
+        self.config = config or SpannConfig()
+        self.model = CpuSearchModel(cpu)
+        self.io = io or StorageIoModel()
+        self._build(seed)
+
+    # --------------------------------------------------------------- index
+
+    def _build(self, seed: object) -> None:
+        """Sample centroids from the data and assign members to the nearest.
+
+        SPANN's balanced hierarchical clustering is approximated by
+        sampling database points as centroids (the published design also
+        selects centroids from the data); the recall/fraction trade-off
+        this produces is what Sec. 3.2 measures.
+        """
+        vectors = self.dataset.vectors
+        n = vectors.shape[0]
+        n_centroids = max(1, int(round(self.config.centroid_fraction * n)))
+        rng = make_rng("spann", seed, n_centroids)
+        self.centroid_ids = np.sort(rng.choice(n, size=n_centroids, replace=False))
+        self.centroids = vectors[self.centroid_ids]
+        assignments = np.empty(n, dtype=np.int64)
+        block = 1024
+        for start in range(0, n, block):
+            stop = min(start + block, n)
+            chunk = vectors[start:stop]
+            d = (
+                (chunk**2).sum(axis=1, keepdims=True)
+                - 2.0 * chunk @ self.centroids.T
+                + (self.centroids**2).sum(axis=1)[None, :]
+            )
+            assignments[start:stop] = np.argmin(d, axis=1)
+        self.postings = [
+            np.nonzero(assignments == c)[0] for c in range(n_centroids)
+        ]
+
+    # -------------------------------------------------------------- search
+
+    def search(self, query: np.ndarray, k: int) -> Tuple[np.ndarray, int]:
+        """(top-k ids, posting entries scanned) for one query."""
+        query = np.asarray(query, dtype=np.float32)
+        centroid_d = l2_squared(query, self.centroids)
+        probes = min(self.config.probe_lists, len(self.postings))
+        lists = np.argpartition(centroid_d, probes - 1)[:probes]
+        candidates = [self.postings[c] for c in lists]
+        candidates.append(self.centroid_ids[lists])  # centroids are data too
+        ids = np.unique(np.concatenate(candidates))
+        if ids.size == 0:
+            return np.empty(0, dtype=np.int64), 0
+        d = l2_squared(query, self.dataset.vectors[ids])
+        k = min(k, ids.size)
+        top = np.argpartition(d, k - 1)[:k]
+        top = top[np.argsort(d[top], kind="stable")]
+        return ids[top], int(ids.size)
+
+    def measure_recall(self, k: int = 10, probe_lists: Optional[int] = None) -> float:
+        """Mean Recall@k over the dataset's query set."""
+        if probe_lists is not None:
+            original, self.config = self.config, SpannConfig(
+                centroid_fraction=self.config.centroid_fraction,
+                probe_lists=probe_lists,
+                replication=self.config.replication,
+            )
+            try:
+                return self.measure_recall(k)
+            finally:
+                self.config = original
+        total = 0.0
+        for i, query in enumerate(self.dataset.queries):
+            ids, _ = self.search(query, k)
+            total += recall_at_k(ids, self.dataset.ground_truth[i], k)
+        return total / self.dataset.n_queries
+
+    def min_probes_for_recall(self, target: float, k: int = 10) -> Optional[int]:
+        """Smallest probe count reaching ``target`` Recall@k (None if never).
+
+        This is the honest SPANN operating point: with many small posting
+        lists, hitting a recall target requires probing a large *fraction*
+        of the lists -- which is why the Sec. 3.2 study finds only a modest
+        speedup over exhaustive search despite the large centroid memory.
+        """
+        n_lists = len(self.postings)
+        grid = []
+        probes = 1
+        while probes < n_lists:
+            grid.append(probes)
+            probes *= 2
+        grid.append(n_lists)
+        for probes in grid:
+            if self.measure_recall(k, probe_lists=probes) >= target:
+                return probes
+        return None
+
+    # ------------------------------------------------------------- timing
+
+    def query_seconds(self, k: int = 10, probe_lists: Optional[int] = None) -> float:
+        """Paper-scale per-query time: in-memory scan + SSD posting loads.
+
+        The probed-list *fraction* measured functionally carries over to
+        paper scale (cluster granularity scales with the centroid count).
+        """
+        spec = self.dataset.spec
+        n = spec.paper_entries
+        dim = spec.paper_dim
+        n_centroids = self.config.centroid_fraction * n
+        probes = probe_lists if probe_lists is not None else self.config.probe_lists
+        probed_fraction = min(1.0, probes / max(len(self.postings), 1))
+        scanned = min(1.0, probed_fraction * self.config.replication) * n
+        centroid_scan = self.model.flat_fp32(int(n_centroids), dim, 1)
+        posting_bytes = scanned * dim * 4
+        posting_load = self.io.load_time(posting_bytes, int(scanned))
+        fine_scan = self.model.flat_fp32(int(math.ceil(scanned)), dim, 1)
+        return centroid_scan + posting_load + fine_scan
+
+    def exhaustive_seconds(self) -> float:
+        """Paper-scale exhaustive search over the SSD-resident dataset.
+
+        SPANN's setting is a dataset too large for DRAM, so the exhaustive
+        comparator streams the full dataset from storage before scanning --
+        the same I/O path the posting loads use.
+        """
+        spec = self.dataset.spec
+        n, dim = spec.paper_entries, spec.paper_dim
+        load = self.io.load_time(float(n) * dim * 4, n)
+        return load + self.model.flat_fp32(n, dim, 1)
+
+    def speedup_over_exhaustive(
+        self, k: int = 10, recall_target: Optional[float] = None
+    ) -> float:
+        """Speedup over in-memory exhaustive search.
+
+        With ``recall_target`` the probe count is first resolved to the
+        cheapest one reaching the target (the Sec. 3.2 protocol); without
+        it, the configured probe count is used directly.
+        """
+        probes = None
+        if recall_target is not None:
+            probes = self.min_probes_for_recall(recall_target, k)
+            if probes is None:
+                return 0.0  # target unreachable at this centroid fraction
+        return self.exhaustive_seconds() / self.query_seconds(k, probe_lists=probes)
+
+    def memory_bytes(self) -> int:
+        """Host DRAM the centroids occupy at paper scale."""
+        spec = self.dataset.spec
+        n_centroids = int(self.config.centroid_fraction * spec.paper_entries)
+        return n_centroids * spec.paper_dim * 4

@@ -1,0 +1,87 @@
+"""The REIS system: database layout, in-storage ANNS engine, and device API.
+
+This package is the paper's primary contribution.  Everything else in
+:mod:`repro` is substrate (NAND flash, SSD firmware, ANN algorithms, the
+RAG pipeline, host baselines); this package combines them into the
+retrieval system of Sec. 4:
+
+* :mod:`repro.core.config` -- the evaluated SSD configurations (Table 3)
+  and the optimization flags ablated in Fig. 9.
+* :mod:`repro.core.layout` -- the vector-database layout (Sec. 4.1) and
+  its IVF tailoring (Sec. 4.2.1): regions, OOB linkage, deployment.
+* :mod:`repro.core.registry` -- R-DB, R-IVF and the Temporal Top Lists.
+* :mod:`repro.core.commands` -- the NAND command-set extensions (Table 2).
+* :mod:`repro.core.engine` -- the in-storage ANNS engine (Sec. 4.3).
+* :mod:`repro.core.costing` -- the shared latency-composition layer.
+* :mod:`repro.core.analytic` -- the paper-scale analytic twin.
+* :mod:`repro.core.api` -- the device API (Table 1) and NVMe wiring.
+* :mod:`repro.core.metadata` -- the Sec. 7.1 metadata-filtering extension.
+"""
+
+from repro.core.analytic import (
+    AnalyticWorkload,
+    ReisAnalyticModel,
+    brute_force_workload,
+    ivf_workload,
+)
+from repro.core.api import BatchSearchResult, ReisDevice, ReisRetriever
+from repro.core.config import (
+    ALL_OPT,
+    NO_OPT,
+    REIS_SSD1,
+    REIS_SSD2,
+    EngineParams,
+    OptFlags,
+    ReisConfig,
+    tiny_config,
+)
+from repro.core.defrag import DefragmentationError, Defragmenter, DefragResult
+from repro.core.engine import InStorageAnnsEngine, ReisQueryResult, SearchStats
+from repro.core.scheduler import DeviceScheduler, ScheduleAccounting
+from repro.core.layout import (
+    CapacityError,
+    DatabaseDeployer,
+    DeployedDatabase,
+    RegionInfo,
+)
+from repro.core.metadata import TaggedSearcher, TimePartitionedStore, TimeWindow
+from repro.core.registry import RDb, RDbEntry, RIvf, RIvfEntry, TemporalTopList, TtlEntry
+
+__all__ = [
+    "ALL_OPT",
+    "NO_OPT",
+    "REIS_SSD1",
+    "REIS_SSD2",
+    "AnalyticWorkload",
+    "BatchSearchResult",
+    "CapacityError",
+    "DatabaseDeployer",
+    "DefragResult",
+    "DefragmentationError",
+    "Defragmenter",
+    "DeployedDatabase",
+    "DeviceScheduler",
+    "EngineParams",
+    "ScheduleAccounting",
+    "InStorageAnnsEngine",
+    "OptFlags",
+    "RDb",
+    "RDbEntry",
+    "RIvf",
+    "RIvfEntry",
+    "RegionInfo",
+    "ReisAnalyticModel",
+    "ReisConfig",
+    "ReisDevice",
+    "ReisQueryResult",
+    "ReisRetriever",
+    "SearchStats",
+    "TaggedSearcher",
+    "TemporalTopList",
+    "TimePartitionedStore",
+    "TimeWindow",
+    "TtlEntry",
+    "brute_force_workload",
+    "ivf_workload",
+    "tiny_config",
+]

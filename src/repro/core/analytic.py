@@ -1,0 +1,324 @@
+"""Paper-scale analytic model of the REIS engine.
+
+The functional engine in :mod:`repro.core.engine` executes real bytes and
+can only hold scaled-down datasets.  The evaluation datasets are 2.7M-1B
+entries, so the figures are regenerated with this analytic twin: it builds
+the *same* :class:`~repro.core.costing.PhaseCost` objects the functional
+engine produces -- page reads per plane, channel bytes, core seconds --
+but computes the counts from a workload descriptor instead of executing
+them, then composes them through the identical
+:func:`~repro.core.costing.compose_phase` path.
+
+Because both layers share the composition code, the functional engine's
+measured per-query latency and the analytic model's predicted latency can
+be cross-validated on workloads small enough to run functionally (the
+integration tests do exactly this).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Dict, Optional, Tuple
+
+from repro.core.config import OptFlags, ReisConfig
+from repro.core.costing import (
+    PhaseCost,
+    compose_phase,
+    ibc_time,
+    merge_phase_totals,
+    spread_channel_bytes,
+    spread_pages,
+)
+from repro.nand.ecc import EccEngine
+from repro.sim.latency import LatencyReport
+from repro.sim.stats import CounterSet
+from repro.ssd.cores import EmbeddedCore
+from repro.ssd.power import SsdPowerModel
+
+
+@dataclass(frozen=True)
+class AnalyticWorkload:
+    """One query's workload at a chosen operating point.
+
+    ``candidate_fraction`` is the fraction of database embeddings the fine
+    search scans (1.0 for brute force; for IVF it is the fraction the
+    probed clusters cover, measured functionally or estimated as
+    ``nprobe / nlist``).  ``filter_pass_fraction`` is the fraction of
+    scanned embeddings that survive distance filtering and cross the
+    channel (the paper observes ~1% for HotpotQA at k=10).
+    """
+
+    n_entries: int
+    dim: int
+    k: int = 10
+    nlist: int = 0  # 0 => flat / brute-force database
+    nprobe: int = 0
+    candidate_fraction: float = 1.0
+    filter_pass_fraction: float = 0.01
+    doc_bytes: int = 4096
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.n_entries <= 0:
+            raise ValueError("n_entries must be positive")
+        if self.dim % 8 != 0:
+            raise ValueError("dim must be a multiple of 8")
+        if not 0.0 < self.candidate_fraction <= 1.0:
+            raise ValueError("candidate_fraction must be in (0, 1]")
+        if not 0.0 < self.filter_pass_fraction <= 1.0:
+            raise ValueError("filter_pass_fraction must be in (0, 1]")
+        if self.nlist and not self.nprobe:
+            raise ValueError("IVF workloads need nprobe >= 1")
+
+    @property
+    def is_ivf(self) -> bool:
+        return self.nlist > 0
+
+    @property
+    def code_bytes(self) -> int:
+        return self.dim // 8
+
+    @property
+    def candidates(self) -> int:
+        return max(1, int(round(self.candidate_fraction * self.n_entries)))
+
+    def with_recall_label(self, label: str) -> "AnalyticWorkload":
+        return replace(self, label=label)
+
+
+@dataclass
+class AnalyticQueryCost:
+    """Latency report plus the activity counts behind it."""
+
+    report: LatencyReport
+    counters: CounterSet
+    core_busy_s: float
+
+    @property
+    def seconds(self) -> float:
+        return self.report.total_s
+
+    @property
+    def qps(self) -> float:
+        return 1.0 / self.seconds if self.seconds > 0 else math.inf
+
+
+class ReisAnalyticModel:
+    """Predicts per-query latency/energy of REIS at paper dataset scale."""
+
+    def __init__(self, config: ReisConfig, flags: Optional[OptFlags] = None) -> None:
+        self.config = config
+        self.flags = flags if flags is not None else OptFlags()
+        self.geometry = config.geometry
+        self.timing = config.timing
+        self.params = config.engine
+        self.power = SsdPowerModel(config.power)
+        self._ecc = EccEngine()
+
+    # ---------------------------------------------------------- primitives
+
+    def _spread_pages(self, cost: PhaseCost, total_pages: int) -> None:
+        spread_pages(cost, total_pages, self.geometry.total_planes)
+
+    def _spread_channel_bytes(self, cost: PhaseCost, total_bytes: float) -> None:
+        spread_channel_bytes(cost, total_bytes, self.geometry.channels)
+
+    def _core(self) -> EmbeddedCore:
+        """A scratch core: time formulas only, not the live busy counter."""
+        return EmbeddedCore(0, self.config.core_spec)
+
+    # -------------------------------------------------------------- phases
+
+    def _coarse_cost(self, workload: AnalyticWorkload) -> PhaseCost:
+        cost = PhaseCost(name="coarse", with_compute=True)
+        g = self.geometry
+        spp = min(
+            g.page_bytes // workload.code_bytes,
+            g.oob_bytes // self.params.tag_bytes,
+        )
+        pages = math.ceil(workload.nlist / spp)
+        self._spread_pages(cost, pages)
+        entry_bytes = self.params.coarse_entry_bytes(workload.code_bytes)
+        self._spread_channel_bytes(cost, workload.nlist * entry_bytes)
+        cost.core_seconds = self._core().quickselect(workload.nlist, workload.nprobe)
+        return cost
+
+    def _fine_cost(self, workload: AnalyticWorkload) -> Tuple[PhaseCost, int]:
+        cost = PhaseCost(
+            name="fine",
+            with_compute=True,
+            with_filter=self.flags.distance_filtering,
+        )
+        g = self.geometry
+        spp = min(
+            g.page_bytes // workload.code_bytes,
+            g.oob_bytes // self.params.oob_link_bytes,
+        )
+        candidates = workload.candidates
+        shortlist = self.params.shortlist_factor * workload.k
+        pages = math.ceil(candidates / spp)
+        if workload.is_ivf:
+            # Each probed cluster is a separate contiguous range; ranges do
+            # not share pages, so add the per-cluster page-rounding slack.
+            pages = min(
+                pages + workload.nprobe - 1,
+                math.ceil(workload.n_entries / spp),
+            )
+        self._spread_pages(cost, pages)
+        if self.flags.distance_filtering:
+            transferred = max(
+                int(round(candidates * workload.filter_pass_fraction)),
+                min(shortlist, candidates),
+            )
+        else:
+            transferred = candidates
+        entry_bytes = self.params.fine_entry_bytes(workload.code_bytes)
+        self._spread_channel_bytes(cost, transferred * entry_bytes)
+        cost.core_seconds = self._core().quickselect(transferred, shortlist)
+        return cost, transferred
+
+    def _rerank_cost(
+        self, workload: AnalyticWorkload, transferred: Optional[int] = None
+    ) -> PhaseCost:
+        cost = PhaseCost(name="rerank", read_mode="tlc", with_compute=False)
+        shortlist = min(
+            self.params.shortlist_factor * workload.k, workload.candidates
+        )
+        if transferred is not None:
+            # Distance filtering may let fewer candidates through than the
+            # rescoring window; the rerank then only sees those.
+            shortlist = min(shortlist, transferred)
+        # INT8 twins of the shortlist are scattered: one TLC page each, but
+        # never more pages than the INT8 region holds per plane stripe.
+        int8_spp = max(1, self.geometry.page_bytes // workload.dim)
+        region_pages = math.ceil(workload.n_entries / int8_spp)
+        pages = min(shortlist, region_pages)
+        self._spread_pages(cost, pages)
+        # Only the distinct ECC codewords covering the shortlist's INT8
+        # embeddings cross the channel; at paper scale the shortlist is
+        # scattered (one codeword group per entry), at small scale entries
+        # share codewords, so the count is capped by the region's total.
+        cw = self._ecc.config.codeword_bytes
+        cw_per_entry = math.ceil(workload.dim / cw)
+        region_codewords = region_pages * max(1, self.geometry.page_bytes // cw)
+        n_codewords = min(shortlist * cw_per_entry, region_codewords)
+        transfer_bytes = float(n_codewords) * cw
+        self._spread_channel_bytes(cost, transfer_bytes)
+        cost.ecc_bytes = transfer_bytes
+        core = self._core()
+        cost.core_seconds = core.int8_distances(shortlist, workload.dim)
+        cost.core_seconds += core.quicksort(shortlist)
+        return cost
+
+    def _document_cost(self, workload: AnalyticWorkload) -> PhaseCost:
+        cost = PhaseCost(name="documents", read_mode="tlc", with_compute=False)
+        self._spread_pages(cost, workload.k)
+        cw = self._ecc.config.codeword_bytes
+        chunk_bytes = math.ceil(workload.doc_bytes / cw) * cw
+        transfer_bytes = float(workload.k) * chunk_bytes
+        self._spread_channel_bytes(cost, transfer_bytes)
+        cost.ecc_bytes = transfer_bytes
+        return cost
+
+    # --------------------------------------------------------------- query
+
+    def query_cost(self, workload: AnalyticWorkload) -> AnalyticQueryCost:
+        """Predicted cost of one query at the workload's operating point."""
+        ecc_rate = self._ecc.decode_time(1)
+        phases: Dict[str, Tuple[float, Dict[str, float]]] = {}
+        costs = []
+        if workload.is_ivf:
+            coarse = self._coarse_cost(workload)
+            phases["coarse"] = compose_phase(coarse, self.timing, self.flags, ecc_rate)
+            costs.append(coarse)
+        fine, transferred = self._fine_cost(workload)
+        phases["fine"] = compose_phase(fine, self.timing, self.flags, ecc_rate)
+        costs.append(fine)
+        rerank = self._rerank_cost(workload, transferred)
+        phases["rerank"] = compose_phase(rerank, self.timing, self.flags, ecc_rate)
+        costs.append(rerank)
+        if workload.doc_bytes > 0:
+            documents = self._document_cost(workload)
+            phases["documents"] = compose_phase(
+                documents, self.timing, self.flags, ecc_rate
+            )
+            costs.append(documents)
+
+        ibc_s = ibc_time(self.geometry, self.timing, workload.code_bytes, self.flags)
+        report = merge_phase_totals(phases, ibc_s)
+        host_s = workload.k * workload.doc_bytes / 7.0e9  # PCIe 4.0 x4 link
+        if host_s > 0:
+            report.add_component("host_transfer", host_s)
+            report.total_s += host_s
+
+        counters = CounterSet()
+        total_pages = sum(c.total_pages for c in costs)
+        compute_pages = sum(c.total_pages for c in costs if c.with_compute)
+        filter_pages = sum(c.total_pages for c in costs if c.with_filter)
+        counters.add("page_reads", total_pages)
+        counters.add("latch_xors", compute_pages)
+        counters.add("bit_counts", compute_pages)
+        counters.add("pass_fail_checks", filter_pages)
+        counters.add("ibc_broadcasts", self.geometry.total_dies)
+        counters.add("channel_bytes", sum(c.total_channel_bytes for c in costs))
+        core_busy = sum(c.core_seconds for c in costs)
+        counters.add("entries_transferred", transferred)
+        return AnalyticQueryCost(report=report, counters=counters, core_busy_s=core_busy)
+
+    # ------------------------------------------------------- derived rates
+
+    def qps(self, workload: AnalyticWorkload) -> float:
+        return self.query_cost(workload).qps
+
+    def energy_per_query(self, workload: AnalyticWorkload) -> float:
+        cost = self.query_cost(workload)
+        return self.power.total_energy(cost.counters, cost.seconds, cost.core_busy_s)
+
+    def average_power(self, workload: AnalyticWorkload) -> float:
+        cost = self.query_cost(workload)
+        return self.power.average_power(cost.counters, cost.seconds, cost.core_busy_s)
+
+    def qps_per_watt(self, workload: AnalyticWorkload) -> float:
+        return self.qps(workload) / self.average_power(workload)
+
+
+def brute_force_workload(
+    n_entries: int, dim: int, k: int = 10, doc_bytes: int = 4096
+) -> AnalyticWorkload:
+    """The BF operating point: scan the whole database."""
+    return AnalyticWorkload(
+        n_entries=n_entries,
+        dim=dim,
+        k=k,
+        candidate_fraction=1.0,
+        doc_bytes=doc_bytes,
+        label="BF",
+    )
+
+
+def ivf_workload(
+    n_entries: int,
+    dim: int,
+    nlist: int,
+    nprobe: int,
+    candidate_fraction: Optional[float] = None,
+    k: int = 10,
+    filter_pass_fraction: float = 0.01,
+    doc_bytes: int = 4096,
+    label: str = "",
+) -> AnalyticWorkload:
+    """An IVF operating point; defaults the scan fraction to nprobe/nlist."""
+    if candidate_fraction is None:
+        candidate_fraction = min(1.0, nprobe / nlist)
+    return AnalyticWorkload(
+        n_entries=n_entries,
+        dim=dim,
+        k=k,
+        nlist=nlist,
+        nprobe=nprobe,
+        candidate_fraction=candidate_fraction,
+        filter_pass_fraction=filter_pass_fraction,
+        doc_bytes=doc_bytes,
+        label=label,
+    )

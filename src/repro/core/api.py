@@ -1,0 +1,346 @@
+"""The REIS device API (Table 1, Sec. 4.4.1).
+
+:class:`ReisDevice` is the top of the stack: one simulated SSD running the
+REIS firmware.  The host-facing surface mirrors the paper's API:
+
+=================  =========================================================
+``db_deploy``      Write an N-entry database to storage (flat layout).
+``ivf_deploy``     Write an IVF database (cluster info in ``CI``/nlist).
+``search``         Top-k brute-force search for a batch of queries.
+``ivf_search``     Top-k IVF search; the ``R`` argument (target recall) is
+                   resolved to an nprobe operating point.
+=================  =========================================================
+
+Each command is also wired to a vendor-specific NVMe opcode (80h-FFh), so
+examples can exercise the exact host<->device command path the paper
+extends the NVM command set with.
+
+:class:`ReisRetriever` adapts a deployed database to the
+:class:`repro.rag.pipeline.Retriever` protocol: retrieved ids come from the
+functional engine; search time can optionally be reported at paper dataset
+scale through the analytic model, which is how the end-to-end comparisons
+(Table 4) are produced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.ann.ivf import IvfModel, build_ivf_model
+from repro.core.analytic import AnalyticWorkload, ReisAnalyticModel
+from repro.core.config import OptFlags, ReisConfig, REIS_SSD1
+from repro.core.engine import InStorageAnnsEngine, ReisQueryResult
+from repro.core.layout import DatabaseDeployer, DeployedDatabase
+from repro.rag.documents import Corpus
+from repro.rag.pipeline import RetrievalResult
+from repro.ssd.nvme import NvmeCommand, NvmeCompletion, NvmeOpcode
+
+
+@dataclass
+class BatchSearchResult:
+    """Results of a ``Search``/``IVF_Search`` batch."""
+
+    results: List[ReisQueryResult]
+
+    @property
+    def ids(self) -> List[np.ndarray]:
+        return [r.ids for r in self.results]
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(r.latency.total_s for r in self.results)
+
+    @property
+    def qps(self) -> float:
+        total = self.total_seconds
+        return len(self.results) / total if total > 0 else float("inf")
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, index: int) -> ReisQueryResult:
+        return self.results[index]
+
+
+class ReisDevice:
+    """A simulated SSD running REIS: deploy databases, search in storage."""
+
+    def __init__(
+        self,
+        config: ReisConfig = REIS_SSD1,
+        flags: Optional[OptFlags] = None,
+    ) -> None:
+        self.config = config
+        self.flags = flags if flags is not None else OptFlags()
+        self.ssd = config.make_ssd()
+        self.deployer = DatabaseDeployer(self.ssd, config.engine)
+        self.engine = InStorageAnnsEngine(self.ssd, config, self.flags)
+        self._databases: Dict[int, DeployedDatabase] = {}
+        self._next_db_id = 0
+        self._register_nvme_handlers()
+
+    # ----------------------------------------------------------- inventory
+
+    @property
+    def databases(self) -> Dict[int, DeployedDatabase]:
+        return dict(self._databases)
+
+    def database(self, db_id: int) -> DeployedDatabase:
+        try:
+            return self._databases[db_id]
+        except KeyError:
+            raise KeyError(f"database id {db_id} is not deployed") from None
+
+    def _allocate_db_id(self, db_id: Optional[int]) -> int:
+        if db_id is None:
+            db_id = self._next_db_id
+        if db_id in self._databases:
+            raise ValueError(f"database id {db_id} already deployed")
+        self._next_db_id = max(self._next_db_id, db_id + 1)
+        return db_id
+
+    # --------------------------------------------------------- deployment
+
+    def db_deploy(
+        self,
+        name: str,
+        vectors: np.ndarray,
+        corpus: Optional[Corpus] = None,
+        db_id: Optional[int] = None,
+        metadata_tags: Optional[np.ndarray] = None,
+        seed: object = 0,
+    ) -> int:
+        """``DB_Deploy(DB, Did, N)``: deploy a flat (brute-force) database."""
+        db_id = self._allocate_db_id(db_id)
+        deployed = self.deployer.deploy(
+            db_id, name, vectors, corpus=corpus,
+            metadata_tags=metadata_tags, seed=seed,
+        )
+        self._databases[db_id] = deployed
+        self.ssd.enter_rag_mode()
+        return db_id
+
+    def ivf_deploy(
+        self,
+        name: str,
+        vectors: np.ndarray,
+        nlist: Optional[int] = None,
+        ivf_model: Optional[IvfModel] = None,
+        corpus: Optional[Corpus] = None,
+        db_id: Optional[int] = None,
+        metadata_tags: Optional[np.ndarray] = None,
+        seed: object = 0,
+    ) -> int:
+        """``IVF_Deploy(DB, Did, N, CI)``: deploy an IVF database.
+
+        ``CI`` (cluster information) is either a pre-trained
+        :class:`~repro.ann.ivf.IvfModel` or an ``nlist`` for which the
+        device trains k-means during indexing (the offline stage).
+        """
+        if ivf_model is None:
+            if nlist is None:
+                raise ValueError("provide either nlist or a trained ivf_model")
+            ivf_model = build_ivf_model(vectors, nlist, seed=seed)
+        db_id = self._allocate_db_id(db_id)
+        deployed = self.deployer.deploy(
+            db_id, name, vectors, corpus=corpus, ivf_model=ivf_model,
+            metadata_tags=metadata_tags, seed=seed,
+        )
+        self._databases[db_id] = deployed
+        self.ssd.enter_rag_mode()
+        return db_id
+
+    def drop(self, db_id: int) -> None:
+        """Remove a database from the R-DB (flash space is not reclaimed;
+        the paper treats deployment regions as long-lived reservations)."""
+        self.database(db_id)
+        del self._databases[db_id]
+        self.deployer.r_db.drop(db_id)
+
+    # -------------------------------------------------------------- search
+
+    def search(
+        self,
+        db_id: int,
+        queries: np.ndarray,
+        k: int = 10,
+        fetch_documents: bool = True,
+        metadata_filter: Optional[int] = None,
+    ) -> BatchSearchResult:
+        """``Search(Q, Qid, Did, k)``: brute-force top-k for a query batch."""
+        db = self.database(db_id)
+        results = self.engine.search_batch(
+            db, queries, k,
+            nprobe=None if not db.is_ivf else db.n_clusters,
+            fetch_documents=fetch_documents,
+            metadata_filter=metadata_filter,
+        )
+        return BatchSearchResult(results)
+
+    def ivf_search(
+        self,
+        db_id: int,
+        queries: np.ndarray,
+        k: int = 10,
+        nprobe: Optional[int] = None,
+        recall_target: Optional[float] = None,
+        fetch_documents: bool = True,
+        metadata_filter: Optional[int] = None,
+    ) -> BatchSearchResult:
+        """``IVF_Search(Q, Qid, Did, k, R)``: IVF top-k for a query batch.
+
+        The paper's ``R`` (target accuracy) argument maps to
+        ``recall_target``: the device resolves it to the cheapest nprobe
+        whose expected cluster coverage reaches the target (a device-side
+        heuristic; :mod:`repro.experiments.operating_points` measures exact
+        recall-calibrated operating points for the evaluation figures).
+        """
+        db = self.database(db_id)
+        if not db.is_ivf:
+            raise ValueError(f"database {db_id} was deployed without IVF")
+        if nprobe is None and recall_target is not None:
+            nprobe = self.resolve_nprobe(db_id, recall_target)
+        results = self.engine.search_batch(
+            db, queries, k, nprobe=nprobe,
+            fetch_documents=fetch_documents,
+            metadata_filter=metadata_filter,
+        )
+        return BatchSearchResult(results)
+
+    def resolve_nprobe(self, db_id: int, recall_target: float) -> int:
+        """Heuristic nprobe for a recall target.
+
+        Under the clustered-data assumption, coverage of the query's true
+        neighborhood grows roughly with the fraction of probed clusters; a
+        sqrt(nlist) baseline hits mid-range recall and the target scales it.
+        """
+        if not 0.0 < recall_target <= 1.0:
+            raise ValueError("recall_target must be in (0, 1]")
+        db = self.database(db_id)
+        base = max(1.0, db.n_clusters**0.5)
+        # 0.90 -> ~1x base, 0.98 -> ~3.5x base: matched to the functional
+        # recall sweeps on the clustered synthetic datasets.
+        scale = 1.0 + 30.0 * max(0.0, recall_target - 0.90) ** 1.3
+        return min(db.n_clusters, max(1, int(round(base * scale))))
+
+    # ----------------------------------------------------- NVMe plumbing
+
+    def _register_nvme_handlers(self) -> None:
+        nvme = self.ssd.nvme
+        nvme.register(NvmeOpcode.REIS_DB_DEPLOY, self._handle_db_deploy)
+        nvme.register(NvmeOpcode.REIS_IVF_DEPLOY, self._handle_ivf_deploy)
+        nvme.register(NvmeOpcode.REIS_SEARCH, self._handle_search)
+        nvme.register(NvmeOpcode.REIS_IVF_SEARCH, self._handle_ivf_search)
+        nvme.register(NvmeOpcode.REIS_DB_DROP, self._handle_drop)
+        nvme.register(NvmeOpcode.REIS_DB_LIST, self._handle_list)
+
+    def submit(self, command: NvmeCommand) -> NvmeCompletion:
+        """Submit a raw NVMe command (the host-driver path)."""
+        return self.ssd.nvme.submit(command)
+
+    def _handle_db_deploy(self, command: NvmeCommand) -> int:
+        p = command.params
+        return self.db_deploy(
+            p["name"], p["vectors"], corpus=p.get("corpus"),
+            db_id=p.get("db_id"), metadata_tags=p.get("metadata_tags"),
+        )
+
+    def _handle_ivf_deploy(self, command: NvmeCommand) -> int:
+        p = command.params
+        return self.ivf_deploy(
+            p["name"], p["vectors"], nlist=p.get("nlist"),
+            ivf_model=p.get("ivf_model"), corpus=p.get("corpus"),
+            db_id=p.get("db_id"), metadata_tags=p.get("metadata_tags"),
+        )
+
+    def _handle_search(self, command: NvmeCommand) -> BatchSearchResult:
+        p = command.params
+        return self.search(
+            p["db_id"], p["queries"], k=p.get("k", 10),
+            metadata_filter=p.get("metadata_filter"),
+        )
+
+    def _handle_ivf_search(self, command: NvmeCommand) -> BatchSearchResult:
+        p = command.params
+        return self.ivf_search(
+            p["db_id"], p["queries"], k=p.get("k", 10),
+            nprobe=p.get("nprobe"), recall_target=p.get("recall_target"),
+            metadata_filter=p.get("metadata_filter"),
+        )
+
+    def _handle_drop(self, command: NvmeCommand) -> None:
+        self.drop(command.params["db_id"])
+
+    def _handle_list(self, command: NvmeCommand) -> List[int]:
+        return sorted(self._databases)
+
+    # ----------------------------------------------------------- reporting
+
+    def energy_report(self, elapsed_s: float) -> Dict[str, float]:
+        """Total energy / average power over an interval of activity."""
+        busy = sum(core.busy_seconds for core in self.ssd.cores.cores)
+        energy = self.ssd.power.total_energy(self.ssd.counters, elapsed_s, busy)
+        return {
+            "energy_j": energy,
+            "average_power_w": self.ssd.average_power(elapsed_s),
+            "core_busy_s": busy,
+        }
+
+
+class ReisRetriever:
+    """Adapts a deployed REIS database to the RAG-pipeline protocol.
+
+    * ``dataset_load_seconds`` is zero -- the database lives in storage and
+      queries execute there (the entire point of the paper).
+    * retrieved ids come from the functional engine;
+    * ``search_seconds`` comes from the functional latency reports, or --
+      when ``paper_workload`` is provided -- from the analytic model at
+      paper dataset scale, which is how Table 4's REIS column is produced.
+    """
+
+    def __init__(
+        self,
+        device: ReisDevice,
+        db_id: int,
+        nprobe: Optional[int] = None,
+        paper_workload: Optional[AnalyticWorkload] = None,
+        paper_config: Optional[ReisConfig] = None,
+    ) -> None:
+        self.device = device
+        self.db_id = db_id
+        self.nprobe = nprobe
+        self.paper_workload = paper_workload
+        # Paper-scale timing runs on the evaluated SSD configuration, which
+        # may differ from the (typically down-scaled) functional device.
+        self._analytic = (
+            ReisAnalyticModel(paper_config or device.config, device.flags)
+            if paper_workload is not None
+            else None
+        )
+
+    def dataset_load_seconds(self) -> float:
+        """REIS never loads the dataset to the host (Table 4: 'N/A')."""
+        return 0.0
+
+    def search_batch(self, queries: np.ndarray, k: int) -> RetrievalResult:
+        db = self.device.database(self.db_id)
+        if db.is_ivf:
+            batch = self.device.ivf_search(
+                self.db_id, queries, k, nprobe=self.nprobe,
+                fetch_documents=True,
+            )
+        else:
+            batch = self.device.search(self.db_id, queries, k)
+        if self._analytic is not None and self.paper_workload is not None:
+            n_queries = len(batch)
+            per_query = self._analytic.query_cost(self.paper_workload).seconds
+            seconds = per_query * n_queries
+        else:
+            seconds = batch.total_seconds
+        return RetrievalResult(ids=batch.ids, search_seconds=seconds)

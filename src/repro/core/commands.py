@@ -1,0 +1,118 @@
+"""NAND flash command-set extensions (Table 2, Sec. 4.4.2).
+
+The SSD controller translates REIS API calls into these flash commands and
+issues them to the dies.  Each die's control logic is a finite-state machine
+that drives the peripheral circuits:
+
+========  =============  ====================================================
+Command   Operands       Effect
+========  =============  ====================================================
+IBC       Q_EMB          Copy the query into each page buffer (broadcast)
+XOR       ADR_P          XOR the cache and sensing latches of a plane
+GEN_DIST  EADR           Fail-bit-count distance for embeddings in the latch
+RD_TTL    EADR           Move a TTL entry (DIST/EMB/links) to the SSD DRAM
+========  =============  ====================================================
+
+``READ_PAGE`` (the standard sense command) and ``PASS_FAIL`` (the standard
+program-verify comparator, reused for distance filtering) complete the set
+the engine needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.nand.die import Die
+from repro.core.registry import TtlEntry
+
+
+class FlashOp(Enum):
+    READ_PAGE = "read_page"
+    IBC = "ibc"
+    XOR = "xor"
+    GEN_DIST = "gen_dist"
+    PASS_FAIL = "pass_fail"
+    RD_TTL = "rd_ttl"
+
+
+@dataclass
+class CommandTrace:
+    """Issued-command log (used by tests and the energy model)."""
+
+    counts: Dict[FlashOp, int]
+
+    def record(self, op: FlashOp) -> None:
+        self.counts[op] = self.counts.get(op, 0) + 1
+
+    def __getitem__(self, op: FlashOp) -> int:
+        return self.counts.get(op, 0)
+
+
+class DieCommandInterface:
+    """The FSM in one die's control logic, driving its peripheral circuits."""
+
+    def __init__(self, die: Die) -> None:
+        self.die = die
+        self.trace = CommandTrace(counts={})
+
+    # Each method implements one Table-2 command.
+
+    def ibc(self, query_code: np.ndarray, multi_plane: bool) -> int:
+        """IBC Q_EMB: broadcast the query into every plane's cache latch."""
+        self.trace.record(FlashOp.IBC)
+        return self.die.broadcast_query(query_code, multi_plane)
+
+    def read_page(self, plane: int, block: int, page: int) -> Tuple[np.ndarray, np.ndarray]:
+        self.trace.record(FlashOp.READ_PAGE)
+        return self.die.planes[plane].read_page(block, page)
+
+    def xor(self, plane: int) -> None:
+        """XOR ADR_P: CL xor SL -> DL on the addressed plane."""
+        self.trace.record(FlashOp.XOR)
+        self.die.planes[plane].xor_cache_sensing()
+
+    def gen_dist(self, plane: int, code_bytes: int, n_segments: int) -> List[int]:
+        """GEN_DIST: per-embedding Hamming distances via the fail-bit counter."""
+        self.trace.record(FlashOp.GEN_DIST)
+        return self.die.planes[plane].segment_distances(code_bytes, n_segments)
+
+    def pass_fail(self, plane: int, distances: List[int], threshold: int) -> List[int]:
+        """Distance filtering with the program-verify comparator."""
+        self.trace.record(FlashOp.PASS_FAIL)
+        return self.die.planes[plane].filter_distances(distances, threshold)
+
+    def rd_ttl(
+        self,
+        plane: int,
+        slot_in_page: int,
+        code_bytes: int,
+        dist: int,
+        oob_record_bytes: int,
+        coarse: bool,
+    ) -> TtlEntry:
+        """RD_TTL EADR: assemble a TTL entry from the latches + OOB.
+
+        The embedding code is read back from the sensing latch (the database
+        page is still latched); the linkage fields come from the page's OOB,
+        which was loaded alongside the page (Sec. 4.1.3).
+        """
+        self.trace.record(FlashOp.RD_TTL)
+        buffer = self.die.planes[plane].buffer
+        start = slot_in_page * code_bytes
+        emb = buffer.sensing[start : start + code_bytes].copy()
+        oob = buffer.oob
+        if coarse:
+            tag = int(oob[slot_in_page * oob_record_bytes])
+            return TtlEntry(dist=dist, emb=emb, tag=tag)
+        record = oob[
+            slot_in_page * oob_record_bytes : (slot_in_page + 1) * oob_record_bytes
+        ]
+        words = np.frombuffer(record.tobytes(), dtype="<u4")
+        dadr, radr = words[:2]
+        # Databases deployed with metadata carry a third word (Sec. 7.1).
+        meta = int(words[2]) if words.size >= 3 else -1
+        return TtlEntry(dist=dist, emb=emb, dadr=int(dadr), radr=int(radr), meta=meta)

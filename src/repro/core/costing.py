@@ -1,0 +1,183 @@
+"""Cost composition shared by the functional engine and the analytic model.
+
+A query's execution decomposes into *phases* (coarse search, fine search,
+reranking, document fetch).  Each phase has three resource classes that the
+paper's pipelining optimization overlaps (Sec. 4.3.4):
+
+* **read** -- page senses + in-plane latch operations, parallel over planes;
+  the phase read time is the maximum per-plane load.
+* **transfer** -- TTL entries crossing the flash channels; channels run in
+  parallel, each is a serial bus, so transfer time is the max per-channel
+  load.
+* **core** -- quickselect / rerank / sort kernels on the (single) embedded
+  core REIS is allowed to use.
+
+With pipelining the phase time approaches the bottleneck class plus a
+pipeline-fill term; without it the classes execute back-to-back.
+
+The same composition runs on *measured* costs (functional simulation,
+small datasets) and on *computed* costs (analytic model, paper-scale
+datasets), which is what lets tests cross-validate the two layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.nand.geometry import FlashGeometry
+from repro.nand.timing import NandTiming
+from repro.core.config import OptFlags
+from repro.sim.latency import LatencyReport
+
+
+@dataclass
+class PhaseCost:
+    """Raw resource usage of one query phase.
+
+    The functional engine fills ``pages_per_plane`` / ``channel_bytes``
+    with exact per-resource loads.  The analytic twin uses the
+    :func:`spread_pages` / :func:`spread_channel_bytes` helpers, which set
+    the same fields from an even distribution without materializing one
+    dict entry per plane.
+    """
+
+    name: str
+    pages_per_plane: Dict[int, int] = field(default_factory=dict)
+    channel_bytes: Dict[int, float] = field(default_factory=dict)
+    core_seconds: float = 0.0
+    read_mode: str = "slc_esp"
+    with_compute: bool = True  # latch XOR + bit count per page
+    with_filter: bool = False  # pass/fail check per page
+    ecc_bytes: float = 0.0  # bytes ECC-decoded on the controller
+    total_pages_override: int = 0  # analytic: true total when spread evenly
+
+    def add_page(self, plane_index: int, n: int = 1) -> None:
+        self.pages_per_plane[plane_index] = self.pages_per_plane.get(plane_index, 0) + n
+
+    def add_channel_bytes(self, channel: int, n_bytes: float) -> None:
+        self.channel_bytes[channel] = self.channel_bytes.get(channel, 0.0) + n_bytes
+
+    @property
+    def max_pages(self) -> int:
+        return max(self.pages_per_plane.values()) if self.pages_per_plane else 0
+
+    @property
+    def total_pages(self) -> int:
+        if self.total_pages_override:
+            return self.total_pages_override
+        return sum(self.pages_per_plane.values())
+
+    @property
+    def total_channel_bytes(self) -> float:
+        return sum(self.channel_bytes.values())
+
+
+def spread_pages(cost: PhaseCost, total_pages: int, total_planes: int) -> None:
+    """Distribute ``total_pages`` evenly over all planes (analytic form).
+
+    Regions stripe plane-major, so the per-plane load is the ceiling split;
+    only the maximum is recorded (compose_phase needs the critical plane)
+    while the true total is kept for the energy counters.
+    """
+    if total_pages <= 0:
+        return
+    per_plane = -(-total_pages // total_planes)  # ceiling division
+    cost.pages_per_plane[0] = cost.pages_per_plane.get(0, 0) + per_plane
+    cost.total_pages_override += total_pages
+
+
+def spread_channel_bytes(
+    cost: PhaseCost, total_bytes: float, channels: int
+) -> None:
+    """Distribute ``total_bytes`` evenly over all channels (analytic form)."""
+    if total_bytes <= 0:
+        return
+    per_channel = total_bytes / channels
+    for channel in range(channels):
+        cost.add_channel_bytes(channel, per_channel)
+
+
+def page_iteration_time(
+    timing: NandTiming, read_mode: str, with_compute: bool, with_filter: bool
+) -> float:
+    """Time for one read + in-plane compute iteration on a plane."""
+    seconds = timing.read_time(read_mode)
+    if with_compute:
+        seconds += timing.t_latch_xor_s + timing.t_bit_count_s
+    if with_filter:
+        seconds += timing.t_pass_fail_s
+    return seconds
+
+
+def compose_phase(
+    cost: PhaseCost,
+    timing: NandTiming,
+    flags: OptFlags,
+    ecc_decode_seconds_per_byte: float = 0.0,
+) -> Tuple[float, Dict[str, float]]:
+    """Compose a phase's wall-clock time from its resource usage.
+
+    Returns (phase_seconds, component breakdown).
+    """
+    iteration = page_iteration_time(
+        timing, cost.read_mode, cost.with_compute, cost.with_filter
+    )
+    read_s = cost.max_pages * iteration
+    transfer_s = max(
+        (b / timing.channel_bandwidth_bps for b in cost.channel_bytes.values()),
+        default=0.0,
+    )
+    core_s = cost.core_seconds + cost.ecc_bytes * ecc_decode_seconds_per_byte
+    stages = [read_s, transfer_s, core_s]
+    if flags.pipelining:
+        # Steady-state: the bottleneck stage sets throughput; the other
+        # stages amortize over the page iterations of the phase.
+        bottleneck = max(stages)
+        fill = (sum(stages) - bottleneck) / max(cost.max_pages, 1)
+        total = bottleneck + fill
+    else:
+        total = sum(stages)
+    components = {
+        f"{cost.name}_read": read_s,
+        f"{cost.name}_transfer": transfer_s,
+        f"{cost.name}_core": core_s,
+    }
+    return total, components
+
+
+def ibc_time(
+    geometry: FlashGeometry,
+    timing: NandTiming,
+    code_bytes: int,
+    flags: OptFlags,
+) -> float:
+    """Input-broadcasting cost per query (Sec. 4.3.2 step 1, Sec. 4.3.4).
+
+    Each die's cache latches are filled with page-aligned duplicates of
+    the query through the shared channel, so the fills of the dies on one
+    channel serialize.  Without MPIBC each plane needs its own fill;
+    with MPIBC all planes of a die latch the broadcast simultaneously,
+    dividing the per-die fill count by planes-per-die (the paper's stated
+    "factor equivalent to the number of planes per die").
+    """
+    code_transfer = geometry.dies_per_channel * code_bytes / timing.channel_bandwidth_bps
+    # The duplicate-fill burst into each plane's cache latch moves one
+    # subpage per plane through the die I/O (the latch tiles it further).
+    fill_once = geometry.subpage_bytes / timing.channel_bandwidth_bps
+    fills_per_die = 1 if flags.multi_plane_ibc else geometry.planes_per_die
+    return code_transfer + geometry.dies_per_channel * fills_per_die * fill_once
+
+
+def merge_phase_totals(
+    phases: Dict[str, Tuple[float, Dict[str, float]]], ibc_seconds: float
+) -> LatencyReport:
+    """Assemble per-phase totals + IBC into a query latency report."""
+    report = LatencyReport()
+    report.add_component("ibc", ibc_seconds)
+    report.total_s += ibc_seconds
+    for total, components in phases.values():
+        report.total_s += total
+        for name, seconds in components.items():
+            report.add_component(name, seconds)
+    return report

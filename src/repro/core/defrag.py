@@ -1,0 +1,146 @@
+"""Defragmentation for coarse-grained access (Sec. 4.1.4, Sec. 7.2).
+
+Coarse-grained access requires every database region to occupy a
+physically contiguous, block-aligned window of *every* plane.  On a drive
+that has served normal host I/O, those windows hold scattered valid user
+pages; ``DB_Deploy`` therefore performs defragmentation first -- an
+upfront cost the paper argues is amortized over the database's lifetime.
+
+:class:`Defragmenter` clears a window by relocating every valid mapped
+page inside it to freshly allocated pages elsewhere (updating the
+page-level FTL), then erasing the window's blocks.  The returned
+:class:`~repro.ssd.coarse.CoarseRegion` is ready for a
+:class:`~repro.core.layout.DatabaseDeployer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.nand.geometry import PhysicalPageAddress
+from repro.nand.page import PageState
+from repro.ssd.coarse import CoarseRegion
+from repro.ssd.device import SimulatedSSD
+
+
+@dataclass
+class DefragResult:
+    """Outcome of clearing one window."""
+
+    region: CoarseRegion
+    relocated_pages: int
+    erased_blocks: int
+    seconds: float  # modeled relocation + erase time
+
+
+class DefragmentationError(RuntimeError):
+    """The requested window cannot be cleared (not enough free space)."""
+
+
+class Defragmenter:
+    """Clears contiguous, block-aligned windows for database deployment."""
+
+    def __init__(self, ssd: SimulatedSSD) -> None:
+        self.ssd = ssd
+
+    # ------------------------------------------------------------ analysis
+
+    def window_occupancy(self, start_page: int, end_page: int) -> int:
+        """Valid mapped pages currently inside the in-plane window."""
+        return len(self._victims(start_page, end_page))
+
+    def _victims(
+        self, start_page: int, end_page: int
+    ) -> List[Tuple[int, int, int]]:
+        """(plane_index, block, page) of valid mapped pages in the window."""
+        g = self.ssd.spec.geometry
+        first_block = start_page // g.pages_per_block
+        last_block = (max(end_page - 1, start_page)) // g.pages_per_block
+        victims = []
+        for plane_index, plane in self.ssd.array.iter_planes():
+            for block_index in range(first_block, last_block + 1):
+                block = plane.blocks[block_index]
+                for page_index, page in enumerate(block.pages):
+                    if page.state is PageState.PROGRAMMED:
+                        victims.append((plane_index, block_index, page_index))
+        return victims
+
+    # ------------------------------------------------------------ clearing
+
+    def clear_window(self, start_page: int, end_page: int) -> DefragResult:
+        """Relocate valid pages out of the window and erase its blocks.
+
+        ``start_page``/``end_page`` are in-plane page indices and must be
+        block-aligned (a block has a single cell mode, so regions cannot
+        share blocks with foreign data).
+        """
+        g = self.ssd.spec.geometry
+        ppb = g.pages_per_block
+        if start_page % ppb or end_page % ppb:
+            raise ValueError("window must be block-aligned")
+        if not 0 <= start_page < end_page <= g.pages_per_plane:
+            raise ValueError("window outside the plane")
+
+        timing = self.ssd.spec.timing
+        seconds = 0.0
+        relocated = 0
+        for plane_index, block_index, page_index in self._victims(start_page, end_page):
+            ppa = self._address_of(plane_index, block_index, page_index)
+            lpa = self.ssd.ftl.lpa_of(ppa)
+            plane = self.ssd.array.plane_by_index(plane_index)
+            data, oob = plane.blocks[block_index].pages[page_index].raw()
+            if lpa is None:
+                # Unmapped-but-programmed data (no owner): drop it.
+                continue
+            try:
+                new_ppa = self.ssd.ftl._allocator.allocate()
+            except RuntimeError as exc:
+                raise DefragmentationError(
+                    "no free pages outside the window to relocate into"
+                ) from exc
+            if self._inside_window(new_ppa, start_page, end_page):
+                # The allocator may hand back a page inside the window;
+                # skip forward until it leaves (those pages stay erased).
+                for _ in range(g.total_pages):
+                    new_ppa = self.ssd.ftl._allocator.allocate()
+                    if not self._inside_window(new_ppa, start_page, end_page):
+                        break
+                else:
+                    raise DefragmentationError("window cannot be escaped")
+            self.ssd.array.program(new_ppa, data, oob)
+            self.ssd.ftl.remap(lpa, new_ppa)
+            seconds += timing.read_time("tlc") + timing.program_time("tlc")
+            relocated += 1
+
+        erased = 0
+        first_block = start_page // ppb
+        last_block = end_page // ppb
+        for plane_index, plane in self.ssd.array.iter_planes():
+            for block_index in range(first_block, last_block):
+                if plane.blocks[block_index].next_program_page > 0:
+                    plane.erase_block(block_index)
+                    seconds += timing.t_erase_s
+                    erased += 1
+        return DefragResult(
+            region=CoarseRegion(start_page, end_page),
+            relocated_pages=relocated,
+            erased_blocks=erased,
+            seconds=seconds,
+        )
+
+    # ------------------------------------------------------------- helpers
+
+    def _address_of(self, plane_index: int, block: int, page: int) -> PhysicalPageAddress:
+        g = self.ssd.spec.geometry
+        die_index, plane = divmod(plane_index, g.planes_per_die)
+        channel, rest = divmod(die_index, g.dies_per_channel)
+        chip, die = divmod(rest, g.dies_per_chip)
+        return PhysicalPageAddress(channel, chip, die, plane, block, page)
+
+    def _inside_window(
+        self, ppa: PhysicalPageAddress, start_page: int, end_page: int
+    ) -> bool:
+        g = self.ssd.spec.geometry
+        in_plane = ppa.block * g.pages_per_block + ppa.page
+        return start_page <= in_plane < end_page

@@ -1,0 +1,567 @@
+"""The In-Storage ANNS Engine (Sec. 4.3, Fig. 6).
+
+This is the functional heart of REIS.  A query executes entirely inside the
+simulated SSD using only hardware that commodity drives already have:
+
+1. **IBC** -- the query code is broadcast into every plane's cache latch
+   (with MPIBC, all planes of a die latch the same transfer).
+2. **Page read** -- a page of database embeddings is sensed into the
+   sensing latch (ESP-SLC, so the raw read is error-free without ECC).
+3. **XOR** -- CL xor SL -> DL gives the bitwise difference between the
+   query and every embedding in the page.
+4. **GEN_DIST** -- the fail-bit counter emits one popcount per embedding
+   segment: the Hamming distances.
+5. **Distance filtering** -- the pass/fail checker drops embeddings whose
+   distance exceeds the calibrated threshold before they cross the channel.
+6. **RD_TTL** -- surviving entries (DIST, EMB, and the OOB linkage fields)
+   move over the flash channel into the Temporal Top List in SSD DRAM.
+7. **Quickselect** on the embedded core keeps the shortlist.
+8. **Reranking** re-reads the shortlist's INT8 twins (TLC, ECC-corrected on
+   the controller), recomputes distances in INT8 and quicksorts the top-k.
+9. **Document identification** follows each winner's DADR to its chunk.
+
+Every step updates both the *functional* state (bytes in latches, entries
+in TTLs) and the *cost* state (pages per plane, channel bytes, core
+seconds), so one execution produces both the retrieved documents and the
+latency/energy report.  The same :mod:`repro.core.costing` composition is
+used by the paper-scale analytic model, letting tests cross-validate the
+two layers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.commands import DieCommandInterface
+from repro.core.config import OptFlags, ReisConfig
+from repro.core.costing import PhaseCost, compose_phase, ibc_time, merge_phase_totals
+from repro.core.layout import DeployedDatabase, RegionInfo
+from repro.core.registry import TemporalTopList, TtlEntry
+from repro.nand.geometry import PhysicalPageAddress
+from repro.rag.documents import DocumentChunk
+from repro.sim.latency import LatencyReport
+from repro.ssd.device import SimulatedSSD
+
+
+@dataclass
+class SearchStats:
+    """Operational statistics for one query (drives tests and ablations)."""
+
+    pages_read: int = 0
+    entries_scanned: int = 0
+    entries_transferred: int = 0
+    entries_filtered: int = 0
+    clusters_probed: int = 0
+    candidates: int = 0
+    filter_retries: int = 0
+    ibc_transfers: int = 0
+
+    @property
+    def filter_pass_fraction(self) -> float:
+        if self.entries_scanned == 0:
+            return 1.0
+        return self.entries_transferred / self.entries_scanned
+
+
+@dataclass
+class ReisQueryResult:
+    """The outcome of one in-storage search."""
+
+    ids: np.ndarray  # original dataset ids, distance-ordered
+    distances: np.ndarray  # INT8-refined distances
+    documents: List[DocumentChunk]
+    latency: LatencyReport
+    stats: SearchStats = field(default_factory=SearchStats)
+
+    @property
+    def k(self) -> int:
+        return int(self.ids.size)
+
+
+class InStorageAnnsEngine:
+    """Executes ``Search`` / ``IVF_Search`` inside the simulated SSD."""
+
+    def __init__(
+        self,
+        ssd: SimulatedSSD,
+        config: ReisConfig,
+        flags: Optional[OptFlags] = None,
+    ) -> None:
+        self.ssd = ssd
+        self.config = config
+        self.flags = flags if flags is not None else OptFlags()
+        self.geometry = ssd.spec.geometry
+        self.timing = ssd.spec.timing
+        self.params = config.engine
+        # One command FSM per die, indexed by global die index.
+        self._die_interfaces: Dict[int, DieCommandInterface] = {}
+        for plane_index in range(self.geometry.total_planes):
+            die_index = plane_index // self.geometry.planes_per_die
+            if die_index not in self._die_interfaces:
+                self._die_interfaces[die_index] = DieCommandInterface(
+                    ssd.array.die_of_plane(plane_index)
+                )
+
+    # ------------------------------------------------------------ utilities
+
+    def die_interface_of_plane(self, plane_index: int) -> DieCommandInterface:
+        return self._die_interfaces[plane_index // self.geometry.planes_per_die]
+
+    def _locate(self, region: RegionInfo, page_offset: int) -> Tuple[PhysicalPageAddress, int, int]:
+        """(physical address, global plane index, channel index) of a page."""
+        ppa = region.region.translate(page_offset, self.geometry)
+        plane_index = ppa.plane_linear(self.geometry)
+        return ppa, plane_index, ppa.channel
+
+    # ----------------------------------------------------------------- IBC
+
+    def _input_broadcast(self, query_code: np.ndarray, stats: SearchStats) -> float:
+        """Step 1: broadcast the query into every die's cache latches."""
+        for interface in self._die_interfaces.values():
+            stats.ibc_transfers += interface.ibc(
+                query_code, multi_plane=self.flags.multi_plane_ibc
+            )
+        return ibc_time(self.geometry, self.timing, query_code.size, self.flags)
+
+    # ------------------------------------------------------------ scan core
+
+    def _scan_range(
+        self,
+        db: DeployedDatabase,
+        region: RegionInfo,
+        first_slot: int,
+        last_slot: int,
+        ttl: TemporalTopList,
+        cost: PhaseCost,
+        stats: SearchStats,
+        coarse: bool,
+        threshold: Optional[int],
+        select_k: int,
+        metadata_filter: Optional[int] = None,
+    ) -> None:
+        """Steps 2-6 over the slots ``[first_slot, last_slot]`` of a region.
+
+        Reads each page the range touches, XORs it against the broadcast
+        query, extracts per-embedding distances with the fail-bit counter,
+        optionally filters (by distance, and by the Sec. 7.1 metadata tag
+        when ``metadata_filter`` is given), and moves surviving entries
+        into ``ttl``.
+        """
+        if last_slot < first_slot:
+            return
+        code_bytes = db.code_bytes
+        oob_record = self.params.tag_bytes if coarse else db.oob_record_bytes
+        entry_bytes = (
+            self.params.coarse_entry_bytes(code_bytes)
+            if coarse
+            else self.params.fine_entry_bytes(code_bytes)
+        )
+        first_page = first_slot // region.slots_per_page
+        last_page = last_slot // region.slots_per_page
+        for page_offset in range(first_page, last_page + 1):
+            ppa, plane_index, channel = self._locate(region, page_offset)
+            plane_in_die = ppa.plane
+            interface = self.die_interface_of_plane(plane_index)
+
+            interface.read_page(plane_in_die, ppa.block, ppa.page)
+            interface.xor(plane_in_die)
+            n_segments = region.slots_in_page(page_offset)
+            distances = interface.gen_dist(plane_in_die, code_bytes, n_segments)
+            cost.add_page(plane_index)
+            stats.pages_read += 1
+
+            page_first = page_offset * region.slots_per_page
+            valid = [
+                i
+                for i in range(n_segments)
+                if first_slot <= page_first + i <= last_slot
+            ]
+            stats.entries_scanned += len(valid)
+
+            if threshold is not None:
+                passing = set(
+                    interface.pass_fail(
+                        plane_in_die,
+                        [distances[i] for i in valid],
+                        threshold,
+                    )
+                )
+                kept = [valid[i] for i in passing]
+                stats.entries_filtered += len(valid) - len(kept)
+            else:
+                kept = valid
+
+            for slot_in_page in kept:
+                entry = interface.rd_ttl(
+                    plane_in_die,
+                    slot_in_page,
+                    code_bytes,
+                    distances[slot_in_page],
+                    oob_record,
+                    coarse=coarse,
+                )
+                entry.eadr = page_first + slot_in_page
+                if metadata_filter is not None and entry.meta != metadata_filter:
+                    # The tag comparison happens inside the die with the
+                    # pass/fail comparator, so mismatches never cross the
+                    # channel (Sec. 7.1).
+                    stats.entries_filtered += 1
+                    continue
+                ttl.append(entry)
+                cost.add_channel_bytes(channel, entry_bytes)
+                self.ssd.counters.add("channel_bytes", entry_bytes)
+                stats.entries_transferred += 1
+
+            # Per-iteration quickselect (Sec. 4.3.1): after each page the
+            # embedded core trims the TTL back to the running top list,
+            # bounding its DRAM footprint.  With pipelining this overlaps
+            # the next page read (handled by compose_phase).
+            if len(ttl) > 2 * select_k:
+                processed = ttl.compact(select_k)
+                cost.core_seconds += self.ssd.cores.reis_core.quickselect(
+                    processed, select_k
+                )
+
+    # --------------------------------------------------------- search steps
+
+    def _coarse_search(
+        self,
+        db: DeployedDatabase,
+        nprobe: int,
+        stats: SearchStats,
+    ) -> Tuple[List[int], PhaseCost]:
+        """Coarse-grained search over the centroid region (Sec. 4.3.1)."""
+        assert db.centroid_region is not None and db.r_ivf is not None
+        cost = PhaseCost(name="coarse", with_compute=True)
+        ttl_c = TemporalTopList(
+            "c",
+            self.params.coarse_entry_bytes(db.code_bytes),
+            dram=self.ssd.dram,
+        )
+        self._scan_range(
+            db,
+            db.centroid_region,
+            0,
+            db.centroid_region.n_slots - 1,
+            ttl_c,
+            cost,
+            stats,
+            coarse=True,
+            threshold=None,
+            select_k=nprobe,
+        )
+        core = self.ssd.cores.reis_core
+        cost.core_seconds += core.quickselect(len(ttl_c), nprobe)
+        nearest = ttl_c.select_smallest(nprobe)
+        clusters: List[int] = []
+        for entry in nearest:
+            # EADR is the centroid's mini-page address == the cluster id; the
+            # 8-bit tag (which aliases for nlist > 256) is cross-checked.
+            cluster_id = entry.eadr
+            if db.r_ivf[cluster_id].tag != entry.tag:
+                raise RuntimeError(
+                    f"cluster tag mismatch for centroid {cluster_id}"
+                )
+            clusters.append(cluster_id)
+        stats.clusters_probed = len(clusters)
+        return clusters, cost
+
+    def _fine_search(
+        self,
+        db: DeployedDatabase,
+        clusters: Optional[Sequence[int]],
+        shortlist_size: int,
+        stats: SearchStats,
+        metadata_filter: Optional[int] = None,
+    ) -> Tuple[List[TtlEntry], PhaseCost]:
+        """Fine-grained search over embedding slots (whole region for BF)."""
+        cost = PhaseCost(
+            name="fine",
+            with_compute=True,
+            with_filter=self.flags.distance_filtering,
+        )
+        ttl_e = TemporalTopList(
+            "e",
+            self.params.fine_entry_bytes(db.code_bytes),
+            dram=self.ssd.dram,
+        )
+        threshold = db.filter_threshold if self.flags.distance_filtering else None
+        ranges = self._slot_ranges(db, clusters)
+        for first, last in ranges:
+            stats.candidates += last - first + 1
+            self._scan_range(
+                db,
+                db.embedding_region,
+                first,
+                last,
+                ttl_e,
+                cost,
+                stats,
+                coarse=False,
+                threshold=threshold,
+                select_k=shortlist_size,
+                metadata_filter=metadata_filter,
+            )
+        k = max(1, shortlist_size // self.params.shortlist_factor)
+        if threshold is not None and len(ttl_e) < min(k, stats.candidates):
+            # The calibrated threshold filtered too aggressively for this
+            # query to return k results; rescan without filtering so
+            # correctness never depends on the filter (the paper calibrates
+            # thresholds so this is rare -- the retry counter lets tests
+            # assert exactly that).
+            stats.filter_retries += 1
+            ttl_e.clear()
+            for first, last in ranges:
+                self._scan_range(
+                    db,
+                    db.embedding_region,
+                    first,
+                    last,
+                    ttl_e,
+                    cost,
+                    stats,
+                    coarse=False,
+                    threshold=None,
+                    select_k=shortlist_size,
+                    metadata_filter=metadata_filter,
+                )
+        core = self.ssd.cores.reis_core
+        cost.core_seconds += core.quickselect(len(ttl_e), shortlist_size)
+        shortlist = ttl_e.select_smallest(shortlist_size)
+        return shortlist, cost
+
+    def _slot_ranges(
+        self, db: DeployedDatabase, clusters: Optional[Sequence[int]]
+    ) -> List[Tuple[int, int]]:
+        """Contiguous slot ranges the fine search must scan."""
+        if clusters is None:
+            return [(0, db.n_entries - 1)] if db.n_entries else []
+        assert db.r_ivf is not None
+        ranges = []
+        for cluster in clusters:
+            entry = db.r_ivf[cluster]
+            if entry.size > 0:
+                ranges.append((entry.first_embedding, entry.last_embedding))
+        return ranges
+
+    def _rerank(
+        self,
+        db: DeployedDatabase,
+        query: np.ndarray,
+        shortlist: Sequence[TtlEntry],
+        k: int,
+        stats: SearchStats,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, PhaseCost]:
+        """Steps 7-8: INT8 rerank + quicksort on the embedded core.
+
+        INT8 twins live in the TLC partition, so each fetched page routes
+        through the controller's ECC engine before the distance kernel runs.
+        Returns (top distances, top DADRs, top slots, phase cost).
+        """
+        cost = PhaseCost(name="rerank", read_mode="tlc", with_compute=False)
+        if not shortlist:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty, empty, cost
+        dim = db.dim
+        region = db.int8_region
+        query_i8 = db.int8_quantizer.encode_one(query).astype(np.int32)
+        core = self.ssd.cores.reis_core
+
+        codes = np.empty((len(shortlist), dim), dtype=np.int8)
+        pages_fetched: Dict[int, np.ndarray] = {}
+        codewords_moved = set()
+        cw = self.ssd.ecc.config.codeword_bytes
+        for row, entry in enumerate(shortlist):
+            page_offset, slot_in_page = region.page_of_slot(entry.radr)
+            start = slot_in_page * dim
+            if page_offset not in pages_fetched:
+                # The sense itself; channel/ECC charges are per codeword.
+                pages_fetched[page_offset] = self._read_corrected(
+                    region, page_offset, cost, stats, start, dim,
+                    charge_transfer=False,
+                )
+            page = pages_fetched[page_offset]
+            codes[row] = page[start : start + dim].view(np.int8)
+            # Charge each distinct ECC codeword the shortlist touches once.
+            _, _, channel = self._locate(region, page_offset)
+            for cw_index in range(start // cw, (start + dim - 1) // cw + 1):
+                key = (page_offset, cw_index)
+                if key not in codewords_moved:
+                    codewords_moved.add(key)
+                    cost.add_channel_bytes(channel, cw)
+                    cost.ecc_bytes += cw
+                    self.ssd.counters.add("channel_bytes", cw)
+
+        diff = codes.astype(np.int32) - query_i8[None, :]
+        refined = np.einsum("ij,ij->i", diff, diff).astype(np.int64)
+        cost.core_seconds += core.int8_distances(len(shortlist), dim)
+        k = min(k, len(shortlist))
+        top = np.argsort(refined, kind="stable")[:k]
+        cost.core_seconds += core.quicksort(len(shortlist))
+        dadrs = np.array([shortlist[i].dadr for i in top], dtype=np.int64)
+        slots = np.array([shortlist[i].radr for i in top], dtype=np.int64)
+        return refined[top], dadrs, slots, cost
+
+    def _read_corrected(
+        self,
+        region: RegionInfo,
+        page_offset: int,
+        cost: PhaseCost,
+        stats: SearchStats,
+        byte_start: int = 0,
+        byte_len: Optional[int] = None,
+        charge_transfer: bool = True,
+    ) -> np.ndarray:
+        """Read a TLC page and ECC-correct it on the controller.
+
+        Only the ECC codewords covering ``[byte_start, byte_start+byte_len)``
+        cross the channel and get decoded; the rest of the sensed page stays
+        in the plane buffer.  The full corrected page is returned for
+        functional convenience (the simulator knows the golden data).
+        Callers that account codewords themselves (the rerank path, which
+        deduplicates across shortlist entries) pass ``charge_transfer=False``.
+        """
+        ppa, plane_index, channel = self._locate(region, page_offset)
+        plane = self.ssd.array.plane(ppa)
+        raw, _ = plane.read_page(ppa.block, ppa.page)
+        cost.add_page(plane_index)
+        stats.pages_read += 1
+        if charge_transfer:
+            if byte_len is None:
+                byte_len = raw.size - byte_start
+            cw = self.ssd.ecc.config.codeword_bytes
+            first_cw = byte_start // cw
+            last_cw = (byte_start + max(byte_len, 1) - 1) // cw
+            moved = (last_cw - first_cw + 1) * cw
+            cost.add_channel_bytes(channel, moved)
+            cost.ecc_bytes += moved
+            self.ssd.counters.add("channel_bytes", moved)
+        golden, _ = plane.golden_page(ppa.block, ppa.page)
+        return self.ssd.ecc.correct(raw, golden)
+
+    def _fetch_documents(
+        self,
+        db: DeployedDatabase,
+        dadrs: np.ndarray,
+        stats: SearchStats,
+    ) -> Tuple[List[DocumentChunk], PhaseCost, float]:
+        """Step 9: document identification + transfer to the host."""
+        cost = PhaseCost(name="documents", read_mode="tlc", with_compute=False)
+        region = db.document_region
+        documents: List[DocumentChunk] = []
+        host_bytes = 0.0
+        for dadr in dadrs:
+            page_offset, slot_in_page = region.page_of_slot(int(dadr))
+            start = slot_in_page * region.item_bytes
+            page = self._read_corrected(
+                region, page_offset, cost, stats, start, region.item_bytes
+            )
+            payload = page[start : start + region.item_bytes]
+            text = DocumentChunk.decode_bytes(payload)
+            original_id = int(db.slot_to_original[int(dadr)])
+            if db.corpus is not None:
+                documents.append(db.corpus[original_id])
+            else:
+                documents.append(DocumentChunk(chunk_id=original_id, text=text))
+            host_bytes += region.item_bytes
+        host_transfer_s = host_bytes / self.ssd.spec.host_link_bandwidth_bps
+        return documents, cost, host_transfer_s
+
+    # -------------------------------------------------------------- search
+
+    def search(
+        self,
+        db: DeployedDatabase,
+        query: np.ndarray,
+        k: int = 10,
+        nprobe: Optional[int] = None,
+        fetch_documents: bool = True,
+        metadata_filter: Optional[int] = None,
+    ) -> ReisQueryResult:
+        """Run one query through the full in-storage pipeline.
+
+        For IVF databases ``nprobe`` selects how many clusters the fine
+        search visits (default: enough for ~sqrt(nlist)).  For flat
+        databases the fine search scans the whole embedding region
+        (brute force, the "BF" rows of Figs. 7/8/10).  With
+        ``metadata_filter`` only embeddings deployed with that tag can be
+        returned (Sec. 7.1).
+        """
+        if k <= 0:
+            raise ValueError("k must be positive")
+        if metadata_filter is not None and not db.has_metadata:
+            raise ValueError("database was deployed without metadata tags")
+        query = np.asarray(query, dtype=np.float32)
+        if query.ndim != 1 or query.size != db.dim:
+            raise ValueError(f"query must be a flat vector of dim {db.dim}")
+        stats = SearchStats()
+        query_code = db.binary_quantizer.encode_one(query)
+
+        ibc_seconds = self._input_broadcast(query_code, stats)
+
+        phases: Dict[str, Tuple[float, Dict[str, float]]] = {}
+        ecc_rate = self.ssd.ecc.decode_time(1)
+
+        clusters: Optional[List[int]] = None
+        if db.is_ivf:
+            if nprobe is None:
+                nprobe = max(1, int(round(db.n_clusters**0.5)))
+            nprobe = min(nprobe, db.n_clusters)
+            clusters, coarse_cost = self._coarse_search(db, nprobe, stats)
+            phases["coarse"] = compose_phase(
+                coarse_cost, self.timing, self.flags, ecc_rate
+            )
+
+        shortlist_size = self.params.shortlist_factor * k
+        shortlist, fine_cost = self._fine_search(
+            db, clusters, shortlist_size, stats, metadata_filter
+        )
+        phases["fine"] = compose_phase(fine_cost, self.timing, self.flags, ecc_rate)
+
+        distances, dadrs, slots, rerank_cost = self._rerank(
+            db, query, shortlist, k, stats
+        )
+        phases["rerank"] = compose_phase(
+            rerank_cost, self.timing, self.flags, ecc_rate
+        )
+
+        if fetch_documents and dadrs.size:
+            documents, doc_cost, host_s = self._fetch_documents(db, dadrs, stats)
+            phases["documents"] = compose_phase(
+                doc_cost, self.timing, self.flags, ecc_rate
+            )
+        else:
+            documents, host_s = [], 0.0
+
+        report = merge_phase_totals(phases, ibc_seconds)
+        if host_s:
+            report.add_component("host_transfer", host_s)
+            report.total_s += host_s
+
+        ids = db.slot_to_original[slots] if slots.size else slots
+        return ReisQueryResult(
+            ids=np.asarray(ids, dtype=np.int64),
+            distances=distances,
+            documents=documents,
+            latency=report,
+            stats=stats,
+        )
+
+    def search_batch(
+        self,
+        db: DeployedDatabase,
+        queries: np.ndarray,
+        k: int = 10,
+        nprobe: Optional[int] = None,
+        fetch_documents: bool = True,
+        metadata_filter: Optional[int] = None,
+    ) -> List[ReisQueryResult]:
+        """Run a batch of queries sequentially (REIS serves one at a time)."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        return [
+            self.search(db, query, k, nprobe, fetch_documents, metadata_filter)
+            for query in queries
+        ]

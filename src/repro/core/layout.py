@@ -1,0 +1,442 @@
+"""REIS vector-database layout and deployment (Sec. 4.1 / 4.2.1).
+
+The layout splits a database into four physically contiguous regions, each
+striped across all planes in parallelism-first order:
+
+1. **centroid region** (ESP-SLC): binary centroid codes; each centroid's
+   8-bit cluster tag lives in the page's OOB area.
+2. **embedding region** (ESP-SLC): binary embedding codes, cluster by
+   cluster so IVF fine search streams contiguous pages; each embedding's
+   OOB entry links it to its document chunk (DADR) and its INT8 twin (RADR).
+3. **INT8 region** (TLC): INT8 embeddings for reranking.
+4. **document region** (TLC): one chunk per 4KB sub-page.
+
+Regions are block-aligned (a block has a single cell mode) and registered
+in the R-DB with coarse-grained access, so queries never touch the
+page-level FTL.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ann.ivf import IvfModel
+from repro.ann.quantization import BinaryQuantizer, Int8Quantizer
+from repro.ann.distances import hamming_packed
+from repro.core.config import EngineParams
+from repro.core.registry import RDb, RDbEntry, RIvf, RIvfEntry
+from repro.nand.cell import CellMode
+from repro.nand.geometry import FlashGeometry
+from repro.rag.documents import Corpus
+from repro.sim.rng import make_rng
+from repro.ssd.coarse import CoarseRegion
+from repro.ssd.device import SimulatedSSD
+
+
+@dataclass(frozen=True)
+class RegionInfo:
+    """One deployed region: geometry window + slot packing."""
+
+    name: str
+    region: CoarseRegion
+    mode: CellMode
+    slots_per_page: int
+    n_slots: int
+    item_bytes: int
+
+    @property
+    def n_pages(self) -> int:
+        return math.ceil(self.n_slots / self.slots_per_page) if self.n_slots else 0
+
+    def page_of_slot(self, slot: int) -> Tuple[int, int]:
+        """(page offset within region, slot index within page)."""
+        if not 0 <= slot < self.n_slots:
+            raise IndexError(f"slot {slot} outside region {self.name!r}")
+        return divmod(slot, self.slots_per_page)[0], slot % self.slots_per_page
+
+    def slots_in_page(self, page_offset: int) -> int:
+        """Valid (non-padding) slots stored in a page."""
+        start = page_offset * self.slots_per_page
+        return max(0, min(self.slots_per_page, self.n_slots - start))
+
+
+@dataclass
+class DeployedDatabase:
+    """Everything the engine needs to serve one deployed database."""
+
+    db_id: int
+    name: str
+    n_entries: int
+    dim: int
+    code_bytes: int
+    embedding_region: RegionInfo
+    int8_region: RegionInfo
+    document_region: RegionInfo
+    centroid_region: Optional[RegionInfo]
+    r_ivf: Optional[RIvf]
+    binary_quantizer: BinaryQuantizer
+    int8_quantizer: Int8Quantizer
+    slot_to_original: np.ndarray  # deployment order -> original id
+    original_to_slot: np.ndarray
+    filter_threshold: int  # distance-filtering cutoff (bits)
+    oob_record_bytes: int = 8  # per-embedding OOB linkage record size
+    metadata_tags: Optional[np.ndarray] = field(default=None, repr=False)
+    corpus: Optional[Corpus] = field(default=None, repr=False)
+
+    @property
+    def has_metadata(self) -> bool:
+        return self.metadata_tags is not None
+
+    @property
+    def is_ivf(self) -> bool:
+        return self.r_ivf is not None
+
+    @property
+    def n_clusters(self) -> int:
+        return len(self.r_ivf) if self.r_ivf is not None else 0
+
+
+class CapacityError(RuntimeError):
+    """The flash array cannot hold the requested database."""
+
+
+class DatabaseDeployer:
+    """Implements ``DB_Deploy`` / ``IVF_Deploy`` (Sec. 4.4.1).
+
+    Deployment reserves contiguous regions (performing the defragmentation
+    the paper describes as an amortized upfront cost), converts their blocks
+    to the right cell mode, writes the data with OOB links, and registers
+    the database in the R-DB (and R-IVF for IVF databases).
+    """
+
+    def __init__(self, ssd: SimulatedSSD, params: Optional[EngineParams] = None) -> None:
+        self.ssd = ssd
+        self.params = params or EngineParams()
+        self.r_db = RDb(ssd.dram)
+        self._next_page_in_plane = 0
+
+    # ---------------------------------------------------------- allocation
+
+    def _geometry(self) -> FlashGeometry:
+        return self.ssd.spec.geometry
+
+    def _allocate_region(
+        self, name: str, n_slots: int, slots_per_page: int, item_bytes: int, mode: CellMode
+    ) -> RegionInfo:
+        g = self._geometry()
+        pages_total = math.ceil(n_slots / slots_per_page) if n_slots else 0
+        pages_per_plane = math.ceil(pages_total / g.total_planes)
+        # Block alignment: a block has one cell mode, so regions start and
+        # end on block boundaries.
+        ppb = g.pages_per_block
+        aligned = math.ceil(max(pages_per_plane, 1) / ppb) * ppb
+        start = self._next_page_in_plane
+        end = start + aligned
+        if end > g.pages_per_plane:
+            raise CapacityError(
+                f"region {name!r} needs {aligned} pages/plane at offset {start}, "
+                f"but planes only have {g.pages_per_plane} pages"
+            )
+        self._next_page_in_plane = end
+        self.ssd.hybrid.convert_region(start, end, mode)
+        return RegionInfo(
+            name=name,
+            region=CoarseRegion(start, end),
+            mode=mode,
+            slots_per_page=slots_per_page,
+            n_slots=n_slots,
+            item_bytes=item_bytes,
+        )
+
+    # ------------------------------------------------------------- writing
+
+    def _program_region(
+        self,
+        info: RegionInfo,
+        slot_data: Sequence[np.ndarray],
+        slot_oob: Optional[Sequence[np.ndarray]] = None,
+    ) -> None:
+        """Write slot payloads (and per-slot OOB records) into a region."""
+        g = self._geometry()
+        page_bytes = g.page_bytes
+        for page_offset in range(info.n_pages):
+            start = page_offset * info.slots_per_page
+            stop = min(start + info.slots_per_page, info.n_slots)
+            data = np.zeros(page_bytes, dtype=np.uint8)
+            for i, slot in enumerate(range(start, stop)):
+                payload = slot_data[slot]
+                offset = i * info.item_bytes
+                data[offset : offset + payload.size] = payload
+            oob = None
+            if slot_oob is not None:
+                oob_record = slot_oob[start].size
+                oob = np.zeros(g.oob_bytes, dtype=np.uint8)
+                for i, slot in enumerate(range(start, stop)):
+                    record = slot_oob[slot]
+                    oob[i * oob_record : i * oob_record + record.size] = record
+            ppa = info.region.translate(page_offset, g)
+            self.ssd.array.program(ppa, data, oob)
+
+    def _reserve_deployed_space(self) -> None:
+        """Keep normal-mode machinery out of the deployed regions.
+
+        The page allocator's per-plane cursors are advanced past the
+        deployment high-water mark so host writes land in the remaining
+        space, and every deployed block is reserved from garbage
+        collection (GC must never relocate coarse-addressed data,
+        Sec. 7.2).
+        """
+        g = self._geometry()
+        boundary = self._next_page_in_plane
+        allocator = self.ssd.allocator
+        allocator._next_page = [
+            max(cursor, boundary) for cursor in allocator._next_page
+        ]
+        last_block = (boundary - 1) // g.pages_per_block if boundary else -1
+        for plane_index in range(g.total_planes):
+            for block_index in range(last_block + 1):
+                self.ssd.gc.reserve_block(plane_index, block_index)
+                self.ssd.wear.reserve_block(plane_index, block_index)
+
+    # ---------------------------------------------------------- deployment
+
+    def deploy(
+        self,
+        db_id: int,
+        name: str,
+        vectors: np.ndarray,
+        corpus: Optional[Corpus] = None,
+        ivf_model: Optional[IvfModel] = None,
+        metadata_tags: Optional[np.ndarray] = None,
+        seed: object = 0,
+    ) -> DeployedDatabase:
+        """Deploy a database; with ``ivf_model`` this is ``IVF_Deploy``.
+
+        ``metadata_tags`` optionally attaches one integer tag per embedding
+        for Sec. 7.1 metadata filtering; tags are stored as a third 4-byte
+        word in each embedding's OOB record.
+
+        Deployment is transactional: if any region fails to allocate or
+        program (e.g. the array is too small), all space reserved by this
+        call is erased and released before the error propagates.
+        """
+        checkpoint = self._next_page_in_plane
+        try:
+            return self._deploy(
+                db_id, name, vectors, corpus, ivf_model, metadata_tags, seed
+            )
+        except Exception:
+            self._rollback(checkpoint)
+            raise
+
+    def _rollback(self, checkpoint: int) -> None:
+        """Erase and release everything allocated past ``checkpoint``."""
+        g = self._geometry()
+        ppb = g.pages_per_block
+        first_block = checkpoint // ppb
+        last_block = (self._next_page_in_plane - 1) // ppb if self._next_page_in_plane else -1
+        for plane_index in range(g.total_planes):
+            plane = self.ssd.array.plane_by_index(plane_index)
+            for block_index in range(first_block, last_block + 1):
+                if plane.blocks[block_index].next_program_page > 0:
+                    plane.erase_block(block_index)
+        self._next_page_in_plane = checkpoint
+
+    def _deploy(
+        self,
+        db_id: int,
+        name: str,
+        vectors: np.ndarray,
+        corpus: Optional[Corpus],
+        ivf_model: Optional[IvfModel],
+        metadata_tags: Optional[np.ndarray],
+        seed: object,
+    ) -> DeployedDatabase:
+        vectors = np.asarray(vectors, dtype=np.float32)
+        n, dim = vectors.shape
+        if dim % 8 != 0:
+            raise ValueError("embedding dimension must be a multiple of 8")
+        if corpus is not None and len(corpus) != n:
+            raise ValueError("corpus size must match the number of embeddings")
+        if metadata_tags is not None:
+            metadata_tags = np.asarray(metadata_tags, dtype=np.uint32)
+            if metadata_tags.shape != (n,):
+                raise ValueError("need exactly one metadata tag per embedding")
+        g = self._geometry()
+        params = self.params
+
+        binary = BinaryQuantizer().fit(vectors)
+        int8 = Int8Quantizer().fit(vectors)
+        code_bytes = dim // 8
+
+        # IVF-tailored ordering: embeddings of a cluster are contiguous.
+        if ivf_model is not None:
+            order = np.concatenate(
+                [lst for lst in ivf_model.lists if len(lst)]
+            ).astype(np.int64)
+            if order.size != n:
+                raise ValueError("IVF lists do not cover every vector exactly once")
+        else:
+            order = np.arange(n, dtype=np.int64)
+        original_to_slot = np.empty(n, dtype=np.int64)
+        original_to_slot[order] = np.arange(n, dtype=np.int64)
+
+        codes = binary.encode(vectors)[order]
+        codes_i8 = int8.encode(vectors)[order]
+
+        oob_record_bytes = params.oob_link_bytes + (4 if metadata_tags is not None else 0)
+        emb_spp = min(g.page_bytes // code_bytes, g.oob_bytes // oob_record_bytes)
+        int8_spp = g.page_bytes // dim
+        doc_spp = g.page_bytes // params.doc_slot_bytes
+
+        centroid_region = None
+        r_ivf = None
+        if ivf_model is not None:
+            centroid_codes = binary.encode(ivf_model.centroids)
+            cen_spp = min(g.page_bytes // code_bytes, g.oob_bytes // params.tag_bytes)
+            centroid_region = self._allocate_region(
+                f"{name}/centroids",
+                ivf_model.nlist,
+                cen_spp,
+                code_bytes,
+                CellMode.SLC_ESP,
+            )
+        embedding_region = self._allocate_region(
+            f"{name}/embeddings", n, emb_spp, code_bytes, CellMode.SLC_ESP
+        )
+        int8_region = self._allocate_region(
+            f"{name}/int8", n, int8_spp, dim, CellMode.TLC
+        )
+        document_region = self._allocate_region(
+            f"{name}/documents", n, doc_spp, params.doc_slot_bytes, CellMode.TLC
+        )
+
+        # Embedding pages: payload = binary code; OOB = DADR + RADR per slot
+        # (+ the metadata tag as a third word when tags are deployed).
+        emb_oob = []
+        for slot in range(n):
+            words = [slot, slot]
+            if metadata_tags is not None:
+                words.append(int(metadata_tags[order[slot]]))
+            emb_oob.append(
+                np.frombuffer(
+                    np.array(words, dtype="<u4").tobytes(), dtype=np.uint8
+                ).copy()
+            )
+        self._program_region(embedding_region, list(codes), emb_oob)
+
+        # Centroid pages: payload = centroid code; OOB = 8-bit tag per slot.
+        if centroid_region is not None:
+            tags = [
+                np.array([cluster & 0xFF], dtype=np.uint8)
+                for cluster in range(ivf_model.nlist)
+            ]
+            self._program_region(centroid_region, list(centroid_codes), tags)
+            entries = []
+            cursor = 0
+            for cluster, lst in enumerate(ivf_model.lists):
+                first = cursor
+                cursor += len(lst)
+                entries.append(
+                    RIvfEntry(
+                        centroid_addr=cluster,
+                        first_embedding=first,
+                        last_embedding=cursor - 1,
+                        tag=cluster & 0xFF,
+                    )
+                )
+            r_ivf = RIvf(entries, dram=self.ssd.dram, db_id=db_id)
+
+        # INT8 pages (TLC, ECC-protected): int8 viewed as raw bytes.
+        self._program_region(
+            int8_region, [c.view(np.uint8) for c in codes_i8]
+        )
+
+        # Document pages: chunk text bytes in deployment order.
+        if corpus is not None:
+            doc_payloads = [
+                corpus[int(original)].encode_bytes(params.doc_slot_bytes)
+                for original in order
+            ]
+        else:
+            doc_payloads = [
+                np.frombuffer(
+                    f"chunk-{int(original)}".encode().ljust(32, b"\x00"),
+                    dtype=np.uint8,
+                ).copy()
+                for original in order
+            ]
+        self._program_region(document_region, doc_payloads)
+
+        # The distance-filtering threshold must pass at least the rescoring
+        # shortlist.  At paper scale (10s of millions of entries) the
+        # shortlist is a vanishing fraction and the configured quantile
+        # dominates; at functional scale the shortlist fraction dominates.
+        shortlist_fraction = min(
+            1.0, 1.5 * params.shortlist_factor * 10 / max(n, 1)
+        )
+        keep_quantile = max(params.filter_keep_quantile, shortlist_fraction)
+        threshold = _calibrate_filter_threshold(
+            vectors, binary, keep_quantile, seed
+        )
+
+        self.r_db.register(
+            RDbEntry(
+                db_id=db_id,
+                embedding_region=embedding_region.region,
+                document_region=document_region.region,
+                n_entries=n,
+            )
+        )
+        self._reserve_deployed_space()
+        return DeployedDatabase(
+            db_id=db_id,
+            name=name,
+            n_entries=n,
+            dim=dim,
+            code_bytes=code_bytes,
+            embedding_region=embedding_region,
+            int8_region=int8_region,
+            document_region=document_region,
+            centroid_region=centroid_region,
+            r_ivf=r_ivf,
+            binary_quantizer=binary,
+            int8_quantizer=int8,
+            slot_to_original=order,
+            original_to_slot=original_to_slot,
+            filter_threshold=threshold,
+            oob_record_bytes=oob_record_bytes,
+            metadata_tags=metadata_tags,
+            corpus=corpus,
+        )
+
+
+def _calibrate_filter_threshold(
+    vectors: np.ndarray,
+    binary: BinaryQuantizer,
+    keep_quantile: float,
+    seed: object,
+    n_sample_queries: int = 64,
+    n_sample_codes: int = 2048,
+) -> int:
+    """Distance-filtering threshold (Sec. 4.3.3).
+
+    The threshold is the ``keep_quantile`` of query-to-database Hamming
+    distances over a deployment-time sample; the paper finds one threshold
+    filters effectively across dataset sizes, so a modest sample suffices.
+    """
+    rng = make_rng("df-threshold", seed)
+    n = vectors.shape[0]
+    queries = vectors[rng.integers(0, n, size=min(n_sample_queries, n))]
+    sample = vectors[rng.integers(0, n, size=min(n_sample_codes, n))]
+    query_codes = binary.encode(queries)
+    sample_codes = binary.encode(sample)
+    distances = np.concatenate(
+        [hamming_packed(q, sample_codes) for q in query_codes]
+    )
+    threshold = int(np.quantile(distances, keep_quantile))
+    return max(threshold, 1)

@@ -1,0 +1,200 @@
+"""Controller-DRAM data structures: R-DB, R-IVF and the Temporal Top Lists.
+
+* **R-DB** (Fig. 4, A): one 21-byte record per deployed database -- the
+  database signature plus the boundaries of its embedding and document
+  regions.  This replaces the 1GB-per-TB page-level FTL for deployed data.
+* **R-IVF** (Fig. 4, B): one 15-byte record per IVF cluster -- centroid
+  address, first/last embedding index, and an 8-bit tag.
+* **TTL** (Fig. 4, C): the Temporal Top Lists that accumulate candidate
+  entries during the coarse (TTL-C) and fine (TTL-E) search steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.ssd.coarse import COARSE_ENTRY_BYTES, CoarseRegion
+from repro.ssd.dram import InternalDram
+
+R_IVF_ENTRY_BYTES = 15
+
+
+@dataclass(frozen=True)
+class RDbEntry:
+    """One deployed-database record (coarse-grained access, Sec. 4.1.4)."""
+
+    db_id: int
+    embedding_region: CoarseRegion
+    document_region: CoarseRegion
+    n_entries: int
+
+    @property
+    def size_bytes(self) -> int:
+        return COARSE_ENTRY_BYTES
+
+
+@dataclass(frozen=True)
+class RIvfEntry:
+    """One IVF-cluster record (Sec. 4.2.1)."""
+
+    centroid_addr: int  # mini-page address of the centroid
+    first_embedding: int  # first embedding slot of the cluster
+    last_embedding: int  # last embedding slot (inclusive)
+    tag: int  # 8-bit cluster tag stored alongside the centroid
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.tag <= 0xFF:
+            raise ValueError("cluster tag must fit in 8 bits")
+        if self.last_embedding < self.first_embedding - 1:
+            raise ValueError("cluster range is inverted")
+
+    @property
+    def size(self) -> int:
+        """Number of embeddings in the cluster."""
+        return self.last_embedding - self.first_embedding + 1
+
+
+class RDb:
+    """The database registry kept in the SSD controller's DRAM."""
+
+    def __init__(self, dram: Optional[InternalDram] = None) -> None:
+        self._entries: Dict[int, RDbEntry] = {}
+        self._dram = dram
+
+    def register(self, entry: RDbEntry) -> None:
+        if entry.db_id in self._entries:
+            raise ValueError(f"database id {entry.db_id} already deployed")
+        self._entries[entry.db_id] = entry
+        self._sync_dram()
+
+    def drop(self, db_id: int) -> None:
+        self._entries.pop(db_id, None)
+        self._sync_dram()
+
+    def lookup(self, db_id: int) -> RDbEntry:
+        try:
+            return self._entries[db_id]
+        except KeyError:
+            raise KeyError(f"database id {db_id} is not deployed") from None
+
+    def __contains__(self, db_id: int) -> bool:
+        return db_id in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def ids(self) -> List[int]:
+        return sorted(self._entries)
+
+    @property
+    def footprint_bytes(self) -> int:
+        return len(self._entries) * COARSE_ENTRY_BYTES
+
+    def _sync_dram(self) -> None:
+        if self._dram is not None:
+            self._dram.allocate("r-db", self.footprint_bytes)
+
+
+class RIvf:
+    """The per-database IVF cluster array."""
+
+    def __init__(self, entries: List[RIvfEntry], dram: Optional[InternalDram] = None, db_id: int = 0) -> None:
+        self.entries = list(entries)
+        self._tag_to_cluster = {}
+        for cluster_id, entry in enumerate(self.entries):
+            self._tag_to_cluster.setdefault(entry.tag, []).append(cluster_id)
+        if dram is not None:
+            dram.allocate(f"r-ivf-{db_id}", self.footprint_bytes)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __getitem__(self, cluster_id: int) -> RIvfEntry:
+        return self.entries[cluster_id]
+
+    @property
+    def footprint_bytes(self) -> int:
+        return len(self.entries) * R_IVF_ENTRY_BYTES
+
+    def clusters_with_tag(self, tag: int) -> List[int]:
+        """Tags are 8-bit, so large nlist values alias; disambiguation uses
+        the centroid address carried in the TTL entry."""
+        return list(self._tag_to_cluster.get(tag, []))
+
+
+@dataclass
+class TtlEntry:
+    """One Temporal-Top-List row.
+
+    Coarse entries carry (DIST, EMB, EADR, TAG); fine entries carry
+    (DIST, EMB, RADR, DADR).  ``emb`` keeps the binary code so the engine
+    can hand it to reranking without re-reading flash.
+    """
+
+    dist: int
+    emb: np.ndarray
+    eadr: int = -1
+    tag: int = -1
+    radr: int = -1
+    dadr: int = -1
+    meta: int = -1  # Sec. 7.1 metadata tag (present when the DB carries one)
+
+
+class TemporalTopList:
+    """An append + select-k staging list in controller DRAM."""
+
+    def __init__(
+        self,
+        name: str,
+        entry_bytes: int,
+        dram: Optional[InternalDram] = None,
+    ) -> None:
+        self.name = name
+        self.entry_bytes = entry_bytes
+        self._dram = dram
+        self.entries: List[TtlEntry] = []
+        self.peak_entries = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def append(self, entry: TtlEntry) -> None:
+        self.entries.append(entry)
+        self.peak_entries = max(self.peak_entries, len(self.entries))
+        if self._dram is not None:
+            self._dram.allocate(f"ttl-{self.name}", self.peak_entries * self.entry_bytes)
+
+    def extend(self, entries) -> None:
+        for entry in entries:
+            self.append(entry)
+
+    def select_smallest(self, k: int) -> List[TtlEntry]:
+        """Quickselect: the k nearest entries (unsorted, as on the core)."""
+        if k <= 0 or not self.entries:
+            return []
+        k = min(k, len(self.entries))
+        dists = np.array([e.dist for e in self.entries])
+        idx = np.argpartition(dists, k - 1)[:k]
+        return [self.entries[i] for i in idx]
+
+    def compact(self, k: int) -> int:
+        """Keep only the k nearest entries (the per-iteration quickselect
+        of Sec. 4.3.1 that bounds the TTL's DRAM footprint).
+
+        Returns the number of entries the quickselect processed, so the
+        caller can charge the embedded core.
+        """
+        processed = len(self.entries)
+        if processed > k:
+            self.entries = self.select_smallest(k)
+        return processed
+
+    def clear(self) -> None:
+        self.entries.clear()
+
+    @property
+    def footprint_bytes(self) -> int:
+        return self.peak_entries * self.entry_bytes

@@ -1,0 +1,160 @@
+"""Device-mode scheduling: RAG retrieval vs normal SSD duties (Sec. 7.2).
+
+REIS operates the drive exclusively in one of two modes:
+
+* **RAG mode** -- coarse-grained FTL metadata is live, queries execute in
+  storage; host I/O is rejected.
+* **Normal mode** -- the page-level FTL is live; host reads/writes and
+  maintenance (GC, wear leveling, refresh) proceed as usual.
+
+Switching modes costs an FTL-metadata swap (loading/flushing the L2P
+table through the internal DRAM).  Maintenance tasks take priority over
+RAG operations when the cores are needed; since RAG workloads are
+read-mostly, maintenance is rare and the scheduler batches it at mode
+boundaries.  :class:`DeviceScheduler` implements this policy over a
+:class:`~repro.core.api.ReisDevice` and accounts where the time goes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.api import BatchSearchResult, ReisDevice
+from repro.ssd.gc import GcResult
+from repro.ssd.refresh import RefreshManager, RefreshResult
+
+
+@dataclass
+class ScheduleAccounting:
+    """Where the device spent its time, by activity."""
+
+    rag_seconds: float = 0.0
+    host_io_seconds: float = 0.0
+    maintenance_seconds: float = 0.0
+    mode_switch_seconds: float = 0.0
+    mode_switches: int = 0
+    queries_served: int = 0
+    host_pages_written: int = 0
+    gc_results: List[GcResult] = field(default_factory=list)
+    refresh_results: List[RefreshResult] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return (
+            self.rag_seconds
+            + self.host_io_seconds
+            + self.maintenance_seconds
+            + self.mode_switch_seconds
+        )
+
+    def utilization(self) -> Dict[str, float]:
+        total = self.total_seconds
+        if total <= 0:
+            return {}
+        return {
+            "rag": self.rag_seconds / total,
+            "host_io": self.host_io_seconds / total,
+            "maintenance": self.maintenance_seconds / total,
+            "mode_switch": self.mode_switch_seconds / total,
+        }
+
+
+class DeviceScheduler:
+    """Runs RAG queries and normal-mode work on one device, exclusively."""
+
+    def __init__(self, device: ReisDevice, refresh: Optional[RefreshManager] = None) -> None:
+        self.device = device
+        self.refresh = refresh or RefreshManager(device.ssd.array)
+        self.accounting = ScheduleAccounting()
+
+    # ----------------------------------------------------------- switching
+
+    def _enter_rag(self) -> None:
+        if not self.device.ssd.rag_mode:
+            cost = self.device.ssd.enter_rag_mode()
+            self.accounting.mode_switch_seconds += cost
+            self.accounting.mode_switches += 1
+
+    def _enter_normal(self) -> None:
+        if self.device.ssd.rag_mode:
+            cost = self.device.ssd.exit_rag_mode()
+            self.accounting.mode_switch_seconds += cost
+            self.accounting.mode_switches += 1
+
+    # ------------------------------------------------------------ RAG side
+
+    def serve_queries(
+        self,
+        db_id: int,
+        queries: np.ndarray,
+        k: int = 10,
+        nprobe: Optional[int] = None,
+    ) -> BatchSearchResult:
+        """Serve a retrieval batch, switching into RAG mode if needed."""
+        self._enter_rag()
+        db = self.device.database(db_id)
+        if db.is_ivf:
+            batch = self.device.ivf_search(db_id, queries, k, nprobe=nprobe)
+        else:
+            batch = self.device.search(db_id, queries, k)
+        self.accounting.rag_seconds += batch.total_seconds
+        self.accounting.queries_served += len(batch)
+        return batch
+
+    # --------------------------------------------------------- normal side
+
+    def host_write(self, lpa: int, data: np.ndarray) -> None:
+        """A normal-mode host write (forces a mode switch out of RAG)."""
+        self._enter_normal()
+        self.device.ssd.host_write(lpa, data)
+        timing = self.device.ssd.spec.timing
+        self.accounting.host_io_seconds += timing.program_time("tlc")
+        self.accounting.host_pages_written += 1
+
+    def run_maintenance(
+        self,
+        max_gc_blocks: int = 1,
+        max_refresh_blocks: int = 4,
+        wear_level: bool = True,
+    ) -> None:
+        """Run GC + refresh + wear leveling, prioritized over RAG (Sec. 7.2).
+
+        Maintenance requires the page-level FTL, so it executes in normal
+        mode; the scheduler batches it at one mode boundary.
+        """
+        self._enter_normal()
+        timing = self.device.ssd.spec.timing
+        gc_result = self.device.ssd.gc.collect(max_blocks=max_gc_blocks)
+        self.accounting.gc_results.append(gc_result)
+        gc_seconds = gc_result.relocated_pages * (
+            timing.read_time("tlc") + timing.program_time("tlc")
+        ) + gc_result.erased_blocks * timing.t_erase_s
+        refresh_result = self.refresh.refresh(max_blocks=max_refresh_blocks)
+        self.accounting.refresh_results.append(refresh_result)
+        refresh_seconds = refresh_result.pages_rewritten * (
+            timing.read_time("slc") + timing.program_time("slc")
+        ) + refresh_result.blocks_refreshed * timing.t_erase_s
+        level_seconds = 0.0
+        if wear_level:
+            level_result = self.device.ssd.wear.level(self.device.ssd.ftl)
+            level_seconds = level_result.pages_moved * (
+                timing.read_time("tlc") + timing.program_time("tlc")
+            ) + (timing.t_erase_s if level_result.swapped else 0.0)
+        self.accounting.maintenance_seconds += (
+            gc_seconds + refresh_seconds + level_seconds
+        )
+
+    # ---------------------------------------------------------- reporting
+
+    def report(self) -> Dict[str, object]:
+        acc = self.accounting
+        return {
+            "queries_served": acc.queries_served,
+            "mode_switches": acc.mode_switches,
+            "utilization": acc.utilization(),
+            "gc_blocks_reclaimed": sum(r.erased_blocks for r in acc.gc_results),
+            "refreshed_blocks": sum(r.blocks_refreshed for r in acc.refresh_results),
+        }

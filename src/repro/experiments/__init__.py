@@ -1,0 +1,33 @@
+"""Experiment runners: one module per paper table/figure.
+
+Each runner produces structured rows (plain dataclasses) that both the
+benchmark suite and the EXPERIMENTS.md generator consume:
+
+========================  ==================================================
+:mod:`.operating_points`  Recall-calibrated IVF operating points (shared)
+:mod:`.fig02_03`          RAG latency breakdowns (Fig. 2 flat, Fig. 3 BQ)
+:mod:`.fig05`             ANNS algorithm throughput/recall sweep (Fig. 5)
+:mod:`.fig07_08`          REIS vs CPU-Real performance/energy (Figs. 7, 8)
+:mod:`.fig09`             Optimization ablation: DF / PL / MPIBC (Fig. 9)
+:mod:`.fig10`             Speedup over ICE and ICE-ESP (Fig. 10, Sec. 6.4)
+:mod:`.fig11`             Comparison with NDSearch (Fig. 11)
+:mod:`.table4`            End-to-end RAG latency breakdown (Table 4)
+:mod:`.sec631`            REIS-ASIC ablation (Sec. 6.3.1)
+:mod:`.sec32_spann`       SPANN hybrid-ANN study (Sec. 3.2)
+:mod:`.report`            Row formatting shared by benches and docs
+========================  ==================================================
+"""
+
+from repro.experiments.operating_points import (
+    OperatingPoint,
+    functional_dataset,
+    measure_operating_points,
+)
+from repro.experiments.report import format_table
+
+__all__ = [
+    "OperatingPoint",
+    "format_table",
+    "functional_dataset",
+    "measure_operating_points",
+]

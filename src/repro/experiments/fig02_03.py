@@ -1,0 +1,83 @@
+"""Figures 2 and 3: RAG pipeline latency breakdowns on the CPU system.
+
+Fig. 2 measures the conventional pipeline (flat FP32 index): dataset
+loading reaches 84% of end-to-end time on wiki_en and 46% on HotpotQA.
+Fig. 3 repeats the experiment with binary quantization: loading drops but
+still dominates wiki_en at 67.3% (20% on HotpotQA).
+
+The paper's runs use 100-query batches on the Sec. 3.1 testbed; the
+pipeline stage models here are calibrated to those breakdowns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.host.baseline import CpuRetriever, CpuRetrieverConfig
+from repro.rag.pipeline import RagPipeline, RagRunReport, STAGES
+from repro.experiments.operating_points import functional_dataset
+
+FIG2_QUERY_BATCH = 100
+
+# Paper-reported loading fractions and totals, for EXPERIMENTS.md deltas.
+PAPER_FIG2 = {"hotpotqa": (0.46, 37.31), "wiki_en": (0.84, 172.82)}
+PAPER_FIG3 = {"hotpotqa": (0.20, 23.79), "wiki_en": (0.673, 61.69)}
+
+
+@dataclass
+class BreakdownRow:
+    """One bar of Fig. 2/3."""
+
+    dataset: str
+    algorithm: str
+    total_seconds: float
+    fractions: Dict[str, float]
+
+    @property
+    def loading_fraction(self) -> float:
+        return self.fractions["dataset_loading"]
+
+    def as_dict(self) -> Dict[str, object]:
+        row: Dict[str, object] = {
+            "dataset": self.dataset,
+            "algorithm": self.algorithm,
+            "total_s": self.total_seconds,
+        }
+        row.update({stage: self.fractions[stage] for stage in STAGES})
+        return row
+
+
+def run_breakdown(
+    dataset_name: str,
+    algorithm: str,
+    n_queries: int = FIG2_QUERY_BATCH,
+    functional_entries: int = 2048,
+) -> BreakdownRow:
+    """One pipeline run on the CPU baseline; returns its stage breakdown."""
+    dataset = functional_dataset(dataset_name, functional_entries, max(n_queries, 8))
+    retriever = CpuRetriever(dataset, CpuRetrieverConfig(algorithm=algorithm))
+    pipeline = RagPipeline(retriever)
+    queries = dataset.queries[:n_queries]
+    if queries.shape[0] < n_queries:  # repeat to reach the batch size
+        import numpy as np
+
+        reps = -(-n_queries // queries.shape[0])
+        queries = np.concatenate([queries] * reps)[:n_queries]
+    report: RagRunReport = pipeline.run(queries, k=10)
+    return BreakdownRow(
+        dataset=dataset_name,
+        algorithm=algorithm,
+        total_seconds=report.total_seconds,
+        fractions=report.breakdown(),
+    )
+
+
+def run_fig02(datasets: Tuple[str, ...] = ("hotpotqa", "wiki_en")) -> List[BreakdownRow]:
+    """Fig. 2: flat FP32 retrieval breakdown."""
+    return [run_breakdown(name, "flat_fp32") for name in datasets]
+
+
+def run_fig03(datasets: Tuple[str, ...] = ("hotpotqa", "wiki_en")) -> List[BreakdownRow]:
+    """Fig. 3: binary-quantized retrieval breakdown."""
+    return [run_breakdown(name, "flat_bq") for name in datasets]

@@ -1,0 +1,97 @@
+"""Figure 9: ablation of the engine optimizations (DF, PL, MPIBC).
+
+The paper evaluates wiki_full with IVF across Recall@10 targets 0.90-0.98,
+enabling the optimizations cumulatively on top of NO-OPT:
+
+* **+DF** (distance filtering) contributes the most: 4.7x / 5.7x average
+  speedup over NO-OPT on SSD1 / SSD2;
+* **+PL** (pipelining) grows with internal bandwidth;
+* **+MPIBC** (multi-plane input broadcasting) adds 6% (SSD1) and 26%
+  (SSD2) on top of DF+PL -- it scales with planes per die.
+
+Throughput is normalized to CPU-Real as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.core.analytic import ReisAnalyticModel
+from repro.core.config import REIS_SSD1, REIS_SSD2, OptFlags, ReisConfig
+from repro.experiments.fig07_08 import _workload_for, cpu_point
+from repro.experiments.operating_points import measure_operating_points
+from repro.rag.datasets import PRESETS
+
+ABLATION_STEPS = (
+    ("NO-OPT", OptFlags(False, False, False)),
+    ("+DF", OptFlags(True, False, False)),
+    ("+PL", OptFlags(True, True, False)),
+    ("+MPIBC", OptFlags(True, True, True)),
+)
+
+FIG9_RECALLS = (0.98, 0.96, 0.94, 0.92, 0.90)
+
+
+@dataclass
+class Fig9Row:
+    """Normalized QPS of each ablation step at one recall target."""
+
+    config: str
+    recall: float
+    normalized_qps: Dict[str, float]  # step label -> QPS / CPU-Real
+
+    def speedup_over_noopt(self, step: str) -> float:
+        base = self.normalized_qps["NO-OPT"]
+        return self.normalized_qps[step] / base if base > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        row: Dict[str, object] = {"config": self.config, "recall": self.recall}
+        row.update(self.normalized_qps)
+        return row
+
+
+def run_fig09(
+    dataset: str = "wiki_full",
+    recalls: Sequence[float] = FIG9_RECALLS,
+    configs: Sequence[ReisConfig] = (REIS_SSD1, REIS_SSD2),
+    functional_entries: int = 4096,
+) -> List[Fig9Row]:
+    spec = PRESETS[dataset]
+    points = measure_operating_points(
+        dataset, recalls, n_entries=functional_entries
+    )
+    rows: List[Fig9Row] = []
+    for config in configs:
+        for point in points:
+            workload = _workload_for(spec, point)
+            cpu = cpu_point(spec, point)
+            normalized = {}
+            for label, flags in ABLATION_STEPS:
+                model = ReisAnalyticModel(config, flags)
+                normalized[label] = model.qps(workload) / cpu.qps
+            rows.append(
+                Fig9Row(
+                    config=config.name,
+                    recall=point.recall_target,
+                    normalized_qps=normalized,
+                )
+            )
+    return rows
+
+
+def df_contribution(rows: Sequence[Fig9Row]) -> Dict[str, float]:
+    """Average +DF speedup over NO-OPT per configuration (paper: 4.7/5.7x)."""
+    out: Dict[str, List[float]] = {}
+    for row in rows:
+        out.setdefault(row.config, []).append(row.speedup_over_noopt("+DF"))
+    return {name: sum(v) / len(v) for name, v in out.items()}
+
+
+def mpibc_contribution(rows: Sequence[Fig9Row]) -> Dict[str, float]:
+    """Average +MPIBC gain over +PL per configuration (paper: 6%/26%)."""
+    out: Dict[str, List[float]] = {}
+    for row in rows:
+        gain = row.normalized_qps["+MPIBC"] / row.normalized_qps["+PL"]
+        out.setdefault(row.config, []).append(gain)
+    return {name: sum(v) / len(v) for name, v in out.items()}

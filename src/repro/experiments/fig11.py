@@ -1,0 +1,89 @@
+"""Figure 11: comparison with NDSearch on billion-scale datasets.
+
+REIS (IVF) is compared with NDSearch running HNSW and DiskANN on SIFT-1B
+(Recall@10 = 0.94) and DEEP-1B (Recall@10 = 0.93).  The paper reports an
+average 1.7x and a maximum 2.6x speedup for REIS.  These datasets are pure
+ANN benchmarks (no document payload), so REIS's document phases are off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.baselines.ndsearch import DISKANN_POINT, HNSW_POINT, NdSearchModel
+from repro.core.analytic import ReisAnalyticModel, ivf_workload
+from repro.core.config import REIS_SSD2, ReisConfig
+from repro.experiments.operating_points import measure_operating_points
+from repro.rag.datasets import PRESETS
+
+FIG11_POINTS: Tuple[Tuple[str, float], ...] = (
+    ("sift1b", 0.94),
+    ("deep1b", 0.93),
+)
+
+
+@dataclass
+class Fig11Row:
+    """REIS throughput normalized to NDSearch at one dataset/recall."""
+
+    dataset: str
+    recall: float
+    speedup_over_hnsw: float
+    speedup_over_diskann: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "dataset": self.dataset,
+            "recall": self.recall,
+            "vs_ND-HNSW": self.speedup_over_hnsw,
+            "vs_ND-DiskANN": self.speedup_over_diskann,
+        }
+
+
+def run_fig11(
+    points: Sequence[Tuple[str, float]] = FIG11_POINTS,
+    config: ReisConfig = REIS_SSD2,
+    functional_entries: int = 4096,
+) -> List[Fig11Row]:
+    rows: List[Fig11Row] = []
+    for name, recall in points:
+        spec = PRESETS[name]
+        op = measure_operating_points(
+            name, (recall,), n_entries=functional_entries
+        )[0]
+        fraction = op.paper_fraction(spec.nlist_paper)
+        workload = ivf_workload(
+            spec.paper_entries,
+            spec.paper_dim,
+            nlist=spec.nlist_paper,
+            nprobe=max(1, int(round(fraction * spec.nlist_paper))),
+            candidate_fraction=fraction,
+            doc_bytes=0,  # pure ANN benchmark: no document payload
+            label=f"{recall:.2f}",
+        )
+        reis_qps = ReisAnalyticModel(config).qps(workload)
+        hnsw = NdSearchModel(config, HNSW_POINT)
+        diskann = NdSearchModel(config, DISKANN_POINT)
+        rows.append(
+            Fig11Row(
+                dataset=name,
+                recall=recall,
+                speedup_over_hnsw=reis_qps
+                / hnsw.qps(spec.paper_entries, spec.paper_dim),
+                speedup_over_diskann=reis_qps
+                / diskann.qps(spec.paper_entries, spec.paper_dim),
+            )
+        )
+    return rows
+
+
+def summarize_fig11(rows: Sequence[Fig11Row]) -> Dict[str, float]:
+    speedups = [r.speedup_over_hnsw for r in rows] + [
+        r.speedup_over_diskann for r in rows
+    ]
+    return {
+        "mean_speedup": sum(speedups) / len(speedups),
+        "max_speedup": max(speedups),
+        "min_speedup": min(speedups),
+    }

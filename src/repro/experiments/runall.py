@@ -1,0 +1,131 @@
+"""Regenerate every paper table/figure in one run.
+
+Usage::
+
+    python -m repro.experiments.runall [--quick]
+
+Prints each experiment's reproduced rows next to the paper's reported
+values (the same payload the benchmark suite asserts on), suitable for
+refreshing EXPERIMENTS.md after a model change.  ``--quick`` shrinks
+the functional datasets for a faster smoke pass.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List
+
+from repro.experiments.fig02_03 import PAPER_FIG2, PAPER_FIG3, run_fig02, run_fig03
+from repro.experiments.fig05 import run_fig05
+from repro.experiments.fig07_08 import run_fig07_08, summarize_speedups
+from repro.experiments.fig09 import df_contribution, mpibc_contribution, run_fig09
+from repro.experiments.fig10 import run_fig10, summarize_fig10
+from repro.experiments.fig11 import run_fig11, summarize_fig11
+from repro.experiments.report import format_table, geometric_mean
+from repro.experiments.sec32_spann import run_sec32_spann
+from repro.experiments.sec631 import run_sec631, slowdown_range
+from repro.experiments.table4 import PAPER_TABLE4, end_to_end_speedups, run_table4
+
+
+def _header(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)
+
+
+def run_all(quick: bool = False) -> int:
+    n = 2048 if quick else 4096
+    started = time.time()
+
+    _header("Fig. 2 / Fig. 3 -- RAG latency breakdowns")
+    for label, runner, paper in (
+        ("flat FP32 (Fig. 2)", run_fig02, PAPER_FIG2),
+        ("binary quantized (Fig. 3)", run_fig03, PAPER_FIG3),
+    ):
+        rows = runner()
+        print(f"\n{label}:")
+        print(format_table([r.as_dict() for r in rows]))
+        for row in rows:
+            frac, total = paper[row.dataset]
+            print(
+                f"  {row.dataset}: loading {row.loading_fraction:.0%} "
+                f"(paper {frac:.0%}), total {row.total_seconds:.1f}s "
+                f"(paper {total:.1f}s)"
+            )
+
+    _header("Fig. 5 -- ANNS algorithm sweep")
+    points = run_fig05(functional_entries=1024 if quick else 1500)
+    print(format_table([p.as_dict() for p in points]))
+
+    _header("Fig. 7 / Fig. 8 -- REIS vs CPU-Real (performance & energy)")
+    rows7 = run_fig07_08(functional_entries=n)
+    print(format_table([r.as_dict() for r in rows7]))
+    summary = summarize_speedups(rows7)
+    print(f"\n  mean speedup {summary['mean_speedup']:.1f}x (paper 13x), "
+          f"max {summary['max_speedup']:.1f}x (paper 112x)")
+    print(f"  mean energy gain {summary['mean_energy_gain']:.1f}x (paper 55x), "
+          f"max {summary['max_energy_gain']:.1f}x (paper 157x)")
+    no_io = geometric_mean(
+        [r.normalized_qps(c) / r.normalized_qps("no_io") for r in rows7 for c in r.reis]
+    )
+    print(f"  REIS vs No-I/O geomean {no_io:.2f}x (paper avg 1.8x)")
+
+    _header("Table 4 -- end-to-end RAG breakdown")
+    rows4 = run_table4(functional_entries=n)
+    print(format_table([r.as_dict() for r in rows4]))
+    for dataset, speedup in end_to_end_speedups(rows4).items():
+        paper_reis, paper_cpu = PAPER_TABLE4[dataset]
+        print(f"  {dataset}: {speedup:.2f}x (paper {paper_cpu / paper_reis:.2f}x)")
+
+    _header("Fig. 9 -- optimization ablation")
+    rows9 = run_fig09(functional_entries=n)
+    print(format_table([r.as_dict() for r in rows9]))
+    df = df_contribution(rows9)
+    mp = mpibc_contribution(rows9)
+    print(f"  +DF: SSD1 {df['REIS-SSD1']:.1f}x / SSD2 {df['REIS-SSD2']:.1f}x "
+          f"(paper 4.7x / 5.7x)")
+    print(f"  +MPIBC: SSD1 +{mp['REIS-SSD1'] - 1:.1%} / SSD2 +{mp['REIS-SSD2'] - 1:.1%} "
+          f"(paper +6% / +26%)")
+
+    _header("Fig. 10 -- speedup over ICE")
+    rows10 = run_fig10(functional_entries=n)
+    summary10 = summarize_fig10(rows10)
+    print(format_table([r.as_dict() for r in rows10]))
+    print(f"  BF mean {summary10['bf_mean']:.1f}x (paper >10x); "
+          f"IVF@0.98 {summary10['ivf_mean_at_0.98']:.1f}x (paper 22.9x); "
+          f"IVF@0.90 {summary10['ivf_mean_at_0.90']:.1f}x (paper 7.1x)")
+
+    _header("Fig. 11 -- vs NDSearch (billion scale)")
+    rows11 = run_fig11(functional_entries=n)
+    print(format_table([r.as_dict() for r in rows11]))
+    summary11 = summarize_fig11(rows11)
+    print(f"  mean {summary11['mean_speedup']:.1f}x (paper 1.7x), "
+          f"max {summary11['max_speedup']:.1f}x (paper 2.6x)")
+
+    _header("Sec. 6.3.1 -- REIS-ASIC")
+    rows631 = run_sec631(functional_entries=n)
+    for config, band in slowdown_range(rows631).items():
+        paper = "4.1-5.0x" if config.endswith("1") else "3.9-6.5x"
+        print(f"  {config}: {band['min']:.1f}-{band['max']:.1f}x "
+              f"(mean {band['mean']:.1f}x; paper {paper})")
+
+    _header("Sec. 3.2 -- SPANN study")
+    rows32 = run_sec32_spann(functional_entries=1024 if quick else 2048)
+    print(format_table([r.as_dict() for r in rows32]))
+
+    print(f"\nall experiments regenerated in {time.time() - started:.1f}s")
+    return 0
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="smaller functional datasets")
+    args = parser.parse_args(argv)
+    return run_all(quick=args.quick)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

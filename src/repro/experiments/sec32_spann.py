@@ -1,0 +1,72 @@
+"""Sec. 3.2: the SPANN hybrid-ANN study.
+
+The paper's motivation study finds that SPANN -- the state-of-the-art
+memory/SSD hybrid -- must keep ~24% of all embeddings in host memory as
+centroids to reach 0.92 Recall@10 on HotpotQA, and even then only speeds
+up retrieval by ~22% over exhaustive search, because posting-list loads
+still hammer the same storage I/O path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.baselines.spann import SpannConfig, SpannModel
+from repro.experiments.operating_points import functional_dataset
+
+CENTROID_FRACTIONS = (0.04, 0.08, 0.16, 0.24, 0.32)
+
+
+RECALL_TARGET = 0.92  # the paper's HotpotQA operating point
+
+
+@dataclass
+class SpannRow:
+    """One SPANN operating point: memory cost vs probes vs speedup.
+
+    ``probes_needed`` is the smallest probe count reaching the 0.92
+    Recall@10 target; ``speedup_at_target`` is the resulting speedup over
+    exhaustive search (the paper reports ~1.22x at 24% centroids).
+    """
+
+    centroid_fraction: float
+    probes_needed: int
+    recall_at_target: float
+    speedup_at_target: float
+    memory_gb: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "centroid_fraction": self.centroid_fraction,
+            "probes_needed": self.probes_needed,
+            "recall@10": self.recall_at_target,
+            "speedup_vs_exhaustive": self.speedup_at_target,
+            "host_memory_gb": self.memory_gb,
+        }
+
+
+def run_sec32_spann(
+    dataset_name: str = "hotpotqa",
+    fractions: Sequence[float] = CENTROID_FRACTIONS,
+    functional_entries: int = 2048,
+    recall_target: float = RECALL_TARGET,
+) -> List[SpannRow]:
+    dataset = functional_dataset(dataset_name, functional_entries, 32)
+    rows: List[SpannRow] = []
+    for fraction in fractions:
+        model = SpannModel(dataset, SpannConfig(centroid_fraction=fraction))
+        probes = model.min_probes_for_recall(recall_target)
+        if probes is None:
+            probes = len(model.postings)
+        rows.append(
+            SpannRow(
+                centroid_fraction=fraction,
+                probes_needed=probes,
+                recall_at_target=model.measure_recall(probe_lists=probes),
+                speedup_at_target=model.exhaustive_seconds()
+                / model.query_seconds(probe_lists=probes),
+                memory_gb=model.memory_bytes() / 1e9,
+            )
+        )
+    return rows

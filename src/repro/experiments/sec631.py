@@ -1,0 +1,85 @@
+"""Sec. 6.3.1: the REIS-ASIC comparison.
+
+REIS-ASIC replaces ESP + in-die computation with an ideal controller-side
+ASIC behind ECC.  The paper reports REIS-ASIC 4.1x-5.0x slower on SSD-1
+and 3.9x-6.5x slower on SSD-2 across all recall values and datasets, all
+attributable to the candidate pages that must cross the channels for ECC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.baselines.reis_asic import ReisAsicModel
+from repro.core.analytic import ReisAnalyticModel
+from repro.core.config import REIS_SSD1, REIS_SSD2, ReisConfig
+from repro.experiments.fig07_08 import _workload_for
+from repro.experiments.operating_points import (
+    DEFAULT_RECALL_TARGETS,
+    measure_operating_points,
+)
+from repro.rag.datasets import PRESETS
+
+DEFAULT_DATASETS = ("nq", "hotpotqa", "wiki_en", "wiki_full")
+
+
+@dataclass
+class AsicRow:
+    """REIS-ASIC slowdown relative to REIS at one operating point."""
+
+    dataset: str
+    recall: float
+    config: str
+    slowdown: float
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "dataset": self.dataset,
+            "recall": self.recall,
+            "config": self.config,
+            "asic_slowdown": self.slowdown,
+        }
+
+
+def run_sec631(
+    datasets: Sequence[str] = DEFAULT_DATASETS,
+    recall_targets: Sequence[float] = DEFAULT_RECALL_TARGETS,
+    configs: Sequence[ReisConfig] = (REIS_SSD1, REIS_SSD2),
+    functional_entries: int = 4096,
+) -> List[AsicRow]:
+    rows: List[AsicRow] = []
+    for name in datasets:
+        spec = PRESETS[name]
+        points = measure_operating_points(
+            name, recall_targets, n_entries=functional_entries
+        )
+        for config in configs:
+            reis = ReisAnalyticModel(config)
+            asic = ReisAsicModel(config)
+            for point in points:
+                workload = _workload_for(spec, point)
+                rows.append(
+                    AsicRow(
+                        dataset=name,
+                        recall=point.recall_target,
+                        config=config.name,
+                        slowdown=reis.qps(workload) / asic.qps(workload),
+                    )
+                )
+    return rows
+
+
+def slowdown_range(rows: Sequence[AsicRow]) -> Dict[str, Dict[str, float]]:
+    """Min/max/mean slowdown per configuration (paper: 4.1-5.0 / 3.9-6.5)."""
+    out: Dict[str, List[float]] = {}
+    for row in rows:
+        out.setdefault(row.config, []).append(row.slowdown)
+    return {
+        name: {
+            "min": min(values),
+            "max": max(values),
+            "mean": sum(values) / len(values),
+        }
+        for name, values in out.items()
+    }

@@ -1,0 +1,14 @@
+"""Host-side (CPU) retrieval baselines."""
+
+from repro.host.baseline import CpuRetriever, CpuRetrieverConfig, no_io_retriever
+from repro.host.cpu import CpuSearchModel, CpuSpec
+from repro.host.io import StorageIoModel
+
+__all__ = [
+    "CpuRetriever",
+    "CpuRetrieverConfig",
+    "no_io_retriever",
+    "CpuSearchModel",
+    "CpuSpec",
+    "StorageIoModel",
+]

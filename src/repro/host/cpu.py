@@ -1,0 +1,99 @@
+"""CPU-Real: the server-grade host baseline (Table 3).
+
+Two-socket AMD EPYC 9554 (128 cores / 256 threads), 1.5TB DDR4 and a
+PM9A3 SSD.  Search kernels are modeled as throughput machines with
+calibrated effective rates (what a tuned multi-threaded FAISS achieves, not
+peak FLOPS -- ANN scans are memory-system-bound at this scale):
+
+* FP32 scan: effective GEMV throughput over the batch.
+* Binary scan: XOR+popcount bytes per second over the scanned codes.
+* INT8 rerank: effective INT8 MACs per second.
+
+Power covers packages + 1.5TB DRAM during retrieval.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Performance/power envelope of the CPU-Real baseline."""
+
+    sockets: int = 2
+    cores: int = 128
+    frequency_hz: float = 3.1e9
+    effective_fp32_flops: float = 2.9e11
+    popcount_bytes_per_s: float = 5.0e10
+    int8_macs_per_s: float = 2.0e11
+    selection_elements_per_s: float = 2.0e9
+    # Software floor per query: index dispatch, cache-cold list traversal,
+    # result marshalling (FAISS-class engines bottom out at sub-ms/query).
+    per_query_overhead_s: float = 2.5e-4
+    retrieval_power_w: float = 478.0  # 2 packages active + 1.5TB DDR4
+    idle_power_w: float = 140.0
+
+
+class CpuSearchModel:
+    """Search-time model for the host baseline's retrieval kernels."""
+
+    def __init__(self, spec: CpuSpec | None = None) -> None:
+        self.spec = spec or CpuSpec()
+
+    # ------------------------------------------------------------- kernels
+
+    def flat_fp32(self, n_vectors: int, dim: int, n_queries: int) -> float:
+        """Brute-force FP32 scan of the whole database."""
+        flops = 2.0 * n_vectors * dim * n_queries
+        select = n_vectors * n_queries / self.spec.selection_elements_per_s
+        overhead = n_queries * self.spec.per_query_overhead_s
+        return flops / self.spec.effective_fp32_flops + select + overhead
+
+    def flat_binary(
+        self, n_vectors: int, code_bytes: int, n_queries: int, rerank_count: int, dim: int
+    ) -> float:
+        """Brute-force Hamming scan plus INT8 rerank."""
+        scan_bytes = float(n_vectors) * code_bytes * n_queries
+        scan = scan_bytes / self.spec.popcount_bytes_per_s
+        select = n_vectors * n_queries / self.spec.selection_elements_per_s
+        overhead = n_queries * self.spec.per_query_overhead_s
+        return scan + select + overhead + self.int8_rerank(rerank_count, dim, n_queries)
+
+    def ivf_fp32(
+        self, n_candidates: int, nlist: int, dim: int, n_queries: int
+    ) -> float:
+        """IVF: FP32 coarse search over centroids + fine scan of candidates."""
+        flops = 2.0 * dim * (nlist + n_candidates) * n_queries
+        select = (nlist + n_candidates) * n_queries / self.spec.selection_elements_per_s
+        overhead = n_queries * self.spec.per_query_overhead_s
+        return flops / self.spec.effective_fp32_flops + select + overhead
+
+    def ivf_binary(
+        self,
+        n_candidates: int,
+        nlist: int,
+        code_bytes: int,
+        dim: int,
+        n_queries: int,
+        rerank_count: int,
+    ) -> float:
+        """IVF with binary coarse + fine search and INT8 rerank (CPU+BQ)."""
+        scan_bytes = float(nlist + n_candidates) * code_bytes * n_queries
+        scan = scan_bytes / self.spec.popcount_bytes_per_s
+        select = (nlist + n_candidates) * n_queries / self.spec.selection_elements_per_s
+        overhead = n_queries * self.spec.per_query_overhead_s
+        return scan + select + overhead + self.int8_rerank(rerank_count, dim, n_queries)
+
+    def int8_rerank(self, n_vectors: int, dim: int, n_queries: int) -> float:
+        macs = float(n_vectors) * dim * n_queries
+        sort = (
+            n_vectors * max(math.log2(max(n_vectors, 2)), 1.0) * n_queries
+        ) / self.spec.selection_elements_per_s
+        return macs / self.spec.int8_macs_per_s + sort
+
+    # --------------------------------------------------------------- power
+
+    def energy(self, busy_seconds: float) -> float:
+        return busy_seconds * self.spec.retrieval_power_w

@@ -1,0 +1,37 @@
+"""Host storage-I/O model: the data movement REIS eliminates.
+
+Dataset loading is what dominates host-side RAG retrieval (84% of wiki_en
+end-to-end time, Fig. 2).  Loading a FAISS-style index is not a pure
+sequential read: deserialization and index construction add a per-entry CPU
+cost on top of the SSD stream.  The two-term model below
+
+    load_time = bytes / effective_bandwidth + entries * per_entry_overhead
+
+is fitted to the paper's own breakdown numbers (Fig. 2 vs Fig. 3 for
+HotpotQA and wiki_en give bandwidth ~1.6 GB/s and ~0.78 us/entry).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class StorageIoModel:
+    """Host <-> SSD loading cost model."""
+
+    effective_bandwidth_bps: float = 1.6e9
+    per_entry_overhead_s: float = 7.8e-7
+    link_bandwidth_bps: float = 7.0e9  # raw PCIe 4.0 x4 payload bandwidth
+
+    def load_time(self, n_bytes: float, n_entries: int = 0) -> float:
+        """Time to load and deserialize a dataset into host DRAM."""
+        if n_bytes < 0 or n_entries < 0:
+            raise ValueError("bytes and entries must be non-negative")
+        return n_bytes / self.effective_bandwidth_bps + n_entries * self.per_entry_overhead_s
+
+    def raw_transfer_time(self, n_bytes: float) -> float:
+        """Pure link-time for ``n_bytes`` (e.g. REIS returning documents)."""
+        if n_bytes < 0:
+            raise ValueError("bytes must be non-negative")
+        return n_bytes / self.link_bandwidth_bps

@@ -1,0 +1,85 @@
+"""The assembled NAND flash array."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro.nand.channel import Channel
+from repro.nand.geometry import FlashGeometry, PhysicalPageAddress
+from repro.nand.plane import Plane
+from repro.nand.timing import NandTiming
+from repro.sim.stats import CounterSet
+
+
+class FlashArray:
+    """Channels -> chips -> dies -> planes -> blocks -> pages.
+
+    The array exposes page I/O by :class:`PhysicalPageAddress` and iteration
+    over planes in global-plane order, which is the order REIS's
+    parallelism-first allocation stripes embeddings in.
+    """
+
+    def __init__(
+        self, geometry: FlashGeometry, timing: Optional[NandTiming] = None
+    ) -> None:
+        self.geometry = geometry
+        self.timing = timing or NandTiming()
+        self.counters = CounterSet()
+        self.channels: List[Channel] = [
+            Channel(cid, geometry, self.timing, counters=self.counters)
+            for cid in range(geometry.channels)
+        ]
+
+    # ----------------------------------------------------------- accessors
+
+    def plane(self, address: PhysicalPageAddress) -> Plane:
+        address.validate(self.geometry)
+        channel = self.channels[address.channel]
+        chip = channel.chips[address.chip]
+        die = chip.dies[address.die]
+        return die.planes[address.plane]
+
+    def plane_by_index(self, plane_index: int) -> Plane:
+        """Plane by global index (0 .. total_planes-1)."""
+        g = self.geometry
+        if not 0 <= plane_index < g.total_planes:
+            raise ValueError(f"plane index {plane_index} out of range")
+        die_index, plane = divmod(plane_index, g.planes_per_die)
+        channel, rest = divmod(die_index, g.dies_per_channel)
+        chip, die = divmod(rest, g.dies_per_chip)
+        return self.channels[channel].chips[chip].dies[die].planes[plane]
+
+    def die_of_plane(self, plane_index: int):
+        g = self.geometry
+        die_index = plane_index // g.planes_per_die
+        channel, rest = divmod(die_index, g.dies_per_channel)
+        chip, die = divmod(rest, g.dies_per_chip)
+        return self.channels[channel].chips[chip].dies[die]
+
+    def channel_of_plane(self, plane_index: int) -> Channel:
+        g = self.geometry
+        die_index = plane_index // g.planes_per_die
+        return self.channels[die_index // g.dies_per_channel]
+
+    def iter_planes(self) -> Iterator[Tuple[int, Plane]]:
+        for index in range(self.geometry.total_planes):
+            yield index, self.plane_by_index(index)
+
+    # ----------------------------------------------------------------- I/O
+
+    def read(self, address: PhysicalPageAddress) -> Tuple[np.ndarray, np.ndarray]:
+        """Raw page read (data may contain bit errors for non-ESP modes)."""
+        return self.plane(address).read_page(address.block, address.page)
+
+    def program(
+        self,
+        address: PhysicalPageAddress,
+        data: np.ndarray,
+        oob: Optional[np.ndarray] = None,
+    ) -> None:
+        self.plane(address).program_page(address.block, address.page, data, oob)
+
+    def erase(self, address: PhysicalPageAddress) -> None:
+        self.plane(address).erase_block(address.block)

@@ -1,0 +1,69 @@
+"""Flash cell modes and their reliability characteristics.
+
+A flash cell stores 1 (SLC) to 4 (QLC) bits; storing more bits raises density
+but also latency and raw bit-error rate (RBER), requiring ECC.  REIS uses
+soft-partitioned *hybrid* SSDs: binary embeddings live in an SLC partition
+programmed with Enhanced SLC Programming (ESP), which maximizes the voltage
+margin and achieves zero BER without ECC (Flash-Cosmos characterization),
+making error-free in-plane computation possible.  Documents and INT8
+embeddings live in a normal TLC partition that keeps ECC.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+
+class CellMode(Enum):
+    """Programming mode of a flash block."""
+
+    SLC_ESP = "slc_esp"
+    SLC = "slc"
+    MLC = "mlc"
+    TLC = "tlc"
+    QLC = "qlc"
+
+    @property
+    def bits_per_cell(self) -> int:
+        return {
+            CellMode.SLC_ESP: 1,
+            CellMode.SLC: 1,
+            CellMode.MLC: 2,
+            CellMode.TLC: 3,
+            CellMode.QLC: 4,
+        }[self]
+
+    @property
+    def timing_key(self) -> str:
+        """Key into :class:`repro.nand.timing.NandTiming` latency tables."""
+        if self in (CellMode.MLC, CellMode.QLC):
+            # The evaluated SSDs only use SLC(-ESP) and TLC; map the other
+            # densities onto TLC timing rather than inventing numbers.
+            return "tlc"
+        return self.value
+
+
+@dataclass(frozen=True)
+class ReliabilityProfile:
+    """Raw bit error rate and endurance per cell mode."""
+
+    raw_ber: float
+    pe_cycle_endurance: int
+    requires_ecc: bool
+
+
+RELIABILITY = {
+    # ESP achieves 0 BER even at 1-year retention / 10K P/E cycles
+    # (Flash-Cosmos, cited as [225] in the paper).
+    CellMode.SLC_ESP: ReliabilityProfile(0.0, 100_000, requires_ecc=False),
+    CellMode.SLC: ReliabilityProfile(1e-8, 100_000, requires_ecc=True),
+    CellMode.MLC: ReliabilityProfile(1e-6, 10_000, requires_ecc=True),
+    CellMode.TLC: ReliabilityProfile(1e-4, 3_000, requires_ecc=True),
+    CellMode.QLC: ReliabilityProfile(1e-3, 1_000, requires_ecc=True),
+}
+
+
+def reliability(mode: CellMode) -> ReliabilityProfile:
+    """Reliability profile for ``mode``."""
+    return RELIABILITY[mode]

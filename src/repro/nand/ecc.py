@@ -1,0 +1,71 @@
+"""Error-correction model for the SSD controller.
+
+Commodity SSDs run ECC (BCH/LDPC) in the controller: every page read must
+cross the channel to the controller before its data is trustworthy.  This is
+exactly the data movement REIS avoids for the embedding partition (Sec. 4.1.2)
+by using ESP SLC with zero raw BER.  We model ECC as a codeword-granularity
+corrector with a fixed correction capability and a per-byte decode cost used
+by the timing layer (and by the REIS-ASIC comparison point of Sec. 6.3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class EccConfig:
+    """Parameters of the controller ECC engine."""
+
+    codeword_bytes: int = 2048
+    correctable_bits_per_codeword: int = 72  # typical LDPC-class strength
+    # Hardware LDPC decoders run at channel line rate (every normal host
+    # read passes through them), so decode throughput tracks the aggregate
+    # flash bandwidth of a modern controller.
+    decode_seconds_per_byte: float = 1.0 / 8.0e9
+
+
+class EccEngine:
+    """Corrects raw page data against its golden copy, within capability.
+
+    The functional simulator knows the originally-programmed ("golden") data,
+    so correction is modeled as: for each codeword, if the number of flipped
+    bits is within the correction capability, restore the golden bytes;
+    otherwise the codeword stays corrupt and is reported as an uncorrectable
+    error.
+    """
+
+    def __init__(self, config: EccConfig | None = None) -> None:
+        self.config = config or EccConfig()
+        self.decoded_bytes = 0
+        self.corrected_bits = 0
+        self.uncorrectable_codewords = 0
+
+    def correct(self, raw: np.ndarray, golden: np.ndarray) -> np.ndarray:
+        """Return the corrected page data.
+
+        ``raw`` and ``golden`` are equal-length ``uint8`` arrays.
+        """
+        if raw.shape != golden.shape:
+            raise ValueError("raw/golden shape mismatch")
+        out = raw.copy()
+        cw = self.config.codeword_bytes
+        self.decoded_bytes += int(raw.size)
+        for start in range(0, raw.size, cw):
+            stop = min(start + cw, raw.size)
+            diff = np.bitwise_xor(raw[start:stop], golden[start:stop])
+            n_errors = int(np.unpackbits(diff).sum())
+            if n_errors == 0:
+                continue
+            if n_errors <= self.config.correctable_bits_per_codeword:
+                out[start:stop] = golden[start:stop]
+                self.corrected_bits += n_errors
+            else:
+                self.uncorrectable_codewords += 1
+        return out
+
+    def decode_time(self, n_bytes: int) -> float:
+        """Controller time to ECC-decode ``n_bytes``."""
+        return n_bytes * self.config.decode_seconds_per_byte

@@ -1,0 +1,46 @@
+"""Raw bit-error injection for NAND reads.
+
+Reads from normal (non-ESP) flash are noisy; the SSD controller corrects
+them with ECC.  REIS sidesteps ECC for in-plane computation by storing the
+binary embeddings in an ESP-programmed SLC partition whose raw BER is zero.
+This module makes that trade-off observable: reading a TLC page through the
+functional simulator really does flip bits unless ECC runs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.nand.cell import CellMode, reliability
+from repro.sim.rng import make_rng
+
+
+class BitErrorModel:
+    """Injects raw bit errors into page data according to the cell mode."""
+
+    def __init__(self, seed: object = 0, enabled: bool = True) -> None:
+        self._rng = make_rng("bit-errors", seed)
+        self.enabled = enabled
+
+    def corrupt(self, data: np.ndarray, mode: CellMode) -> np.ndarray:
+        """Return ``data`` with bit flips sampled at the mode's raw BER.
+
+        ``data`` is a ``uint8`` array; the input is never modified in place.
+        """
+        profile = reliability(mode)
+        if not self.enabled or profile.raw_ber <= 0.0:
+            return data.copy()
+        n_bits = data.size * 8
+        n_errors = self._rng.binomial(n_bits, profile.raw_ber)
+        if n_errors == 0:
+            return data.copy()
+        corrupted = data.copy()
+        positions = self._rng.integers(0, n_bits, size=n_errors)
+        byte_idx = positions // 8
+        bit_idx = positions % 8
+        np.bitwise_xor.at(corrupted, byte_idx, (1 << bit_idx).astype(np.uint8))
+        return corrupted
+
+    def expected_errors(self, n_bytes: int, mode: CellMode) -> float:
+        """Expected number of raw bit errors in ``n_bytes`` of data."""
+        return n_bytes * 8 * reliability(mode).raw_ber

@@ -1,0 +1,121 @@
+"""Page buffer latches and plane peripheral logic.
+
+Each plane's page buffer contains a sensing latch (SL), data latch (DL) and
+cache latch (CL) (Sec. 2.3).  The peripheral circuitry provides XOR between
+latches (used on real chips for data randomization), an on-chip fail-bit
+counter and a pass/fail checker (used to guide ISPP programming).
+
+REIS computes Hamming distances with exactly these circuits (Sec. 4.3.2):
+
+1. Input broadcasting copies the query into the cache latch (N duplicates).
+2. A page of database embeddings is sensed into the sensing latch.
+3. XOR(CL, SL) -> DL yields the bitwise difference.
+4. The fail-bit counter counts ones per embedding segment = Hamming distance.
+5. The pass/fail checker compares distances against a threshold (distance
+   filtering, Sec. 4.3.3).
+
+No multiply-accumulate hardware exists anywhere in this module -- that is the
+paper's "no hardware modification" constraint, enforced by construction.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+_POPCOUNT_TABLE = np.array(
+    [bin(i).count("1") for i in range(256)], dtype=np.uint32
+)
+
+
+def popcount_u8(data: np.ndarray) -> int:
+    """Total number of set bits in a ``uint8`` array."""
+    return int(_POPCOUNT_TABLE[data].sum())
+
+
+class PageBuffer:
+    """Sensing/data/cache latches of one plane, each one page wide."""
+
+    LATCHES = ("sensing", "data", "cache")
+
+    def __init__(self, page_bytes: int, oob_bytes: int) -> None:
+        self.page_bytes = page_bytes
+        self.oob_bytes = oob_bytes
+        self.sensing = np.zeros(page_bytes, dtype=np.uint8)
+        self.data = np.zeros(page_bytes, dtype=np.uint8)
+        self.cache = np.zeros(page_bytes, dtype=np.uint8)
+        self.oob = np.zeros(oob_bytes, dtype=np.uint8)
+
+    def _latch(self, name: str) -> np.ndarray:
+        if name not in self.LATCHES:
+            raise ValueError(f"unknown latch {name!r}")
+        return getattr(self, name)
+
+    def load_sensing(self, data: np.ndarray, oob: np.ndarray) -> None:
+        """Model a page sense: page data + OOB land in the sensing latch."""
+        self.sensing[:] = 0
+        self.sensing[: data.size] = data
+        self.oob[:] = 0
+        self.oob[: oob.size] = oob
+
+    def load_cache(self, data: np.ndarray) -> None:
+        """Load externally-supplied data (e.g. an IBC broadcast) into CL."""
+        if data.size > self.page_bytes:
+            raise ValueError("cache load exceeds page size")
+        self.cache[:] = 0
+        self.cache[: data.size] = data
+
+    def copy(self, src: str, dst: str) -> None:
+        """Latch-to-latch copy (used by cache-read mode)."""
+        self._latch(dst)[:] = self._latch(src)
+
+    def xor(self, a: str = "cache", b: str = "sensing", dst: str = "data") -> None:
+        """XOR two latches into a third -- the randomizer circuit reused by REIS."""
+        np.bitwise_xor(self._latch(a), self._latch(b), out=self._latch(dst))
+
+
+class FailBitCounter:
+    """On-chip digital bit counter (counts ones in a latch).
+
+    Real counters report the number of "failing" cells after a program-verify
+    step.  REIS segments the count at mini-page (embedding) granularity; the
+    counter walks the data latch once and emits one count per segment.
+    """
+
+    def __init__(self, buffer: PageBuffer) -> None:
+        self._buffer = buffer
+        self.invocations = 0
+
+    def count_segments(self, segment_bytes: int, n_segments: int, latch: str = "data") -> List[int]:
+        """Popcount per consecutive ``segment_bytes`` slice of ``latch``."""
+        if segment_bytes <= 0 or n_segments <= 0:
+            raise ValueError("segment_bytes and n_segments must be positive")
+        if segment_bytes * n_segments > self._buffer.page_bytes:
+            raise ValueError("segments exceed page size")
+        self.invocations += 1
+        data = self._buffer._latch(latch)
+        view = data[: segment_bytes * n_segments].reshape(n_segments, segment_bytes)
+        return [int(c) for c in _POPCOUNT_TABLE[view].sum(axis=1)]
+
+    def count_all(self, latch: str = "data") -> int:
+        """Popcount of the entire latch (the counter's native operation)."""
+        self.invocations += 1
+        return popcount_u8(self._buffer._latch(latch))
+
+
+class PassFailChecker:
+    """On-chip comparator: flags values that pass a threshold.
+
+    REIS uses it for distance filtering: embeddings whose Hamming distance
+    exceeds the threshold are dropped inside the die and never cross the
+    channel (Sec. 4.3.3).
+    """
+
+    def __init__(self) -> None:
+        self.invocations = 0
+
+    def filter_below(self, values: Sequence[int], threshold: int) -> List[int]:
+        """Indices of values strictly below ``threshold`` (the "pass" set)."""
+        self.invocations += 1
+        return [i for i, v in enumerate(values) if v < threshold]

@@ -1,0 +1,117 @@
+"""Flash planes: the unit of read/program parallelism inside a die."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.nand.cell import CellMode, reliability
+from repro.nand.errors import BitErrorModel
+from repro.nand.latches import FailBitCounter, PageBuffer, PassFailChecker
+from repro.nand.page import FlashBlock, PageState
+from repro.sim.stats import CounterSet
+
+
+class Plane:
+    """A plane: blocks of pages, one page buffer, peripheral logic.
+
+    Reads land in the sensing latch; raw bit errors are injected according to
+    the block's cell mode so that skipping ECC is only safe for ESP-SLC data.
+    """
+
+    def __init__(
+        self,
+        plane_id: int,
+        blocks_per_plane: int,
+        pages_per_block: int,
+        page_bytes: int,
+        oob_bytes: int,
+        error_model: Optional[BitErrorModel] = None,
+        counters: Optional[CounterSet] = None,
+    ) -> None:
+        self.plane_id = plane_id
+        self.page_bytes = page_bytes
+        self.oob_bytes = oob_bytes
+        self.blocks = [
+            FlashBlock(pages_per_block, page_bytes, oob_bytes)
+            for _ in range(blocks_per_plane)
+        ]
+        self.buffer = PageBuffer(page_bytes, oob_bytes)
+        self.fail_bit_counter = FailBitCounter(self.buffer)
+        self.pass_fail_checker = PassFailChecker()
+        self._errors = error_model or BitErrorModel(seed=plane_id)
+        self.counters = counters if counters is not None else CounterSet()
+
+    # ------------------------------------------------------------------ I/O
+
+    def read_page(self, block: int, page: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Sense a page into the sensing latch and return (data, oob).
+
+        The returned data carries raw bit errors for non-ESP modes; callers
+        that need reliability must route it through the controller's ECC.
+        The OOB area is modeled error-free for simplicity (on real chips the
+        OOB carries its own ECC parity).
+        """
+        flash_block = self.blocks[block]
+        flash_page = flash_block.pages[page]
+        golden_data, golden_oob = flash_page.raw()
+        data = self._errors.corrupt(golden_data, flash_block.mode)
+        self.buffer.load_sensing(data, golden_oob)
+        self.counters.add("page_reads")
+        self.counters.add(f"page_reads_{flash_block.mode.timing_key}")
+        return data, golden_oob
+
+    def golden_page(self, block: int, page: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Error-free page contents (for ECC reference and tests)."""
+        return self.blocks[block].pages[page].raw()
+
+    def program_page(
+        self, block: int, page: int, data: np.ndarray, oob: Optional[np.ndarray] = None
+    ) -> None:
+        self.blocks[block].program_page(page, data, oob)
+        self.counters.add("page_programs")
+
+    def erase_block(self, block: int) -> None:
+        self.blocks[block].erase()
+        self.counters.add("block_erases")
+
+    def page_state(self, block: int, page: int) -> PageState:
+        return self.blocks[block].pages[page].state
+
+    def block_mode(self, block: int) -> CellMode:
+        return self.blocks[block].mode
+
+    def requires_ecc(self, block: int) -> bool:
+        return reliability(self.blocks[block].mode).requires_ecc
+
+    # ------------------------------------------------- peripheral-logic ops
+
+    def broadcast_to_cache(self, pattern: np.ndarray) -> None:
+        """IBC: fill the cache latch with duplicates of ``pattern``.
+
+        After input broadcasting the cache latch holds N copies of the query
+        embedding aligned to the database embeddings, where
+        N = page_size / embedding_size (Sec. 4.3.2 step 1).
+        """
+        if pattern.size == 0 or pattern.size > self.page_bytes:
+            raise ValueError("broadcast pattern must fit within a page")
+        n_copies = self.page_bytes // pattern.size
+        tiled = np.tile(pattern.astype(np.uint8), n_copies)
+        self.buffer.load_cache(tiled)
+        self.counters.add("ibc_broadcasts")
+
+    def xor_cache_sensing(self) -> None:
+        """XOR(CL, SL) -> DL: bitwise difference of query and database page."""
+        self.buffer.xor("cache", "sensing", "data")
+        self.counters.add("latch_xors")
+
+    def segment_distances(self, segment_bytes: int, n_segments: int) -> list:
+        """Fail-bit-counter pass over DL: per-embedding Hamming distances."""
+        self.counters.add("bit_counts")
+        return self.fail_bit_counter.count_segments(segment_bytes, n_segments)
+
+    def filter_distances(self, distances, threshold: int) -> list:
+        """Pass/fail check: keep indices with distance below ``threshold``."""
+        self.counters.add("pass_fail_checks")
+        return self.pass_fail_checker.filter_below(distances, threshold)

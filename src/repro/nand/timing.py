@@ -1,0 +1,70 @@
+"""NAND flash timing parameters.
+
+The numbers follow Table 3 and the Flash-Cosmos characterization the paper
+builds on: tR = 22.5us for Enhanced-SLC-Programming (ESP) reads, plus typical
+TLC latencies from vendor datasheets.  In-plane peripheral operations (latch
+XOR, fail-bit counting, pass/fail checks) are the cheap bit-serial circuits
+described in Sec. 2.3; their latencies are small relative to a page read.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+US = 1e-6
+MS = 1e-3
+
+
+@dataclass(frozen=True)
+class NandTiming:
+    """Latency model for one flash die and its channel interface."""
+
+    # Page-read (sense) latencies per cell mode.
+    t_read_slc_esp_s: float = 22.5 * US
+    t_read_slc_s: float = 25.0 * US
+    t_read_tlc_s: float = 58.0 * US
+    # Program latencies (ISPP iterations included).
+    t_prog_slc_s: float = 200.0 * US
+    t_prog_slc_esp_s: float = 340.0 * US  # ESP uses extra verify steps
+    t_prog_tlc_s: float = 560.0 * US
+    # Block erase.
+    t_erase_s: float = 3.5 * MS
+    # Peripheral logic, per 16KB page operation.
+    t_latch_xor_s: float = 2.0 * US
+    t_latch_copy_s: float = 1.0 * US
+    t_bit_count_s: float = 3.0 * US
+    t_pass_fail_s: float = 0.5 * US
+    # Channel (per-channel, shared by the dies on it).
+    channel_bandwidth_bps: float = 1.2e9
+
+    def read_time(self, mode: str) -> float:
+        """Sense latency for a page programmed in ``mode``.
+
+        ``mode`` is one of ``slc_esp``, ``slc``, ``tlc``.
+        """
+        table = {
+            "slc_esp": self.t_read_slc_esp_s,
+            "slc": self.t_read_slc_s,
+            "tlc": self.t_read_tlc_s,
+        }
+        try:
+            return table[mode]
+        except KeyError:
+            raise ValueError(f"unknown cell mode {mode!r}") from None
+
+    def program_time(self, mode: str) -> float:
+        table = {
+            "slc_esp": self.t_prog_slc_esp_s,
+            "slc": self.t_prog_slc_s,
+            "tlc": self.t_prog_tlc_s,
+        }
+        try:
+            return table[mode]
+        except KeyError:
+            raise ValueError(f"unknown cell mode {mode!r}") from None
+
+    def transfer_time(self, n_bytes: float) -> float:
+        """Time to move ``n_bytes`` over one flash channel."""
+        if n_bytes < 0:
+            raise ValueError("n_bytes must be non-negative")
+        return n_bytes / self.channel_bandwidth_bps

@@ -1,0 +1,38 @@
+"""Retrieval-Augmented Generation substrate."""
+
+from repro.rag.datasets import PRESETS, DatasetSpec, VectorDataset, load_dataset
+from repro.rag.documents import Corpus, DocumentChunk, chunk_text, synthetic_chunk
+from repro.rag.embeddings import (
+    SyntheticEmbeddingModel,
+    make_clustered_embeddings,
+    make_queries,
+)
+from repro.rag.generation import EmbeddingModelLatency, GenerationModel
+from repro.rag.pipeline import (
+    STAGES,
+    RagPipeline,
+    RagRunReport,
+    RetrievalResult,
+    Retriever,
+)
+
+__all__ = [
+    "PRESETS",
+    "DatasetSpec",
+    "VectorDataset",
+    "load_dataset",
+    "Corpus",
+    "DocumentChunk",
+    "chunk_text",
+    "synthetic_chunk",
+    "SyntheticEmbeddingModel",
+    "make_clustered_embeddings",
+    "make_queries",
+    "EmbeddingModelLatency",
+    "GenerationModel",
+    "RagPipeline",
+    "RagRunReport",
+    "RetrievalResult",
+    "Retriever",
+    "STAGES",
+]

@@ -1,0 +1,195 @@
+"""Dataset presets.
+
+Each preset carries two scales:
+
+* **paper scale** -- the true entry count / dimensionality of the dataset the
+  paper evaluated (HotpotQA 5.23M, wiki_en 41.5M, SIFT-1B 1e9, ...).  The
+  analytic timing models consume these so I/O and scan costs reflect the real
+  workload sizes.
+* **functional scale** -- a small synthetic instantiation (Gaussian-mixture
+  embeddings, deterministic documents) that the functional simulators and
+  recall measurements actually execute.
+
+This substitution is recorded in DESIGN.md: recall/nprobe behaviour depends
+on cluster structure and dimensionality, which the generator reproduces;
+absolute dataset sizes only enter the timing layer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.ann.recall import exact_ground_truth
+from repro.rag.documents import Corpus
+from repro.rag.embeddings import make_clustered_embeddings, make_queries
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Static description of an evaluation dataset."""
+
+    name: str
+    paper_entries: int
+    paper_dim: int
+    doc_bytes_per_entry: int
+    functional_entries: int
+    functional_dim: int
+    functional_clusters: int
+    nlist_paper: int  # IVF cluster count the paper uses at full scale
+    description: str = ""
+
+    @property
+    def paper_embedding_bytes_fp32(self) -> int:
+        return self.paper_entries * self.paper_dim * 4
+
+    @property
+    def paper_embedding_bytes_bq(self) -> int:
+        return self.paper_entries * (self.paper_dim // 8)
+
+    @property
+    def paper_embedding_bytes_int8(self) -> int:
+        return self.paper_entries * self.paper_dim
+
+    @property
+    def paper_doc_bytes(self) -> int:
+        return self.paper_entries * self.doc_bytes_per_entry
+
+
+# BEIR corpora sizes, the Cohere Wikipedia dump, and the billion-scale ANN
+# benchmarks used for the NDSearch comparison.
+PRESETS: Dict[str, DatasetSpec] = {
+    "nq": DatasetSpec(
+        name="nq",
+        paper_entries=2_681_468,
+        paper_dim=1024,
+        doc_bytes_per_entry=220,
+        functional_entries=6_000,
+        functional_dim=256,
+        functional_clusters=64,
+        nlist_paper=4096,
+        description="BEIR Natural Questions passage corpus",
+    ),
+    "hotpotqa": DatasetSpec(
+        name="hotpotqa",
+        paper_entries=5_233_329,
+        paper_dim=1024,
+        doc_bytes_per_entry=220,
+        functional_entries=8_000,
+        functional_dim=256,
+        functional_clusters=80,
+        nlist_paper=8192,
+        description="BEIR HotpotQA passage corpus (5.3M entries)",
+    ),
+    "wiki_en": DatasetSpec(
+        name="wiki_en",
+        paper_entries=41_500_000,
+        paper_dim=1024,
+        doc_bytes_per_entry=220,
+        functional_entries=12_000,
+        functional_dim=256,
+        functional_clusters=96,
+        nlist_paper=16384,
+        description="Cohere wikipedia-2023-11 English subset (41.5M entries)",
+    ),
+    "wiki_full": DatasetSpec(
+        name="wiki_full",
+        paper_entries=247_100_000,
+        paper_dim=1024,
+        doc_bytes_per_entry=220,
+        functional_entries=16_000,
+        functional_dim=256,
+        functional_clusters=128,
+        nlist_paper=65536,
+        description="Cohere wikipedia-2023-11 full multilingual dump",
+    ),
+    "sift1b": DatasetSpec(
+        name="sift1b",
+        paper_entries=1_000_000_000,
+        paper_dim=128,
+        doc_bytes_per_entry=0,
+        functional_entries=10_000,
+        functional_dim=128,
+        functional_clusters=100,
+        nlist_paper=262144,
+        description="SIFT-1B billion-scale ANN benchmark",
+    ),
+    "deep1b": DatasetSpec(
+        name="deep1b",
+        paper_entries=1_000_000_000,
+        paper_dim=96,
+        doc_bytes_per_entry=0,
+        functional_entries=10_000,
+        functional_dim=96,
+        functional_clusters=100,
+        nlist_paper=262144,
+        description="DEEP-1B billion-scale ANN benchmark",
+    ),
+}
+
+
+@dataclass
+class VectorDataset:
+    """A materialized functional dataset plus its paper-scale descriptor."""
+
+    spec: DatasetSpec
+    vectors: np.ndarray  # (n, d) float32
+    labels: np.ndarray  # (n,) topic labels
+    queries: np.ndarray  # (q, d) float32
+    ground_truth: np.ndarray  # (q, k_gt) exact neighbor ids
+    corpus: Corpus = field(repr=False, default=None)
+
+    @property
+    def n(self) -> int:
+        return self.vectors.shape[0]
+
+    @property
+    def dim(self) -> int:
+        return self.vectors.shape[1]
+
+    @property
+    def n_queries(self) -> int:
+        return self.queries.shape[0]
+
+    def functional_nlist(self) -> int:
+        """IVF cluster count scaled to the functional entry count.
+
+        Keeps the paper's entries-per-cluster ratio so nprobe sweeps behave
+        comparably at both scales.
+        """
+        per_cluster = max(self.spec.paper_entries // self.spec.nlist_paper, 1)
+        return max(8, int(round(self.n / per_cluster)))
+
+
+def load_dataset(
+    name: str,
+    n_entries: Optional[int] = None,
+    n_queries: int = 64,
+    dim: Optional[int] = None,
+    k_ground_truth: int = 10,
+    seed: object = 0,
+    with_corpus: bool = True,
+) -> VectorDataset:
+    """Materialize the functional instantiation of a preset."""
+    try:
+        spec = PRESETS[name]
+    except KeyError:
+        raise KeyError(f"unknown dataset {name!r}; choose from {sorted(PRESETS)}") from None
+    n = n_entries or spec.functional_entries
+    d = dim or spec.functional_dim
+    vectors, labels = make_clustered_embeddings(
+        n, d, spec.functional_clusters, seed=(name, seed)
+    )
+    queries = make_queries(vectors, n_queries, seed=(name, seed, "q"))
+    ground_truth = exact_ground_truth(queries, vectors, k_ground_truth)
+    corpus = Corpus.synthetic(n, labels, name) if with_corpus else None
+    return VectorDataset(
+        spec=spec,
+        vectors=vectors,
+        labels=labels,
+        queries=queries,
+        ground_truth=ground_truth,
+        corpus=corpus,
+    )

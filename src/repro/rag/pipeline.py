@@ -1,0 +1,100 @@
+"""The end-to-end RAG pipeline (Sec. 2.1 / Sec. 3.1).
+
+The pipeline has one offline stage (indexing) and two online stages
+(retrieval, generation).  Online execution loads the embedding model,
+encodes the queries, loads the dataset (for host-side retrievers), searches,
+loads the generation model, and generates.  The per-stage latency breakdown
+is the measurement behind Fig. 2, Fig. 3 and Table 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Protocol
+
+import numpy as np
+
+from repro.rag.generation import EmbeddingModelLatency, GenerationModel
+
+STAGES = (
+    "embedding_model_loading",
+    "encoding",
+    "dataset_loading",
+    "search",
+    "generation_model_loading",
+    "generation",
+)
+
+
+class Retriever(Protocol):
+    """Anything that can serve the retrieval stage of the pipeline."""
+
+    def dataset_load_seconds(self) -> float:
+        """One-time dataset loading cost per pipeline run (0 for REIS)."""
+        ...
+
+    def search_batch(self, queries: np.ndarray, k: int) -> "RetrievalResult":
+        """Top-k ids per query plus the modeled search time."""
+        ...
+
+
+@dataclass
+class RetrievalResult:
+    """Outcome of one retrieval batch."""
+
+    ids: List[np.ndarray]
+    search_seconds: float
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class RagRunReport:
+    """Per-stage latency breakdown of one pipeline run."""
+
+    stage_seconds: Dict[str, float]
+    retrieved_ids: List[np.ndarray]
+    n_queries: int
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.stage_seconds.values())
+
+    def fraction(self, stage: str) -> float:
+        total = self.total_seconds
+        return self.stage_seconds.get(stage, 0.0) / total if total > 0 else 0.0
+
+    def breakdown(self) -> Dict[str, float]:
+        """Stage -> fraction of end-to-end time (the Fig. 2/3 bars)."""
+        return {stage: self.fraction(stage) for stage in STAGES}
+
+
+class RagPipeline:
+    """Composable RAG pipeline over a pluggable retriever."""
+
+    def __init__(
+        self,
+        retriever: Retriever,
+        embedding_model: Optional[EmbeddingModelLatency] = None,
+        generation_model: Optional[GenerationModel] = None,
+    ) -> None:
+        self.retriever = retriever
+        self.embedding_model = embedding_model or EmbeddingModelLatency()
+        self.generation_model = generation_model or GenerationModel()
+
+    def run(self, queries: np.ndarray, k: int = 10) -> RagRunReport:
+        """Execute the online stages for a query batch."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        n_queries = queries.shape[0]
+        stage_seconds: Dict[str, float] = {}
+        stage_seconds["embedding_model_loading"] = self.embedding_model.model_load_s
+        stage_seconds["encoding"] = self.embedding_model.encoding_time(n_queries)
+        stage_seconds["dataset_loading"] = self.retriever.dataset_load_seconds()
+        result = self.retriever.search_batch(queries, k)
+        stage_seconds["search"] = result.search_seconds
+        stage_seconds["generation_model_loading"] = self.generation_model.model_load_s
+        stage_seconds["generation"] = self.generation_model.generation_time(n_queries)
+        return RagRunReport(
+            stage_seconds=stage_seconds,
+            retrieved_ids=result.ids,
+            n_queries=n_queries,
+        )

@@ -1,0 +1,14 @@
+"""Simulation kernel: counters, latency composition and deterministic RNG."""
+
+from repro.sim.latency import LatencyReport, overlap, pipeline_time, serial
+from repro.sim.rng import make_rng
+from repro.sim.stats import CounterSet
+
+__all__ = [
+    "CounterSet",
+    "LatencyReport",
+    "pipeline_time",
+    "serial",
+    "overlap",
+    "make_rng",
+]

@@ -1,0 +1,75 @@
+"""Latency composition helpers.
+
+The REIS engine is a multi-stage pipeline (page read -> in-plane compute ->
+channel transfer -> embedded-core kernels).  Depending on which paper
+optimizations are enabled (pipelining, multi-plane input broadcasting) the
+stages either execute back-to-back (``serial``) or overlap so throughput is
+set by the slowest stage (``pipeline_time``).  All times are in seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable
+
+
+def serial(stages: Iterable[float]) -> float:
+    """Total latency of stages executed back-to-back."""
+    return float(sum(stages))
+
+
+def overlap(stages: Iterable[float]) -> float:
+    """Latency of fully-overlapped stages (bounded by the slowest)."""
+    stages = list(stages)
+    return float(max(stages)) if stages else 0.0
+
+
+def pipeline_time(stages: Iterable[float], iterations: int) -> float:
+    """Steady-state latency of ``iterations`` items through a linear pipeline.
+
+    Classic pipeline formula: fill the pipe once (sum of all stages), then
+    every further item costs one bottleneck-stage time.
+    """
+    stages = list(stages)
+    if iterations <= 0 or not stages:
+        return 0.0
+    bottleneck = max(stages)
+    return sum(stages) + (iterations - 1) * bottleneck
+
+
+@dataclass
+class LatencyReport:
+    """Named latency contributions plus the composed total.
+
+    ``components`` holds per-stage wall-clock contributions (already composed
+    for overlap); ``total_s`` is the end-to-end time.  Reports can be merged
+    to accumulate per-query costs into batch costs.
+    """
+
+    total_s: float = 0.0
+    components: Dict[str, float] = field(default_factory=dict)
+
+    def add_component(self, name: str, seconds: float) -> None:
+        self.components[name] = self.components.get(name, 0.0) + seconds
+
+    def merge(self, other: "LatencyReport") -> None:
+        self.total_s += other.total_s
+        for name, seconds in other.components.items():
+            self.add_component(name, seconds)
+
+    def scaled(self, factor: float) -> "LatencyReport":
+        """Return a copy with every latency multiplied by ``factor``."""
+        return LatencyReport(
+            total_s=self.total_s * factor,
+            components={k: v * factor for k, v in self.components.items()},
+        )
+
+    def fraction(self, name: str) -> float:
+        """Fraction of ``total_s`` attributed to component ``name``."""
+        if self.total_s <= 0:
+            return 0.0
+        return self.components.get(name, 0.0) / self.total_s
+
+    def __repr__(self) -> str:
+        parts = ", ".join(f"{k}={v * 1e6:.1f}us" for k, v in self.components.items())
+        return f"LatencyReport(total={self.total_s * 1e6:.1f}us, {parts})"

@@ -1,0 +1,19 @@
+"""Deterministic random number generation for reproducible simulation."""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+
+def make_rng(*seed_parts: object) -> np.random.Generator:
+    """Build a :class:`numpy.random.Generator` from arbitrary seed material.
+
+    Hashing the string form of the parts gives stable, collision-resistant
+    seeds across runs and platforms, e.g. ``make_rng("wiki_en", 42)``.
+    """
+    material = "/".join(str(part) for part in seed_parts)
+    digest = hashlib.sha256(material.encode("utf-8")).digest()
+    seed = int.from_bytes(digest[:8], "little")
+    return np.random.default_rng(seed)

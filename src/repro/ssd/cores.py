@@ -1,0 +1,96 @@
+"""Embedded SSD-controller cores (Arm Cortex-R8 class).
+
+The controller's microprocessors normally execute the FTL and I/O handling;
+they lack floating-point units, which is why REIS quantizes (binary for the
+in-flash distance, INT8 for reranking -- both integer workloads).  REIS
+confines itself to one core (Sec. 7.2) and leaves the rest for regular SSD
+duties.
+
+The cost model charges cycles per element for the kernels the paper runs on
+the cores: quickselect (average O(n)), quicksort (O(n log n)), INT8 distance
+recomputation for reranking, and generic byte-moving work.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CoreSpec:
+    """Performance/power envelope of one embedded core."""
+
+    frequency_hz: float = 1.5e9
+    cycles_per_select_element: float = 8.0
+    cycles_per_sort_element: float = 12.0
+    cycles_per_int8_mac: float = 0.25  # NEON-style 4-wide dot products
+    cycles_per_byte_moved: float = 0.5
+    active_power_w: float = 0.35
+    idle_power_w: float = 0.04
+
+
+class EmbeddedCore:
+    """One embedded core; methods return the kernel's execution time."""
+
+    def __init__(self, core_id: int, spec: CoreSpec | None = None) -> None:
+        self.core_id = core_id
+        self.spec = spec or CoreSpec()
+        self.busy_seconds = 0.0
+
+    def _charge(self, cycles: float) -> float:
+        seconds = cycles / self.spec.frequency_hz
+        self.busy_seconds += seconds
+        return seconds
+
+    def quickselect(self, n_elements: int, k: int) -> float:
+        """Select the k smallest of ``n_elements`` (average O(n))."""
+        if n_elements <= 0:
+            return 0.0
+        effective = max(n_elements, k)
+        return self._charge(effective * self.spec.cycles_per_select_element)
+
+    def quicksort(self, n_elements: int) -> float:
+        """Sort ``n_elements`` (O(n log n))."""
+        if n_elements <= 1:
+            return 0.0
+        cycles = n_elements * math.log2(n_elements) * self.spec.cycles_per_sort_element
+        return self._charge(cycles)
+
+    def int8_distances(self, n_vectors: int, dim: int) -> float:
+        """Recompute ``n_vectors`` INT8 distances of dimension ``dim``."""
+        if n_vectors <= 0:
+            return 0.0
+        return self._charge(n_vectors * dim * self.spec.cycles_per_int8_mac)
+
+    def move_bytes(self, n_bytes: float) -> float:
+        """Generic data shuffling (TTL maintenance, entry unpacking)."""
+        if n_bytes <= 0:
+            return 0.0
+        return self._charge(n_bytes * self.spec.cycles_per_byte_moved)
+
+
+@dataclass
+class CoreComplex:
+    """The controller's set of embedded cores.
+
+    REIS dedicates exactly one core to retrieval; the remainder keep serving
+    the FTL and host I/O, so normal SSD operation is unaffected (Sec. 7.2).
+    """
+
+    n_cores: int = 4
+    spec: CoreSpec = CoreSpec()
+
+    def __post_init__(self) -> None:
+        if self.n_cores < 2:
+            raise ValueError("need at least one FTL core and one REIS core")
+        self.cores = [EmbeddedCore(i, self.spec) for i in range(self.n_cores)]
+
+    @property
+    def reis_core(self) -> EmbeddedCore:
+        """The single core REIS is confined to."""
+        return self.cores[-1]
+
+    @property
+    def ftl_cores(self):
+        return self.cores[:-1]

@@ -1,0 +1,86 @@
+"""Garbage collection.
+
+Normal-mode SSD maintenance: pick the block with the most invalid pages,
+relocate its valid pages, erase it.  REIS databases are read-mostly and live
+in reserved coarse regions that GC never touches; GC operates on the
+general-purpose remainder of the drive (Sec. 7.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Set, Tuple
+
+from repro.nand.array import FlashArray
+from repro.nand.page import PageState
+from repro.ssd.ftl import PageLevelFtl
+
+
+@dataclass
+class GcResult:
+    """Outcome of one GC invocation."""
+
+    erased_blocks: int = 0
+    relocated_pages: int = 0
+
+
+class GarbageCollector:
+    """Greedy cost-benefit GC over the non-reserved blocks."""
+
+    def __init__(
+        self,
+        array: FlashArray,
+        ftl: PageLevelFtl,
+        reserved_planes_pages: Optional[Set[Tuple[int, int]]] = None,
+    ) -> None:
+        self._array = array
+        self._ftl = ftl
+        # (plane_index, block_index) pairs GC must not touch (REIS regions).
+        self._reserved = reserved_planes_pages or set()
+
+    def reserve_block(self, plane_index: int, block_index: int) -> None:
+        self._reserved.add((plane_index, block_index))
+
+    def _victims(self) -> List[Tuple[int, int, int]]:
+        """(invalid_count, plane, block) candidates, most garbage first."""
+        victims = []
+        for plane_index, plane in self._array.iter_planes():
+            for block_index, block in enumerate(plane.blocks):
+                if (plane_index, block_index) in self._reserved:
+                    continue
+                invalid = block.invalid_page_count()
+                if invalid > 0 and block.is_full:
+                    victims.append((invalid, plane_index, block_index))
+        victims.sort(reverse=True)
+        return victims
+
+    def collect(self, max_blocks: int = 1) -> GcResult:
+        """Reclaim up to ``max_blocks`` victim blocks."""
+        result = GcResult()
+        for _, plane_index, block_index in self._victims()[:max_blocks]:
+            plane = self._array.plane_by_index(plane_index)
+            block = plane.blocks[block_index]
+            for page_index, page in enumerate(block.pages):
+                if page.state is not PageState.PROGRAMMED:
+                    continue
+                data, oob = page.raw()
+                ppa = self._locate(plane_index, block_index, page_index)
+                lpa = self._ftl.lpa_of(ppa)
+                if lpa is None:
+                    continue
+                new_ppa = self._ftl._allocator.allocate()
+                self._array.program(new_ppa, data, oob)
+                self._ftl.remap(lpa, new_ppa)
+                result.relocated_pages += 1
+            plane.erase_block(block_index)
+            result.erased_blocks += 1
+        return result
+
+    def _locate(self, plane_index: int, block: int, page: int):
+        g = self._array.geometry
+        die_index, plane = divmod(plane_index, g.planes_per_die)
+        channel, rest = divmod(die_index, g.dies_per_channel)
+        chip, die = divmod(rest, g.dies_per_chip)
+        from repro.nand.geometry import PhysicalPageAddress
+
+        return PhysicalPageAddress(channel, chip, die, plane, block, page)

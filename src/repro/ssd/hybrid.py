@@ -1,0 +1,80 @@
+"""Hybrid SLC/TLC soft partitioning (Sec. 4.1.2).
+
+REIS soft-partitions the drive into (i) an ESP-programmed SLC partition for
+binary embeddings -- reliable enough for in-plane computation without ECC --
+and (ii) a normal TLC partition for document chunks and INT8 embeddings.
+Soft partitioning only changes how blocks are programmed; an SLC-mode block
+stores one bit per cell, costing 3x the TLC capacity per byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.nand.array import FlashArray
+from repro.nand.cell import CellMode
+
+
+@dataclass
+class PartitionStats:
+    """Capacity accounting for the hybrid layout."""
+
+    slc_blocks: int = 0
+    tlc_blocks: int = 0
+    slc_user_bytes: int = 0
+    tlc_user_bytes: int = 0
+    capacity_cost_bytes: int = 0  # TLC-equivalent bytes sacrificed for SLC
+
+
+class HybridPartitioner:
+    """Assigns cell modes to blocks before a region is programmed."""
+
+    def __init__(self, array: FlashArray) -> None:
+        self._array = array
+        self._modes: Dict[Tuple[int, int], CellMode] = {}
+
+    def set_block_mode(self, plane_index: int, block_index: int, mode: CellMode) -> None:
+        """Program a block's mode (block must be erased)."""
+        plane = self._array.plane_by_index(plane_index)
+        plane.blocks[block_index].set_mode(mode)
+        self._modes[(plane_index, block_index)] = mode
+
+    def mode_of(self, plane_index: int, block_index: int) -> CellMode:
+        return self._modes.get((plane_index, block_index), CellMode.TLC)
+
+    def convert_region(
+        self,
+        start_page_in_plane: int,
+        end_page_in_plane: int,
+        mode: CellMode,
+    ) -> int:
+        """Set ``mode`` on every block overlapping the in-plane page window.
+
+        Returns the number of blocks converted across all planes.
+        """
+        g = self._array.geometry
+        first_block = start_page_in_plane // g.pages_per_block
+        last_block = (max(end_page_in_plane - 1, start_page_in_plane)) // g.pages_per_block
+        converted = 0
+        for plane_index in range(g.total_planes):
+            for block_index in range(first_block, last_block + 1):
+                self.set_block_mode(plane_index, block_index, mode)
+                converted += 1
+        return converted
+
+    def stats(self) -> PartitionStats:
+        g = self._array.geometry
+        stats = PartitionStats()
+        block_bytes = g.pages_per_block * g.page_bytes
+        for plane_index, plane in self._array.iter_planes():
+            for block in plane.blocks:
+                if block.mode in (CellMode.SLC, CellMode.SLC_ESP):
+                    stats.slc_blocks += 1
+                    stats.slc_user_bytes += block_bytes
+                    # A TLC block would have held 3x the data.
+                    stats.capacity_cost_bytes += 2 * block_bytes
+                else:
+                    stats.tlc_blocks += 1
+                    stats.tlc_user_bytes += block_bytes
+        return stats

@@ -1,0 +1,78 @@
+"""NVMe command layer with REIS vendor-specific extensions.
+
+The NVM command-set specification reserves opcodes 80h-FFh for
+vendor-specific commands; REIS implements its API (Table 1) in that range
+(Sec. 4.4.1).  This module provides the command encoding and a dispatcher
+the :class:`repro.core.api.ReisDevice` registers handlers on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Any, Callable, Dict
+
+
+class NvmeOpcode(IntEnum):
+    """Standard I/O opcodes plus REIS vendor extensions (>= 0x80)."""
+
+    FLUSH = 0x00
+    WRITE = 0x01
+    READ = 0x02
+    # REIS vendor-specific commands (Table 1).
+    REIS_DB_DEPLOY = 0x80
+    REIS_IVF_DEPLOY = 0x81
+    REIS_SEARCH = 0x82
+    REIS_IVF_SEARCH = 0x83
+    REIS_DB_DROP = 0x84
+    REIS_DB_LIST = 0x85
+
+    @property
+    def is_vendor_specific(self) -> bool:
+        return 0x80 <= int(self) <= 0xFF
+
+
+@dataclass
+class NvmeCommand:
+    """A submission-queue entry (simplified)."""
+
+    opcode: NvmeOpcode
+    params: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class NvmeCompletion:
+    """A completion-queue entry."""
+
+    status: int  # 0 = success
+    result: Any = None
+
+    @property
+    def ok(self) -> bool:
+        return self.status == 0
+
+
+class NvmeInterface:
+    """Dispatches submitted commands to registered handlers."""
+
+    STATUS_SUCCESS = 0
+    STATUS_INVALID_OPCODE = 1
+    STATUS_INTERNAL_ERROR = 2
+
+    def __init__(self) -> None:
+        self._handlers: Dict[NvmeOpcode, Callable[[NvmeCommand], Any]] = {}
+        self.submitted = 0
+
+    def register(self, opcode: NvmeOpcode, handler: Callable[[NvmeCommand], Any]) -> None:
+        self._handlers[opcode] = handler
+
+    def submit(self, command: NvmeCommand) -> NvmeCompletion:
+        """Execute a command synchronously and return its completion."""
+        self.submitted += 1
+        handler = self._handlers.get(command.opcode)
+        if handler is None:
+            return NvmeCompletion(self.STATUS_INVALID_OPCODE)
+        try:
+            return NvmeCompletion(self.STATUS_SUCCESS, handler(command))
+        except Exception as exc:  # surfaced as a device-level error status
+            return NvmeCompletion(self.STATUS_INTERNAL_ERROR, repr(exc))

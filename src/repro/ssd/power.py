@@ -1,0 +1,68 @@
+"""SSD power and energy model.
+
+Power is composed from activity counters: NAND sense energy per page,
+channel transfer energy per byte, embedded-core busy time, DRAM activity and
+a controller/idle floor.  The constants are calibrated against commodity
+datacenter SSDs (the paper models power on a commodity product plus
+Flash-Cosmos chip characterization and CACTI DRAM numbers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.stats import CounterSet
+
+
+@dataclass(frozen=True)
+class SsdPowerParams:
+    """Energy/power coefficients for one SSD."""
+
+    page_read_energy_j: float = 6.0e-6  # ~ sense+bitline energy per 16KB page
+    page_program_energy_j: float = 4.5e-5
+    block_erase_energy_j: float = 1.5e-4
+    latch_op_energy_j: float = 2.0e-7  # XOR / copy / count over one page
+    channel_energy_j_per_byte: float = 1.6e-11  # ~16 pJ/bit / 8
+    core_active_power_w: float = 0.35
+    dram_active_power_w: float = 0.35
+    controller_idle_power_w: float = 2.2
+
+
+class SsdPowerModel:
+    """Turns activity counters + busy times into energy and average power."""
+
+    def __init__(self, params: SsdPowerParams | None = None) -> None:
+        self.params = params or SsdPowerParams()
+
+    def dynamic_energy(self, counters: CounterSet, core_busy_s: float = 0.0) -> float:
+        """Energy (J) attributable to the counted activity."""
+        p = self.params
+        latch_ops = (
+            counters["latch_xors"]
+            + counters["bit_counts"]
+            + counters["pass_fail_checks"]
+            + counters["ibc_broadcasts"]
+        )
+        return (
+            counters["page_reads"] * p.page_read_energy_j
+            + counters["page_programs"] * p.page_program_energy_j
+            + counters["block_erases"] * p.block_erase_energy_j
+            + latch_ops * p.latch_op_energy_j
+            + counters["channel_bytes"] * p.channel_energy_j_per_byte
+            + core_busy_s * p.core_active_power_w
+        )
+
+    def total_energy(
+        self, counters: CounterSet, elapsed_s: float, core_busy_s: float = 0.0
+    ) -> float:
+        """Dynamic energy plus the idle floor over the elapsed interval."""
+        idle = (self.params.controller_idle_power_w + self.params.dram_active_power_w)
+        return self.dynamic_energy(counters, core_busy_s) + idle * max(elapsed_s, 0.0)
+
+    def average_power(
+        self, counters: CounterSet, elapsed_s: float, core_busy_s: float = 0.0
+    ) -> float:
+        """Average power (W) over the interval."""
+        if elapsed_s <= 0:
+            return self.params.controller_idle_power_w
+        return self.total_energy(counters, elapsed_s, core_busy_s) / elapsed_s

@@ -1,0 +1,153 @@
+"""Unit tests for the REIS device API (Table 1) and its NVMe wiring."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import ReisDevice, ReisRetriever
+from repro.core.config import tiny_config
+from repro.ssd.nvme import NvmeCommand, NvmeOpcode
+
+from tests.conftest import SMALL_NLIST
+
+
+class TestDeployment:
+    def test_db_deploy_assigns_sequential_ids(self, fresh_device, small_vectors):
+        vectors, _ = small_vectors
+        first = fresh_device.db_deploy("a", vectors[:100])
+        second = fresh_device.db_deploy("b", vectors[100:200])
+        assert (first, second) == (0, 1)
+        assert set(fresh_device.databases) == {0, 1}
+
+    def test_explicit_db_id(self, fresh_device, small_vectors):
+        vectors, _ = small_vectors
+        assert fresh_device.db_deploy("a", vectors[:50], db_id=7) == 7
+        with pytest.raises(ValueError):
+            fresh_device.db_deploy("b", vectors[:50], db_id=7)
+
+    def test_ivf_deploy_requires_cluster_info(self, fresh_device, small_vectors):
+        vectors, _ = small_vectors
+        with pytest.raises(ValueError):
+            fresh_device.ivf_deploy("a", vectors[:50])
+
+    def test_deploy_enters_rag_mode(self, fresh_device, small_vectors):
+        vectors, _ = small_vectors
+        fresh_device.db_deploy("a", vectors[:50])
+        assert fresh_device.ssd.rag_mode
+
+    def test_drop(self, fresh_device, small_vectors):
+        vectors, _ = small_vectors
+        db_id = fresh_device.db_deploy("a", vectors[:50])
+        fresh_device.drop(db_id)
+        with pytest.raises(KeyError):
+            fresh_device.database(db_id)
+
+    def test_drop_unknown_raises(self, fresh_device):
+        with pytest.raises(KeyError):
+            fresh_device.drop(42)
+
+
+class TestSearchApi:
+    def test_search_batch_shape(self, deployed_flat_device, small_queries):
+        device, db_id = deployed_flat_device
+        batch = device.search(db_id, small_queries[:3], k=7)
+        assert len(batch) == 3
+        for result in batch:
+            assert result.ids.size == 7
+        assert batch.qps > 0
+        assert batch.total_seconds > 0
+
+    def test_ivf_search_on_flat_db_rejected(self, deployed_flat_device, small_queries):
+        device, db_id = deployed_flat_device
+        with pytest.raises(ValueError):
+            device.ivf_search(db_id, small_queries[:1], k=5)
+
+    def test_recall_target_resolves_nprobe(self, deployed_device, small_queries):
+        device, db_id = deployed_device
+        low = device.resolve_nprobe(db_id, 0.90)
+        high = device.resolve_nprobe(db_id, 0.98)
+        assert 1 <= low <= high <= SMALL_NLIST
+        batch = device.ivf_search(db_id, small_queries[:2], k=5, recall_target=0.95)
+        assert len(batch) == 2
+
+    def test_recall_target_validation(self, deployed_device):
+        device, db_id = deployed_device
+        with pytest.raises(ValueError):
+            device.resolve_nprobe(db_id, 1.5)
+
+    def test_single_query_accepted(self, deployed_device, small_queries):
+        device, db_id = deployed_device
+        batch = device.ivf_search(db_id, small_queries[0], k=5, nprobe=2)
+        assert len(batch) == 1
+
+
+class TestNvmePath:
+    def test_search_via_nvme(self, deployed_device, small_queries):
+        device, db_id = deployed_device
+        completion = device.submit(
+            NvmeCommand(
+                NvmeOpcode.REIS_IVF_SEARCH,
+                {"db_id": db_id, "queries": small_queries[:2], "k": 5, "nprobe": 2},
+            )
+        )
+        assert completion.ok
+        assert len(completion.result) == 2
+
+    def test_deploy_and_list_via_nvme(self, fresh_device, small_vectors):
+        vectors, _ = small_vectors
+        completion = fresh_device.submit(
+            NvmeCommand(NvmeOpcode.REIS_DB_DEPLOY, {"name": "n", "vectors": vectors[:60]})
+        )
+        assert completion.ok
+        listing = fresh_device.submit(NvmeCommand(NvmeOpcode.REIS_DB_LIST))
+        assert listing.result == [completion.result]
+
+    def test_drop_via_nvme(self, fresh_device, small_vectors):
+        vectors, _ = small_vectors
+        db_id = fresh_device.db_deploy("n", vectors[:60])
+        completion = fresh_device.submit(
+            NvmeCommand(NvmeOpcode.REIS_DB_DROP, {"db_id": db_id})
+        )
+        assert completion.ok
+        assert fresh_device.databases == {}
+
+    def test_error_surfaces_as_status(self, fresh_device):
+        completion = fresh_device.submit(
+            NvmeCommand(NvmeOpcode.REIS_SEARCH, {"db_id": 99, "queries": np.zeros((1, 8))})
+        )
+        assert not completion.ok
+
+
+class TestReisRetriever:
+    def test_zero_dataset_loading(self, deployed_device):
+        device, db_id = deployed_device
+        retriever = ReisRetriever(device, db_id, nprobe=2)
+        assert retriever.dataset_load_seconds() == 0.0
+
+    def test_search_batch_protocol(self, deployed_device, small_queries):
+        device, db_id = deployed_device
+        retriever = ReisRetriever(device, db_id, nprobe=2)
+        result = retriever.search_batch(small_queries[:3], k=5)
+        assert len(result.ids) == 3
+        assert result.search_seconds > 0
+
+    def test_paper_workload_overrides_timing(self, deployed_device, small_queries):
+        from repro.core.analytic import ivf_workload
+
+        device, db_id = deployed_device
+        workload = ivf_workload(10_000_000, 1024, nlist=16384, nprobe=64)
+        functional = ReisRetriever(device, db_id, nprobe=2)
+        paper = ReisRetriever(device, db_id, nprobe=2, paper_workload=workload)
+        t_func = functional.search_batch(small_queries[:2], k=5).search_seconds
+        t_paper = paper.search_batch(small_queries[:2], k=5).search_seconds
+        assert t_paper != t_func
+        assert t_paper > 0
+
+
+class TestEnergyReport:
+    def test_report_fields(self, deployed_device, small_queries):
+        device, db_id = deployed_device
+        device.ivf_search(db_id, small_queries[:2], k=5, nprobe=2)
+        report = device.energy_report(elapsed_s=0.01)
+        assert report["energy_j"] > 0
+        assert report["average_power_w"] > 0
+        assert report["core_busy_s"] >= 0

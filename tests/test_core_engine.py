@@ -1,0 +1,244 @@
+"""Integration tests for the in-storage ANNS engine (Sec. 4.3).
+
+The central fidelity claim: the engine, executing only NAND peripheral
+operations (IBC, page read, latch XOR, fail-bit count, pass/fail check)
+plus embedded-core kernels, must return the same results as the host-side
+reference algorithm (BQ-IVF with INT8 rerank) running on the same data.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ann.ivf import BqIvfIndex
+from repro.ann.recall import mean_recall_at_k
+from repro.core.api import ReisDevice
+from repro.core.config import NO_OPT, OptFlags, tiny_config
+from repro.core.engine import InStorageAnnsEngine
+
+from tests.conftest import SMALL_DIM, SMALL_N, SMALL_NLIST
+
+
+class TestEngineMatchesHostReference:
+    """REIS-in-flash == BqIvfIndex-on-host, per query."""
+
+    @pytest.fixture(scope="class")
+    def reference(self, small_vectors):
+        vectors, _ = small_vectors
+        return BqIvfIndex(SMALL_DIM, SMALL_NLIST, seed=0).fit(vectors)
+
+    @pytest.mark.parametrize("nprobe", [1, 3, SMALL_NLIST])
+    def test_ivf_results_match(self, deployed_device, reference, small_queries, nprobe):
+        device, db_id = deployed_device
+        db = device.database(db_id)
+        for query in small_queries[:6]:
+            result = device.engine.search(db, query, k=10, nprobe=nprobe)
+            ref_dist, ref_ids = reference.search(query, 10, nprobe=nprobe)
+            # Distances must agree exactly (same INT8 arithmetic); id order
+            # may differ only where distances tie.
+            assert np.array_equal(result.distances, ref_dist)
+            overlap = len(set(result.ids.tolist()) & set(ref_ids.tolist()))
+            assert overlap >= 9
+
+    def test_brute_force_matches_flat_reference(
+        self, deployed_flat_device, small_vectors, small_queries
+    ):
+        vectors, _ = small_vectors
+        device, db_id = deployed_flat_device
+        db = device.database(db_id)
+        reference = BqIvfIndex(SMALL_DIM, nlist=1, seed=0).fit(vectors)
+        for query in small_queries[:4]:
+            result = device.engine.search(db, query, k=10)
+            ref_dist, _ = reference.search(query, 10, nprobe=1)
+            assert np.array_equal(result.distances, ref_dist)
+
+
+class TestEngineBehaviour:
+    def test_documents_match_returned_ids(self, deployed_device, small_queries):
+        device, db_id = deployed_device
+        db = device.database(db_id)
+        result = device.engine.search(db, small_queries[0], k=5)
+        assert len(result.documents) == 5
+        for rank, doc in enumerate(result.documents):
+            assert doc.chunk_id == int(result.ids[rank])
+
+    def test_distances_sorted(self, deployed_device, small_queries):
+        device, db_id = deployed_device
+        db = device.database(db_id)
+        result = device.engine.search(db, small_queries[1], k=10, nprobe=4)
+        assert (np.diff(result.distances) >= 0).all()
+
+    def test_k_larger_than_matches(self, deployed_device, small_queries):
+        device, db_id = deployed_device
+        db = device.database(db_id)
+        result = device.engine.search(db, small_queries[0], k=10, nprobe=1)
+        assert 0 < result.k <= 10
+
+    def test_invalid_inputs_rejected(self, deployed_device, small_queries):
+        device, db_id = deployed_device
+        db = device.database(db_id)
+        with pytest.raises(ValueError):
+            device.engine.search(db, small_queries[0], k=0)
+        with pytest.raises(ValueError):
+            device.engine.search(db, small_queries[0][:-8], k=5)
+        with pytest.raises(ValueError):
+            device.engine.search(db, small_queries[0], k=5, metadata_filter=3)
+
+    def test_stats_accounting(self, deployed_device, small_queries):
+        device, db_id = deployed_device
+        db = device.database(db_id)
+        result = device.engine.search(db, small_queries[2], k=10, nprobe=3)
+        stats = result.stats
+        assert stats.clusters_probed == 3
+        assert stats.candidates > 0
+        assert stats.entries_scanned >= stats.candidates
+        assert stats.entries_transferred + stats.entries_filtered >= stats.candidates
+        assert stats.pages_read > 0
+        assert 0 < stats.filter_pass_fraction <= 1.0
+
+    def test_latency_report_has_all_phases(self, deployed_device, small_queries):
+        device, db_id = deployed_device
+        db = device.database(db_id)
+        result = device.engine.search(db, small_queries[0], k=5, nprobe=2)
+        components = result.latency.components
+        for name in ("ibc", "coarse_read", "fine_read", "rerank_read", "documents_read"):
+            assert name in components
+        assert result.latency.total_s > 0
+
+    def test_more_probes_cost_more_time(self, deployed_device, small_queries):
+        device, db_id = deployed_device
+        db = device.database(db_id)
+        cheap = device.engine.search(db, small_queries[3], k=5, nprobe=1)
+        costly = device.engine.search(db, small_queries[3], k=5, nprobe=SMALL_NLIST)
+        assert costly.latency.total_s > cheap.latency.total_s
+        assert costly.stats.pages_read > cheap.stats.pages_read
+
+    def test_skip_document_fetch(self, deployed_device, small_queries):
+        device, db_id = deployed_device
+        db = device.database(db_id)
+        result = device.engine.search(
+            db, small_queries[0], k=5, nprobe=2, fetch_documents=False
+        )
+        assert result.documents == []
+        assert "documents_read" not in result.latency.components
+
+
+class TestDistanceFiltering:
+    def test_df_preserves_recall(self, small_vectors, small_corpus, small_queries, small_ground_truth):
+        vectors, _ = small_vectors
+        results = {}
+        for df in (True, False):
+            device = ReisDevice(
+                tiny_config(f"DF-{df}"),
+                flags=OptFlags(distance_filtering=df),
+            )
+            db_id = device.ivf_deploy("t", vectors, nlist=SMALL_NLIST, corpus=small_corpus, seed=0)
+            batch = device.ivf_search(db_id, small_queries, k=10, nprobe=4)
+            results[df] = mean_recall_at_k(batch.ids, small_ground_truth, 10)
+        assert results[True] == pytest.approx(results[False], abs=0.02)
+
+    def test_df_reduces_transferred_entries(self, small_vectors, small_corpus, small_queries):
+        vectors, _ = small_vectors
+        transferred = {}
+        for df in (True, False):
+            device = ReisDevice(
+                tiny_config(f"DFT-{df}"),
+                flags=OptFlags(distance_filtering=df),
+            )
+            db_id = device.ivf_deploy("t", vectors, nlist=SMALL_NLIST, corpus=small_corpus, seed=0)
+            batch = device.ivf_search(db_id, small_queries, k=10, nprobe=SMALL_NLIST)
+            transferred[df] = sum(r.stats.entries_transferred for r in batch)
+        assert transferred[True] < transferred[False]
+
+    def test_retry_counter_rare(self, deployed_device, small_queries):
+        device, db_id = deployed_device
+        db = device.database(db_id)
+        retries = sum(
+            device.engine.search(db, q, k=10, nprobe=2).stats.filter_retries
+            for q in small_queries
+        )
+        assert retries <= len(small_queries) // 4
+
+
+class TestNoHardwareModificationConstraint:
+    def test_engine_uses_only_commodity_die_commands(self, deployed_device, small_queries):
+        """Every flash-level operation must be one of the Table-2 commands
+        plus the standard page read -- no MAC units anywhere."""
+        from repro.core.commands import FlashOp
+
+        device, db_id = deployed_device
+        db = device.database(db_id)
+        device.engine.search(db, small_queries[0], k=5, nprobe=2)
+        seen = set()
+        for interface in device.engine._die_interfaces.values():
+            seen.update(interface.trace.counts)
+        allowed = {
+            FlashOp.READ_PAGE,
+            FlashOp.IBC,
+            FlashOp.XOR,
+            FlashOp.GEN_DIST,
+            FlashOp.PASS_FAIL,
+            FlashOp.RD_TTL,
+        }
+        assert seen <= allowed
+        assert FlashOp.XOR in seen
+        assert FlashOp.GEN_DIST in seen
+
+
+class TestOptimizationFlags:
+    def _qps(self, flags, small_vectors, small_corpus, small_queries):
+        vectors, _ = small_vectors
+        device = ReisDevice(tiny_config(flags.label()), flags=flags)
+        db_id = device.ivf_deploy("t", vectors, nlist=SMALL_NLIST, corpus=small_corpus, seed=0)
+        batch = device.ivf_search(db_id, small_queries[:6], k=10, nprobe=4)
+        return batch.qps
+
+    def test_each_optimization_helps_or_is_neutral(
+        self, small_vectors, small_corpus, small_queries
+    ):
+        steps = [
+            NO_OPT,
+            OptFlags(True, False, False),
+            OptFlags(True, True, False),
+            OptFlags(True, True, True),
+        ]
+        qps = [self._qps(f, small_vectors, small_corpus, small_queries) for f in steps]
+        for slower, faster in zip(qps, qps[1:]):
+            assert faster >= slower * 0.99  # allow float noise
+
+    def test_flag_labels(self):
+        assert NO_OPT.label() == "NO-OPT"
+        assert OptFlags(True, True, True).label() == "DF+PL+MPIBC"
+        assert OptFlags(True, False, False).label() == "DF"
+
+
+class TestMetadataFiltering:
+    def test_only_tagged_results_returned(self, small_vectors, small_corpus, small_queries):
+        vectors, labels = small_vectors
+        tags = (labels % 3).astype(np.uint32)
+        device = ReisDevice(tiny_config("META"))
+        db_id = device.ivf_deploy(
+            "meta", vectors, nlist=SMALL_NLIST, corpus=small_corpus,
+            metadata_tags=tags, seed=0,
+        )
+        batch = device.ivf_search(
+            db_id, small_queries[:4], k=5, nprobe=SMALL_NLIST, metadata_filter=1
+        )
+        for result in batch:
+            for original in result.ids:
+                assert tags[int(original)] == 1
+
+    def test_filtered_entries_never_cross_channel(self, small_vectors, small_corpus, small_queries):
+        vectors, labels = small_vectors
+        tags = (labels % 2).astype(np.uint32)
+        device = ReisDevice(tiny_config("META2"), flags=NO_OPT)
+        db_id = device.ivf_deploy(
+            "meta", vectors, nlist=SMALL_NLIST, corpus=small_corpus,
+            metadata_tags=tags, seed=0,
+        )
+        plain = device.ivf_search(db_id, small_queries[:2], k=5, nprobe=SMALL_NLIST)
+        tagged = device.ivf_search(
+            db_id, small_queries[:2], k=5, nprobe=SMALL_NLIST, metadata_filter=0
+        )
+        assert sum(r.stats.entries_transferred for r in tagged) < sum(
+            r.stats.entries_transferred for r in plain
+        )

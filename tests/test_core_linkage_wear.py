@@ -1,0 +1,127 @@
+"""Tests for the Sec. 7.2 physical-linkage alternative and wear leveling."""
+
+import numpy as np
+import pytest
+
+from repro.core.linkage import PhysicalLinkageDirectory
+from repro.nand.array import FlashArray
+from repro.nand.geometry import FlashGeometry, PhysicalPageAddress
+from repro.ssd.allocation import SequentialAllocator
+from repro.ssd.ftl import PageLevelFtl
+from repro.ssd.wear import WearLeveler
+
+GEOMETRY = FlashGeometry(
+    channels=1,
+    chips_per_channel=1,
+    dies_per_chip=1,
+    planes_per_die=2,
+    blocks_per_plane=4,
+    pages_per_block=4,
+    page_bytes=1024,
+    oob_bytes=64,
+    subpage_bytes=256,
+)
+
+
+def ppa(block, page, plane=0):
+    return PhysicalPageAddress(0, 0, 0, plane, block, page)
+
+
+class TestPhysicalLinkageDirectory:
+    @pytest.fixture()
+    def directory(self):
+        d = PhysicalLinkageDirectory(GEOMETRY, embeddings_per_page=8)
+        for slot in range(24):
+            d.add_link(slot, ppa(0, slot % 4), subpage=slot % 4)
+        return d
+
+    def test_lookup(self, directory):
+        address, subpage = directory.chunk_of(5)
+        assert address == ppa(0, 1)
+        assert subpage == 1
+
+    def test_reverse_map(self, directory):
+        slots = directory.slots_pointing_at(ppa(0, 2))
+        assert slots == [2, 6, 10, 14, 18, 22]
+
+    def test_duplicate_slot_rejected(self, directory):
+        with pytest.raises(ValueError):
+            directory.add_link(0, ppa(1, 0))
+
+    def test_invalid_subpage_rejected(self):
+        d = PhysicalLinkageDirectory(GEOMETRY, 8)
+        with pytest.raises(ValueError):
+            d.add_link(0, ppa(0, 0), subpage=GEOMETRY.subpages_per_page)
+
+    def test_relink_updates_all_pointers(self, directory):
+        result = directory.relink(ppa(0, 2), ppa(3, 1))
+        assert result.links_updated == 6
+        assert directory.chunk_of(2)[0] == ppa(3, 1)
+        assert directory.slots_pointing_at(ppa(0, 2)) == []
+        assert directory.slots_pointing_at(ppa(3, 1)) == [2, 6, 10, 14, 18, 22]
+
+    def test_relink_counts_embedding_page_rewrites(self, directory):
+        """The paper's complexity argument: stale links force embedding
+        pages to be rewritten, since OOB is not independently writable."""
+        result = directory.relink(ppa(0, 2), ppa(3, 1))
+        # Slots 2,6 share embedding page 0; 10,14 page 1; 18,22 page 2.
+        assert result.embedding_pages_rewritten == 3
+
+    def test_relink_unreferenced_page_is_free(self, directory):
+        result = directory.relink(ppa(3, 3), ppa(2, 0))
+        assert result.links_updated == 0
+        assert result.embedding_pages_rewritten == 0
+
+    def test_dram_footprint_scales_with_links(self, directory):
+        assert directory.dram_bytes == 24 * 8
+
+    def test_update_amplification(self, directory):
+        assert directory.update_amplification(4) == 4.0
+        with pytest.raises(ValueError):
+            directory.update_amplification(0)
+
+
+class TestWearLevelingExecution:
+    def _worn_array(self):
+        array = FlashArray(GEOMETRY)
+        ftl = PageLevelFtl(array, SequentialAllocator(GEOMETRY))
+        # Cold data in block 0 of plane 0.
+        for lpa in range(3):
+            ftl.write(lpa, np.full(16, lpa + 1, dtype=np.uint8))
+        # Wear out block 1 of plane 1 (empty, hot).
+        hot_plane = array.plane_by_index(1)
+        for _ in range(200):
+            hot_plane.blocks[1].erase()
+        return array, ftl
+
+    def test_level_swaps_cold_into_hot(self):
+        array, ftl = self._worn_array()
+        leveler = WearLeveler(array, imbalance_threshold=50)
+        result = leveler.level(ftl)
+        assert result.swapped
+        assert result.pages_moved == 3
+        assert result.hot == (1, 1)
+        # Data is still reachable through the FTL at its new location.
+        for lpa in range(3):
+            new_ppa = ftl.translate(lpa)
+            golden, _ = array.plane(new_ppa).golden_page(new_ppa.block, new_ppa.page)
+            assert (golden[:16] == lpa + 1).all()
+        # The cold block was erased (its wear can now advance).
+        cold_plane, cold_block = result.cold
+        assert array.plane_by_index(cold_plane).blocks[cold_block].valid_page_count() == 0
+
+    def test_level_noop_when_balanced(self):
+        array, ftl = self._worn_array()
+        leveler = WearLeveler(array, imbalance_threshold=10_000)
+        result = leveler.level(ftl)
+        assert not result.swapped
+        assert result.pages_moved == 0
+
+    def test_level_without_ftl_moves_raw_data(self):
+        array, _ = self._worn_array()
+        leveler = WearLeveler(array, imbalance_threshold=50)
+        result = leveler.level()
+        assert result.swapped
+        hot_plane, hot_block = result.hot
+        moved = array.plane_by_index(hot_plane).blocks[hot_block]
+        assert moved.valid_page_count() == result.pages_moved

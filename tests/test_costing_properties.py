@@ -1,0 +1,142 @@
+"""Property tests for the cost-composition layer and analytic model.
+
+These pin the monotonicity and bounding properties every timing layer
+must satisfy, independent of calibration constants.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.analytic import AnalyticWorkload, ReisAnalyticModel, ivf_workload
+from repro.core.config import ALL_OPT, NO_OPT, REIS_SSD1, REIS_SSD2, OptFlags
+from repro.core.costing import PhaseCost, compose_phase, ibc_time, spread_pages
+from repro.nand.timing import NandTiming
+
+TIMING = NandTiming()
+
+phase_costs = st.builds(
+    lambda pages, channel, core: _make_cost(pages, channel, core),
+    st.integers(0, 5000),
+    st.floats(0, 1e8),
+    st.floats(0, 1e-2),
+)
+
+
+def _make_cost(pages, channel, core):
+    cost = PhaseCost(name="p")
+    if pages:
+        cost.pages_per_plane[0] = pages
+    if channel:
+        cost.add_channel_bytes(0, channel)
+    cost.core_seconds = core
+    return cost
+
+
+class TestComposeProperties:
+    @given(phase_costs)
+    @settings(max_examples=50)
+    def test_pipelined_never_exceeds_serial(self, cost):
+        serial, _ = compose_phase(cost, TIMING, NO_OPT)
+        piped, _ = compose_phase(cost, TIMING, ALL_OPT)
+        assert piped <= serial + 1e-12
+
+    @given(phase_costs)
+    @settings(max_examples=50)
+    def test_pipelined_at_least_bottleneck(self, cost):
+        piped, components = compose_phase(cost, TIMING, ALL_OPT)
+        assert piped >= max(components.values()) - 1e-12
+
+    @given(phase_costs, st.floats(0, 1e-9))
+    @settings(max_examples=50)
+    def test_ecc_only_adds_time(self, cost, rate):
+        base, _ = compose_phase(cost, TIMING, NO_OPT, 0.0)
+        cost.ecc_bytes = 1e6
+        with_ecc, _ = compose_phase(cost, TIMING, NO_OPT, rate)
+        assert with_ecc >= base - 1e-12
+
+    @given(st.integers(0, 10**7), st.integers(1, 512))
+    @settings(max_examples=50)
+    def test_spread_pages_conserves_total(self, total, planes):
+        cost = PhaseCost(name="p")
+        spread_pages(cost, total, planes)
+        assert cost.total_pages == total
+        if total:
+            assert cost.max_pages == -(-total // planes)
+            assert cost.max_pages * planes >= total
+
+
+class TestIbcProperties:
+    @given(st.sampled_from([REIS_SSD1, REIS_SSD2]), st.integers(8, 1024))
+    @settings(max_examples=30)
+    def test_mpibc_never_hurts(self, config, code_bytes):
+        on = ibc_time(config.geometry, config.timing, code_bytes, ALL_OPT)
+        off = ibc_time(
+            config.geometry, config.timing, code_bytes, OptFlags(True, True, False)
+        )
+        assert on <= off
+
+    @given(st.integers(8, 512), st.integers(16, 1024))
+    @settings(max_examples=30)
+    def test_monotone_in_code_size(self, small, delta):
+        a = ibc_time(REIS_SSD1.geometry, REIS_SSD1.timing, small, ALL_OPT)
+        b = ibc_time(REIS_SSD1.geometry, REIS_SSD1.timing, small + delta, ALL_OPT)
+        assert b >= a
+
+
+workloads = st.builds(
+    lambda n, dim, frac, pass_frac: ivf_workload(
+        n, dim * 8, nlist=1024, nprobe=max(1, int(frac * 1024)),
+        candidate_fraction=frac, filter_pass_fraction=pass_frac,
+    ),
+    st.integers(10_000, 100_000_000),
+    st.integers(8, 256),
+    st.floats(1e-4, 1.0),
+    st.floats(1e-3, 1.0),
+)
+
+
+class TestAnalyticProperties:
+    MODEL = ReisAnalyticModel(REIS_SSD1)
+
+    @given(workloads)
+    @settings(max_examples=30, deadline=None)
+    def test_latency_positive_and_finite(self, workload):
+        cost = self.MODEL.query_cost(workload)
+        assert 0 < cost.seconds < 3600
+
+    @given(workloads)
+    @settings(max_examples=30, deadline=None)
+    def test_energy_positive(self, workload):
+        assert self.MODEL.energy_per_query(workload) > 0
+
+    @given(
+        st.integers(1_000_000, 100_000_000),
+        st.floats(0.001, 0.2),
+        st.floats(1.5, 4.0),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_latency_monotone_in_candidates(self, n, fraction, factor):
+        low = ivf_workload(
+            n, 1024, nlist=16384,
+            nprobe=max(1, int(fraction * 16384)), candidate_fraction=fraction,
+        )
+        high_fraction = min(1.0, fraction * factor)
+        high = ivf_workload(
+            n, 1024, nlist=16384,
+            nprobe=max(1, int(high_fraction * 16384)),
+            candidate_fraction=high_fraction,
+        )
+        assert self.MODEL.query_cost(high).seconds >= self.MODEL.query_cost(low).seconds
+
+    @given(workloads)
+    @settings(max_examples=20, deadline=None)
+    def test_optimizations_never_hurt(self, workload):
+        base = ReisAnalyticModel(REIS_SSD1, NO_OPT).query_cost(workload).seconds
+        best = ReisAnalyticModel(REIS_SSD1, ALL_OPT).query_cost(workload).seconds
+        assert best <= base + 1e-12
+
+    @given(workloads)
+    @settings(max_examples=20, deadline=None)
+    def test_power_within_ssd_envelope(self, workload):
+        power = self.MODEL.average_power(workload)
+        assert 0.5 < power < 100.0

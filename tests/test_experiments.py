@@ -1,0 +1,226 @@
+"""Tests for the experiment runners: each must reproduce its paper claim's
+*shape* (who wins, monotonic trends, order of magnitude)."""
+
+import pytest
+
+from repro.experiments.fig02_03 import run_fig02, run_fig03
+from repro.experiments.fig07_08 import (
+    Fig7Row,
+    cpu_point,
+    reis_point,
+    run_fig07_08,
+    summarize_speedups,
+)
+from repro.experiments.fig09 import df_contribution, mpibc_contribution, run_fig09
+from repro.experiments.fig10 import run_fig10, summarize_fig10
+from repro.experiments.fig11 import run_fig11, summarize_fig11
+from repro.experiments.operating_points import (
+    OperatingPoint,
+    functional_dataset,
+    measure_operating_points,
+)
+from repro.experiments.report import format_markdown_table, format_table, geometric_mean
+from repro.experiments.sec32_spann import run_sec32_spann
+from repro.experiments.sec631 import run_sec631, slowdown_range
+from repro.experiments.table4 import end_to_end_speedups, run_table4
+
+FUNCTIONAL_N = 2048
+
+
+@pytest.fixture(scope="module")
+def fig7_rows():
+    return run_fig07_08(datasets=("nq", "wiki_en"), functional_entries=FUNCTIONAL_N)
+
+
+class TestOperatingPoints:
+    def test_targets_resolve_in_order(self):
+        points = measure_operating_points("nq", (0.98, 0.90), n_entries=FUNCTIONAL_N)
+        assert points[0].nprobe >= points[1].nprobe
+        assert points[0].candidate_fraction >= points[1].candidate_fraction
+
+    def test_measured_recall_near_target(self):
+        (point,) = measure_operating_points("nq", (0.90,), n_entries=FUNCTIONAL_N)
+        assert point.measured_recall >= 0.85
+
+    def test_paper_fraction_shrinks_with_cluster_count(self):
+        point = OperatingPoint(0.9, 4, 0.9, 0.1, 0.1, nlist_functional=48)
+        assert point.paper_fraction(16384) < point.candidate_fraction
+        assert point.paper_fraction(16) == point.candidate_fraction
+
+    def test_dataset_cache(self):
+        a = functional_dataset("nq", 256, 8)
+        b = functional_dataset("nq", 256, 8)
+        assert a is b
+
+
+class TestFig02_03:
+    def test_loading_dominates_wiki_en_flat(self):
+        (row,) = run_fig02(datasets=("wiki_en",))
+        # Paper: 84% of end-to-end time is dataset loading.
+        assert row.loading_fraction > 0.6
+
+    def test_bq_reduces_loading_but_not_enough(self):
+        (flat,) = run_fig02(datasets=("wiki_en",))
+        (bq,) = run_fig03(datasets=("wiki_en",))
+        assert bq.total_seconds < flat.total_seconds
+        assert bq.loading_fraction < flat.loading_fraction
+        # Paper: loading still dominates wiki_en at 67%.
+        assert bq.loading_fraction > 0.4
+
+    def test_hotpotqa_smaller_loading_share(self):
+        hotpot, wiki = run_fig02(datasets=("hotpotqa", "wiki_en"))
+        assert hotpot.loading_fraction < wiki.loading_fraction
+
+    def test_fractions_sum_to_one(self):
+        (row,) = run_fig03(datasets=("hotpotqa",))
+        assert sum(row.fractions.values()) == pytest.approx(1.0)
+
+
+class TestFig07_08:
+    def test_reis_beats_cpu_everywhere(self, fig7_rows):
+        for row in fig7_rows:
+            for name in row.reis:
+                assert row.normalized_qps(name) > 1.0
+
+    def test_reis_beats_no_io_on_average(self, fig7_rows):
+        """Paper: REIS outperforms the idealized No-I/O baseline by 1.8x on
+        average (individual points can be close -- the advantage comes from
+        internal parallelism, not from removing I/O alone)."""
+        ratios = [
+            row.normalized_qps(name) / row.normalized_qps("no_io")
+            for row in fig7_rows
+            for name in row.reis
+        ]
+        assert geometric_mean(ratios) > 1.0
+        wins = sum(1 for r in ratios if r > 1.0)
+        assert wins >= len(ratios) / 2
+
+    def test_ssd2_faster_than_ssd1(self, fig7_rows):
+        for row in fig7_rows:
+            assert row.reis["REIS-SSD2"].qps >= row.reis["REIS-SSD1"].qps * 0.95
+
+    def test_energy_gain_exceeds_speedup(self, fig7_rows):
+        """Fig. 8's gains stem from the SSD's much lower power draw."""
+        for row in fig7_rows:
+            for name in row.reis:
+                assert row.normalized_qps_per_watt(name) > row.normalized_qps(name)
+
+    def test_summary_bands(self, fig7_rows):
+        summary = summarize_speedups(fig7_rows)
+        assert summary["mean_speedup"] > 5.0  # paper: 13x
+        assert summary["max_speedup"] > summary["mean_speedup"]
+        assert summary["mean_energy_gain"] > summary["mean_speedup"]
+
+    def test_row_serialization(self, fig7_rows):
+        row_dict = fig7_rows[0].as_dict()
+        assert "dataset" in row_dict and "REIS-SSD1_norm_qps" in row_dict
+
+
+class TestTable4:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_table4(datasets=("wiki_en",))
+
+    def test_reis_has_no_dataset_loading(self, rows):
+        reis = next(r for r in rows if r.system == "REIS")
+        assert reis.fractions["dataset_loading"] == 0.0
+
+    def test_generation_becomes_bottleneck_for_reis(self, rows):
+        reis = next(r for r in rows if r.system == "REIS")
+        # Paper: generation is ~92% of end-to-end time under REIS.
+        assert reis.fractions["generation"] > 0.7
+
+    def test_reis_search_fraction_tiny(self, rows):
+        reis = next(r for r in rows if r.system == "REIS")
+        assert reis.fractions["search"] < 0.02  # paper: 0.02-0.15%
+
+    def test_end_to_end_speedup(self, rows):
+        speedups = end_to_end_speedups(rows)
+        # Paper: 3.24x for its "NQ" column (= Fig. 3's wiki_en breakdown).
+        assert speedups["wiki_en"] > 1.5
+
+
+class TestFig09:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_fig09(recalls=(0.94, 0.90), functional_entries=FUNCTIONAL_N)
+
+    def test_df_is_the_largest_contributor(self, rows):
+        df = df_contribution(rows)
+        for config, gain in df.items():
+            assert gain > 2.0  # paper: 4.7x / 5.7x average
+
+    def test_each_step_monotonic(self, rows):
+        for row in rows:
+            q = row.normalized_qps
+            assert q["+DF"] >= q["NO-OPT"]
+            assert q["+PL"] >= q["+DF"] * 0.99
+            assert q["+MPIBC"] >= q["+PL"] * 0.99
+
+    def test_mpibc_gain_larger_on_more_planes(self, rows):
+        gains = mpibc_contribution(rows)
+        # SSD2 has 4 planes/die vs SSD1's 2 (paper: 6% vs 26%).
+        assert gains["REIS-SSD2"] >= gains["REIS-SSD1"]
+
+
+class TestFig10:
+    @pytest.fixture(scope="class")
+    def summary(self):
+        return summarize_fig10(
+            run_fig10(datasets=("nq", "wiki_en"), functional_entries=FUNCTIONAL_N)
+        )
+
+    def test_bf_speedup_over_10x(self, summary):
+        assert summary["bf_min"] > 10.0  # paper: >10x across configurations
+
+    def test_speedup_grows_with_recall(self, summary):
+        assert summary["ivf_mean_at_0.98"] > summary["ivf_mean_at_0.90"]
+
+    def test_ice_esp_gap_smaller_than_ice(self, summary):
+        assert summary["bf_esp_mean"] < summary["bf_mean"]
+
+
+class TestFig11:
+    def test_reis_beats_ndsearch(self):
+        rows = run_fig11(functional_entries=FUNCTIONAL_N)
+        summary = summarize_fig11(rows)
+        assert summary["min_speedup"] > 1.0
+        assert summary["mean_speedup"] < 10.0  # same order as the paper's 1.7x
+
+
+class TestSec631:
+    def test_asic_slowdown_bands(self):
+        rows = run_sec631(
+            datasets=("wiki_en",), recall_targets=(0.94,), functional_entries=FUNCTIONAL_N
+        )
+        ranges = slowdown_range(rows)
+        for config, band in ranges.items():
+            assert band["min"] > 1.0  # the ASIC always loses
+
+
+class TestSec32Spann:
+    def test_modest_speedup_at_paper_point(self):
+        rows = run_sec32_spann(functional_entries=1024, fractions=(0.24,))
+        (row,) = rows
+        assert row.recall_at_target >= 0.9
+        assert row.speedup_at_target < 6.0  # paper: ~1.22x
+
+
+class TestReporting:
+    ROWS = [{"name": "a", "value": 1.5}, {"name": "b", "value": 2_000.0}]
+
+    def test_text_table(self):
+        table = format_table(self.ROWS, title="T")
+        assert "name" in table and "2,000" in table and table.startswith("T")
+
+    def test_markdown_table(self):
+        table = format_markdown_table(self.ROWS)
+        assert table.startswith("| name")
+        assert "| a |" in table
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([])
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 0.0

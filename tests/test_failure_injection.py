@@ -1,0 +1,162 @@
+"""Failure injection and degenerate-input tests.
+
+The functional simulator makes failure modes real: raw bit errors beyond
+ECC capability, DRAM exhaustion, capacity exhaustion, and degenerate
+database shapes all exercise actual error paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.api import ReisDevice
+from repro.core.config import tiny_config
+from repro.nand.cell import CellMode, RELIABILITY, ReliabilityProfile
+from repro.nand.ecc import EccConfig, EccEngine
+from repro.rag.embeddings import make_clustered_embeddings
+
+
+class TestEccBeyondCapability:
+    def test_uncorrectable_errors_are_reported_not_hidden(self):
+        engine = EccEngine(EccConfig(codeword_bytes=128, correctable_bits_per_codeword=4))
+        golden = np.zeros(256, dtype=np.uint8)
+        raw = golden.copy()
+        raw[:16] = 0xFF  # 128 flips in codeword 0: far beyond capability
+        raw[200] = 0x01  # 1 flip in codeword 1: correctable
+        out = engine.correct(raw, golden)
+        assert engine.uncorrectable_codewords == 1
+        assert engine.corrected_bits == 1
+        assert not np.array_equal(out[:128], golden[:128])  # still corrupt
+        assert np.array_equal(out[128:], golden[128:])  # fixed
+
+    def test_tlc_reads_survive_through_device_ecc(self):
+        """A TLC host read goes through ECC and returns clean data even
+        though the raw sense injects bit errors."""
+        ssd = tiny_config("ECC").make_ssd()
+        data = np.arange(ssd.spec.geometry.page_bytes, dtype=np.uint64) % 256
+        data = data.astype(np.uint8)
+        ssd.host_write(0, data)
+        for _ in range(5):
+            assert np.array_equal(ssd.host_read(0), data)
+        assert ssd.ecc.decoded_bytes > 0
+
+
+class TestCapacityExhaustion:
+    # 3000 entries need a >1-block-per-plane document region on the tiny
+    # 8-plane geometry, overflowing 3 blocks/plane mid-deployment.
+    def _too_big(self):
+        rng = np.random.default_rng(9)
+        return rng.standard_normal((3000, 32)).astype(np.float32)
+
+    def test_deploying_past_flash_capacity_fails_cleanly(self, small_vectors):
+        vectors, _ = small_vectors
+        device = ReisDevice(tiny_config("CAP").with_geometry(blocks_per_plane=3))
+        with pytest.raises(Exception) as excinfo:
+            device.db_deploy("too-big", self._too_big())
+        assert "region" in str(excinfo.value) or "pages" in str(excinfo.value)
+        # The failed attempt rolled back its reservation, so a database
+        # that fills the whole drive (one block per region) still fits.
+        db_id = device.db_deploy("small", vectors[:40], seed=0)
+        assert device.database(db_id).n_entries == 40
+
+    def test_failed_deploy_leaves_rdb_unregistered(self):
+        device = ReisDevice(tiny_config("CAP2").with_geometry(blocks_per_plane=3))
+        with pytest.raises(Exception):
+            device.db_deploy("too-big", self._too_big(), db_id=5)
+        assert 5 not in device.deployer.r_db
+        assert device.deployer._next_page_in_plane == 0  # fully rolled back
+
+
+class TestDegenerateDatabases:
+    def test_single_entry_database(self):
+        vectors = np.ones((1, 32), dtype=np.float32)
+        device = ReisDevice(tiny_config("ONE"))
+        db_id = device.db_deploy("one", vectors)
+        result = device.search(db_id, vectors[0], k=10)[0]
+        assert result.k == 1
+        assert result.ids.tolist() == [0]
+
+    def test_k_exceeding_database_size(self, small_vectors):
+        vectors, _ = small_vectors
+        device = ReisDevice(tiny_config("KBIG"))
+        db_id = device.db_deploy("s", vectors[:6], seed=0)
+        result = device.search(db_id, vectors[0], k=50)[0]
+        assert result.k == 6
+
+    def test_minimum_dimension(self):
+        rng = np.random.default_rng(0)
+        vectors = rng.standard_normal((50, 8)).astype(np.float32)
+        device = ReisDevice(tiny_config("DIM8"))
+        db_id = device.db_deploy("d8", vectors, seed=0)
+        result = device.search(db_id, vectors[3], k=3)[0]
+        assert 0 < result.k <= 3
+
+    def test_identical_vectors_tie_handling(self):
+        vectors = np.tile(
+            np.random.default_rng(1).standard_normal(32).astype(np.float32), (30, 1)
+        )
+        device = ReisDevice(tiny_config("TIES"))
+        db_id = device.db_deploy("t", vectors, seed=0)
+        result = device.search(db_id, vectors[0], k=5)[0]
+        assert result.k == 5
+        assert (result.distances == result.distances[0]).all()
+
+    def test_ivf_with_empty_clusters(self):
+        """k-means on tightly duplicated data can leave clusters empty;
+        deployment and search must tolerate zero-size R-IVF ranges."""
+        rng = np.random.default_rng(2)
+        base = rng.standard_normal((2, 32)).astype(np.float32)
+        vectors = np.vstack([base[0] + 1e-4 * rng.standard_normal((40, 32)),
+                             base[1] + 1e-4 * rng.standard_normal((40, 32))]).astype(np.float32)
+        device = ReisDevice(tiny_config("EMPTYC"))
+        db_id = device.ivf_deploy("e", vectors, nlist=6, seed=0)
+        db = device.database(db_id)
+        result = device.ivf_search(db_id, vectors[0], k=5, nprobe=db.n_clusters)[0]
+        assert result.k == 5
+
+
+class TestReliabilityContract:
+    def test_engine_scans_only_esp_blocks(self, deployed_device):
+        """The in-plane scan path must only ever sense ESP-SLC blocks --
+        anything else would compute on corrupted data without ECC."""
+        device, db_id = deployed_device
+        db = device.database(db_id)
+        geometry = device.ssd.spec.geometry
+        for region in (db.embedding_region, db.centroid_region):
+            for offset in range(min(region.n_pages, 4)):
+                ppa = region.region.translate(offset, geometry)
+                plane = device.ssd.array.plane(ppa)
+                assert plane.block_mode(ppa.block) is CellMode.SLC_ESP
+                assert not plane.requires_ecc(ppa.block)
+
+    def test_esp_profile_is_the_only_zero_ber_mode(self):
+        zero_ber = [m for m, p in RELIABILITY.items() if p.raw_ber == 0.0]
+        assert zero_ber == [CellMode.SLC_ESP]
+
+    def test_search_is_deterministic_despite_tlc_noise(self, small_vectors):
+        """INT8 rerank reads noisy TLC pages; ECC must make results
+        reproducible across repeated searches."""
+        vectors, _ = small_vectors
+        device = ReisDevice(tiny_config("DET"))
+        db_id = device.ivf_deploy("d", vectors, nlist=8, seed=0)
+        query = vectors[7]
+        first = device.ivf_search(db_id, query, k=10, nprobe=4)[0]
+        for _ in range(3):
+            again = device.ivf_search(db_id, query, k=10, nprobe=4)[0]
+            assert np.array_equal(first.ids, again.ids)
+            assert np.array_equal(first.distances, again.distances)
+
+
+class TestDramPressure:
+    def test_ttl_compaction_bounds_dram(self, small_vectors):
+        """Without per-iteration compaction a full-probe scan would
+        overflow the tiny device's DRAM; the bounded TTL must keep the
+        footprint under the shortlist-scaled cap."""
+        vectors, _ = small_vectors
+        device = ReisDevice(tiny_config("DRAM"))
+        db_id = device.ivf_deploy("d", vectors, nlist=8, seed=0)
+        device.ivf_search(db_id, vectors[0], k=10, nprobe=8)
+        dram = device.ssd.dram
+        ttl_bytes = dram.region_size("ttl-e")
+        entry = device.config.engine.fine_entry_bytes(vectors.shape[1] // 8)
+        cap = (2 * 40 * 10 + 300) * entry  # 2x shortlist + one page of slack
+        assert 0 < ttl_bytes <= cap

@@ -1,0 +1,196 @@
+"""Unit tests for host-side baselines (CPU-Real, No-I/O, I/O model) and
+the prior-work comparators (ICE, NDSearch, REIS-ASIC, SPANN)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.ice import IceConfig, IceModel
+from repro.baselines.ndsearch import DISKANN_POINT, HNSW_POINT, NdSearchModel
+from repro.baselines.reis_asic import ReisAsicModel
+from repro.baselines.spann import SpannConfig, SpannModel
+from repro.core.analytic import ReisAnalyticModel, brute_force_workload, ivf_workload
+from repro.core.config import REIS_SSD1, REIS_SSD2
+from repro.host.baseline import CpuRetriever, CpuRetrieverConfig, no_io_retriever
+from repro.host.cpu import CpuSearchModel, CpuSpec
+from repro.host.io import StorageIoModel
+from repro.rag.datasets import load_dataset
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_dataset("nq", n_entries=512, n_queries=8, with_corpus=False)
+
+
+class TestStorageIoModel:
+    def test_two_term_model(self):
+        io = StorageIoModel(effective_bandwidth_bps=1e9, per_entry_overhead_s=1e-6)
+        assert io.load_time(1e9, 0) == pytest.approx(1.0)
+        assert io.load_time(0, 1_000_000) == pytest.approx(1.0)
+        assert io.load_time(1e9, 1_000_000) == pytest.approx(2.0)
+
+    def test_raw_transfer_uses_link_bandwidth(self):
+        io = StorageIoModel(link_bandwidth_bps=7e9)
+        assert io.raw_transfer_time(7e9) == pytest.approx(1.0)
+
+    def test_negative_rejected(self):
+        io = StorageIoModel()
+        with pytest.raises(ValueError):
+            io.load_time(-1)
+        with pytest.raises(ValueError):
+            io.raw_transfer_time(-1)
+
+
+class TestCpuSearchModel:
+    MODEL = CpuSearchModel(CpuSpec())
+
+    def test_flat_scales_with_database(self):
+        assert self.MODEL.flat_fp32(2_000_000, 1024, 1) == pytest.approx(
+            2 * self.MODEL.flat_fp32(1_000_000, 1024, 1), rel=0.05
+        )
+
+    def test_binary_scan_cheaper_than_fp32(self):
+        fp32 = self.MODEL.flat_fp32(10_000_000, 1024, 1)
+        binary = self.MODEL.flat_binary(10_000_000, 128, 1, 400, 1024)
+        assert binary < fp32
+
+    def test_ivf_cheaper_than_flat(self):
+        flat = self.MODEL.flat_binary(10_000_000, 128, 1, 400, 1024)
+        ivf = self.MODEL.ivf_binary(100_000, 16384, 128, 1024, 1, 400)
+        assert ivf < flat
+
+    def test_energy(self):
+        assert self.MODEL.energy(2.0) == pytest.approx(2 * CpuSpec().retrieval_power_w)
+
+
+class TestCpuRetriever:
+    def test_loading_dominates_at_paper_scale(self, dataset):
+        retriever = CpuRetriever(dataset, CpuRetrieverConfig(algorithm="ivf_bq"))
+        load = retriever.dataset_load_seconds()
+        result = retriever.search_batch(dataset.queries, k=10)
+        assert load > result.search_seconds
+
+    def test_no_io_variant_skips_loading(self, dataset):
+        retriever = no_io_retriever(dataset)
+        assert retriever.dataset_load_seconds() == 0.0
+
+    def test_quantized_loading_smaller_than_fp32(self, dataset):
+        bq = CpuRetriever(dataset, CpuRetrieverConfig(algorithm="ivf_bq"))
+        fp32 = CpuRetriever(dataset, CpuRetrieverConfig(algorithm="ivf_fp32"))
+        assert bq.dataset_load_bytes() < fp32.dataset_load_bytes()
+
+    def test_functional_results_have_k_ids(self, dataset):
+        retriever = CpuRetriever(dataset, CpuRetrieverConfig(algorithm="flat_bq"))
+        result = retriever.search_batch(dataset.queries[:3], k=7)
+        assert all(ids.size == 7 for ids in result.ids)
+
+    def test_unknown_algorithm_rejected(self, dataset):
+        with pytest.raises(ValueError):
+            CpuRetriever(dataset, CpuRetrieverConfig(algorithm="bm25"))
+
+
+WORKLOADS = [
+    brute_force_workload(10_000_000, 1024),
+    ivf_workload(10_000_000, 1024, nlist=16384, nprobe=64, filter_pass_fraction=0.05),
+]
+
+
+class TestIceModel:
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    def test_reis_beats_ice(self, workload):
+        for config in (REIS_SSD1, REIS_SSD2):
+            reis = ReisAnalyticModel(config).qps(workload)
+            ice = IceModel(config).qps(workload)
+            assert reis > ice
+
+    def test_encoding_overhead_drives_the_gap(self):
+        workload = WORKLOADS[0]
+        ice = IceModel(REIS_SSD1).qps(workload)
+        ice_esp = IceModel(REIS_SSD1, IceConfig().with_esp()).qps(workload)
+        assert ice_esp > ice  # removing the 8x blow-up helps ICE
+
+    def test_ice_esp_still_slower_than_reis(self):
+        workload = WORKLOADS[1]
+        reis = ReisAnalyticModel(REIS_SSD1).qps(workload)
+        ice_esp = IceModel(REIS_SSD1, IceConfig().with_esp()).qps(workload)
+        assert reis > ice_esp
+
+    def test_bytes_per_embedding_factor(self):
+        assert IceConfig().bytes_per_embedding_factor == pytest.approx(4.0)
+        assert IceConfig().with_esp().bytes_per_embedding_factor == pytest.approx(0.5)
+
+
+class TestNdSearchModel:
+    def test_traversal_depth_grows_logarithmically(self):
+        assert HNSW_POINT.hops(1_000_000_000) > HNSW_POINT.hops(1_000_000)
+
+    def test_reis_beats_ndsearch_on_billion_scale(self):
+        workload = ivf_workload(
+            1_000_000_000, 128, nlist=262144, nprobe=256,
+            candidate_fraction=0.001, doc_bytes=0,
+        )
+        reis = ReisAnalyticModel(REIS_SSD2).qps(workload)
+        for point in (HNSW_POINT, DISKANN_POINT):
+            nd = NdSearchModel(REIS_SSD2, point).qps(1_000_000_000, 128)
+            assert reis > nd
+
+    def test_invalid_inputs(self):
+        model = NdSearchModel(REIS_SSD1)
+        with pytest.raises(ValueError):
+            model.query_report(0, 128)
+
+
+class TestReisAsic:
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    def test_asic_slower_than_reis(self, workload):
+        for config in (REIS_SSD1, REIS_SSD2):
+            reis = ReisAnalyticModel(config).qps(workload)
+            asic = ReisAsicModel(config).qps(workload)
+            assert reis > asic
+
+    def test_slowdown_from_channel_and_ecc(self):
+        """The ASIC pays full-page channel crossings + ECC for every
+        candidate page -- the data movement ESP lets REIS avoid."""
+        workload = WORKLOADS[1]
+        asic_cost = ReisAsicModel(REIS_SSD1).query_cost(workload)
+        reis_cost = ReisAnalyticModel(REIS_SSD1).query_cost(workload)
+        assert (
+            asic_cost.report.components["fine_transfer"]
+            > reis_cost.report.components["fine_transfer"]
+        )
+
+
+class TestSpann:
+    @pytest.fixture(scope="class")
+    def spann_dataset(self):
+        return load_dataset("hotpotqa", n_entries=600, n_queries=12, with_corpus=False)
+
+    def test_recall_grows_with_probes(self, spann_dataset):
+        model = SpannModel(spann_dataset, SpannConfig(centroid_fraction=0.1))
+        low = model.measure_recall(probe_lists=1)
+        high = model.measure_recall(probe_lists=16)
+        assert high >= low
+
+    def test_memory_footprint_scales(self, spann_dataset):
+        small = SpannModel(spann_dataset, SpannConfig(centroid_fraction=0.1))
+        large = SpannModel(spann_dataset, SpannConfig(centroid_fraction=0.3))
+        assert large.memory_bytes() == pytest.approx(3 * small.memory_bytes(), rel=0.05)
+
+    def test_speedup_at_recall_target_is_modest(self, spann_dataset):
+        """The Sec. 3.2 finding: reaching 0.92 Recall@10 requires probing
+        so many small posting lists that the speedup over exhaustive
+        search stays small (paper: ~22%)."""
+        model = SpannModel(spann_dataset, SpannConfig(centroid_fraction=0.24))
+        probes = model.min_probes_for_recall(0.92)
+        assert probes is not None
+        speedup = model.speedup_over_exhaustive(recall_target=0.92)
+        assert 0.5 < speedup < 4.0
+
+    def test_unreachable_target_returns_zero_speedup(self, spann_dataset):
+        model = SpannModel(spann_dataset, SpannConfig(centroid_fraction=0.02))
+        assert model.speedup_over_exhaustive(recall_target=1.01) == 0.0
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SpannConfig(centroid_fraction=0.0)
+        with pytest.raises(ValueError):
+            SpannConfig(probe_lists=0)

@@ -1,0 +1,94 @@
+"""Unit and property tests for flash geometry and physical addressing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.nand.geometry import (
+    FlashGeometry,
+    PhysicalPageAddress,
+    ppa_from_linear,
+)
+
+SMALL = FlashGeometry()  # 2 channels x 1 chip x 2 dies x 2 planes
+
+
+geometries = st.builds(
+    FlashGeometry,
+    channels=st.integers(1, 4),
+    chips_per_channel=st.integers(1, 2),
+    dies_per_chip=st.integers(1, 4),
+    planes_per_die=st.integers(1, 4),
+    blocks_per_plane=st.integers(1, 4),
+    pages_per_block=st.integers(1, 16),
+)
+
+
+class TestFlashGeometry:
+    def test_derived_counts(self):
+        g = SMALL
+        assert g.dies_per_channel == 2
+        assert g.total_dies == 4
+        assert g.total_planes == 8
+        assert g.pages_per_plane == 8 * 64
+        assert g.total_pages == 8 * 8 * 64
+
+    def test_capacity(self):
+        assert SMALL.capacity_bytes == SMALL.total_pages * SMALL.page_bytes
+
+    def test_subpages(self):
+        assert SMALL.subpages_per_page == 4
+
+    def test_rejects_nonpositive_dimension(self):
+        with pytest.raises(ValueError):
+            FlashGeometry(channels=0)
+
+    def test_rejects_unaligned_subpage(self):
+        with pytest.raises(ValueError):
+            FlashGeometry(page_bytes=16384, subpage_bytes=5000)
+
+
+class TestPhysicalPageAddress:
+    def test_validate_in_range(self):
+        PhysicalPageAddress(0, 0, 0, 0, 0, 0).validate(SMALL)
+        PhysicalPageAddress(1, 0, 1, 1, 7, 63).validate(SMALL)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [("channel", 2), ("chip", 1), ("die", 2), ("plane", 2), ("block", 8), ("page", 64)],
+    )
+    def test_validate_out_of_range(self, field, value):
+        kwargs = dict(channel=0, chip=0, die=0, plane=0, block=0, page=0)
+        kwargs[field] = value
+        with pytest.raises(ValueError):
+            PhysicalPageAddress(**kwargs).validate(SMALL)
+
+    def test_linear_zero(self):
+        ppa = PhysicalPageAddress(0, 0, 0, 0, 0, 0)
+        assert ppa.to_linear(SMALL) == 0
+
+    def test_plane_linear_orders_by_die_then_plane(self):
+        first_die_second_plane = PhysicalPageAddress(0, 0, 0, 1, 0, 0)
+        second_die = PhysicalPageAddress(0, 0, 1, 0, 0, 0)
+        assert first_die_second_plane.plane_linear(SMALL) == 1
+        assert second_die.plane_linear(SMALL) == 2
+
+    @given(geometries, st.integers(0, 10**6))
+    def test_linear_round_trip(self, geometry, raw):
+        linear = raw % geometry.total_pages
+        ppa = ppa_from_linear(linear, geometry)
+        ppa.validate(geometry)
+        assert ppa.to_linear(geometry) == linear
+
+    @given(geometries)
+    def test_linear_rejects_out_of_range(self, geometry):
+        with pytest.raises(ValueError):
+            ppa_from_linear(geometry.total_pages, geometry)
+        with pytest.raises(ValueError):
+            ppa_from_linear(-1, geometry)
+
+    @given(geometries, st.integers(0, 10**6), st.integers(0, 10**6))
+    def test_linearization_is_injective(self, geometry, raw_a, raw_b):
+        a = raw_a % geometry.total_pages
+        b = raw_b % geometry.total_pages
+        if a != b:
+            assert ppa_from_linear(a, geometry) != ppa_from_linear(b, geometry)

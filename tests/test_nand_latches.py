@@ -1,0 +1,151 @@
+"""Unit and property tests for the page-buffer latches and peripheral logic.
+
+These circuits are the entire compute substrate REIS is allowed to use
+(no-hardware-modification constraint), so their semantics are load-bearing:
+XOR between latches + segmented fail-bit counting must equal Hamming
+distance exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.nand.latches import FailBitCounter, PageBuffer, PassFailChecker, popcount_u8
+
+PAGE = 512
+OOB = 64
+
+
+@pytest.fixture()
+def buffer():
+    return PageBuffer(PAGE, OOB)
+
+
+bytes_arrays = st.binary(min_size=1, max_size=PAGE).map(
+    lambda b: np.frombuffer(b, dtype=np.uint8).copy()
+)
+
+
+class TestPopcount:
+    @given(bytes_arrays)
+    def test_matches_numpy_unpackbits(self, data):
+        assert popcount_u8(data) == int(np.unpackbits(data).sum())
+
+    def test_empty(self):
+        assert popcount_u8(np.zeros(0, dtype=np.uint8)) == 0
+
+    def test_all_ones(self):
+        assert popcount_u8(np.full(10, 0xFF, dtype=np.uint8)) == 80
+
+
+class TestPageBuffer:
+    def test_load_sensing_keeps_oob(self, buffer):
+        data = np.arange(PAGE, dtype=np.uint8)
+        oob = np.arange(OOB, dtype=np.uint8)
+        buffer.load_sensing(data, oob)
+        assert np.array_equal(buffer.sensing, data)
+        assert np.array_equal(buffer.oob, oob)
+
+    def test_load_sensing_clears_stale_bytes(self, buffer):
+        buffer.load_sensing(np.full(PAGE, 7, dtype=np.uint8), np.zeros(OOB, np.uint8))
+        buffer.load_sensing(np.full(10, 9, dtype=np.uint8), np.zeros(OOB, np.uint8))
+        assert (buffer.sensing[10:] == 0).all()
+
+    def test_load_cache_rejects_oversize(self, buffer):
+        with pytest.raises(ValueError):
+            buffer.load_cache(np.zeros(PAGE + 1, dtype=np.uint8))
+
+    def test_copy_between_latches(self, buffer):
+        buffer.load_cache(np.full(PAGE, 3, dtype=np.uint8))
+        buffer.copy("cache", "data")
+        assert np.array_equal(buffer.data, buffer.cache)
+
+    def test_unknown_latch_rejected(self, buffer):
+        with pytest.raises(ValueError):
+            buffer.copy("cache", "nonsense")
+
+    @given(bytes_arrays, bytes_arrays)
+    @settings(max_examples=25)
+    def test_xor_is_bitwise_difference(self, a, b):
+        buffer = PageBuffer(PAGE, OOB)
+        pad_a = np.zeros(PAGE, dtype=np.uint8)
+        pad_a[: a.size] = a
+        pad_b = np.zeros(PAGE, dtype=np.uint8)
+        pad_b[: b.size] = b
+        buffer.load_cache(pad_a)
+        buffer.load_sensing(pad_b, np.zeros(OOB, dtype=np.uint8))
+        buffer.xor("cache", "sensing", "data")
+        assert np.array_equal(buffer.data, pad_a ^ pad_b)
+
+
+class TestFailBitCounter:
+    def test_segment_counts_equal_hamming(self, buffer):
+        # 4 segments of 8 bytes with known popcounts.
+        segments = np.zeros(PAGE, dtype=np.uint8)
+        segments[0:8] = 0xFF  # 64 ones
+        segments[8:16] = 0x01  # 8 ones
+        buffer.load_sensing(segments, np.zeros(OOB, dtype=np.uint8))
+        buffer.copy("sensing", "data")
+        counter = FailBitCounter(buffer)
+        counts = counter.count_segments(8, 4)
+        assert counts == [64, 8, 0, 0]
+
+    def test_count_all(self, buffer):
+        data = np.full(PAGE, 0x0F, dtype=np.uint8)
+        buffer.load_sensing(data, np.zeros(OOB, dtype=np.uint8))
+        buffer.copy("sensing", "data")
+        assert FailBitCounter(buffer).count_all() == PAGE * 4
+
+    def test_rejects_segments_beyond_page(self, buffer):
+        counter = FailBitCounter(buffer)
+        with pytest.raises(ValueError):
+            counter.count_segments(PAGE, 2)
+
+    def test_rejects_nonpositive(self, buffer):
+        counter = FailBitCounter(buffer)
+        with pytest.raises(ValueError):
+            counter.count_segments(0, 1)
+        with pytest.raises(ValueError):
+            counter.count_segments(8, 0)
+
+    def test_tracks_invocations(self, buffer):
+        counter = FailBitCounter(buffer)
+        counter.count_all()
+        counter.count_segments(8, 2)
+        assert counter.invocations == 2
+
+    @given(st.integers(1, 16), st.integers(1, 16), st.data())
+    @settings(max_examples=25)
+    def test_segment_counts_match_manual_popcount(self, seg_bytes, n_segments, data):
+        if seg_bytes * n_segments > PAGE:
+            return
+        payload = np.frombuffer(
+            data.draw(st.binary(min_size=PAGE, max_size=PAGE)), dtype=np.uint8
+        ).copy()
+        buffer = PageBuffer(PAGE, OOB)
+        buffer.load_sensing(payload, np.zeros(OOB, dtype=np.uint8))
+        buffer.copy("sensing", "data")
+        counts = FailBitCounter(buffer).count_segments(seg_bytes, n_segments)
+        view = payload[: seg_bytes * n_segments].reshape(n_segments, seg_bytes)
+        expected = [int(np.unpackbits(row).sum()) for row in view]
+        assert counts == expected
+
+
+class TestPassFailChecker:
+    def test_keeps_strictly_below_threshold(self):
+        checker = PassFailChecker()
+        assert checker.filter_below([5, 1, 9, 3], threshold=5) == [1, 3]
+
+    def test_threshold_is_exclusive(self):
+        assert PassFailChecker().filter_below([5], threshold=5) == []
+
+    def test_empty_input(self):
+        assert PassFailChecker().filter_below([], threshold=10) == []
+
+    @given(st.lists(st.integers(0, 100), max_size=50), st.integers(0, 100))
+    def test_filter_is_order_preserving_subset(self, values, threshold):
+        kept = PassFailChecker().filter_below(values, threshold)
+        assert kept == sorted(kept)
+        assert all(values[i] < threshold for i in kept)
+        passing = sum(1 for v in values if v < threshold)
+        assert len(kept) == passing

@@ -1,0 +1,217 @@
+"""Unit tests for the RAG substrate: documents, embeddings, datasets, pipeline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.rag.datasets import PRESETS, DatasetSpec, load_dataset
+from repro.rag.documents import Corpus, DocumentChunk, chunk_text, synthetic_chunk
+from repro.rag.embeddings import (
+    SyntheticEmbeddingModel,
+    make_clustered_embeddings,
+    make_queries,
+)
+from repro.rag.generation import EmbeddingModelLatency, GenerationModel
+from repro.rag.pipeline import RagPipeline, RetrievalResult, STAGES
+
+
+class TestDocumentChunk:
+    def test_encode_decode_roundtrip(self):
+        chunk = DocumentChunk(chunk_id=3, text="hello world")
+        assert DocumentChunk.decode_bytes(chunk.encode_bytes(64)) == "hello world"
+
+    def test_encode_truncates(self):
+        chunk = DocumentChunk(chunk_id=0, text="abcdef")
+        assert DocumentChunk.decode_bytes(chunk.encode_bytes(3)) == "abc"
+
+    @given(st.text(alphabet=st.characters(codec="ascii", exclude_characters="\x00"), max_size=50))
+    @settings(max_examples=30)
+    def test_roundtrip_property(self, text):
+        chunk = DocumentChunk(chunk_id=0, text=text)
+        padded = chunk.encode_bytes(128)
+        assert DocumentChunk.decode_bytes(padded) == text.rstrip("\x00")
+
+
+class TestChunking:
+    def test_no_overlap(self):
+        assert chunk_text("abcdefgh", 3) == ["abc", "def", "gh"]
+
+    def test_with_overlap(self):
+        chunks = chunk_text("abcdefgh", 4, overlap_chars=2)
+        assert chunks[0] == "abcd"
+        assert chunks[1][:2] == chunks[0][2:]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chunk_text("abc", 0)
+        with pytest.raises(ValueError):
+            chunk_text("abc", 3, overlap_chars=3)
+
+    @given(
+        st.text(min_size=1, max_size=200),
+        st.integers(1, 50),
+    )
+    @settings(max_examples=30)
+    def test_chunks_cover_text(self, text, size):
+        chunks = chunk_text(text, size)
+        assert "".join(chunks) == text  # zero overlap reconstructs exactly
+
+
+class TestCorpus:
+    def test_synthetic_corpus_addressable(self):
+        corpus = Corpus.synthetic(10, list(range(10)), "t")
+        assert len(corpus) == 10
+        assert corpus[3].chunk_id == 3
+        assert "topic 3" in corpus[3].text
+
+    def test_duplicate_ids_rejected(self):
+        chunk = synthetic_chunk(0, 0, "t")
+        with pytest.raises(ValueError):
+            Corpus([chunk, chunk])
+
+    def test_topic_count_mismatch(self):
+        with pytest.raises(ValueError):
+            Corpus.synthetic(3, [0], "t")
+
+
+class TestEmbeddingGenerator:
+    def test_unit_norm(self):
+        vectors, _ = make_clustered_embeddings(100, 64, 5, seed=0)
+        norms = np.linalg.norm(vectors, axis=1)
+        np.testing.assert_allclose(norms, 1.0, rtol=1e-5)
+
+    def test_cluster_structure_is_dimension_independent(self):
+        """The fix behind realistic BQ recall: within-cluster distance must
+        not blow up with dimensionality."""
+        for dim in (64, 512):
+            vectors, labels = make_clustered_embeddings(200, dim, 4, seed=1)
+            within = []
+            for c in range(4):
+                members = vectors[labels == c]
+                if members.shape[0] > 1:
+                    within.append(
+                        np.linalg.norm(members[0] - members[1])
+                    )
+            assert np.mean(within) < 1.0  # clusters stay tight at high dim
+
+    def test_deterministic(self):
+        a, _ = make_clustered_embeddings(50, 32, 4, seed=7)
+        b, _ = make_clustered_embeddings(50, 32, 4, seed=7)
+        assert np.array_equal(a, b)
+
+    def test_queries_near_sources(self):
+        vectors, _ = make_clustered_embeddings(200, 64, 4, seed=2)
+        queries = make_queries(vectors, 10, noise_std=0.1, seed=3)
+        d = ((queries[:, None, :] - vectors[None, :, :]) ** 2).sum(axis=2)
+        assert np.median(d.min(axis=1)) < 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_clustered_embeddings(0, 8, 2)
+
+
+class TestSyntheticEmbeddingModel:
+    def test_same_topic_texts_are_close(self):
+        model = SyntheticEmbeddingModel(dim=64, n_topics=8)
+        a = model.encode("tell me about topic 3")
+        b = model.encode("more facts on 3 please")
+        c = model.encode("what about topic 7")
+        assert np.dot(a, b) > np.dot(a, c)
+
+    def test_encodings_are_unit_norm(self):
+        model = SyntheticEmbeddingModel(dim=64)
+        v = model.encode("anything at all")
+        assert np.linalg.norm(v) == pytest.approx(1.0, rel=1e-5)
+
+
+class TestDatasetPresets:
+    def test_all_presets_load(self):
+        for name in PRESETS:
+            dataset = load_dataset(name, n_entries=64, n_queries=4, with_corpus=False)
+            assert dataset.n == 64
+            assert dataset.ground_truth.shape == (4, 10)
+
+    def test_paper_entry_counts(self):
+        assert PRESETS["hotpotqa"].paper_entries == 5_233_329
+        assert PRESETS["wiki_en"].paper_entries == 41_500_000
+        assert PRESETS["sift1b"].paper_entries == 1_000_000_000
+
+    def test_byte_accounting(self):
+        spec = PRESETS["wiki_en"]
+        assert spec.paper_embedding_bytes_bq * 32 == spec.paper_embedding_bytes_fp32
+        assert spec.paper_embedding_bytes_int8 * 4 == spec.paper_embedding_bytes_fp32
+        # The paper reports ~9GB of documents for wiki_en.
+        assert 8e9 < spec.paper_doc_bytes < 10e9
+
+    def test_unknown_preset(self):
+        with pytest.raises(KeyError):
+            load_dataset("nope")
+
+    def test_corpus_aligned_with_labels(self):
+        dataset = load_dataset("nq", n_entries=64, n_queries=4)
+        assert len(dataset.corpus) == 64
+        for i in (0, 5):
+            assert f"topic {dataset.labels[i]}" in dataset.corpus[i].text
+
+    def test_functional_nlist_scales(self):
+        small = load_dataset("nq", n_entries=256, n_queries=2, with_corpus=False)
+        big = load_dataset("nq", n_entries=2048, n_queries=2, with_corpus=False)
+        assert big.functional_nlist() >= small.functional_nlist()
+
+
+class _StubRetriever:
+    def __init__(self, load_s=1.0, search_s=0.5):
+        self.load_s = load_s
+        self.search_s = search_s
+
+    def dataset_load_seconds(self):
+        return self.load_s
+
+    def search_batch(self, queries, k):
+        ids = [np.arange(k, dtype=np.int64) for _ in range(queries.shape[0])]
+        return RetrievalResult(ids=ids, search_seconds=self.search_s)
+
+
+class TestRagPipeline:
+    def test_stage_breakdown_sums_to_total(self):
+        pipeline = RagPipeline(_StubRetriever())
+        report = pipeline.run(np.zeros((4, 8), dtype=np.float32), k=3)
+        assert report.total_seconds == pytest.approx(sum(report.stage_seconds.values()))
+        assert set(report.stage_seconds) == set(STAGES)
+        assert sum(report.breakdown().values()) == pytest.approx(1.0)
+
+    def test_loading_fraction_reflects_retriever(self):
+        slow_loader = RagPipeline(_StubRetriever(load_s=100.0)).run(
+            np.zeros((2, 8), dtype=np.float32)
+        )
+        no_loader = RagPipeline(_StubRetriever(load_s=0.0)).run(
+            np.zeros((2, 8), dtype=np.float32)
+        )
+        assert slow_loader.fraction("dataset_loading") > 0.9
+        assert no_loader.fraction("dataset_loading") == 0.0
+
+    def test_generation_scales_with_queries(self):
+        pipeline = RagPipeline(_StubRetriever())
+        small = pipeline.run(np.zeros((1, 8), dtype=np.float32))
+        large = pipeline.run(np.zeros((10, 8), dtype=np.float32))
+        assert (
+            large.stage_seconds["generation"]
+            == pytest.approx(10 * small.stage_seconds["generation"])
+        )
+
+    def test_retrieved_ids_propagate(self):
+        report = RagPipeline(_StubRetriever()).run(np.zeros((3, 8), dtype=np.float32), k=5)
+        assert len(report.retrieved_ids) == 3
+        assert report.retrieved_ids[0].size == 5
+
+
+class TestGenerationModels:
+    def test_generation_cites_retrieved_chunks(self):
+        model = GenerationModel()
+        chunks = [synthetic_chunk(i, 0, "t") for i in range(3)]
+        answer = model.generate("what is topic 0?", chunks)
+        assert "#0" in answer and "#1" in answer
+
+    def test_latency_envelopes(self):
+        assert GenerationModel().generation_time(100) == pytest.approx(17.45, rel=0.01)
+        assert EmbeddingModelLatency().encoding_time(0) == 0.0

@@ -1,0 +1,119 @@
+"""Unit tests for the assembled SSD device and the NVMe command layer."""
+
+import numpy as np
+import pytest
+
+from repro.core.config import REIS_SSD1, REIS_SSD2, tiny_config
+from repro.ssd.nvme import NvmeCommand, NvmeCompletion, NvmeInterface, NvmeOpcode
+
+
+@pytest.fixture()
+def ssd():
+    return tiny_config().make_ssd()
+
+
+class TestSimulatedSsd:
+    def test_host_write_read_roundtrip(self, ssd):
+        data = np.full(ssd.spec.geometry.page_bytes, 0x3C, dtype=np.uint8)
+        ssd.host_write(5, data)
+        read = ssd.host_read(5)
+        # The FTL path runs ECC for TLC blocks, so data comes back clean.
+        assert np.array_equal(read, data)
+
+    def test_rag_mode_blocks_host_io(self, ssd):
+        ssd.enter_rag_mode()
+        with pytest.raises(RuntimeError):
+            ssd.host_write(0, np.zeros(8, dtype=np.uint8))
+        with pytest.raises(RuntimeError):
+            ssd.host_read(0)
+        ssd.exit_rag_mode()
+        ssd.host_write(0, np.zeros(8, dtype=np.uint8))
+
+    def test_mode_switch_costs_ftl_swap_time(self, ssd):
+        cost = ssd.enter_rag_mode()
+        assert cost > 0
+        assert ssd.enter_rag_mode() == 0.0  # already in RAG mode
+        assert ssd.exit_rag_mode() > 0
+
+    def test_dram_provisioned_at_point_one_percent(self, ssd):
+        capacity = ssd.spec.geometry.capacity_bytes
+        assert ssd.dram.capacity_bytes == max(1, capacity // 1000)
+
+    def test_internal_bandwidth(self):
+        spec1 = REIS_SSD1
+        assert spec1.internal_bandwidth_bps == pytest.approx(8 * 1.2e9)
+        assert REIS_SSD2.internal_bandwidth_bps == pytest.approx(16 * 2.0e9)
+
+    def test_average_power_positive(self, ssd):
+        ssd.host_write(0, np.zeros(8, dtype=np.uint8))
+        assert ssd.average_power(1.0) > 0
+
+
+class TestTable3Configurations:
+    def test_ssd1_topology(self):
+        g = REIS_SSD1.geometry
+        assert g.channels == 8
+        assert g.dies_per_channel == 16
+        assert g.planes_per_die == 2
+        assert g.total_planes == 256
+
+    def test_ssd2_topology(self):
+        g = REIS_SSD2.geometry
+        assert g.channels == 16
+        assert g.dies_per_channel == 8
+        assert g.planes_per_die == 4
+        assert g.total_planes == 512
+
+    def test_esp_read_latency_matches_table3(self):
+        assert REIS_SSD1.timing.t_read_slc_esp_s == pytest.approx(22.5e-6)
+        assert REIS_SSD2.timing.t_read_slc_esp_s == pytest.approx(22.5e-6)
+
+    def test_four_cortex_class_cores(self):
+        assert REIS_SSD1.n_cores == 4
+        assert REIS_SSD2.n_cores == 4
+
+    def test_geometry_override_helper(self):
+        smaller = REIS_SSD1.with_geometry(blocks_per_plane=2)
+        assert smaller.geometry.blocks_per_plane == 2
+        assert smaller.geometry.channels == 8  # everything else preserved
+
+
+class TestNvmeInterface:
+    def test_dispatch_to_handler(self):
+        nvme = NvmeInterface()
+        nvme.register(NvmeOpcode.READ, lambda cmd: cmd.params["lpa"] * 2)
+        completion = nvme.submit(NvmeCommand(NvmeOpcode.READ, {"lpa": 21}))
+        assert completion.ok
+        assert completion.result == 42
+
+    def test_unknown_opcode(self):
+        nvme = NvmeInterface()
+        completion = nvme.submit(NvmeCommand(NvmeOpcode.FLUSH))
+        assert not completion.ok
+        assert completion.status == NvmeInterface.STATUS_INVALID_OPCODE
+
+    def test_handler_exception_becomes_error_status(self):
+        nvme = NvmeInterface()
+
+        def boom(cmd):
+            raise RuntimeError("device error")
+
+        nvme.register(NvmeOpcode.WRITE, boom)
+        completion = nvme.submit(NvmeCommand(NvmeOpcode.WRITE))
+        assert completion.status == NvmeInterface.STATUS_INTERNAL_ERROR
+        assert "device error" in completion.result
+
+    def test_vendor_specific_range(self):
+        assert NvmeOpcode.REIS_DB_DEPLOY.is_vendor_specific
+        assert NvmeOpcode.REIS_IVF_SEARCH.is_vendor_specific
+        assert not NvmeOpcode.READ.is_vendor_specific
+        # The spec reserves 80h-FFh for vendor commands (Sec. 4.4.1).
+        for opcode in NvmeOpcode:
+            if opcode.name.startswith("REIS_"):
+                assert 0x80 <= int(opcode) <= 0xFF
+
+    def test_submission_counter(self):
+        nvme = NvmeInterface()
+        nvme.submit(NvmeCommand(NvmeOpcode.FLUSH))
+        nvme.submit(NvmeCommand(NvmeOpcode.FLUSH))
+        assert nvme.submitted == 2
