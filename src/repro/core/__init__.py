@@ -12,6 +12,10 @@ retrieval system of Sec. 4:
 * :mod:`repro.core.registry` -- R-DB, R-IVF and the Temporal Top Lists.
 * :mod:`repro.core.commands` -- the NAND command-set extensions (Table 2).
 * :mod:`repro.core.engine` -- the in-storage ANNS engine (Sec. 4.3).
+* :mod:`repro.core.plan` -- composable query plans (the five-phase
+  schedule as data) and the sequential executor.
+* :mod:`repro.core.batch` -- the batched multi-query executor with
+  die/channel-occupancy costing.
 * :mod:`repro.core.costing` -- the shared latency-composition layer.
 * :mod:`repro.core.analytic` -- the paper-scale analytic twin.
 * :mod:`repro.core.api` -- the device API (Table 1) and NVMe wiring.
@@ -25,6 +29,7 @@ from repro.core.analytic import (
     ivf_workload,
 )
 from repro.core.api import BatchSearchResult, ReisDevice, ReisRetriever
+from repro.core.batch import BatchExecution, BatchExecutor, BatchStats
 from repro.core.config import (
     ALL_OPT,
     NO_OPT,
@@ -37,6 +42,17 @@ from repro.core.config import (
 )
 from repro.core.defrag import DefragmentationError, Defragmenter, DefragResult
 from repro.core.engine import InStorageAnnsEngine, ReisQueryResult, SearchStats
+from repro.core.plan import (
+    BroadcastStage,
+    CoarseStage,
+    DocumentStage,
+    FineStage,
+    PlanExecutor,
+    PlanStage,
+    QueryPlan,
+    RerankStage,
+    build_query_plan,
+)
 from repro.core.scheduler import DeviceScheduler, ScheduleAccounting
 from repro.core.layout import (
     CapacityError,
@@ -53,8 +69,20 @@ __all__ = [
     "REIS_SSD1",
     "REIS_SSD2",
     "AnalyticWorkload",
+    "BatchExecution",
+    "BatchExecutor",
     "BatchSearchResult",
+    "BatchStats",
+    "BroadcastStage",
     "CapacityError",
+    "CoarseStage",
+    "DocumentStage",
+    "FineStage",
+    "PlanExecutor",
+    "PlanStage",
+    "QueryPlan",
+    "RerankStage",
+    "build_query_plan",
     "DatabaseDeployer",
     "DefragResult",
     "DefragmentationError",

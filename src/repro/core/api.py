@@ -31,19 +31,43 @@ import numpy as np
 
 from repro.ann.ivf import IvfModel, build_ivf_model
 from repro.core.analytic import AnalyticWorkload, ReisAnalyticModel
+from repro.core.batch import BatchExecution, BatchStats
 from repro.core.config import OptFlags, ReisConfig, REIS_SSD1
 from repro.core.engine import InStorageAnnsEngine, ReisQueryResult
 from repro.core.layout import DatabaseDeployer, DeployedDatabase
 from repro.rag.documents import Corpus
 from repro.rag.pipeline import RetrievalResult
+from repro.sim.latency import LatencyReport
 from repro.ssd.nvme import NvmeCommand, NvmeCompletion, NvmeOpcode
 
 
 @dataclass
 class BatchSearchResult:
-    """Results of a ``Search``/``IVF_Search`` batch."""
+    """Results of a ``Search``/``IVF_Search`` batch.
+
+    Two time scales coexist:
+
+    * ``total_seconds`` -- the sum of the per-query solo latencies, i.e.
+      the time a device serving one query at a time would need.  This is
+      what the analytic model cross-validates against.
+    * ``wall_seconds`` -- the batch wall clock under the
+      :class:`~repro.core.batch.BatchExecutor` occupancy model (shared
+      senses, die/channel overlap).  ``qps`` is defined on this one; for
+      a batch served without the executor it falls back to
+      ``total_seconds``.
+    """
 
     results: List[ReisQueryResult]
+    batch_report: Optional[LatencyReport] = None
+    batch_stats: Optional[BatchStats] = None
+
+    @classmethod
+    def from_execution(cls, execution: BatchExecution) -> "BatchSearchResult":
+        return cls(
+            results=execution.results,
+            batch_report=execution.report,
+            batch_stats=execution.stats,
+        )
 
     @property
     def ids(self) -> List[np.ndarray]:
@@ -51,12 +75,42 @@ class BatchSearchResult:
 
     @property
     def total_seconds(self) -> float:
+        """Sum of solo latencies (the sequential serving time)."""
         return sum(r.latency.total_s for r in self.results)
 
     @property
+    def wall_seconds(self) -> float:
+        """Wall-clock time to drain the batch on the device."""
+        if self.batch_report is not None:
+            return self.batch_report.total_s
+        return self.total_seconds
+
+    @property
     def qps(self) -> float:
+        total = self.wall_seconds
+        return len(self.results) / total if total > 0 else float("inf")
+
+    @property
+    def sequential_qps(self) -> float:
+        """Throughput of the one-query-at-a-time schedule (for comparison)."""
         total = self.total_seconds
         return len(self.results) / total if total > 0 else float("inf")
+
+    def phase_seconds(self) -> Dict[str, float]:
+        """Wall-clock seconds per pipeline phase for the whole batch.
+
+        Keys are the phase names (``ibc``, ``coarse``, ``fine``,
+        ``rerank``, ``documents``, ``host``); values sum to
+        ``wall_seconds``.  Uses the batched composition when available,
+        otherwise aggregates the per-query solo reports.
+        """
+        if self.batch_report is not None:
+            return dict(self.batch_report.phases)
+        totals: Dict[str, float] = {}
+        for result in self.results:
+            for name, seconds in result.latency.phases.items():
+                totals[name] = totals.get(name, 0.0) + seconds
+        return totals
 
     def __len__(self) -> int:
         return len(self.results)
@@ -175,13 +229,13 @@ class ReisDevice:
     ) -> BatchSearchResult:
         """``Search(Q, Qid, Did, k)``: brute-force top-k for a query batch."""
         db = self.database(db_id)
-        results = self.engine.search_batch(
+        execution = self.engine.search_batch(
             db, queries, k,
             nprobe=None if not db.is_ivf else db.n_clusters,
             fetch_documents=fetch_documents,
             metadata_filter=metadata_filter,
         )
-        return BatchSearchResult(results)
+        return BatchSearchResult.from_execution(execution)
 
     def ivf_search(
         self,
@@ -206,12 +260,12 @@ class ReisDevice:
             raise ValueError(f"database {db_id} was deployed without IVF")
         if nprobe is None and recall_target is not None:
             nprobe = self.resolve_nprobe(db_id, recall_target)
-        results = self.engine.search_batch(
+        execution = self.engine.search_batch(
             db, queries, k, nprobe=nprobe,
             fetch_documents=fetch_documents,
             metadata_filter=metadata_filter,
         )
-        return BatchSearchResult(results)
+        return BatchSearchResult.from_execution(execution)
 
     def resolve_nprobe(self, db_id: int, recall_target: float) -> int:
         """Heuristic nprobe for a recall target.

@@ -1,0 +1,140 @@
+"""Batched multi-query serving: one device, many concurrent queries.
+
+The seed served batches as a sequential loop and charged each query as if
+the device were idle between them.  Real serving keeps a *resident batch*
+on the device: every die and channel works on whichever query has pages
+there, and queries that touch the same physical page share one sense (the
+page is latched once; the in-plane XOR + fail-bit count then runs once per
+broadcast query -- "one sense, N distance extractions").
+
+:class:`BatchExecutor` implements that model on top of the plan layer:
+
+* **Functional execution** stays per query, in plan order, so results are
+  bit-identical to the sequential path (the property the tests pin down).
+  This mirrors the hardware argument: reordering page service across
+  queries changes *when* a page is sensed, never *what* any query computes
+  from it.
+* **Cost composition** is joint: per-query :class:`PhaseCost` records
+  (which carry the identity of every sensed page) are merged by
+  :func:`~repro.core.costing.compose_batch_phase` into per-plane /
+  per-channel occupancies, so batched latency reflects overlap instead of
+  the sum of solo latencies.
+
+The per-query results keep their solo latency reports (useful for
+tail-latency analysis and for the analytic cross-validation tests); the
+batch-level wall clock lives in :class:`BatchExecution`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.costing import BatchPhaseBreakdown, PhaseCost, compose_batch_phase
+from repro.core.layout import DeployedDatabase
+from repro.core.plan import PlanExecutor, ReisQueryResult, build_query_plan
+from repro.sim.latency import LatencyReport
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
+    from repro.core.engine import InStorageAnnsEngine
+
+
+@dataclass
+class BatchStats:
+    """Device-level accounting for one served batch."""
+
+    n_queries: int = 0
+    phases: Dict[str, BatchPhaseBreakdown] = field(default_factory=dict)
+
+    @property
+    def total_senses(self) -> int:
+        """Page visits summed over every query (the sequential sense count)."""
+        return sum(b.total_senses for b in self.phases.values())
+
+    @property
+    def unique_senses(self) -> int:
+        """Page senses the device performs after cross-query amortization."""
+        return sum(b.unique_senses for b in self.phases.values())
+
+    @property
+    def senses_amortized(self) -> int:
+        return self.total_senses - self.unique_senses
+
+
+@dataclass
+class BatchExecution:
+    """A served batch: per-query results plus the batch-level wall clock."""
+
+    results: List[ReisQueryResult]
+    report: LatencyReport
+    stats: BatchStats
+
+    @property
+    def batch_seconds(self) -> float:
+        """Wall-clock time to drain the whole batch (overlapped model)."""
+        return self.report.total_s
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+
+class BatchExecutor:
+    """Serves a batch of queries concurrently against one device."""
+
+    def __init__(self, engine: "InStorageAnnsEngine") -> None:
+        self.engine = engine
+
+    def execute(
+        self,
+        db: DeployedDatabase,
+        queries: np.ndarray,
+        k: int = 10,
+        nprobe: Optional[int] = None,
+        fetch_documents: bool = True,
+        metadata_filter: Optional[int] = None,
+    ) -> BatchExecution:
+        """Build one plan per query, execute them, cost the batch jointly."""
+        engine = self.engine
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        executor = PlanExecutor(engine)
+
+        results: List[ReisQueryResult] = []
+        phase_costs: Dict[str, List[PhaseCost]] = {}
+        ibc_seconds = 0.0
+        host_seconds = 0.0
+        for query in queries:
+            plan = build_query_plan(
+                engine, db, query, k, nprobe, fetch_documents, metadata_filter
+            )
+            result, ctx = executor.execute(plan)
+            results.append(result)
+            ibc_seconds += ctx.ibc_seconds
+            host_seconds += ctx.host_seconds
+            for name, cost in ctx.phase_costs.items():
+                phase_costs.setdefault(name, []).append(cost)
+
+        ecc_rate = engine.ssd.ecc.decode_time(1)
+        report = LatencyReport()
+        report.add_component("ibc", ibc_seconds)
+        report.add_phase("ibc", ibc_seconds)
+        report.total_s += ibc_seconds
+        stats = BatchStats(n_queries=len(results))
+        for name, costs in phase_costs.items():
+            breakdown = compose_batch_phase(
+                costs, engine.timing, engine.flags, ecc_rate
+            )
+            stats.phases[name] = breakdown
+            report.total_s += breakdown.seconds
+            report.add_phase(name, breakdown.seconds)
+            for component, seconds in breakdown.components.items():
+                report.add_component(component, seconds)
+        if host_seconds:
+            report.add_component("host_transfer", host_seconds)
+            report.add_phase("host", host_seconds)
+            report.total_s += host_seconds
+        return BatchExecution(results=results, report=report, stats=stats)

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
@@ -75,13 +75,22 @@ class DieCommandInterface:
         self.trace.record(FlashOp.XOR)
         self.die.planes[plane].xor_cache_sensing()
 
-    def gen_dist(self, plane: int, code_bytes: int, n_segments: int) -> List[int]:
-        """GEN_DIST: per-embedding Hamming distances via the fail-bit counter."""
+    def gen_dist(self, plane: int, code_bytes: int, n_segments: int) -> np.ndarray:
+        """GEN_DIST: per-embedding Hamming distances via the fail-bit counter.
+
+        Returned as an ``int64`` vector so the engine's scan loop can mask
+        and gather slots without per-slot Python lists.
+        """
         self.trace.record(FlashOp.GEN_DIST)
         return self.die.planes[plane].segment_distances(code_bytes, n_segments)
 
-    def pass_fail(self, plane: int, distances: List[int], threshold: int) -> List[int]:
-        """Distance filtering with the program-verify comparator."""
+    def pass_fail(
+        self, plane: int, distances: Sequence[int], threshold: int
+    ) -> List[int]:
+        """Distance filtering with the program-verify comparator.
+
+        Returns the passing indices in ascending order.
+        """
         self.trace.record(FlashOp.PASS_FAIL)
         return self.die.planes[plane].filter_distances(distances, threshold)
 

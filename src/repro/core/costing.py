@@ -23,7 +23,7 @@ datasets), which is what lets tests cross-validate the two layers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.nand.geometry import FlashGeometry
 from repro.nand.timing import NandTiming
@@ -51,9 +51,16 @@ class PhaseCost:
     with_filter: bool = False  # pass/fail check per page
     ecc_bytes: float = 0.0  # bytes ECC-decoded on the controller
     total_pages_override: int = 0  # analytic: true total when spread evenly
+    # Identities of the sensed pages (global linear page index), per plane.
+    # The functional engine records them so the batch executor can amortize
+    # senses across queries that touch the same page; the analytic twin
+    # leaves them empty.
+    sensed_page_ids: Dict[int, List[int]] = field(default_factory=dict)
 
-    def add_page(self, plane_index: int, n: int = 1) -> None:
+    def add_page(self, plane_index: int, n: int = 1, page_id: Optional[int] = None) -> None:
         self.pages_per_plane[plane_index] = self.pages_per_plane.get(plane_index, 0) + n
+        if page_id is not None:
+            self.sensed_page_ids.setdefault(plane_index, []).append(page_id)
 
     def add_channel_bytes(self, channel: int, n_bytes: float) -> None:
         self.channel_bytes[channel] = self.channel_bytes.get(channel, 0.0) + n_bytes
@@ -146,6 +153,137 @@ def compose_phase(
     return total, components
 
 
+@dataclass
+class BatchPhaseBreakdown:
+    """Wall-clock cost of one phase executed for a whole batch.
+
+    Produced by :func:`compose_batch_phase`.  ``total_senses`` counts every
+    page visit any query in the batch made during the phase;
+    ``unique_senses`` counts the page senses the device actually performs
+    after amortizing visits to the same physical page across queries.
+    """
+
+    name: str
+    seconds: float
+    components: Dict[str, float]
+    unique_senses: int
+    total_senses: int
+
+    @property
+    def senses_amortized(self) -> int:
+        """Page senses saved by sharing one sense among N queries."""
+        return self.total_senses - self.unique_senses
+
+
+def compose_batch_phase(
+    costs: Sequence[PhaseCost],
+    timing: NandTiming,
+    flags: OptFlags,
+    ecc_decode_seconds_per_byte: float = 0.0,
+) -> BatchPhaseBreakdown:
+    """Compose one phase across a batch with die/channel occupancy.
+
+    The sequential model charges each query as if the device were idle
+    between queries: the phase time is ``sum over queries of (max per-plane
+    load)``.  With a resident batch the controller keeps every die and
+    channel busy, so the phase time is set by the *occupancy* of the
+    critical resource instead:
+
+    * **planes** -- each plane's busy time is its deduplicated sense count
+      plus one in-plane compute pass per visit (XOR + fail-bit count: the
+      latch logic must run once per broadcast query even on a shared
+      sense); planes work in parallel, so read time is the busiest plane.
+      Senses are shared **across queries only**: a page every query needs
+      once is sensed once, but a query that itself re-reads a page (the
+      filter-retry rescan, repeated document-slot reads) pays each of its
+      own senses -- those are temporally separated within that query's
+      execution, so the batch needs max-over-queries senses per page.
+    * **channels** -- TTL entries from all queries share the serial buses;
+      transfer time is the busiest channel's total byte load.
+    * **core** -- the single REIS core serializes every query's kernels.
+
+    With pipelining the stage classes overlap exactly as in
+    :func:`compose_phase`, with the pipeline-fill term amortized over the
+    batch's page iterations.  All costs must belong to the same phase (same
+    name, read mode and compute/filter settings).
+    """
+    if not costs:
+        raise ValueError("compose_batch_phase needs at least one phase cost")
+    first = costs[0]
+    for cost in costs[1:]:
+        if (
+            cost.name != first.name
+            or cost.read_mode != first.read_mode
+            or cost.with_compute != first.with_compute
+            or cost.with_filter != first.with_filter
+        ):
+            raise ValueError(
+                f"phase {cost.name!r} is not homogeneous with {first.name!r}"
+            )
+    sense_s = timing.read_time(first.read_mode)
+    compute_s = 0.0
+    if first.with_compute:
+        compute_s += timing.t_latch_xor_s + timing.t_bit_count_s
+    if first.with_filter:
+        compute_s += timing.t_pass_fail_s
+
+    plane_visits: Dict[int, int] = {}
+    plane_tracked: Dict[int, int] = {}
+    # plane -> page id -> senses the batch needs: the max number of times
+    # any single query senses that page (cross-query visits share; a
+    # query's own repeat visits do not).
+    plane_senses: Dict[int, Dict[int, int]] = {}
+    channel_load: Dict[int, float] = {}
+    core_s = 0.0
+    for cost in costs:
+        for plane, n in cost.pages_per_plane.items():
+            plane_visits[plane] = plane_visits.get(plane, 0) + n
+        for plane, ids in cost.sensed_page_ids.items():
+            plane_tracked[plane] = plane_tracked.get(plane, 0) + len(ids)
+            within_query: Dict[int, int] = {}
+            for page_id in ids:
+                within_query[page_id] = within_query.get(page_id, 0) + 1
+            needed = plane_senses.setdefault(plane, {})
+            for page_id, count in within_query.items():
+                needed[page_id] = max(needed.get(page_id, 0), count)
+        for channel, n_bytes in cost.channel_bytes.items():
+            channel_load[channel] = channel_load.get(channel, 0.0) + n_bytes
+        core_s += cost.core_seconds + cost.ecc_bytes * ecc_decode_seconds_per_byte
+
+    read_s = 0.0
+    unique_total = 0
+    for plane, visits in plane_visits.items():
+        # Visits recorded without a page identity cannot be amortized.
+        untracked = visits - plane_tracked.get(plane, 0)
+        senses = sum(plane_senses.get(plane, {}).values()) + untracked
+        unique_total += senses
+        read_s = max(read_s, senses * sense_s + visits * compute_s)
+    transfer_s = max(
+        (load / timing.channel_bandwidth_bps for load in channel_load.values()),
+        default=0.0,
+    )
+    stages = [read_s, transfer_s, core_s]
+    iterations = max(plane_visits.values(), default=0)
+    if flags.pipelining:
+        bottleneck = max(stages)
+        fill = (sum(stages) - bottleneck) / max(iterations, 1)
+        total = bottleneck + fill
+    else:
+        total = sum(stages)
+    components = {
+        f"{first.name}_read": read_s,
+        f"{first.name}_transfer": transfer_s,
+        f"{first.name}_core": core_s,
+    }
+    return BatchPhaseBreakdown(
+        name=first.name,
+        seconds=total,
+        components=components,
+        unique_senses=unique_total,
+        total_senses=sum(plane_visits.values()),
+    )
+
+
 def ibc_time(
     geometry: FlashGeometry,
     timing: NandTiming,
@@ -175,9 +313,11 @@ def merge_phase_totals(
     """Assemble per-phase totals + IBC into a query latency report."""
     report = LatencyReport()
     report.add_component("ibc", ibc_seconds)
+    report.add_phase("ibc", ibc_seconds)
     report.total_s += ibc_seconds
-    for total, components in phases.values():
+    for phase_name, (total, components) in phases.items():
         report.total_s += total
+        report.add_phase(phase_name, total)
         for name, seconds in components.items():
             report.add_component(name, seconds)
     return report

@@ -26,59 +26,39 @@ seconds), so one execution produces both the retrieved documents and the
 latency/energy report.  The same :mod:`repro.core.costing` composition is
 used by the paper-scale analytic model, letting tests cross-validate the
 two layers.
+
+The phase methods here are the hardware-level primitives; the schedule
+that strings them together lives in :mod:`repro.core.plan` (one query)
+and :mod:`repro.core.batch` (a concurrent batch).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.batch import BatchExecution, BatchExecutor
 from repro.core.commands import DieCommandInterface
 from repro.core.config import OptFlags, ReisConfig
-from repro.core.costing import PhaseCost, compose_phase, ibc_time, merge_phase_totals
+from repro.core.costing import PhaseCost, ibc_time
 from repro.core.layout import DeployedDatabase, RegionInfo
+from repro.core.plan import (
+    PlanExecutor,
+    ReisQueryResult,
+    SearchStats,
+    build_query_plan,
+)
 from repro.core.registry import TemporalTopList, TtlEntry
 from repro.nand.geometry import PhysicalPageAddress
 from repro.rag.documents import DocumentChunk
-from repro.sim.latency import LatencyReport
 from repro.ssd.device import SimulatedSSD
 
-
-@dataclass
-class SearchStats:
-    """Operational statistics for one query (drives tests and ablations)."""
-
-    pages_read: int = 0
-    entries_scanned: int = 0
-    entries_transferred: int = 0
-    entries_filtered: int = 0
-    clusters_probed: int = 0
-    candidates: int = 0
-    filter_retries: int = 0
-    ibc_transfers: int = 0
-
-    @property
-    def filter_pass_fraction(self) -> float:
-        if self.entries_scanned == 0:
-            return 1.0
-        return self.entries_transferred / self.entries_scanned
-
-
-@dataclass
-class ReisQueryResult:
-    """The outcome of one in-storage search."""
-
-    ids: np.ndarray  # original dataset ids, distance-ordered
-    distances: np.ndarray  # INT8-refined distances
-    documents: List[DocumentChunk]
-    latency: LatencyReport
-    stats: SearchStats = field(default_factory=SearchStats)
-
-    @property
-    def k(self) -> int:
-        return int(self.ids.size)
+__all__ = [
+    "InStorageAnnsEngine",
+    "ReisQueryResult",
+    "SearchStats",
+]
 
 
 class InStorageAnnsEngine:
@@ -170,36 +150,33 @@ class InStorageAnnsEngine:
             interface.xor(plane_in_die)
             n_segments = region.slots_in_page(page_offset)
             distances = interface.gen_dist(plane_in_die, code_bytes, n_segments)
-            cost.add_page(plane_index)
+            cost.add_page(plane_index, page_id=ppa.to_linear(self.geometry))
             stats.pages_read += 1
 
+            # The slots of this page inside [first_slot, last_slot]: regions
+            # pack slots contiguously, so the valid window is one interval.
             page_first = page_offset * region.slots_per_page
-            valid = [
-                i
-                for i in range(n_segments)
-                if first_slot <= page_first + i <= last_slot
-            ]
-            stats.entries_scanned += len(valid)
+            lo = max(first_slot - page_first, 0)
+            hi = min(last_slot - page_first, n_segments - 1)
+            valid = np.arange(lo, hi + 1, dtype=np.intp)
+            stats.entries_scanned += valid.size
 
             if threshold is not None:
-                passing = set(
-                    interface.pass_fail(
-                        plane_in_die,
-                        [distances[i] for i in valid],
-                        threshold,
-                    )
+                passing = interface.pass_fail(
+                    plane_in_die, distances[valid], threshold
                 )
-                kept = [valid[i] for i in passing]
-                stats.entries_filtered += len(valid) - len(kept)
+                kept = valid[np.asarray(passing, dtype=np.intp)]
+                stats.entries_filtered += valid.size - kept.size
             else:
                 kept = valid
 
             for slot_in_page in kept:
+                slot_in_page = int(slot_in_page)
                 entry = interface.rd_ttl(
                     plane_in_die,
                     slot_in_page,
                     code_bytes,
-                    distances[slot_in_page],
+                    int(distances[slot_in_page]),
                     oob_record,
                     coarse=coarse,
                 )
@@ -427,7 +404,7 @@ class InStorageAnnsEngine:
         ppa, plane_index, channel = self._locate(region, page_offset)
         plane = self.ssd.array.plane(ppa)
         raw, _ = plane.read_page(ppa.block, ppa.page)
-        cost.add_page(plane_index)
+        cost.add_page(plane_index, page_id=ppa.to_linear(self.geometry))
         stats.pages_read += 1
         if charge_transfer:
             if byte_len is None:
@@ -483,72 +460,18 @@ class InStorageAnnsEngine:
     ) -> ReisQueryResult:
         """Run one query through the full in-storage pipeline.
 
-        For IVF databases ``nprobe`` selects how many clusters the fine
-        search visits (default: enough for ~sqrt(nlist)).  For flat
-        databases the fine search scans the whole embedding region
-        (brute force, the "BF" rows of Figs. 7/8/10).  With
-        ``metadata_filter`` only embeddings deployed with that tag can be
-        returned (Sec. 7.1).
+        Builds a :class:`~repro.core.plan.QueryPlan` and executes it with
+        the sequential :class:`~repro.core.plan.PlanExecutor`.  For IVF
+        databases ``nprobe`` selects how many clusters the fine search
+        visits (default: enough for ~sqrt(nlist)).  For flat databases the
+        fine search scans the whole embedding region (brute force, the
+        "BF" rows of Figs. 7/8/10).  With ``metadata_filter`` only
+        embeddings deployed with that tag can be returned (Sec. 7.1).
         """
-        if k <= 0:
-            raise ValueError("k must be positive")
-        if metadata_filter is not None and not db.has_metadata:
-            raise ValueError("database was deployed without metadata tags")
-        query = np.asarray(query, dtype=np.float32)
-        if query.ndim != 1 or query.size != db.dim:
-            raise ValueError(f"query must be a flat vector of dim {db.dim}")
-        stats = SearchStats()
-        query_code = db.binary_quantizer.encode_one(query)
-
-        ibc_seconds = self._input_broadcast(query_code, stats)
-
-        phases: Dict[str, Tuple[float, Dict[str, float]]] = {}
-        ecc_rate = self.ssd.ecc.decode_time(1)
-
-        clusters: Optional[List[int]] = None
-        if db.is_ivf:
-            if nprobe is None:
-                nprobe = max(1, int(round(db.n_clusters**0.5)))
-            nprobe = min(nprobe, db.n_clusters)
-            clusters, coarse_cost = self._coarse_search(db, nprobe, stats)
-            phases["coarse"] = compose_phase(
-                coarse_cost, self.timing, self.flags, ecc_rate
-            )
-
-        shortlist_size = self.params.shortlist_factor * k
-        shortlist, fine_cost = self._fine_search(
-            db, clusters, shortlist_size, stats, metadata_filter
+        plan = build_query_plan(
+            self, db, query, k, nprobe, fetch_documents, metadata_filter
         )
-        phases["fine"] = compose_phase(fine_cost, self.timing, self.flags, ecc_rate)
-
-        distances, dadrs, slots, rerank_cost = self._rerank(
-            db, query, shortlist, k, stats
-        )
-        phases["rerank"] = compose_phase(
-            rerank_cost, self.timing, self.flags, ecc_rate
-        )
-
-        if fetch_documents and dadrs.size:
-            documents, doc_cost, host_s = self._fetch_documents(db, dadrs, stats)
-            phases["documents"] = compose_phase(
-                doc_cost, self.timing, self.flags, ecc_rate
-            )
-        else:
-            documents, host_s = [], 0.0
-
-        report = merge_phase_totals(phases, ibc_seconds)
-        if host_s:
-            report.add_component("host_transfer", host_s)
-            report.total_s += host_s
-
-        ids = db.slot_to_original[slots] if slots.size else slots
-        return ReisQueryResult(
-            ids=np.asarray(ids, dtype=np.int64),
-            distances=distances,
-            documents=documents,
-            latency=report,
-            stats=stats,
-        )
+        return PlanExecutor(self).run(plan)
 
     def search_batch(
         self,
@@ -558,10 +481,18 @@ class InStorageAnnsEngine:
         nprobe: Optional[int] = None,
         fetch_documents: bool = True,
         metadata_filter: Optional[int] = None,
-    ) -> List[ReisQueryResult]:
-        """Run a batch of queries sequentially (REIS serves one at a time)."""
-        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
-        return [
-            self.search(db, query, k, nprobe, fetch_documents, metadata_filter)
-            for query in queries
-        ]
+    ) -> BatchExecution:
+        """Serve a batch of queries concurrently against this device.
+
+        Functional execution is per query (bit-identical to calling
+        :meth:`search` in a loop); the latency model charges the batch
+        jointly, amortizing page senses across queries and overlapping
+        independent queries across dies and channels (see
+        :class:`~repro.core.batch.BatchExecutor`).
+        """
+        return BatchExecutor(self).execute(
+            db, queries, k,
+            nprobe=nprobe,
+            fetch_documents=fetch_documents,
+            metadata_filter=metadata_filter,
+        )

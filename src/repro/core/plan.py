@@ -1,0 +1,272 @@
+"""Query plans: the *what* of an in-storage search, separated from the *how*.
+
+The REIS search pipeline has five phases (Sec. 4.3): IBC broadcast,
+coarse search, fine search, reranking, and document identification.  The
+seed implementation hard-wired that sequence inside ``search()``; this
+module turns each phase into a composable :class:`PlanStage` object so that
+
+* ``search()`` becomes "build plan, execute plan" (:func:`build_query_plan`
+  followed by :class:`PlanExecutor`),
+* alternative schedules are *data*, not code -- the batch executor
+  (:mod:`repro.core.batch`) runs the same stages against a whole batch and
+  swaps only the cost composition, and
+* every stage records exactly which pages it sensed (via
+  :class:`~repro.core.costing.PhaseCost`), which is what lets the batch
+  costing amortize senses across queries.
+
+Stages mutate a per-query :class:`PlanContext`; the functional work itself
+stays in :class:`~repro.core.engine.InStorageAnnsEngine`, whose phase
+methods are the hardware-level primitives the stages compose.  Executing a
+plan sequentially is bit- and latency-identical to the seed's monolithic
+``search()``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.costing import PhaseCost, compose_phase, merge_phase_totals
+from repro.core.layout import DeployedDatabase
+from repro.core.registry import TtlEntry
+from repro.rag.documents import DocumentChunk
+from repro.sim.latency import LatencyReport
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
+    from repro.core.engine import InStorageAnnsEngine
+
+
+@dataclass
+class SearchStats:
+    """Operational statistics for one query (drives tests and ablations)."""
+
+    pages_read: int = 0
+    entries_scanned: int = 0
+    entries_transferred: int = 0
+    entries_filtered: int = 0
+    clusters_probed: int = 0
+    candidates: int = 0
+    filter_retries: int = 0
+    ibc_transfers: int = 0
+
+    @property
+    def filter_pass_fraction(self) -> float:
+        if self.entries_scanned == 0:
+            return 1.0
+        return self.entries_transferred / self.entries_scanned
+
+
+@dataclass
+class ReisQueryResult:
+    """The outcome of one in-storage search."""
+
+    ids: np.ndarray  # original dataset ids, distance-ordered
+    distances: np.ndarray  # INT8-refined distances
+    documents: List[DocumentChunk]
+    latency: LatencyReport
+    stats: SearchStats = field(default_factory=SearchStats)
+
+    @property
+    def k(self) -> int:
+        return int(self.ids.size)
+
+
+@dataclass
+class PlanContext:
+    """Mutable per-query state threaded through the stages of one plan."""
+
+    db: DeployedDatabase
+    query: np.ndarray
+    stats: SearchStats = field(default_factory=SearchStats)
+    query_code: Optional[np.ndarray] = None
+    clusters: Optional[List[int]] = None
+    shortlist: List[TtlEntry] = field(default_factory=list)
+    distances: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    dadrs: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    slots: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    documents: List[DocumentChunk] = field(default_factory=list)
+    ibc_seconds: float = 0.0
+    host_seconds: float = 0.0
+    # Phase name -> raw resource usage, in execution order.  The sequential
+    # executor composes each cost solo; the batch executor composes the
+    # same costs jointly across queries.
+    phase_costs: Dict[str, PhaseCost] = field(default_factory=dict)
+
+
+class PlanStage:
+    """One phase of a query plan.  Subclasses implement :meth:`run`."""
+
+    name: str = "stage"
+
+    def run(self, engine: "InStorageAnnsEngine", ctx: PlanContext) -> None:
+        raise NotImplementedError
+
+
+@dataclass
+class BroadcastStage(PlanStage):
+    """Step 1: binary-encode the query and IBC it into every die."""
+
+    name: str = "ibc"
+
+    def run(self, engine: "InStorageAnnsEngine", ctx: PlanContext) -> None:
+        ctx.query_code = ctx.db.binary_quantizer.encode_one(ctx.query)
+        ctx.ibc_seconds = engine._input_broadcast(ctx.query_code, ctx.stats)
+
+
+@dataclass
+class CoarseStage(PlanStage):
+    """Steps 2-7 over the centroid region: pick the nprobe nearest clusters."""
+
+    nprobe: int = 1
+    name: str = "coarse"
+
+    def run(self, engine: "InStorageAnnsEngine", ctx: PlanContext) -> None:
+        ctx.clusters, cost = engine._coarse_search(ctx.db, self.nprobe, ctx.stats)
+        ctx.phase_costs[self.name] = cost
+
+
+@dataclass
+class FineStage(PlanStage):
+    """Steps 2-7 over the embedding region: build the rescoring shortlist."""
+
+    shortlist_size: int = 1
+    metadata_filter: Optional[int] = None
+    name: str = "fine"
+
+    def run(self, engine: "InStorageAnnsEngine", ctx: PlanContext) -> None:
+        ctx.shortlist, cost = engine._fine_search(
+            ctx.db, ctx.clusters, self.shortlist_size, ctx.stats,
+            self.metadata_filter,
+        )
+        ctx.phase_costs[self.name] = cost
+
+
+@dataclass
+class RerankStage(PlanStage):
+    """Step 8: INT8 rerank of the shortlist + quicksort of the top-k."""
+
+    k: int = 10
+    name: str = "rerank"
+
+    def run(self, engine: "InStorageAnnsEngine", ctx: PlanContext) -> None:
+        ctx.distances, ctx.dadrs, ctx.slots, cost = engine._rerank(
+            ctx.db, ctx.query, ctx.shortlist, self.k, ctx.stats
+        )
+        ctx.phase_costs[self.name] = cost
+
+
+@dataclass
+class DocumentStage(PlanStage):
+    """Step 9: follow each winner's DADR to its chunk, transfer to host."""
+
+    name: str = "documents"
+
+    def run(self, engine: "InStorageAnnsEngine", ctx: PlanContext) -> None:
+        if not ctx.dadrs.size:
+            return
+        ctx.documents, cost, ctx.host_seconds = engine._fetch_documents(
+            ctx.db, ctx.dadrs, ctx.stats
+        )
+        ctx.phase_costs[self.name] = cost
+
+
+@dataclass
+class QueryPlan:
+    """An executable schedule for one query: an ordered list of stages."""
+
+    db: DeployedDatabase
+    query: np.ndarray
+    k: int
+    stages: List[PlanStage]
+    nprobe: Optional[int] = None
+
+    def stage_names(self) -> List[str]:
+        return [stage.name for stage in self.stages]
+
+
+def build_query_plan(
+    engine: "InStorageAnnsEngine",
+    db: DeployedDatabase,
+    query: np.ndarray,
+    k: int = 10,
+    nprobe: Optional[int] = None,
+    fetch_documents: bool = True,
+    metadata_filter: Optional[int] = None,
+) -> QueryPlan:
+    """Validate a query and assemble its stage list.
+
+    For IVF databases ``nprobe`` selects how many clusters the fine search
+    visits (default: enough for ~sqrt(nlist)) and a :class:`CoarseStage`
+    is planned; flat databases skip it and the fine search scans the whole
+    embedding region.  ``fetch_documents=False`` drops the
+    :class:`DocumentStage`.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    if metadata_filter is not None and not db.has_metadata:
+        raise ValueError("database was deployed without metadata tags")
+    query = np.asarray(query, dtype=np.float32)
+    if query.ndim != 1 or query.size != db.dim:
+        raise ValueError(f"query must be a flat vector of dim {db.dim}")
+
+    stages: List[PlanStage] = [BroadcastStage()]
+    if db.is_ivf:
+        if nprobe is None:
+            nprobe = max(1, int(round(db.n_clusters**0.5)))
+        nprobe = min(nprobe, db.n_clusters)
+        stages.append(CoarseStage(nprobe=nprobe))
+    shortlist_size = engine.params.shortlist_factor * k
+    stages.append(
+        FineStage(shortlist_size=shortlist_size, metadata_filter=metadata_filter)
+    )
+    stages.append(RerankStage(k=k))
+    if fetch_documents:
+        stages.append(DocumentStage())
+    return QueryPlan(db=db, query=query, k=k, stages=stages, nprobe=nprobe)
+
+
+class PlanExecutor:
+    """Runs one plan's stages in order and composes the solo latency.
+
+    This is the sequential schedule: every phase is charged as if the
+    device were otherwise idle, exactly as the seed's monolithic
+    ``search()`` did.  The batch executor reuses the same functional
+    execution (via :meth:`execute`) but replaces the cost composition.
+    """
+
+    def __init__(self, engine: "InStorageAnnsEngine") -> None:
+        self.engine = engine
+
+    def execute(self, plan: QueryPlan) -> Tuple[ReisQueryResult, PlanContext]:
+        """Run the stages functionally and return (result, final context)."""
+        engine = self.engine
+        ctx = PlanContext(db=plan.db, query=plan.query)
+        for stage in plan.stages:
+            stage.run(engine, ctx)
+
+        ecc_rate = engine.ssd.ecc.decode_time(1)
+        phases: Dict[str, Tuple[float, Dict[str, float]]] = {
+            name: compose_phase(cost, engine.timing, engine.flags, ecc_rate)
+            for name, cost in ctx.phase_costs.items()
+        }
+        report = merge_phase_totals(phases, ctx.ibc_seconds)
+        if ctx.host_seconds:
+            report.add_component("host_transfer", ctx.host_seconds)
+            report.add_phase("host", ctx.host_seconds)
+            report.total_s += ctx.host_seconds
+
+        db = plan.db
+        ids = db.slot_to_original[ctx.slots] if ctx.slots.size else ctx.slots
+        result = ReisQueryResult(
+            ids=np.asarray(ids, dtype=np.int64),
+            distances=ctx.distances,
+            documents=ctx.documents,
+            latency=report,
+            stats=ctx.stats,
+        )
+        return result, ctx
+
+    def run(self, plan: QueryPlan) -> ReisQueryResult:
+        return self.execute(plan)[0]

@@ -156,6 +156,12 @@ class TemporalTopList:
         self.entry_bytes = entry_bytes
         self._dram = dram
         self.entries: List[TtlEntry] = []
+        # Distance column kept alongside the rows: the per-page quickselect
+        # of Sec. 4.3.1 runs once per sensed page on the batch-serving hot
+        # path, so the select must not rebuild its key array from the
+        # entry objects every time.  Entry distances are immutable after
+        # append, which keeps the column trivially coherent.
+        self._dists: List[int] = []
         self.peak_entries = 0
 
     def __len__(self) -> int:
@@ -163,6 +169,7 @@ class TemporalTopList:
 
     def append(self, entry: TtlEntry) -> None:
         self.entries.append(entry)
+        self._dists.append(entry.dist)
         self.peak_entries = max(self.peak_entries, len(self.entries))
         if self._dram is not None:
             self._dram.allocate(f"ttl-{self.name}", self.peak_entries * self.entry_bytes)
@@ -176,8 +183,7 @@ class TemporalTopList:
         if k <= 0 or not self.entries:
             return []
         k = min(k, len(self.entries))
-        dists = np.array([e.dist for e in self.entries])
-        idx = np.argpartition(dists, k - 1)[:k]
+        idx = np.argpartition(np.asarray(self._dists), k - 1)[:k]
         return [self.entries[i] for i in idx]
 
     def compact(self, k: int) -> int:
@@ -190,10 +196,12 @@ class TemporalTopList:
         processed = len(self.entries)
         if processed > k:
             self.entries = self.select_smallest(k)
+            self._dists = [entry.dist for entry in self.entries]
         return processed
 
     def clear(self) -> None:
         self.entries.clear()
+        self._dists.clear()
 
     @property
     def footprint_bytes(self) -> int:

@@ -93,14 +93,20 @@ class DeviceScheduler:
         k: int = 10,
         nprobe: Optional[int] = None,
     ) -> BatchSearchResult:
-        """Serve a retrieval batch, switching into RAG mode if needed."""
+        """Serve a retrieval batch, switching into RAG mode if needed.
+
+        Queries route through the device's :class:`~repro.core.batch.
+        BatchExecutor`, so the time accounted to RAG is the batched wall
+        clock (shared senses, die/channel overlap), not the sum of solo
+        query latencies.
+        """
         self._enter_rag()
         db = self.device.database(db_id)
         if db.is_ivf:
             batch = self.device.ivf_search(db_id, queries, k, nprobe=nprobe)
         else:
             batch = self.device.search(db_id, queries, k)
-        self.accounting.rag_seconds += batch.total_seconds
+        self.accounting.rag_seconds += batch.wall_seconds
         self.accounting.queries_served += len(batch)
         return batch
 

@@ -87,8 +87,11 @@ class FailBitCounter:
         self._buffer = buffer
         self.invocations = 0
 
-    def count_segments(self, segment_bytes: int, n_segments: int, latch: str = "data") -> List[int]:
-        """Popcount per consecutive ``segment_bytes`` slice of ``latch``."""
+    def count_segments_array(
+        self, segment_bytes: int, n_segments: int, latch: str = "data"
+    ) -> np.ndarray:
+        """Popcount per consecutive ``segment_bytes`` slice of ``latch``,
+        as an ``int64`` vector (the engine's scan hot path)."""
         if segment_bytes <= 0 or n_segments <= 0:
             raise ValueError("segment_bytes and n_segments must be positive")
         if segment_bytes * n_segments > self._buffer.page_bytes:
@@ -96,7 +99,11 @@ class FailBitCounter:
         self.invocations += 1
         data = self._buffer._latch(latch)
         view = data[: segment_bytes * n_segments].reshape(n_segments, segment_bytes)
-        return [int(c) for c in _POPCOUNT_TABLE[view].sum(axis=1)]
+        return _POPCOUNT_TABLE[view].sum(axis=1, dtype=np.int64)
+
+    def count_segments(self, segment_bytes: int, n_segments: int, latch: str = "data") -> List[int]:
+        """Popcount per consecutive ``segment_bytes`` slice of ``latch``."""
+        return self.count_segments_array(segment_bytes, n_segments, latch).tolist()
 
     def count_all(self, latch: str = "data") -> int:
         """Popcount of the entire latch (the counter's native operation)."""
@@ -116,6 +123,10 @@ class PassFailChecker:
         self.invocations = 0
 
     def filter_below(self, values: Sequence[int], threshold: int) -> List[int]:
-        """Indices of values strictly below ``threshold`` (the "pass" set)."""
+        """Indices of values strictly below ``threshold`` (the "pass" set),
+        in ascending order."""
         self.invocations += 1
-        return [i for i, v in enumerate(values) if v < threshold]
+        values = np.asarray(values)
+        if values.size == 0:
+            return []
+        return np.flatnonzero(values < threshold).tolist()

@@ -106,10 +106,11 @@ class Plane:
         self.buffer.xor("cache", "sensing", "data")
         self.counters.add("latch_xors")
 
-    def segment_distances(self, segment_bytes: int, n_segments: int) -> list:
-        """Fail-bit-counter pass over DL: per-embedding Hamming distances."""
+    def segment_distances(self, segment_bytes: int, n_segments: int) -> np.ndarray:
+        """Fail-bit-counter pass over DL: per-embedding Hamming distances
+        (``int64`` vector)."""
         self.counters.add("bit_counts")
-        return self.fail_bit_counter.count_segments(segment_bytes, n_segments)
+        return self.fail_bit_counter.count_segments_array(segment_bytes, n_segments)
 
     def filter_distances(self, distances, threshold: int) -> list:
         """Pass/fail check: keep indices with distance below ``threshold``."""

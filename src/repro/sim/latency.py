@@ -42,26 +42,36 @@ class LatencyReport:
     """Named latency contributions plus the composed total.
 
     ``components`` holds per-stage wall-clock contributions (already composed
-    for overlap); ``total_s`` is the end-to-end time.  Reports can be merged
-    to accumulate per-query costs into batch costs.
+    for overlap); ``total_s`` is the end-to-end time.  ``phases`` holds the
+    *composed* per-phase wall-clock times (ibc, coarse, fine, rerank,
+    documents, host) -- unlike ``components`` these sum to ``total_s``,
+    because each entry already accounts for intra-phase pipelining.
+    Reports can be merged to accumulate per-query costs into batch costs.
     """
 
     total_s: float = 0.0
     components: Dict[str, float] = field(default_factory=dict)
+    phases: Dict[str, float] = field(default_factory=dict)
 
     def add_component(self, name: str, seconds: float) -> None:
         self.components[name] = self.components.get(name, 0.0) + seconds
+
+    def add_phase(self, name: str, seconds: float) -> None:
+        self.phases[name] = self.phases.get(name, 0.0) + seconds
 
     def merge(self, other: "LatencyReport") -> None:
         self.total_s += other.total_s
         for name, seconds in other.components.items():
             self.add_component(name, seconds)
+        for name, seconds in other.phases.items():
+            self.add_phase(name, seconds)
 
     def scaled(self, factor: float) -> "LatencyReport":
         """Return a copy with every latency multiplied by ``factor``."""
         return LatencyReport(
             total_s=self.total_s * factor,
             components={k: v * factor for k, v in self.components.items()},
+            phases={k: v * factor for k, v in self.phases.items()},
         )
 
     def fraction(self, name: str) -> float:

@@ -158,6 +158,56 @@ class TestDistanceFiltering:
         )
         assert retries <= len(small_queries) // 4
 
+    def test_overaggressive_threshold_triggers_retry(
+        self, small_vectors, small_corpus, small_queries
+    ):
+        """A threshold that filters everything forces the unfiltered rescan
+        (Sec. 4.3.3): correctness never depends on the calibrated filter."""
+        vectors, _ = small_vectors
+        device = ReisDevice(tiny_config("DF-RETRY"))
+        db_id = device.ivf_deploy(
+            "r", vectors, nlist=SMALL_NLIST, corpus=small_corpus, seed=0
+        )
+        db = device.database(db_id)
+        calibrated = db.filter_threshold
+        db.filter_threshold = 1  # nothing is within 1 bit of the query
+
+        filtered = device.engine.search(db, small_queries[0], k=10, nprobe=3)
+        assert filtered.stats.filter_retries == 1
+        assert filtered.k == 10
+
+        # The retry rescans every probed page, so reads roughly double.
+        db.filter_threshold = calibrated
+        clean = device.engine.search(db, small_queries[0], k=10, nprobe=3)
+        assert clean.stats.filter_retries == 0
+        assert filtered.stats.pages_read > clean.stats.pages_read
+
+        # And the rescued results equal the unfiltered reference.
+        no_df = ReisDevice(tiny_config("DF-RETRY-REF"), flags=OptFlags(distance_filtering=False))
+        ref_id = no_df.ivf_deploy(
+            "r", vectors, nlist=SMALL_NLIST, corpus=small_corpus, seed=0
+        )
+        reference = no_df.engine.search(
+            no_df.database(ref_id), small_queries[0], k=10, nprobe=3
+        )
+        assert np.array_equal(filtered.ids, reference.ids)
+        assert np.array_equal(filtered.distances, reference.distances)
+
+    def test_retry_survives_batched_serving(
+        self, small_vectors, small_corpus, small_queries
+    ):
+        """The retry path composes with the batch executor: per-query stats
+        keep the retry count and the batch still amortizes senses."""
+        vectors, _ = small_vectors
+        device = ReisDevice(tiny_config("DF-RETRY-BATCH"))
+        db_id = device.ivf_deploy(
+            "rb", vectors, nlist=SMALL_NLIST, corpus=small_corpus, seed=0
+        )
+        device.database(db_id).filter_threshold = 1
+        batch = device.ivf_search(db_id, small_queries[:4], k=10, nprobe=3)
+        assert all(r.stats.filter_retries == 1 for r in batch)
+        assert batch.wall_seconds < batch.total_seconds
+
 
 class TestNoHardwareModificationConstraint:
     def test_engine_uses_only_commodity_die_commands(self, deployed_device, small_queries):

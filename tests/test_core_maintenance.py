@@ -134,6 +134,64 @@ class TestDeviceScheduler:
         assert report["queries_served"] == 1
         assert "utilization" in report
 
+    def test_rag_time_uses_batched_wall_clock(self, scheduler, small_queries):
+        """serve_queries routes through the BatchExecutor: the time billed
+        to RAG is the overlapped batch wall clock, not the solo-latency sum."""
+        batch = scheduler.serve_queries(self.db_id, small_queries[:8], k=5, nprobe=3)
+        assert scheduler.accounting.rag_seconds == pytest.approx(batch.wall_seconds)
+        assert scheduler.accounting.rag_seconds < batch.total_seconds
+
+    def test_interleaved_sequence_mode_accounting(self, scheduler, small_queries):
+        """Mode switches across an interleaved serve / write / maintenance /
+        serve schedule: every activity bills its own bucket and the switch
+        count matches the exact boundary sequence."""
+        acc = scheduler.accounting
+        # Deployment left the device in RAG mode: serving adds no switch.
+        scheduler.serve_queries(self.db_id, small_queries[:2], k=5, nprobe=2)
+        assert acc.mode_switches == 0
+        # RAG -> normal for a host write (1 switch), stays normal for the
+        # second write and for maintenance (no further switches).
+        scheduler.host_write(0, np.zeros(16, dtype=np.uint8))
+        assert acc.mode_switches == 1
+        scheduler.host_write(1, np.zeros(16, dtype=np.uint8))
+        assert acc.mode_switches == 1
+        scheduler.run_maintenance()
+        assert acc.mode_switches == 1
+        # Back into RAG mode to serve again (2nd switch).
+        scheduler.serve_queries(self.db_id, small_queries[:2], k=5, nprobe=2)
+        assert acc.mode_switches == 2
+        # Every bucket saw activity and the totals are self-consistent.
+        # (A fresh device has nothing to collect or refresh, so maintenance
+        # records a run but may legitimately bill zero seconds.)
+        assert acc.rag_seconds > 0
+        assert acc.host_io_seconds > 0
+        assert len(acc.gc_results) == 1
+        assert len(acc.refresh_results) == 1
+        assert acc.maintenance_seconds >= 0
+        assert acc.mode_switch_seconds > 0
+        assert acc.queries_served == 4
+        assert acc.host_pages_written == 2
+        assert acc.total_seconds == pytest.approx(
+            acc.rag_seconds + acc.host_io_seconds
+            + acc.maintenance_seconds + acc.mode_switch_seconds
+        )
+        utilization = acc.utilization()
+        assert sum(utilization.values()) == pytest.approx(1.0)
+        assert set(utilization) == {"rag", "host_io", "maintenance", "mode_switch"}
+
+    def test_maintenance_between_batches_preserves_results(
+        self, scheduler, small_queries
+    ):
+        """Interleaving maintenance must not perturb retrieval (deployed
+        blocks are reserved from GC/wear)."""
+        before = scheduler.serve_queries(self.db_id, small_queries[:2], k=5, nprobe=3)
+        scheduler.host_write(3, np.full(32, 7, dtype=np.uint8))
+        scheduler.run_maintenance()
+        after = scheduler.serve_queries(self.db_id, small_queries[:2], k=5, nprobe=3)
+        for first, second in zip(before, after):
+            assert np.array_equal(first.ids, second.ids)
+            assert np.array_equal(first.distances, second.distances)
+
 
 class TestDefragmenter:
     def _fragmented_ssd(self):

@@ -1,0 +1,293 @@
+"""Tests for the plan/execute split and the batched serving pipeline.
+
+The central contracts:
+
+* a :class:`~repro.core.plan.QueryPlan` is an explicit, inspectable
+  schedule -- the five paper phases as data;
+* executing a batch through the :class:`~repro.core.batch.BatchExecutor`
+  returns **bit-identical** ids and distances to the sequential path
+  (property-tested over random database shapes), because batching only
+  changes the cost composition, never the functional command stream;
+* the batched wall clock is never worse than the sequential serving time,
+  and improves measurably once queries can share senses and overlap
+  across dies and channels.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.api import ReisDevice
+from repro.core.batch import BatchExecutor
+from repro.core.config import NO_OPT, OptFlags, tiny_config
+from repro.core.costing import PhaseCost, compose_batch_phase, compose_phase
+from repro.core.plan import (
+    BroadcastStage,
+    CoarseStage,
+    DocumentStage,
+    FineStage,
+    PlanExecutor,
+    RerankStage,
+    build_query_plan,
+)
+from repro.rag.embeddings import make_clustered_embeddings, make_queries
+
+from tests.conftest import SMALL_NLIST
+
+
+class TestPlanConstruction:
+    def test_ivf_plan_has_all_five_phases(self, deployed_device, small_queries):
+        device, db_id = deployed_device
+        db = device.database(db_id)
+        plan = build_query_plan(device.engine, db, small_queries[0], k=5, nprobe=3)
+        assert plan.stage_names() == ["ibc", "coarse", "fine", "rerank", "documents"]
+        assert isinstance(plan.stages[0], BroadcastStage)
+        assert isinstance(plan.stages[1], CoarseStage)
+        assert plan.stages[1].nprobe == 3
+        assert isinstance(plan.stages[2], FineStage)
+        assert plan.stages[2].shortlist_size == device.engine.params.shortlist_factor * 5
+        assert isinstance(plan.stages[3], RerankStage)
+        assert isinstance(plan.stages[4], DocumentStage)
+
+    def test_flat_plan_skips_coarse(self, deployed_flat_device, small_queries):
+        device, db_id = deployed_flat_device
+        db = device.database(db_id)
+        plan = build_query_plan(device.engine, db, small_queries[0], k=5)
+        assert plan.stage_names() == ["ibc", "fine", "rerank", "documents"]
+
+    def test_fetch_documents_false_drops_document_stage(
+        self, deployed_device, small_queries
+    ):
+        device, db_id = deployed_device
+        db = device.database(db_id)
+        plan = build_query_plan(
+            device.engine, db, small_queries[0], k=5, fetch_documents=False
+        )
+        assert "documents" not in plan.stage_names()
+
+    def test_nprobe_clamped_to_nlist(self, deployed_device, small_queries):
+        device, db_id = deployed_device
+        db = device.database(db_id)
+        plan = build_query_plan(
+            device.engine, db, small_queries[0], k=5, nprobe=10_000
+        )
+        assert plan.nprobe == SMALL_NLIST
+
+    def test_validation_happens_at_build_time(self, deployed_device, small_queries):
+        device, db_id = deployed_device
+        db = device.database(db_id)
+        with pytest.raises(ValueError):
+            build_query_plan(device.engine, db, small_queries[0], k=0)
+        with pytest.raises(ValueError):
+            build_query_plan(device.engine, db, small_queries[0][:-8], k=5)
+        with pytest.raises(ValueError):
+            build_query_plan(
+                device.engine, db, small_queries[0], k=5, metadata_filter=3
+            )
+
+    def test_executed_plan_matches_search(self, deployed_device, small_queries):
+        device, db_id = deployed_device
+        db = device.database(db_id)
+        plan = build_query_plan(device.engine, db, small_queries[1], k=7, nprobe=3)
+        from_plan = PlanExecutor(device.engine).run(plan)
+        from_search = device.engine.search(db, small_queries[1], k=7, nprobe=3)
+        assert np.array_equal(from_plan.ids, from_search.ids)
+        assert np.array_equal(from_plan.distances, from_search.distances)
+        assert from_plan.latency.total_s == from_search.latency.total_s
+
+
+class TestBatchBitIdentity:
+    SETTINGS = settings(
+        max_examples=8,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+
+    @given(
+        st.tuples(
+            st.integers(80, 200),  # n
+            st.sampled_from([32, 64]),  # dim
+            st.integers(2, 6),  # nlist
+            st.integers(1, 10),  # k
+            st.integers(2, 9),  # batch size
+            st.integers(0, 10**6),  # seed
+        )
+    )
+    @SETTINGS
+    def test_batched_results_bit_identical_to_sequential(self, shape):
+        n, dim, nlist, k, batch_size, seed = shape
+        vectors, _ = make_clustered_embeddings(n, dim, max(nlist, 2), seed=seed)
+        queries = make_queries(vectors, batch_size, seed=(seed, "bq"))
+        device = ReisDevice(tiny_config(f"BATCH-{seed}-{n}-{dim}"))
+        db_id = device.ivf_deploy("b", vectors, nlist=nlist, seed=seed)
+        db = device.database(db_id)
+
+        sequential = [
+            device.engine.search(db, query, k=k, nprobe=2) for query in queries
+        ]
+        execution = BatchExecutor(device.engine).execute(
+            db, queries, k=k, nprobe=2
+        )
+        assert len(execution) == batch_size
+        for solo, batched in zip(sequential, execution):
+            assert np.array_equal(solo.ids, batched.ids)
+            assert np.array_equal(solo.distances, batched.distances)
+            # Per-query solo latency reports are preserved verbatim.
+            assert solo.latency.total_s == pytest.approx(
+                batched.latency.total_s, rel=1e-12
+            )
+        sequential_total = sum(r.latency.total_s for r in sequential)
+        assert execution.batch_seconds <= sequential_total * (1 + 1e-9)
+
+    def test_metadata_filter_survives_batching(
+        self, small_vectors, small_corpus, small_queries
+    ):
+        vectors, labels = small_vectors
+        tags = (labels % 3).astype(np.uint32)
+        device = ReisDevice(tiny_config("BATCH-META"))
+        db_id = device.ivf_deploy(
+            "m", vectors, nlist=SMALL_NLIST, corpus=small_corpus,
+            metadata_tags=tags, seed=0,
+        )
+        batch = device.ivf_search(
+            db_id, small_queries[:4], k=5, nprobe=SMALL_NLIST, metadata_filter=2
+        )
+        for result in batch:
+            for original in result.ids:
+                assert tags[int(original)] == 2
+
+
+class TestBatchThroughput:
+    def test_batched_wall_clock_beats_sequential(self, deployed_device, small_queries):
+        device, db_id = deployed_device
+        batch = device.ivf_search(db_id, small_queries, k=10, nprobe=4)
+        assert batch.wall_seconds < batch.total_seconds
+        assert batch.qps > batch.sequential_qps
+
+    def test_qps_improves_with_batch_size(self, deployed_device, small_queries):
+        """Speedup over sequential grows as the batch fills the device."""
+        device, db_id = deployed_device
+        speedups = []
+        for batch_size in (1, 4, 12):
+            batch = device.ivf_search(
+                db_id, small_queries[:batch_size], k=10, nprobe=4
+            )
+            speedups.append(batch.qps / batch.sequential_qps)
+        assert speedups[-1] > speedups[0]
+        assert speedups[-1] > 1.5  # batch 12 must overlap substantially
+
+    def test_senses_amortized_across_queries(self, deployed_device, small_queries):
+        device, db_id = deployed_device
+        batch = device.ivf_search(db_id, small_queries[:8], k=10, nprobe=4)
+        stats = batch.batch_stats
+        assert stats.n_queries == 8
+        assert stats.total_senses > 0
+        # Eight queries over twelve clusters must collide on some pages.
+        assert stats.unique_senses < stats.total_senses
+        assert stats.senses_amortized == stats.total_senses - stats.unique_senses
+
+    def test_phase_seconds_sums_to_wall_clock(self, deployed_device, small_queries):
+        device, db_id = deployed_device
+        batch = device.ivf_search(db_id, small_queries[:6], k=5, nprobe=3)
+        phases = batch.phase_seconds()
+        for name in ("ibc", "coarse", "fine", "rerank", "documents"):
+            assert name in phases
+            assert phases[name] > 0
+        assert sum(phases.values()) == pytest.approx(batch.wall_seconds)
+
+    def test_single_query_batch_not_slower_than_solo(
+        self, deployed_device, small_queries
+    ):
+        device, db_id = deployed_device
+        batch = device.ivf_search(db_id, small_queries[:1], k=5, nprobe=3)
+        assert batch.wall_seconds <= batch.total_seconds * (1 + 1e-9)
+
+
+class TestComposeBatchPhase:
+    """Unit tests of the die/channel-occupancy composition."""
+
+    def _timing_and_flags(self):
+        config = tiny_config("OCC")
+        return config.timing, OptFlags()
+
+    def _cost(self, name="fine", plane=0, pages=(), channel_bytes=0.0, core=0.0):
+        cost = PhaseCost(name=name, with_compute=True)
+        for page_id in pages:
+            cost.add_page(plane, page_id=page_id)
+        if channel_bytes:
+            cost.add_channel_bytes(0, channel_bytes)
+        cost.core_seconds = core
+        return cost
+
+    def test_shared_pages_sensed_once(self):
+        timing, flags = self._timing_and_flags()
+        a = self._cost(pages=(10, 11, 12))
+        b = self._cost(pages=(11, 12, 13))
+        breakdown = compose_batch_phase([a, b], timing, flags)
+        assert breakdown.total_senses == 6
+        assert breakdown.unique_senses == 4
+        assert breakdown.senses_amortized == 2
+
+    def test_within_query_repeats_not_amortized(self):
+        """A query's own re-reads (filter retry, repeated document slots)
+        are temporally separated senses: a batch of one costs the solo
+        model exactly."""
+        timing, flags = self._timing_and_flags()
+        retry = self._cost(pages=(1, 2, 1, 2))  # one query scanning twice
+        breakdown = compose_batch_phase([retry], timing, flags)
+        assert breakdown.total_senses == 4
+        assert breakdown.unique_senses == 4
+        assert breakdown.senses_amortized == 0
+
+    def test_cross_query_sharing_caps_at_max_multiplicity(self):
+        timing, flags = self._timing_and_flags()
+        a = self._cost(pages=(1, 2, 1, 2))  # needs each page twice itself
+        b = self._cost(pages=(1, 2))  # rides along with one of a's passes
+        breakdown = compose_batch_phase([a, b], timing, flags)
+        assert breakdown.total_senses == 6
+        assert breakdown.unique_senses == 4
+        assert breakdown.senses_amortized == 2
+
+    def test_disjoint_planes_overlap(self):
+        """Two queries on different planes cost one query's read time."""
+        timing, flags = self._timing_and_flags()
+        a = self._cost(plane=0, pages=(1, 2))
+        b = self._cost(plane=1, pages=(101, 102))
+        joint = compose_batch_phase([a, b], timing, flags)
+        solo_a = compose_phase(a, timing, flags)[0]
+        solo_b = compose_phase(b, timing, flags)[0]
+        assert joint.seconds < solo_a + solo_b
+
+    def test_batch_of_one_matches_solo_compose(self):
+        timing, flags = self._timing_and_flags()
+        cost = self._cost(pages=(1, 2, 3), channel_bytes=512.0, core=1e-6)
+        solo_total, solo_components = compose_phase(cost, timing, flags)
+        breakdown = compose_batch_phase([cost], timing, flags)
+        assert breakdown.seconds == pytest.approx(solo_total)
+        assert breakdown.components == pytest.approx(solo_components)
+
+    def test_core_time_serializes(self):
+        timing, flags = self._timing_and_flags()
+        costs = [self._cost(pages=(i,), core=1e-3) for i in range(4)]
+        breakdown = compose_batch_phase(costs, timing, flags)
+        assert breakdown.components["fine_core"] == pytest.approx(4e-3)
+
+    def test_heterogeneous_phases_rejected(self):
+        timing, flags = self._timing_and_flags()
+        a = self._cost(name="fine")
+        b = PhaseCost(name="rerank", read_mode="tlc", with_compute=False)
+        with pytest.raises(ValueError):
+            compose_batch_phase([a, b], timing, flags)
+
+    def test_empty_batch_rejected(self):
+        timing, flags = self._timing_and_flags()
+        with pytest.raises(ValueError):
+            compose_batch_phase([], timing, flags)
+
+    def test_no_pipelining_sums_stages(self):
+        timing, _ = self._timing_and_flags()
+        cost = self._cost(pages=(1, 2), channel_bytes=2048.0, core=5e-6)
+        breakdown = compose_batch_phase([cost], timing, NO_OPT)
+        assert breakdown.seconds == pytest.approx(
+            sum(breakdown.components.values())
+        )
