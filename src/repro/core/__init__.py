@@ -47,10 +47,13 @@ from repro.core.plan import (
     CoarseStage,
     DocumentStage,
     FineStage,
+    PageRequest,
+    PageSchedule,
     PlanExecutor,
     PlanStage,
     QueryPlan,
     RerankStage,
+    build_page_schedule,
     build_query_plan,
 )
 from repro.core.scheduler import DeviceScheduler, ScheduleAccounting
@@ -78,10 +81,13 @@ __all__ = [
     "CoarseStage",
     "DocumentStage",
     "FineStage",
+    "PageRequest",
+    "PageSchedule",
     "PlanExecutor",
     "PlanStage",
     "QueryPlan",
     "RerankStage",
+    "build_page_schedule",
     "build_query_plan",
     "DatabaseDeployer",
     "DefragResult",

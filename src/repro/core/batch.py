@@ -1,44 +1,69 @@
 """Batched multi-query serving: one device, many concurrent queries.
 
 The seed served batches as a sequential loop and charged each query as if
-the device were idle between them.  Real serving keeps a *resident batch*
-on the device: every die and channel works on whichever query has pages
-there, and queries that touch the same physical page share one sense (the
-page is latched once; the in-plane XOR + fail-bit count then runs once per
-broadcast query -- "one sense, N distance extractions").
+the device were idle between them.  PR 2 added the joint cost model; this
+module now executes batches **page-major** so the functional simulator,
+the command traces, the energy counters and the cost model all tell the
+same story: the paper's "one sense, N distance extractions".
 
-:class:`BatchExecutor` implements that model on top of the plan layer:
+:class:`BatchExecutor` works phase by phase:
 
-* **Functional execution** stays per query, in plan order, so results are
-  bit-identical to the sequential path (the property the tests pin down).
-  This mirrors the hardware argument: reordering page service across
-  queries changes *when* a page is sensed, never *what* any query computes
-  from it.
-* **Cost composition** is joint: per-query :class:`PhaseCost` records
-  (which carry the identity of every sensed page) are merged by
-  :func:`~repro.core.costing.compose_batch_phase` into per-plane /
-  per-channel occupancies, so batched latency reflects overlap instead of
-  the sum of solo latencies.
+* **Scan phases (coarse, fine)** are driven by a
+  :class:`~repro.core.plan.PageSchedule`: the union of pages the batch
+  touches, each mapped to every (query, slot-window, threshold, filter)
+  scan that wants it.  The device senses each scheduled page once and the
+  vectorized kernel (:meth:`~repro.core.engine.InStorageAnnsEngine.
+  scan_page_windows`) drains all interested queries against the latched
+  data.  With ``OptFlags.schedule_optimization`` the schedule groups every
+  request for a page into one run (maximum collisions); without it,
+  requests stay in query order and only accidental adjacency shares a
+  sense.
+* **Order-preserving TTL replay** keeps results bit-identical to the
+  sequential path: the kernel only *extracts* -- per-query TTL appends,
+  channel billing and the per-page quickselect are replayed afterwards in
+  each query's original slot order
+  (:meth:`~repro.core.engine.InStorageAnnsEngine.absorb_scan_hit`), so a
+  query's TTL goes through exactly the states it would solo.  Reordering
+  page service across queries changes *when* a page is sensed, never
+  *what* any query computes from it.
+* **Rerank and document phases** stay query-major (their page reads go
+  through the controller's ECC path, not the in-die scan kernel); the
+  joint cost model still amortizes their page identities.
 
-The per-query results keep their solo latency reports (useful for
-tail-latency analysis and for the analytic cross-validation tests); the
-batch-level wall clock lives in :class:`BatchExecution`.
+Cost composition is joint: per-query :class:`PhaseCost` records are merged
+by :func:`~repro.core.costing.compose_batch_phase` into per-plane /
+per-channel occupancies, and for the scan phases the executed schedule's
+per-plane sense counts are passed as ``scheduled_senses`` -- the model
+bills exactly the senses the trace shows.  The per-query results keep
+their solo latency reports (useful for tail-latency analysis and the
+analytic cross-validation tests); the batch-level wall clock lives in
+:class:`BatchExecution`.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.costing import BatchPhaseBreakdown, PhaseCost, compose_batch_phase
-from repro.core.layout import DeployedDatabase
-from repro.core.plan import PlanExecutor, ReisQueryResult, build_query_plan
+from repro.core.layout import DeployedDatabase, RegionInfo
+from repro.core.plan import (
+    PageRequest,
+    PageSchedule,
+    PlanContext,
+    QueryPlan,
+    ReisQueryResult,
+    build_page_schedule,
+    build_query_plan,
+    finalize_query_result,
+)
+from repro.core.registry import TemporalTopList
 from repro.sim.latency import LatencyReport
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
-    from repro.core.engine import InStorageAnnsEngine
+    from repro.core.engine import InStorageAnnsEngine, PageScanHit, ScanWindow
 
 
 @dataclass
@@ -47,6 +72,13 @@ class BatchStats:
 
     n_queries: int = 0
     phases: Dict[str, BatchPhaseBreakdown] = field(default_factory=dict)
+    # Page-service requests the scan schedules carried and the senses they
+    # actually performed.  ``scan_senses`` is, by construction, the number
+    # of READ_PAGE commands the batch put on the die command buses for the
+    # coarse+fine phases, and equals the cost model's unique-sense count
+    # for those phases (compose_batch_phase bills the schedule verbatim).
+    scan_requests: int = 0
+    scan_senses: int = 0
 
     @property
     def total_senses(self) -> int:
@@ -83,11 +115,287 @@ class BatchExecution:
         return iter(self.results)
 
 
+@dataclass(frozen=True)
+class _ScanTask:
+    """One (query, page) scan demand inside a batch phase."""
+
+    query: int
+    page_offset: int
+    window: "ScanWindow"
+
+
+def _range_tasks(
+    query: int,
+    region: RegionInfo,
+    code: np.ndarray,
+    first_slot: int,
+    last_slot: int,
+    threshold: Optional[int],
+    metadata_filter: Optional[int],
+) -> List[_ScanTask]:
+    """One task per page of ``[first_slot, last_slot]``, in scan order.
+
+    The page/window enumeration is shared with the solo scan loop
+    (:func:`~repro.core.engine.iter_page_windows`), so replaying the tasks
+    in order reproduces the sequential path bit for bit.
+    """
+    from repro.core.engine import iter_page_windows
+
+    return [
+        _ScanTask(query=query, page_offset=page_offset, window=window)
+        for page_offset, window in iter_page_windows(
+            region, code, first_slot, last_slot, threshold, metadata_filter
+        )
+    ]
+
+
 class BatchExecutor:
     """Serves a batch of queries concurrently against one device."""
 
+    # The page-major driver dispatches on these stage names; a plan
+    # carrying anything else must be executed sequentially (PlanExecutor),
+    # never silently dropped.
+    SERVICEABLE_STAGES = frozenset(
+        ("ibc", "coarse", "fine", "rerank", "documents")
+    )
+
     def __init__(self, engine: "InStorageAnnsEngine") -> None:
         self.engine = engine
+
+    # ------------------------------------------------------- schedule layer
+
+    def _serve_scan_phase(
+        self,
+        region: RegionInfo,
+        tasks: Sequence[_ScanTask],
+        coarse: bool,
+        code_bytes: int,
+        oob_record_bytes: int,
+    ) -> Tuple[PageSchedule, List["PageScanHit"]]:
+        """Schedule a phase's page demands and drain them page-major.
+
+        Each service run senses its page at most once and the vectorized
+        kernel extracts every interested query's window from the latched
+        data.  Returns the executed schedule plus one hit per task (indexed
+        like ``tasks``), ready for per-query replay.
+        """
+        engine = self.engine
+        requests = [
+            PageRequest(task=index, page_offset=task.page_offset)
+            for index, task in enumerate(tasks)
+        ]
+        plane_of_page: Dict[int, int] = {}
+
+        def locate_plane(page_offset: int) -> int:
+            plane = plane_of_page.get(page_offset)
+            if plane is None:
+                plane = engine._locate(region, page_offset)[1]
+                plane_of_page[page_offset] = plane
+            return plane
+
+        schedule = build_page_schedule(
+            requests,
+            locate_plane,
+            optimize=engine.flags.schedule_optimization,
+        )
+        hits: List[Optional["PageScanHit"]] = [None] * len(tasks)
+        for page_offset, _plane, sense, run in schedule.service_groups():
+            windows = [tasks[request.task].window for request in run]
+            run_hits = engine.scan_page_windows(
+                region,
+                page_offset,
+                windows,
+                coarse,
+                code_bytes,
+                oob_record_bytes,
+                sense=sense,
+            )
+            for request, hit in zip(run, run_hits):
+                hits[request.task] = hit
+        return schedule, hits
+
+    @staticmethod
+    def _replay(
+        engine: "InStorageAnnsEngine",
+        tasks: Sequence[_ScanTask],
+        hits: Sequence["PageScanHit"],
+        ttls: Sequence[TemporalTopList],
+        costs: Sequence[PhaseCost],
+        ctxs: Sequence[PlanContext],
+        entry_bytes: int,
+        select_k: Sequence[int],
+    ) -> None:
+        """Replay extracted hits per query, in each query's original order.
+
+        Tasks were appended query by query in sequential scan order, so
+        walking them by ascending index within each query reproduces the
+        exact TTL append / compact interleaving of the solo path -- the
+        order-preserving replay that keeps batching bit-identical.
+        """
+        for index, task in enumerate(tasks):
+            qi = task.query
+            engine.absorb_scan_hit(
+                hits[index],
+                ttls[qi],
+                costs[qi],
+                ctxs[qi].stats,
+                entry_bytes,
+                select_k[qi],
+            )
+
+    # --------------------------------------------------------- phase drivers
+
+    def _run_coarse_phase(
+        self,
+        db: DeployedDatabase,
+        plans: Sequence[QueryPlan],
+        ctxs: Sequence[PlanContext],
+        stats: BatchStats,
+        scheduled_senses: Dict[str, Dict[int, int]],
+    ) -> None:
+        """Page-major coarse search: all queries sweep the centroid region."""
+        engine = self.engine
+        region = db.centroid_region
+        assert region is not None
+        nprobes = [
+            next(s.nprobe for s in plan.stages if s.name == "coarse")
+            for plan in plans
+        ]
+        entry_bytes = engine.params.coarse_entry_bytes(db.code_bytes)
+        costs = [PhaseCost(name="coarse", with_compute=True) for _ in plans]
+        ttls = [
+            TemporalTopList("c", entry_bytes, dram=engine.ssd.dram)
+            for _ in plans
+        ]
+        tasks: List[_ScanTask] = []
+        for qi, ctx in enumerate(ctxs):
+            tasks.extend(
+                _range_tasks(
+                    qi, region, ctx.query_code, 0, region.n_slots - 1,
+                    threshold=None, metadata_filter=None,
+                )
+            )
+        schedule, hits = self._serve_scan_phase(
+            region, tasks, coarse=True,
+            code_bytes=db.code_bytes,
+            oob_record_bytes=engine.params.tag_bytes,
+        )
+        self._record_schedule(schedule, "coarse", stats, scheduled_senses)
+        self._replay(engine, tasks, hits, ttls, costs, ctxs, entry_bytes, nprobes)
+        for qi, ctx in enumerate(ctxs):
+            ctx.clusters = engine.select_clusters(
+                db, ttls[qi], nprobes[qi], costs[qi], ctx.stats
+            )
+            ctx.phase_costs["coarse"] = costs[qi]
+
+    def _run_fine_phase(
+        self,
+        db: DeployedDatabase,
+        plans: Sequence[QueryPlan],
+        ctxs: Sequence[PlanContext],
+        stats: BatchStats,
+        scheduled_senses: Dict[str, Dict[int, int]],
+    ) -> None:
+        """Page-major fine search, including the per-query filter retry."""
+        engine = self.engine
+        region = db.embedding_region
+        fine_stages = [
+            next(s for s in plan.stages if s.name == "fine") for plan in plans
+        ]
+        shortlist_sizes = [stage.shortlist_size for stage in fine_stages]
+        entry_bytes = engine.params.fine_entry_bytes(db.code_bytes)
+        threshold = (
+            db.filter_threshold if engine.flags.distance_filtering else None
+        )
+        costs = [
+            PhaseCost(
+                name="fine",
+                with_compute=True,
+                with_filter=engine.flags.distance_filtering,
+            )
+            for _ in plans
+        ]
+        ttls = [
+            TemporalTopList("e", entry_bytes, dram=engine.ssd.dram)
+            for _ in plans
+        ]
+        ranges_per_query = [
+            engine._slot_ranges(db, ctx.clusters) for ctx in ctxs
+        ]
+        tasks: List[_ScanTask] = []
+        for qi, ctx in enumerate(ctxs):
+            for first, last in ranges_per_query[qi]:
+                ctx.stats.candidates += last - first + 1
+                tasks.extend(
+                    _range_tasks(
+                        qi, region, ctx.query_code, first, last,
+                        threshold=threshold,
+                        metadata_filter=fine_stages[qi].metadata_filter,
+                    )
+                )
+        schedule, hits = self._serve_scan_phase(
+            region, tasks, coarse=False,
+            code_bytes=db.code_bytes,
+            oob_record_bytes=db.oob_record_bytes,
+        )
+        self._record_schedule(schedule, "fine", stats, scheduled_senses)
+        self._replay(
+            engine, tasks, hits, ttls, costs, ctxs, entry_bytes, shortlist_sizes
+        )
+
+        # Queries the calibrated threshold starved below k rescan without
+        # filtering -- still as one shared page-major schedule.
+        retries = [
+            qi
+            for qi, ctx in enumerate(ctxs)
+            if engine.fine_needs_retry(
+                ttls[qi], threshold, shortlist_sizes[qi], ctx.stats
+            )
+        ]
+        if retries:
+            retry_tasks: List[_ScanTask] = []
+            for qi in retries:
+                ctxs[qi].stats.filter_retries += 1
+                ttls[qi].clear()
+                for first, last in ranges_per_query[qi]:
+                    retry_tasks.extend(
+                        _range_tasks(
+                            qi, region, ctxs[qi].query_code, first, last,
+                            threshold=None,
+                            metadata_filter=fine_stages[qi].metadata_filter,
+                        )
+                    )
+            retry_schedule, retry_hits = self._serve_scan_phase(
+                region, retry_tasks, coarse=False,
+                code_bytes=db.code_bytes,
+                oob_record_bytes=db.oob_record_bytes,
+            )
+            self._record_schedule(retry_schedule, "fine", stats, scheduled_senses)
+            self._replay(
+                engine, retry_tasks, retry_hits, ttls, costs, ctxs,
+                entry_bytes, shortlist_sizes,
+            )
+        for qi, ctx in enumerate(ctxs):
+            ctx.shortlist = engine.finish_fine_search(
+                ttls[qi], shortlist_sizes[qi], costs[qi]
+            )
+            ctx.phase_costs["fine"] = costs[qi]
+
+    @staticmethod
+    def _record_schedule(
+        schedule: PageSchedule,
+        phase: str,
+        stats: BatchStats,
+        scheduled_senses: Dict[str, Dict[int, int]],
+    ) -> None:
+        """Accumulate an executed schedule's sense counts for the cost model."""
+        stats.scan_requests += schedule.n_requests
+        stats.scan_senses += schedule.n_senses
+        acc = scheduled_senses.setdefault(phase, {})
+        for plane, senses in schedule.senses_per_plane().items():
+            acc[plane] = acc.get(plane, 0) + senses
+
+    # -------------------------------------------------------------- execute
 
     def execute(
         self,
@@ -98,21 +406,57 @@ class BatchExecutor:
         fetch_documents: bool = True,
         metadata_filter: Optional[int] = None,
     ) -> BatchExecution:
-        """Build one plan per query, execute them, cost the batch jointly."""
+        """Serve a batch: plan per query, scan page-major, cost jointly."""
         engine = self.engine
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
-        executor = PlanExecutor(engine)
 
-        results: List[ReisQueryResult] = []
+        plans = [
+            build_query_plan(
+                engine, db, query, k, nprobe, fetch_documents, metadata_filter
+            )
+            for query in queries
+        ]
+        for plan in plans:
+            unknown = [
+                s.name for s in plan.stages
+                if s.name not in self.SERVICEABLE_STAGES
+            ]
+            if unknown or not {"ibc", "fine"} <= set(plan.stage_names()):
+                raise ValueError(
+                    "page-major batch execution cannot service this plan "
+                    f"(stages {plan.stage_names()}); run it through "
+                    "PlanExecutor instead"
+                )
+        ctxs = [PlanContext(db=plan.db, query=plan.query) for plan in plans]
+        stats = BatchStats(n_queries=len(plans))
+        scheduled_senses: Dict[str, Dict[int, int]] = {}
+
+        # Step 1 per query: encode + IBC (sets ctx.query_code).
+        for plan, ctx in zip(plans, ctxs):
+            next(s for s in plan.stages if s.name == "ibc").run(engine, ctx)
+
+        # Scan phases run page-major across the whole batch.
+        if plans and any(s.name == "coarse" for s in plans[0].stages):
+            self._run_coarse_phase(db, plans, ctxs, stats, scheduled_senses)
+        if plans:
+            self._run_fine_phase(db, plans, ctxs, stats, scheduled_senses)
+
+        # Rerank + documents stay query-major (ECC-corrected TLC reads).
+        for plan, ctx in zip(plans, ctxs):
+            for stage in plan.stages:
+                if stage.name in ("rerank", "documents"):
+                    stage.run(engine, ctx)
+
+        results = [
+            finalize_query_result(engine, plan, ctx)
+            for plan, ctx in zip(plans, ctxs)
+        ]
+
+        # Joint cost composition; scan phases bill the executed schedules.
         phase_costs: Dict[str, List[PhaseCost]] = {}
         ibc_seconds = 0.0
         host_seconds = 0.0
-        for query in queries:
-            plan = build_query_plan(
-                engine, db, query, k, nprobe, fetch_documents, metadata_filter
-            )
-            result, ctx = executor.execute(plan)
-            results.append(result)
+        for ctx in ctxs:
             ibc_seconds += ctx.ibc_seconds
             host_seconds += ctx.host_seconds
             for name, cost in ctx.phase_costs.items():
@@ -123,10 +467,10 @@ class BatchExecutor:
         report.add_component("ibc", ibc_seconds)
         report.add_phase("ibc", ibc_seconds)
         report.total_s += ibc_seconds
-        stats = BatchStats(n_queries=len(results))
         for name, costs in phase_costs.items():
             breakdown = compose_batch_phase(
-                costs, engine.timing, engine.flags, ecc_rate
+                costs, engine.timing, engine.flags, ecc_rate,
+                scheduled_senses=scheduled_senses.get(name),
             )
             stats.phases[name] = breakdown
             report.total_s += breakdown.seconds

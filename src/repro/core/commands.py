@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -48,6 +48,10 @@ class CommandTrace:
     def record(self, op: FlashOp) -> None:
         self.counts[op] = self.counts.get(op, 0) + 1
 
+    def record_many(self, op: FlashOp, n: int) -> None:
+        if n > 0:
+            self.counts[op] = self.counts.get(op, 0) + n
+
     def __getitem__(self, op: FlashOp) -> int:
         return self.counts.get(op, 0)
 
@@ -70,58 +74,101 @@ class DieCommandInterface:
         self.trace.record(FlashOp.READ_PAGE)
         return self.die.planes[plane].read_page(block, page)
 
-    def xor(self, plane: int) -> None:
-        """XOR ADR_P: CL xor SL -> DL on the addressed plane."""
-        self.trace.record(FlashOp.XOR)
-        self.die.planes[plane].xor_cache_sensing()
-
-    def gen_dist(self, plane: int, code_bytes: int, n_segments: int) -> np.ndarray:
-        """GEN_DIST: per-embedding Hamming distances via the fail-bit counter.
-
-        Returned as an ``int64`` vector so the engine's scan loop can mask
-        and gather slots without per-slot Python lists.
-        """
-        self.trace.record(FlashOp.GEN_DIST)
-        return self.die.planes[plane].segment_distances(code_bytes, n_segments)
-
-    def pass_fail(
-        self, plane: int, distances: Sequence[int], threshold: int
-    ) -> List[int]:
-        """Distance filtering with the program-verify comparator.
-
-        Returns the passing indices in ascending order.
-        """
-        self.trace.record(FlashOp.PASS_FAIL)
-        return self.die.planes[plane].filter_distances(distances, threshold)
-
-    def rd_ttl(
+    def gen_dist_multi(
         self,
         plane: int,
-        slot_in_page: int,
+        query_codes: np.ndarray,
         code_bytes: int,
-        dist: int,
+        n_segments: int,
+    ) -> np.ndarray:
+        """GEN_DIST for several queries against the one latched page.
+
+        The page is sensed once; for each query the cache latch is reloaded
+        and the XOR + fail-bit-count pair runs again ("one sense, N distance
+        extractions"), so the command stream carries one XOR and one
+        GEN_DIST per query exactly as if each query had visited the page
+        itself.  Returns a ``(n_queries, n_segments)`` distance matrix.
+        """
+        n_queries = len(query_codes)
+        self.trace.record_many(FlashOp.XOR, n_queries)
+        self.trace.record_many(FlashOp.GEN_DIST, n_queries)
+        return self.die.multi_query_distances(
+            plane, query_codes, code_bytes, n_segments
+        )
+
+    def pass_fail_mask(
+        self, plane: int, distances: Sequence[int], threshold: int
+    ) -> np.ndarray:
+        """Distance filtering returning the comparator's pass mask."""
+        self.trace.record(FlashOp.PASS_FAIL)
+        return self.die.planes[plane].filter_distances_mask(distances, threshold)
+
+    def rd_ttl_batch(
+        self,
+        plane: int,
+        slots: np.ndarray,
+        code_bytes: int,
+        dists: np.ndarray,
         oob_record_bytes: int,
         coarse: bool,
-    ) -> TtlEntry:
-        """RD_TTL EADR: assemble a TTL entry from the latches + OOB.
+        eadr_base: int,
+        metadata_filter: Optional[int] = None,
+    ) -> Tuple[List[TtlEntry], int]:
+        """Batched RD_TTL: assemble TTL entries for many slots in one sweep.
 
-        The embedding code is read back from the sensing latch (the database
-        page is still latched); the linkage fields come from the page's OOB,
-        which was loaded alongside the page (Sec. 4.1.3).
+        Embedding codes are gathered from the sensing latch and OOB linkage
+        records are decoded vectorized; with ``metadata_filter`` the Sec. 7.1
+        tag comparison runs *in the die* (the pass/fail comparator) before
+        any entry moves, so mismatching entries are dropped without an
+        RD_TTL command and never cross the channel.  Returns the surviving
+        entries in ascending slot order plus the in-die-filtered count.
         """
-        self.trace.record(FlashOp.RD_TTL)
-        buffer = self.die.planes[plane].buffer
-        start = slot_in_page * code_bytes
-        emb = buffer.sensing[start : start + code_bytes].copy()
-        oob = buffer.oob
+        slots = np.asarray(slots, dtype=np.intp)
+        if slots.size == 0:
+            return [], 0
+        oob = self.die.planes[plane].buffer.oob
+        n_filtered = 0
         if coarse:
-            tag = int(oob[slot_in_page * oob_record_bytes])
-            return TtlEntry(dist=dist, emb=emb, tag=tag)
-        record = oob[
-            slot_in_page * oob_record_bytes : (slot_in_page + 1) * oob_record_bytes
+            tags = oob[slots * oob_record_bytes].astype(np.int64)
+            self.trace.record_many(FlashOp.RD_TTL, slots.size)
+            embs = self.die.ttl_codes(plane, slots, code_bytes)
+            entries = [
+                TtlEntry(dist=dist, emb=emb, tag=int(tag), eadr=eadr_base + slot)
+                for dist, emb, tag, slot in zip(
+                    dists.tolist(), embs, tags.tolist(), slots.tolist()
+                )
+            ]
+            return entries, 0
+        rows = oob.size // oob_record_bytes
+        records = oob[: rows * oob_record_bytes].reshape(rows, oob_record_bytes)
+        words = np.ascontiguousarray(records[slots]).view("<u4")
+        if words.shape[1] >= 3:
+            metas = words[:, 2].astype(np.int64)
+        else:
+            metas = np.full(slots.size, -1, dtype=np.int64)
+        if metadata_filter is not None:
+            # The tag sweep reuses the pass/fail comparator (Sec. 7.1), so
+            # it costs one PASS_FAIL command per window like the distance
+            # filter -- mismatches are dropped before any RD_TTL moves.
+            self.trace.record(FlashOp.PASS_FAIL)
+            keep = self.die.planes[plane].filter_tags_mask(metas, metadata_filter)
+            n_filtered = int(slots.size - keep.sum())
+            slots, dists = slots[keep], dists[keep]
+            words, metas = words[keep], metas[keep]
+            if slots.size == 0:
+                return [], n_filtered
+        self.trace.record_many(FlashOp.RD_TTL, slots.size)
+        embs = self.die.ttl_codes(plane, slots, code_bytes)
+        dadrs = words[:, 0].astype(np.int64)
+        radrs = words[:, 1].astype(np.int64)
+        entries = [
+            TtlEntry(
+                dist=dist, emb=emb, dadr=dadr, radr=radr, meta=meta,
+                eadr=eadr_base + slot,
+            )
+            for dist, emb, dadr, radr, meta, slot in zip(
+                dists.tolist(), embs, dadrs.tolist(), radrs.tolist(),
+                metas.tolist(), slots.tolist(),
+            )
         ]
-        words = np.frombuffer(record.tobytes(), dtype="<u4")
-        dadr, radr = words[:2]
-        # Databases deployed with metadata carry a third word (Sec. 7.1).
-        meta = int(words[2]) if words.size >= 3 else -1
-        return TtlEntry(dist=dist, emb=emb, dadr=int(dadr), radr=int(radr), meta=meta)
+        return entries, n_filtered

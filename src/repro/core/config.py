@@ -26,11 +26,21 @@ from repro.ssd.power import SsdPowerParams
 
 @dataclass(frozen=True)
 class OptFlags:
-    """The three engine optimizations ablated in Fig. 9."""
+    """The three engine optimizations ablated in Fig. 9, plus the
+    batch-serving schedule optimizer.
+
+    ``schedule_optimization`` controls the page-major batch executor: when
+    on, cluster scans are reordered within a batch so visits to the same
+    physical page become adjacent and share one sense; when off, scans are
+    serviced in query order and a sense is shared only if the page happens
+    to still be latched on its plane.  It has no effect on single-query
+    execution or on the analytic paper-scale model.
+    """
 
     distance_filtering: bool = True
     pipelining: bool = True
     multi_plane_ibc: bool = True
+    schedule_optimization: bool = True
 
     def label(self) -> str:
         if not any((self.distance_filtering, self.pipelining, self.multi_plane_ibc)):

@@ -23,7 +23,7 @@ datasets), which is what lets tests cross-validate the two layers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.nand.geometry import FlashGeometry
 from repro.nand.timing import NandTiming
@@ -180,6 +180,7 @@ def compose_batch_phase(
     timing: NandTiming,
     flags: OptFlags,
     ecc_decode_seconds_per_byte: float = 0.0,
+    scheduled_senses: Optional[Mapping[int, int]] = None,
 ) -> BatchPhaseBreakdown:
     """Compose one phase across a batch with die/channel occupancy.
 
@@ -206,6 +207,16 @@ def compose_batch_phase(
     :func:`compose_phase`, with the pipeline-fill term amortized over the
     batch's page iterations.  All costs must belong to the same phase (same
     name, read mode and compute/filter settings).
+
+    ``scheduled_senses`` is the page-major execution feedback path: when the
+    batch was actually served by a :class:`~repro.core.plan.PageSchedule`,
+    the caller passes the per-plane count of senses the schedule *really
+    performed* and the model bills exactly those, instead of re-deriving
+    sharing from page identities.  (The derived count assumes query-major
+    service, where a query's own repeat visits are temporally separated; a
+    page-major schedule can merge even those, so the executed schedule is
+    the ground truth.)  Per-plane visit counts -- which drive the per-visit
+    latch compute and the pipeline-fill term -- always come from the costs.
     """
     if not costs:
         raise ValueError("compose_batch_phase needs at least one phase cost")
@@ -253,9 +264,12 @@ def compose_batch_phase(
     read_s = 0.0
     unique_total = 0
     for plane, visits in plane_visits.items():
-        # Visits recorded without a page identity cannot be amortized.
-        untracked = visits - plane_tracked.get(plane, 0)
-        senses = sum(plane_senses.get(plane, {}).values()) + untracked
+        if scheduled_senses is not None and plane in scheduled_senses:
+            senses = scheduled_senses[plane]
+        else:
+            # Visits recorded without a page identity cannot be amortized.
+            untracked = visits - plane_tracked.get(plane, 0)
+            senses = sum(plane_senses.get(plane, {}).values()) + untracked
         unique_total += senses
         read_s = max(read_s, senses * sense_s + visits * compute_s)
     transfer_s = max(

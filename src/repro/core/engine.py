@@ -34,6 +34,7 @@ and :mod:`repro.core.batch` (a concurrent batch).
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -57,8 +58,69 @@ from repro.ssd.device import SimulatedSSD
 __all__ = [
     "InStorageAnnsEngine",
     "ReisQueryResult",
+    "ScanWindow",
+    "PageScanHit",
     "SearchStats",
+    "iter_page_windows",
 ]
+
+
+@dataclass(frozen=True)
+class ScanWindow:
+    """One query's demand on one latched page: its code plus a slot window.
+
+    ``lo``/``hi`` are slot indices within the page (inclusive).  The
+    threshold and metadata filter travel with the window because the
+    page-major executor services windows of many queries against one sense.
+    """
+
+    code: np.ndarray
+    lo: int
+    hi: int
+    threshold: Optional[int] = None
+    metadata_filter: Optional[int] = None
+
+
+@dataclass
+class PageScanHit:
+    """What one window extracted from one page (steps 3-6 for one query)."""
+
+    plane_index: int
+    channel: int
+    page_id: int
+    n_valid: int
+    n_filtered: int  # dropped in-die: distance threshold + metadata tag
+    entries: List[TtlEntry] = field(default_factory=list)
+
+
+def iter_page_windows(
+    region: RegionInfo,
+    query_code: np.ndarray,
+    first_slot: int,
+    last_slot: int,
+    threshold: Optional[int] = None,
+    metadata_filter: Optional[int] = None,
+):
+    """Yield ``(page_offset, ScanWindow)`` for each page of a slot range.
+
+    The single source of the slot-to-page arithmetic: the solo scan loop
+    and the batch executor's task builder both enumerate their demands
+    through here, so the two paths cannot drift apart.  Window bounds are
+    left unclamped (the kernel clamps to the page's valid slots).
+    """
+    if last_slot < first_slot:
+        return
+    first_page = first_slot // region.slots_per_page
+    last_page = last_slot // region.slots_per_page
+    for page_offset in range(first_page, last_page + 1):
+        page_first = page_offset * region.slots_per_page
+        yield page_offset, ScanWindow(
+            code=query_code,
+            lo=first_slot - page_first,
+            hi=last_slot - page_first,
+            threshold=threshold,
+            metadata_filter=metadata_filter,
+        )
 
 
 class InStorageAnnsEngine:
@@ -108,10 +170,132 @@ class InStorageAnnsEngine:
 
     # ------------------------------------------------------------ scan core
 
+    def scan_page_windows(
+        self,
+        region: RegionInfo,
+        page_offset: int,
+        windows: Sequence[ScanWindow],
+        coarse: bool,
+        code_bytes: int,
+        oob_record_bytes: int,
+        sense: bool = True,
+    ) -> List[PageScanHit]:
+        """Steps 2-6 on ONE page for MANY queries: the vectorized scan kernel.
+
+        Senses the page (unless it is already latched in its plane's
+        buffer), then for every window runs the in-plane extraction chain --
+        cache-latch reload + XOR + GEN_DIST, the pass/fail distance
+        threshold, the in-die metadata-tag comparison -- and assembles the
+        surviving TTL entries in one vectorized sweep per window.  The
+        command trace carries one XOR/GEN_DIST (and PASS_FAIL where
+        thresholded) per window, exactly the per-visit latch work the cost
+        model bills, but READ_PAGE only when ``sense`` is true: one sense,
+        N distance extractions.
+
+        This is the single scan primitive: the solo path calls it with one
+        window per page, the page-major batch executor with every
+        interested query's window at once.
+        """
+        ppa, plane_index, channel = self._locate(region, page_offset)
+        plane_in_die = ppa.plane
+        interface = self.die_interface_of_plane(plane_index)
+        if sense:
+            interface.read_page(plane_in_die, ppa.block, ppa.page)
+        n_segments = region.slots_in_page(page_offset)
+        page_first = page_offset * region.slots_per_page
+        page_id = ppa.to_linear(self.geometry)
+
+        codes = np.stack([window.code for window in windows])
+        distances = interface.gen_dist_multi(
+            plane_in_die, codes, code_bytes, n_segments
+        )
+
+        hits: List[PageScanHit] = []
+        for row, window in enumerate(windows):
+            lo = max(window.lo, 0)
+            hi = min(window.hi, n_segments - 1)
+            n_valid = hi - lo + 1
+            if n_valid <= 0:
+                hits.append(
+                    PageScanHit(plane_index, channel, page_id, 0, 0)
+                )
+                continue
+            window_dists = distances[row, lo : hi + 1]
+            if window.threshold is not None:
+                mask = interface.pass_fail_mask(
+                    plane_in_die, window_dists, window.threshold
+                )
+                kept = np.arange(lo, hi + 1, dtype=np.intp)[mask]
+                kept_dists = window_dists[mask]
+                n_dist_filtered = n_valid - kept.size
+            else:
+                kept = np.arange(lo, hi + 1, dtype=np.intp)
+                kept_dists = window_dists
+                n_dist_filtered = 0
+            entries, n_meta_filtered = interface.rd_ttl_batch(
+                plane_in_die,
+                kept,
+                code_bytes,
+                kept_dists,
+                oob_record_bytes,
+                coarse=coarse,
+                eadr_base=page_first,
+                metadata_filter=window.metadata_filter,
+            )
+            hits.append(
+                PageScanHit(
+                    plane_index=plane_index,
+                    channel=channel,
+                    page_id=page_id,
+                    n_valid=n_valid,
+                    n_filtered=n_dist_filtered + n_meta_filtered,
+                    entries=entries,
+                )
+            )
+        return hits
+
+    def absorb_scan_hit(
+        self,
+        hit: PageScanHit,
+        ttl: TemporalTopList,
+        cost: PhaseCost,
+        stats: SearchStats,
+        entry_bytes: int,
+        select_k: int,
+    ) -> None:
+        """Account one window's page visit to a query's cost/stats/TTL.
+
+        This is the per-query half of the scan: the kernel may have served
+        the window from a sense shared with other queries, but the query
+        still pays its visit (latch compute), its channel transfers, and
+        its per-iteration quickselect exactly as it would solo -- which is
+        what keeps solo latency reports identical under batching.
+        """
+        cost.add_page(hit.plane_index, page_id=hit.page_id)
+        stats.pages_read += 1
+        stats.entries_scanned += hit.n_valid
+        stats.entries_filtered += hit.n_filtered
+        if hit.entries:
+            ttl.extend(hit.entries)
+            n = len(hit.entries)
+            cost.add_channel_bytes(hit.channel, n * entry_bytes)
+            self.ssd.counters.add("channel_bytes", n * entry_bytes)
+            stats.entries_transferred += n
+        # Per-iteration quickselect (Sec. 4.3.1): after each page the
+        # embedded core trims the TTL back to the running top list,
+        # bounding its DRAM footprint.  With pipelining this overlaps
+        # the next page read (handled by compose_phase).
+        if len(ttl) > 2 * select_k:
+            processed = ttl.compact(select_k)
+            cost.core_seconds += self.ssd.cores.reis_core.quickselect(
+                processed, select_k
+            )
+
     def _scan_range(
         self,
         db: DeployedDatabase,
         region: RegionInfo,
+        query_code: np.ndarray,
         first_slot: int,
         last_slot: int,
         ttl: TemporalTopList,
@@ -124,14 +308,14 @@ class InStorageAnnsEngine:
     ) -> None:
         """Steps 2-6 over the slots ``[first_slot, last_slot]`` of a region.
 
-        Reads each page the range touches, XORs it against the broadcast
-        query, extracts per-embedding distances with the fail-bit counter,
+        Reads each page the range touches, XORs it against the query code,
+        extracts per-embedding distances with the fail-bit counter,
         optionally filters (by distance, and by the Sec. 7.1 metadata tag
-        when ``metadata_filter`` is given), and moves surviving entries
-        into ``ttl``.
+        when ``metadata_filter`` is given -- applied in-die, before any
+        entry crosses the channel), and moves surviving entries into
+        ``ttl``.  One :meth:`scan_page_windows` call per page; the batch
+        executor replaces this loop with a page-major schedule.
         """
-        if last_slot < first_slot:
-            return
         code_bytes = db.code_bytes
         oob_record = self.params.tag_bytes if coarse else db.oob_record_bytes
         entry_bytes = (
@@ -139,74 +323,20 @@ class InStorageAnnsEngine:
             if coarse
             else self.params.fine_entry_bytes(code_bytes)
         )
-        first_page = first_slot // region.slots_per_page
-        last_page = last_slot // region.slots_per_page
-        for page_offset in range(first_page, last_page + 1):
-            ppa, plane_index, channel = self._locate(region, page_offset)
-            plane_in_die = ppa.plane
-            interface = self.die_interface_of_plane(plane_index)
-
-            interface.read_page(plane_in_die, ppa.block, ppa.page)
-            interface.xor(plane_in_die)
-            n_segments = region.slots_in_page(page_offset)
-            distances = interface.gen_dist(plane_in_die, code_bytes, n_segments)
-            cost.add_page(plane_index, page_id=ppa.to_linear(self.geometry))
-            stats.pages_read += 1
-
-            # The slots of this page inside [first_slot, last_slot]: regions
-            # pack slots contiguously, so the valid window is one interval.
-            page_first = page_offset * region.slots_per_page
-            lo = max(first_slot - page_first, 0)
-            hi = min(last_slot - page_first, n_segments - 1)
-            valid = np.arange(lo, hi + 1, dtype=np.intp)
-            stats.entries_scanned += valid.size
-
-            if threshold is not None:
-                passing = interface.pass_fail(
-                    plane_in_die, distances[valid], threshold
-                )
-                kept = valid[np.asarray(passing, dtype=np.intp)]
-                stats.entries_filtered += valid.size - kept.size
-            else:
-                kept = valid
-
-            for slot_in_page in kept:
-                slot_in_page = int(slot_in_page)
-                entry = interface.rd_ttl(
-                    plane_in_die,
-                    slot_in_page,
-                    code_bytes,
-                    int(distances[slot_in_page]),
-                    oob_record,
-                    coarse=coarse,
-                )
-                entry.eadr = page_first + slot_in_page
-                if metadata_filter is not None and entry.meta != metadata_filter:
-                    # The tag comparison happens inside the die with the
-                    # pass/fail comparator, so mismatches never cross the
-                    # channel (Sec. 7.1).
-                    stats.entries_filtered += 1
-                    continue
-                ttl.append(entry)
-                cost.add_channel_bytes(channel, entry_bytes)
-                self.ssd.counters.add("channel_bytes", entry_bytes)
-                stats.entries_transferred += 1
-
-            # Per-iteration quickselect (Sec. 4.3.1): after each page the
-            # embedded core trims the TTL back to the running top list,
-            # bounding its DRAM footprint.  With pipelining this overlaps
-            # the next page read (handled by compose_phase).
-            if len(ttl) > 2 * select_k:
-                processed = ttl.compact(select_k)
-                cost.core_seconds += self.ssd.cores.reis_core.quickselect(
-                    processed, select_k
-                )
+        for page_offset, window in iter_page_windows(
+            region, query_code, first_slot, last_slot, threshold, metadata_filter
+        ):
+            (hit,) = self.scan_page_windows(
+                region, page_offset, [window], coarse, code_bytes, oob_record
+            )
+            self.absorb_scan_hit(hit, ttl, cost, stats, entry_bytes, select_k)
 
     # --------------------------------------------------------- search steps
 
     def _coarse_search(
         self,
         db: DeployedDatabase,
+        query_code: np.ndarray,
         nprobe: int,
         stats: SearchStats,
     ) -> Tuple[List[int], PhaseCost]:
@@ -221,6 +351,7 @@ class InStorageAnnsEngine:
         self._scan_range(
             db,
             db.centroid_region,
+            query_code,
             0,
             db.centroid_region.n_slots - 1,
             ttl_c,
@@ -230,6 +361,19 @@ class InStorageAnnsEngine:
             threshold=None,
             select_k=nprobe,
         )
+        clusters = self.select_clusters(db, ttl_c, nprobe, cost, stats)
+        return clusters, cost
+
+    def select_clusters(
+        self,
+        db: DeployedDatabase,
+        ttl_c: TemporalTopList,
+        nprobe: int,
+        cost: PhaseCost,
+        stats: SearchStats,
+    ) -> List[int]:
+        """Quickselect the nprobe nearest centroids and resolve cluster ids."""
+        assert db.r_ivf is not None
         core = self.ssd.cores.reis_core
         cost.core_seconds += core.quickselect(len(ttl_c), nprobe)
         nearest = ttl_c.select_smallest(nprobe)
@@ -244,11 +388,12 @@ class InStorageAnnsEngine:
                 )
             clusters.append(cluster_id)
         stats.clusters_probed = len(clusters)
-        return clusters, cost
+        return clusters
 
     def _fine_search(
         self,
         db: DeployedDatabase,
+        query_code: np.ndarray,
         clusters: Optional[Sequence[int]],
         shortlist_size: int,
         stats: SearchStats,
@@ -272,6 +417,7 @@ class InStorageAnnsEngine:
             self._scan_range(
                 db,
                 db.embedding_region,
+                query_code,
                 first,
                 last,
                 ttl_e,
@@ -282,8 +428,7 @@ class InStorageAnnsEngine:
                 select_k=shortlist_size,
                 metadata_filter=metadata_filter,
             )
-        k = max(1, shortlist_size // self.params.shortlist_factor)
-        if threshold is not None and len(ttl_e) < min(k, stats.candidates):
+        if self.fine_needs_retry(ttl_e, threshold, shortlist_size, stats):
             # The calibrated threshold filtered too aggressively for this
             # query to return k results; rescan without filtering so
             # correctness never depends on the filter (the paper calibrates
@@ -295,6 +440,7 @@ class InStorageAnnsEngine:
                 self._scan_range(
                     db,
                     db.embedding_region,
+                    query_code,
                     first,
                     last,
                     ttl_e,
@@ -305,10 +451,29 @@ class InStorageAnnsEngine:
                     select_k=shortlist_size,
                     metadata_filter=metadata_filter,
                 )
+        return self.finish_fine_search(ttl_e, shortlist_size, cost), cost
+
+    def fine_needs_retry(
+        self,
+        ttl_e: TemporalTopList,
+        threshold: Optional[int],
+        shortlist_size: int,
+        stats: SearchStats,
+    ) -> bool:
+        """Did distance filtering starve this query below k candidates?"""
+        k = max(1, shortlist_size // self.params.shortlist_factor)
+        return threshold is not None and len(ttl_e) < min(k, stats.candidates)
+
+    def finish_fine_search(
+        self,
+        ttl_e: TemporalTopList,
+        shortlist_size: int,
+        cost: PhaseCost,
+    ) -> List[TtlEntry]:
+        """Final quickselect of the fine phase: the rescoring shortlist."""
         core = self.ssd.cores.reis_core
         cost.core_seconds += core.quickselect(len(ttl_e), shortlist_size)
-        shortlist = ttl_e.select_smallest(shortlist_size)
-        return shortlist, cost
+        return ttl_e.select_smallest(shortlist_size)
 
     def _slot_ranges(
         self, db: DeployedDatabase, clusters: Optional[Sequence[int]]
@@ -349,21 +514,30 @@ class InStorageAnnsEngine:
 
         codes = np.empty((len(shortlist), dim), dtype=np.int8)
         pages_fetched: Dict[int, np.ndarray] = {}
+        page_channel: Dict[int, int] = {}
         codewords_moved = set()
         cw = self.ssd.ecc.config.codeword_bytes
-        for row, entry in enumerate(shortlist):
-            page_offset, slot_in_page = region.page_of_slot(entry.radr)
-            start = slot_in_page * dim
+        # Slot -> (page, byte offset) resolved for the whole shortlist at
+        # once; the remaining loop only fetches pages and charges codewords.
+        radrs = np.array([entry.radr for entry in shortlist], dtype=np.int64)
+        if radrs.min() < 0 or radrs.max() >= region.n_slots:
+            raise IndexError(f"shortlist RADR outside region {region.name!r}")
+        page_offsets = radrs // region.slots_per_page
+        starts = (radrs % region.slots_per_page) * dim
+        for row in range(len(shortlist)):
+            page_offset = int(page_offsets[row])
+            start = int(starts[row])
             if page_offset not in pages_fetched:
                 # The sense itself; channel/ECC charges are per codeword.
                 pages_fetched[page_offset] = self._read_corrected(
                     region, page_offset, cost, stats, start, dim,
                     charge_transfer=False,
                 )
+                page_channel[page_offset] = self._locate(region, page_offset)[2]
             page = pages_fetched[page_offset]
             codes[row] = page[start : start + dim].view(np.int8)
             # Charge each distinct ECC codeword the shortlist touches once.
-            _, _, channel = self._locate(region, page_offset)
+            channel = page_channel[page_offset]
             for cw_index in range(start // cw, (start + dim - 1) // cw + 1):
                 key = (page_offset, cw_index)
                 if key not in codewords_moved:

@@ -24,7 +24,16 @@ plan sequentially is bit- and latency-identical to the seed's monolithic
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Tuple,
+)
 
 import numpy as np
 
@@ -123,7 +132,9 @@ class CoarseStage(PlanStage):
     name: str = "coarse"
 
     def run(self, engine: "InStorageAnnsEngine", ctx: PlanContext) -> None:
-        ctx.clusters, cost = engine._coarse_search(ctx.db, self.nprobe, ctx.stats)
+        ctx.clusters, cost = engine._coarse_search(
+            ctx.db, ctx.query_code, self.nprobe, ctx.stats
+        )
         ctx.phase_costs[self.name] = cost
 
 
@@ -137,8 +148,8 @@ class FineStage(PlanStage):
 
     def run(self, engine: "InStorageAnnsEngine", ctx: PlanContext) -> None:
         ctx.shortlist, cost = engine._fine_search(
-            ctx.db, ctx.clusters, self.shortlist_size, ctx.stats,
-            self.metadata_filter,
+            ctx.db, ctx.query_code, ctx.clusters, self.shortlist_size,
+            ctx.stats, self.metadata_filter,
         )
         ctx.phase_costs[self.name] = cost
 
@@ -170,6 +181,110 @@ class DocumentStage(PlanStage):
             ctx.db, ctx.dadrs, ctx.stats
         )
         ctx.phase_costs[self.name] = cost
+
+
+@dataclass(frozen=True)
+class PageRequest:
+    """One task's demand for one page of a region.
+
+    ``task`` indexes whatever task list the schedule was built from (a
+    query's scan of one slot range, a rerank fetch, a document fetch);
+    the task carries the rest of the demand (slot window, threshold,
+    filter), so the schedule holds exactly the data ordering needs.
+    """
+
+    task: int
+    page_offset: int
+
+
+@dataclass
+class PageSchedule:
+    """An ordered page-service schedule for one batch phase.
+
+    ``requests`` is the order in which the device services page demands;
+    ``sensed[i]`` says whether request ``i`` triggers a fresh sense or rides
+    on the page already latched in its plane's buffer.  The schedule is
+    *data*: the batch executor derives it from the plan list, the functional
+    kernel executes it, and the cost model bills exactly its sense counts
+    (:func:`~repro.core.costing.compose_batch_phase` with
+    ``scheduled_senses``) -- one source of truth for trace, energy and
+    latency.
+    """
+
+    requests: List[PageRequest]
+    sensed: List[bool]
+    planes: List[int]
+
+    @property
+    def n_requests(self) -> int:
+        return len(self.requests)
+
+    @property
+    def n_senses(self) -> int:
+        return sum(self.sensed)
+
+    def senses_per_plane(self) -> Dict[int, int]:
+        out: Dict[int, int] = {}
+        for plane, fresh in zip(self.planes, self.sensed):
+            if fresh:
+                out[plane] = out.get(plane, 0) + 1
+        return out
+
+    def service_groups(
+        self,
+    ) -> Iterator[Tuple[int, int, bool, List[PageRequest]]]:
+        """Yield ``(page_offset, plane, sense, requests)`` service runs.
+
+        A run is a maximal stretch of consecutive requests for the same
+        page: the device latches the page once (``sense`` is False when the
+        plane's buffer still holds it from an earlier run) and drains every
+        request in the run against the latched data.
+        """
+        i = 0
+        n = len(self.requests)
+        while i < n:
+            page = self.requests[i].page_offset
+            j = i
+            while j < n and self.requests[j].page_offset == page:
+                j += 1
+            yield page, self.planes[i], self.sensed[i], self.requests[i:j]
+            i = j
+
+
+def build_page_schedule(
+    requests: Iterable[PageRequest],
+    plane_of_page: Callable[[int], int],
+    optimize: bool = True,
+) -> PageSchedule:
+    """Order a phase's page demands and mark which ones really sense.
+
+    With ``optimize`` the scan order is reorganized so every request for a
+    page is serviced while that page is latched (requests stably grouped by
+    page, pages in first-demand order): each unique page is sensed exactly
+    once -- the maximum-collision schedule of ROADMAP item 5.  Without it,
+    requests are serviced in the caller's (query-major) order and a sense is
+    shared only when the page is still in its plane's buffer, i.e. when no
+    other page was sensed on that plane in between.  Either way the sense
+    decision is a pure function of service order and per-plane latch state,
+    so the cost model can bill the schedule verbatim.
+    """
+    reqs = list(requests)
+    if optimize:
+        first_demand: Dict[int, int] = {}
+        for request in reqs:
+            first_demand.setdefault(request.page_offset, len(first_demand))
+        reqs.sort(key=lambda request: first_demand[request.page_offset])
+    sensed: List[bool] = []
+    planes: List[int] = []
+    latched: Dict[int, int] = {}
+    for request in reqs:
+        plane = plane_of_page(request.page_offset)
+        fresh = latched.get(plane) != request.page_offset
+        if fresh:
+            latched[plane] = request.page_offset
+        sensed.append(fresh)
+        planes.append(plane)
+    return PageSchedule(requests=reqs, sensed=sensed, planes=planes)
 
 
 @dataclass
@@ -245,28 +360,39 @@ class PlanExecutor:
         ctx = PlanContext(db=plan.db, query=plan.query)
         for stage in plan.stages:
             stage.run(engine, ctx)
-
-        ecc_rate = engine.ssd.ecc.decode_time(1)
-        phases: Dict[str, Tuple[float, Dict[str, float]]] = {
-            name: compose_phase(cost, engine.timing, engine.flags, ecc_rate)
-            for name, cost in ctx.phase_costs.items()
-        }
-        report = merge_phase_totals(phases, ctx.ibc_seconds)
-        if ctx.host_seconds:
-            report.add_component("host_transfer", ctx.host_seconds)
-            report.add_phase("host", ctx.host_seconds)
-            report.total_s += ctx.host_seconds
-
-        db = plan.db
-        ids = db.slot_to_original[ctx.slots] if ctx.slots.size else ctx.slots
-        result = ReisQueryResult(
-            ids=np.asarray(ids, dtype=np.int64),
-            distances=ctx.distances,
-            documents=ctx.documents,
-            latency=report,
-            stats=ctx.stats,
-        )
-        return result, ctx
+        return finalize_query_result(engine, plan, ctx), ctx
 
     def run(self, plan: QueryPlan) -> ReisQueryResult:
         return self.execute(plan)[0]
+
+
+def finalize_query_result(
+    engine: "InStorageAnnsEngine", plan: QueryPlan, ctx: PlanContext
+) -> ReisQueryResult:
+    """Compose a query's solo latency report and package its result.
+
+    Shared by the sequential :class:`PlanExecutor` and the page-major batch
+    executor: however a plan was *serviced*, its per-query phase costs are
+    composed solo here, so every query keeps the latency report it would
+    have had on an otherwise-idle device.
+    """
+    ecc_rate = engine.ssd.ecc.decode_time(1)
+    phases: Dict[str, Tuple[float, Dict[str, float]]] = {
+        name: compose_phase(cost, engine.timing, engine.flags, ecc_rate)
+        for name, cost in ctx.phase_costs.items()
+    }
+    report = merge_phase_totals(phases, ctx.ibc_seconds)
+    if ctx.host_seconds:
+        report.add_component("host_transfer", ctx.host_seconds)
+        report.add_phase("host", ctx.host_seconds)
+        report.total_s += ctx.host_seconds
+
+    db = plan.db
+    ids = db.slot_to_original[ctx.slots] if ctx.slots.size else ctx.slots
+    return ReisQueryResult(
+        ids=np.asarray(ids, dtype=np.int64),
+        distances=ctx.distances,
+        documents=ctx.documents,
+        latency=report,
+        stats=ctx.stats,
+    )

@@ -172,11 +172,38 @@ class TemporalTopList:
         self._dists.append(entry.dist)
         self.peak_entries = max(self.peak_entries, len(self.entries))
         if self._dram is not None:
-            self._dram.allocate(f"ttl-{self.name}", self.peak_entries * self.entry_bytes)
+            self._grow_region()
+
+    def _grow_region(self) -> None:
+        """Raise the shared TTL arena to this list's high-water mark.
+
+        Every query's TTL-C/TTL-E lives in one named DRAM arena sized for
+        the worst query seen so far (replay absorbs queries one at a time,
+        and the single embedded core serializes their quickselects, so the
+        arena is reused rather than duplicated per in-flight query).  The
+        region only grows: a later query with a smaller peak must not
+        shrink the recorded footprint.
+        """
+        footprint = self.peak_entries * self.entry_bytes
+        region = f"ttl-{self.name}"
+        if footprint > self._dram.region_size(region):
+            self._dram.allocate(region, footprint)
 
     def extend(self, entries) -> None:
-        for entry in entries:
-            self.append(entry)
+        """Bulk append: one list extension + one DRAM high-water update.
+
+        Equivalent to appending each entry in order (same final state and
+        the same peak), but without the per-entry allocator round trip --
+        this is the batch-serving hot path absorbing a page's extractions.
+        """
+        if not entries:
+            return
+        self.entries.extend(entries)
+        self._dists.extend(entry.dist for entry in entries)
+        if len(self.entries) > self.peak_entries:
+            self.peak_entries = len(self.entries)
+            if self._dram is not None:
+                self._grow_region()
 
     def select_smallest(self, k: int) -> List[TtlEntry]:
         """Quickselect: the k nearest entries (unsorted, as on the core)."""

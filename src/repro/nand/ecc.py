@@ -14,6 +14,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
+# Correction only needs the popcount of the sparse raw/golden difference,
+# never a full-page bit expansion; the byte table is the counter's own.
+from repro.nand.latches import _POPCOUNT_TABLE
+
 
 @dataclass(frozen=True)
 class EccConfig:
@@ -53,12 +57,20 @@ class EccEngine:
         out = raw.copy()
         cw = self.config.codeword_bytes
         self.decoded_bytes += int(raw.size)
-        for start in range(0, raw.size, cw):
+        # Raw errors are sparse (a handful of flipped bits per page), so
+        # locate the flipped bytes in one vectorized pass and popcount only
+        # those, binned per codeword -- never a full-page bit expansion.
+        flipped = np.flatnonzero(raw != golden)
+        if flipped.size == 0:
+            return out
+        flips_per_byte = _POPCOUNT_TABLE[
+            np.bitwise_xor(raw[flipped], golden[flipped])
+        ]
+        errors_per_codeword = np.bincount(flipped // cw, weights=flips_per_byte)
+        for codeword in np.flatnonzero(errors_per_codeword):
+            n_errors = int(errors_per_codeword[codeword])
+            start = int(codeword) * cw
             stop = min(start + cw, raw.size)
-            diff = np.bitwise_xor(raw[start:stop], golden[start:stop])
-            n_errors = int(np.unpackbits(diff).sum())
-            if n_errors == 0:
-                continue
             if n_errors <= self.config.correctable_bits_per_codeword:
                 out[start:stop] = golden[start:stop]
                 self.corrected_bits += n_errors

@@ -105,6 +105,38 @@ class FailBitCounter:
         """Popcount per consecutive ``segment_bytes`` slice of ``latch``."""
         return self.count_segments_array(segment_bytes, n_segments, latch).tolist()
 
+    def count_xor_segments(
+        self,
+        patterns: np.ndarray,
+        segment_bytes: int,
+        n_segments: int,
+        latch: str = "sensing",
+    ) -> np.ndarray:
+        """Popcount of ``latch XOR pattern`` per segment, for many patterns.
+
+        This is the "one sense, N distance extractions" primitive: the page
+        stays in the sensing latch while the cache latch is reloaded with
+        each query code in turn (CL reload -> XOR -> count).  ``patterns``
+        is a ``(Q, segment_bytes)`` uint8 array; the result is a
+        ``(Q, n_segments)`` int64 matrix, row ``q`` being exactly what
+        :meth:`count_segments_array` would return after broadcasting
+        pattern ``q`` and XOR-ing it against the latched page.
+        """
+        patterns = np.atleast_2d(np.asarray(patterns, dtype=np.uint8))
+        if patterns.shape[1] != segment_bytes:
+            raise ValueError("pattern width must equal segment_bytes")
+        if segment_bytes <= 0 or n_segments <= 0:
+            raise ValueError("segment_bytes and n_segments must be positive")
+        if segment_bytes * n_segments > self._buffer.page_bytes:
+            raise ValueError("segments exceed page size")
+        self.invocations += len(patterns)
+        data = self._buffer._latch(latch)
+        view = data[: segment_bytes * n_segments].reshape(
+            1, n_segments, segment_bytes
+        )
+        diff = np.bitwise_xor(view, patterns[:, None, :])
+        return _POPCOUNT_TABLE[diff].sum(axis=2, dtype=np.int64)
+
     def count_all(self, latch: str = "data") -> int:
         """Popcount of the entire latch (the counter's native operation)."""
         self.invocations += 1
@@ -130,3 +162,22 @@ class PassFailChecker:
         if values.size == 0:
             return []
         return np.flatnonzero(values < threshold).tolist()
+
+    def mask_below(self, values: Sequence[int], threshold: int) -> np.ndarray:
+        """Boolean pass mask (``value < threshold``), one comparator sweep.
+
+        Same comparison as :meth:`filter_below`, returned as a mask so
+        vectorized callers can combine it with other per-slot masks without
+        materializing index lists.
+        """
+        self.invocations += 1
+        return np.asarray(values) < threshold
+
+    def mask_equal(self, values: Sequence[int], target: int) -> np.ndarray:
+        """Boolean equality mask, one comparator sweep.
+
+        The Sec. 7.1 metadata-tag comparison reuses the same comparator
+        hardware as the distance filter, so it is instrumented identically.
+        """
+        self.invocations += 1
+        return np.asarray(values) == target

@@ -112,7 +112,42 @@ class Plane:
         self.counters.add("bit_counts")
         return self.fail_bit_counter.count_segments_array(segment_bytes, n_segments)
 
-    def filter_distances(self, distances, threshold: int) -> list:
-        """Pass/fail check: keep indices with distance below ``threshold``."""
+    def filter_distances_mask(self, distances, threshold: int) -> np.ndarray:
+        """Pass/fail check returning the boolean pass mask."""
         self.counters.add("pass_fail_checks")
-        return self.pass_fail_checker.filter_below(distances, threshold)
+        return self.pass_fail_checker.mask_below(distances, threshold)
+
+    def filter_tags_mask(self, tags, tag: int) -> np.ndarray:
+        """Metadata-tag equality sweep on the pass/fail comparator."""
+        self.counters.add("pass_fail_checks")
+        return self.pass_fail_checker.mask_equal(tags, tag)
+
+    def multi_query_distances(
+        self, query_codes: np.ndarray, segment_bytes: int, n_segments: int
+    ) -> np.ndarray:
+        """Per-embedding Hamming distances for several queries from ONE sense.
+
+        The page stays latched in SL; for each of the ``Q`` query codes the
+        cache latch is reloaded, XOR-ed against SL and swept by the fail-bit
+        counter, so one physical sense yields a ``(Q, n_segments)`` distance
+        matrix.  Row ``q`` is bit-identical to what :meth:`segment_distances`
+        returns after broadcasting query ``q`` alone.
+        """
+        query_codes = np.atleast_2d(np.asarray(query_codes, dtype=np.uint8))
+        n_queries = len(query_codes)
+        self.counters.add("latch_xors", n_queries)
+        self.counters.add("bit_counts", n_queries)
+        return self.fail_bit_counter.count_xor_segments(
+            query_codes, segment_bytes, n_segments, latch="sensing"
+        )
+
+    def ttl_codes(self, slots: np.ndarray, code_bytes: int) -> np.ndarray:
+        """Extract the latched embedding codes of many slots in one sweep.
+
+        Returns an ``(len(slots), code_bytes)`` uint8 matrix gathered from
+        the sensing latch -- the data-movement half of a batched RD_TTL.
+        """
+        slots = np.asarray(slots, dtype=np.intp)
+        n_fit = self.page_bytes // code_bytes
+        view = self.buffer.sensing[: n_fit * code_bytes].reshape(n_fit, code_bytes)
+        return view[slots]

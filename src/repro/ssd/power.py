@@ -29,13 +29,28 @@ class SsdPowerParams:
 
 
 class SsdPowerModel:
-    """Turns activity counters + busy times into energy and average power."""
+    """Turns activity counters + busy times into energy and average power.
+
+    Energy follows the *functional* counters, so it reflects what the device
+    actually did: under page-major batch execution the ``page_reads``
+    counter advances once per **unique** sense (queries sharing a latched
+    page ride along for free), while the latch-operation counters still
+    advance once per query visit -- the in-plane XOR / fail-bit-count pair
+    runs per broadcast query even on a shared sense.
+    """
 
     def __init__(self, params: SsdPowerParams | None = None) -> None:
         self.params = params or SsdPowerParams()
 
-    def dynamic_energy(self, counters: CounterSet, core_busy_s: float = 0.0) -> float:
-        """Energy (J) attributable to the counted activity."""
+    def energy_breakdown(
+        self, counters: CounterSet, core_busy_s: float = 0.0
+    ) -> dict:
+        """Dynamic energy (J) split by activity class.
+
+        Keys: ``sense`` (page reads -- bills unique senses), ``program``,
+        ``erase``, ``latch`` (per-visit in-plane compute), ``channel`` and
+        ``core``.  The values sum to :meth:`dynamic_energy`.
+        """
         p = self.params
         latch_ops = (
             counters["latch_xors"]
@@ -43,14 +58,18 @@ class SsdPowerModel:
             + counters["pass_fail_checks"]
             + counters["ibc_broadcasts"]
         )
-        return (
-            counters["page_reads"] * p.page_read_energy_j
-            + counters["page_programs"] * p.page_program_energy_j
-            + counters["block_erases"] * p.block_erase_energy_j
-            + latch_ops * p.latch_op_energy_j
-            + counters["channel_bytes"] * p.channel_energy_j_per_byte
-            + core_busy_s * p.core_active_power_w
-        )
+        return {
+            "sense": counters["page_reads"] * p.page_read_energy_j,
+            "program": counters["page_programs"] * p.page_program_energy_j,
+            "erase": counters["block_erases"] * p.block_erase_energy_j,
+            "latch": latch_ops * p.latch_op_energy_j,
+            "channel": counters["channel_bytes"] * p.channel_energy_j_per_byte,
+            "core": core_busy_s * p.core_active_power_w,
+        }
+
+    def dynamic_energy(self, counters: CounterSet, core_busy_s: float = 0.0) -> float:
+        """Energy (J) attributable to the counted activity."""
+        return sum(self.energy_breakdown(counters, core_busy_s).values())
 
     def total_energy(
         self, counters: CounterSet, elapsed_s: float, core_busy_s: float = 0.0

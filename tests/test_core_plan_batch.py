@@ -19,6 +19,7 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.core.api import ReisDevice
 from repro.core.batch import BatchExecutor
+from repro.core.commands import FlashOp
 from repro.core.config import NO_OPT, OptFlags, tiny_config
 from repro.core.costing import PhaseCost, compose_batch_phase, compose_phase
 from repro.core.plan import (
@@ -26,13 +27,23 @@ from repro.core.plan import (
     CoarseStage,
     DocumentStage,
     FineStage,
+    PageRequest,
     PlanExecutor,
     RerankStage,
+    build_page_schedule,
     build_query_plan,
 )
 from repro.rag.embeddings import make_clustered_embeddings, make_queries
 
 from tests.conftest import SMALL_NLIST
+
+
+def _trace_count(device, op):
+    """Total occurrences of ``op`` across every die's command trace."""
+    return sum(
+        interface.trace[op]
+        for interface in device.engine._die_interfaces.values()
+    )
 
 
 class TestPlanConstruction:
@@ -201,6 +212,205 @@ class TestBatchThroughput:
         device, db_id = deployed_device
         batch = device.ivf_search(db_id, small_queries[:1], k=5, nprobe=3)
         assert batch.wall_seconds <= batch.total_seconds * (1 + 1e-9)
+
+
+class TestPageSchedule:
+    """Unit tests of the page-service schedule (plan-level data)."""
+
+    REQUESTS = [
+        PageRequest(task=i, page_offset=p)
+        for i, p in enumerate([0, 1, 0, 2, 1, 0])
+    ]
+
+    @staticmethod
+    def _plane(page_offset):
+        return page_offset % 2  # pages 0 and 2 share plane 0, page 1 is alone
+
+    def test_optimized_schedule_senses_each_page_once(self):
+        schedule = build_page_schedule(self.REQUESTS, self._plane, optimize=True)
+        assert schedule.n_requests == 6
+        assert schedule.n_senses == 3  # three unique pages
+        # Requests are stably grouped by page, pages in first-demand order.
+        assert [r.page_offset for r in schedule.requests] == [0, 0, 0, 1, 1, 2]
+        assert [r.task for r in schedule.requests] == [0, 2, 5, 1, 4, 3]
+
+    def test_unoptimized_shares_only_while_latched(self):
+        schedule = build_page_schedule(self.REQUESTS, self._plane, optimize=False)
+        # Caller order is preserved; page 0's second visit rides the latch,
+        # but its third comes after page 2 evicted plane 0.
+        assert [r.task for r in schedule.requests] == [0, 1, 2, 3, 4, 5]
+        assert schedule.sensed == [True, True, False, True, False, True]
+        assert schedule.n_senses == 4
+
+    def test_senses_per_plane_sums_to_n_senses(self):
+        for optimize in (True, False):
+            schedule = build_page_schedule(
+                self.REQUESTS, self._plane, optimize=optimize
+            )
+            assert sum(schedule.senses_per_plane().values()) == schedule.n_senses
+
+    def test_service_groups_cover_requests_in_order(self):
+        schedule = build_page_schedule(self.REQUESTS, self._plane, optimize=True)
+        drained = []
+        for page_offset, plane, sense, run in schedule.service_groups():
+            assert all(r.page_offset == page_offset for r in run)
+            assert plane == self._plane(page_offset)
+            drained.extend(run)
+        assert drained == schedule.requests
+
+
+class TestPageMajorExecution:
+    """The functional path now matches the cost model's sense accounting."""
+
+    WORKLOAD = dict(n=400, dim=64, nlist=8, nprobe=4, k=5)
+
+    def _deploy(self, tag, flags=None):
+        w = self.WORKLOAD
+        vectors, _ = make_clustered_embeddings(w["n"], w["dim"], w["nlist"], seed="pm")
+        device = ReisDevice(tiny_config(f"PM-{tag}"), flags=flags)
+        db_id = device.ivf_deploy("pm", vectors, nlist=w["nlist"], seed=0)
+        queries = make_queries(vectors, 16, seed="pm-q")
+        return device, db_id, queries
+
+    def test_batch16_trace_reads_equal_unique_senses(self):
+        """Acceptance: a batch-16 run performs exactly ``unique_senses``
+        page reads -- the command trace and compose_batch_phase agree."""
+        device, db_id, queries = self._deploy("trace")
+        before = _trace_count(device, FlashOp.READ_PAGE)
+        batch = device.ivf_search(
+            db_id, queries, k=self.WORKLOAD["k"], nprobe=self.WORKLOAD["nprobe"]
+        )
+        traced_reads = _trace_count(device, FlashOp.READ_PAGE) - before
+        stats = batch.batch_stats
+        scan_unique = (
+            stats.phases["coarse"].unique_senses
+            + stats.phases["fine"].unique_senses
+        )
+        assert traced_reads == stats.scan_senses == scan_unique
+        # And the batch really amortized: fewer senses than page visits.
+        assert stats.scan_senses < stats.scan_requests
+
+    def test_energy_scales_with_unique_not_total_senses(self):
+        """The page_reads counter (and hence sense energy) advances once
+        per unique sense under batching; latch work stays per visit."""
+        w = self.WORKLOAD
+        dev_seq, db_seq, queries = self._deploy("seq")
+        dev_bat, db_bat, _ = self._deploy("bat")
+
+        reads_before_seq = dev_seq.ssd.counters["page_reads"]
+        db = dev_seq.database(db_seq)
+        for query in queries:
+            dev_seq.engine.search(db, query, k=w["k"], nprobe=w["nprobe"])
+        reads_seq = dev_seq.ssd.counters["page_reads"] - reads_before_seq
+
+        reads_before_bat = dev_bat.ssd.counters["page_reads"]
+        batch = dev_bat.ivf_search(db_bat, queries, k=w["k"], nprobe=w["nprobe"])
+        reads_bat = dev_bat.ssd.counters["page_reads"] - reads_before_bat
+
+        stats = batch.batch_stats
+        saved = stats.scan_requests - stats.scan_senses
+        assert saved > 0
+        # The batch performs exactly the scan senses it amortized fewer.
+        assert reads_seq - reads_bat == saved
+        # Energy: the sense component shrinks by exactly the saved senses;
+        # the in-plane latch work is identical (it runs per visit).
+        power = dev_bat.ssd.power
+        seq_energy = power.energy_breakdown(dev_seq.ssd.counters)
+        bat_energy = power.energy_breakdown(dev_bat.ssd.counters)
+        page_j = power.params.page_read_energy_j
+        assert seq_energy["sense"] - bat_energy["sense"] == pytest.approx(
+            saved * page_j
+        )
+        assert bat_energy["latch"] == pytest.approx(seq_energy["latch"])
+
+    def test_schedule_optimizer_never_changes_results(self):
+        """Deterministic multi-page workload where the optimizer really
+        reorders: results stay bit-identical, senses never increase."""
+        vectors, _ = make_clustered_embeddings(3200, 256, 16, seed="pm-big")
+        queries = make_queries(vectors, 8, seed="pm-big-q")
+        executions = {}
+        for label, flags in (
+            ("on", OptFlags()),
+            ("off", OptFlags(schedule_optimization=False)),
+        ):
+            device = ReisDevice(tiny_config(f"PM-OPT-{label}"), flags=flags)
+            db_id = device.ivf_deploy("pm", vectors, nlist=16, seed=0)
+            executions[label] = device.ivf_search(
+                db_id, queries, k=5, nprobe=4, fetch_documents=False
+            )
+        for on, off in zip(executions["on"], executions["off"]):
+            assert np.array_equal(on.ids, off.ids)
+            assert np.array_equal(on.distances, off.distances)
+        on_stats = executions["on"].batch_stats
+        off_stats = executions["off"].batch_stats
+        assert on_stats.scan_requests == off_stats.scan_requests
+        # The workload spans more pages than planes, so the query-major
+        # order must lose latched pages that the optimizer keeps.
+        assert on_stats.scan_senses < off_stats.scan_senses
+
+    @given(
+        st.tuples(
+            st.integers(80, 200),  # n
+            st.sampled_from([32, 64]),  # dim
+            st.integers(2, 6),  # nlist
+            st.integers(2, 8),  # batch size
+            st.integers(0, 10**6),  # seed
+        )
+    )
+    @settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    def test_schedule_reordering_property(self, shape):
+        """Property: for any shape, optimizer on/off return identical
+        results and the optimized schedule never senses more."""
+        n, dim, nlist, batch_size, seed = shape
+        vectors, _ = make_clustered_embeddings(n, dim, max(nlist, 2), seed=seed)
+        queries = make_queries(vectors, batch_size, seed=(seed, "rq"))
+        executions = {}
+        for label, flags in (
+            ("on", OptFlags()),
+            ("off", OptFlags(schedule_optimization=False)),
+        ):
+            device = ReisDevice(
+                tiny_config(f"RP-{label}-{seed}-{n}"), flags=flags
+            )
+            db_id = device.ivf_deploy("r", vectors, nlist=nlist, seed=seed)
+            executions[label] = device.ivf_search(
+                db_id, queries, k=5, nprobe=2, fetch_documents=False
+            )
+        for on, off in zip(executions["on"], executions["off"]):
+            assert np.array_equal(on.ids, off.ids)
+            assert np.array_equal(on.distances, off.distances)
+        assert (
+            executions["on"].batch_stats.scan_senses
+            <= executions["off"].batch_stats.scan_senses
+        )
+
+    def test_metadata_filtered_entries_emit_no_rd_ttl(self):
+        """The Sec. 7.1 tag comparison runs in-die: filtered entries never
+        get an RD_TTL command, so trace count == entries transferred."""
+        w = self.WORKLOAD
+        vectors, labels = make_clustered_embeddings(
+            w["n"], w["dim"], w["nlist"], seed="pm-meta"
+        )
+        tags = (labels % 3).astype(np.uint32)
+        device = ReisDevice(tiny_config("PM-META"))
+        db_id = device.ivf_deploy(
+            "pm", vectors, nlist=w["nlist"], metadata_tags=tags, seed=0
+        )
+        queries = make_queries(vectors, 4, seed="pm-meta-q")
+        before = _trace_count(device, FlashOp.RD_TTL)
+        batch = device.ivf_search(
+            db_id, queries, k=w["k"], nprobe=w["nlist"],
+            metadata_filter=2, fetch_documents=False,
+        )
+        traced = _trace_count(device, FlashOp.RD_TTL) - before
+        transferred = sum(r.stats.entries_transferred for r in batch)
+        filtered = sum(r.stats.entries_filtered for r in batch)
+        assert filtered > 0  # the tag filter really dropped candidates
+        assert traced == transferred
 
 
 class TestComposeBatchPhase:

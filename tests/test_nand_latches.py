@@ -131,6 +131,62 @@ class TestFailBitCounter:
         assert counts == expected
 
 
+class TestCountXorSegments:
+    """The multi-query primitive: one latched page, many XOR patterns."""
+
+    @given(st.integers(1, 8), st.integers(1, 8), st.integers(1, 5), st.data())
+    @settings(max_examples=25)
+    def test_rows_match_single_pattern_counts(
+        self, seg_bytes, n_segments, n_patterns, data
+    ):
+        if seg_bytes * n_segments > PAGE:
+            return
+        payload = np.frombuffer(
+            data.draw(st.binary(min_size=PAGE, max_size=PAGE)), dtype=np.uint8
+        ).copy()
+        patterns = np.frombuffer(
+            data.draw(
+                st.binary(
+                    min_size=seg_bytes * n_patterns,
+                    max_size=seg_bytes * n_patterns,
+                )
+            ),
+            dtype=np.uint8,
+        ).reshape(n_patterns, seg_bytes)
+        buffer = PageBuffer(PAGE, OOB)
+        buffer.load_sensing(payload, np.zeros(OOB, dtype=np.uint8))
+        counter = FailBitCounter(buffer)
+        matrix = counter.count_xor_segments(patterns, seg_bytes, n_segments)
+        assert matrix.shape == (n_patterns, n_segments)
+        # Row q equals broadcasting pattern q alone: XOR into the data
+        # latch, then the plain segmented count.
+        for q in range(n_patterns):
+            tiled = np.tile(patterns[q], PAGE // seg_bytes + 1)[:PAGE]
+            buffer.load_cache(tiled)
+            buffer.xor("cache", "sensing", "data")
+            expected = counter.count_segments(seg_bytes, n_segments, latch="data")
+            assert matrix[q].tolist() == expected
+
+    def test_rejects_mismatched_pattern_width(self, buffer):
+        counter = FailBitCounter(buffer)
+        with pytest.raises(ValueError):
+            counter.count_xor_segments(
+                np.zeros((2, 4), dtype=np.uint8), 8, 2
+            )
+
+    def test_rejects_segments_beyond_page(self, buffer):
+        counter = FailBitCounter(buffer)
+        with pytest.raises(ValueError):
+            counter.count_xor_segments(
+                np.zeros((1, PAGE), dtype=np.uint8), PAGE, 2
+            )
+
+    def test_counts_one_invocation_per_pattern(self, buffer):
+        counter = FailBitCounter(buffer)
+        counter.count_xor_segments(np.zeros((3, 8), dtype=np.uint8), 8, 2)
+        assert counter.invocations == 3
+
+
 class TestPassFailChecker:
     def test_keeps_strictly_below_threshold(self):
         checker = PassFailChecker()
