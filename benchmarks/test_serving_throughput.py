@@ -13,6 +13,14 @@ have a simulator-speed trajectory.  A second workload with more pages than
 planes ablates the schedule optimizer on/off.  Results are written to
 ``BENCH_serving.json`` at the repository root.
 
+A second test drives the **async submission queue** with Poisson arrivals
+on the simulated clock (:mod:`repro.core.queue`): at each arrival-rate
+point the same arrival trace is served once through the deadline/occupancy
+batch former and once with ``max_batch=1`` (the batch-size-1 direct path
+behind a FIFO), recording achieved QPS, p99 queue wait, deadline-miss
+fraction and the formed batch sizes.  The points land in the same JSON
+under ``arrival_serving``.
+
 Invariants asserted:
 
 * batched QPS is never below sequential QPS at any batch size;
@@ -20,7 +28,10 @@ Invariants asserted:
   PR-2 level (>= 4.9x, no regression);
 * batched results remain bit-identical to the sequential path;
 * the schedule optimizer never performs more senses, and never yields a
-  slower modeled batch, than the unoptimized query-major order.
+  slower modeled batch, than the unoptimized query-major order;
+* under overload, queue-formed batches beat batch-size-1 QPS while the
+  p99 deadline miss stays bounded, and the served wall clock decomposes
+  fully into device phases plus the ``queue`` phase.
 """
 
 import json
@@ -30,9 +41,10 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from repro.core import ReisDevice, tiny_config
+from repro.core import QueuePolicy, ReisDevice, tiny_config
 from repro.core.config import OptFlags
 from repro.rag.embeddings import make_clustered_embeddings, make_queries
+from repro.sim.rng import make_rng
 
 BATCH_SIZES = (1, 4, 16, 64)
 N_ENTRIES = 800
@@ -45,6 +57,13 @@ BENCH_PATH = Path(__file__).resolve().parents[1] / "BENCH_serving.json"
 # The optimizer ablation needs an embedding region with more pages than
 # planes, so that query-major service order actually evicts latched pages.
 SCHED_N, SCHED_DIM, SCHED_BATCH = 3200, 256, 32
+
+# Arrival sweep: offered load as a multiple of the solo service rate, 64
+# Poisson arrivals per point, deadlines at a fixed budget of solo-service
+# times after each arrival.
+ARRIVAL_LOADS = (0.5, 2.0, 4.0)
+ARRIVAL_N = 64
+DEADLINE_BUDGET_SOLO = 30.0
 
 
 def run_serving_sweep():
@@ -113,6 +132,75 @@ def run_optimizer_ablation():
             "ids": [result.ids.tolist() for result in batch],
         }
     return out
+
+
+def run_arrival_sweep():
+    """Queue-formed batches vs batch-size-1 serving of Poisson arrivals."""
+    vectors, _ = make_clustered_embeddings(N_ENTRIES, DIM, NLIST, seed="serve")
+    device = ReisDevice(tiny_config("ARRIVE"))
+    db_id = device.ivf_deploy("arrive", vectors, nlist=NLIST, seed=0)
+    queries = make_queries(vectors, ARRIVAL_N, seed="arrive-q")
+
+    # Calibrate the solo service rate (batch-size-1 device throughput).
+    calib = device.ivf_search(db_id, queries[:1], k=K, nprobe=NPROBE)
+    solo_qps = calib.sequential_qps
+    solo_s = 1.0 / solo_qps
+    deadline_budget = DEADLINE_BUDGET_SOLO * solo_s
+
+    points = []
+    for load in ARRIVAL_LOADS:
+        rate = load * solo_qps
+        rng = make_rng("arrivals", load)
+        arrivals = np.cumsum(rng.exponential(1.0 / rate, size=ARRIVAL_N))
+        deadlines = arrivals + deadline_budget
+        point = {"load": load, "arrival_rate_qps": rate}
+        for mode, policy in (
+            (
+                "queue",
+                QueuePolicy(
+                    max_batch=32, min_batch=4,
+                    batching_timeout_s=4.0 * solo_s,
+                    collision_target=0.5,
+                ),
+            ),
+            ("batch1", QueuePolicy(max_batch=1)),
+        ):
+            wall_start = time.perf_counter()
+            queue = device.submission_queue(
+                db_id, k=K, nprobe=NPROBE, policy=policy
+            )
+            queue.submit_many(queries, deadlines_s=deadlines, at_s=arrivals)
+            report = queue.drain()
+            host_wall = time.perf_counter() - wall_start
+            merged = report.as_batch_result()
+            phases = merged.phase_seconds()
+            point[mode] = {
+                "achieved_qps": report.qps,
+                "makespan_seconds": report.makespan_s,
+                "service_seconds": report.service_seconds,
+                "queue_seconds": merged.queue_seconds,
+                "p99_wait_seconds": report.p99_wait_s(),
+                "deadline_miss_fraction": report.deadline_miss_fraction,
+                "batches": len(report.batches),
+                "mean_batch_size": report.mean_batch_size(),
+                "close_reasons": report.close_reasons(),
+                "host_wall_seconds": host_wall,
+                "phase_seconds": phases,
+                "wall_seconds": merged.wall_seconds,
+            }
+            # Satellite: the served wall clock decomposes fully -- device
+            # phases plus the queue phase sum to the total.
+            assert sum(phases.values()) == pytest.approx(merged.wall_seconds)
+            assert merged.wall_seconds == pytest.approx(
+                report.service_seconds + merged.queue_seconds
+            )
+        points.append(point)
+    return {
+        "solo_qps": solo_qps,
+        "deadline_budget_seconds": deadline_budget,
+        "n_arrivals": ARRIVAL_N,
+        "points": points,
+    }
 
 
 @pytest.mark.figure("serving")
@@ -191,3 +279,54 @@ def test_serving_throughput(benchmark, show):
         ablation["on"]["batched_seconds"]
         <= ablation["off"]["batched_seconds"] * (1 + 1e-9)
     )
+
+
+@pytest.mark.figure("serving")
+def test_arrival_rate_serving(benchmark, show):
+    """Async queue serving of Poisson arrivals vs batch-size-1 FIFO."""
+    sweep = benchmark.pedantic(run_arrival_sweep, rounds=1, iterations=1)
+
+    show("", "Arrival-rate serving (async submission queue, Poisson arrivals):")
+    show(f"  solo service rate {sweep['solo_qps']:,.0f} qps, "
+         f"deadline budget {sweep['deadline_budget_seconds'] * 1e3:.1f}ms, "
+         f"{sweep['n_arrivals']} arrivals/point")
+    show(f"  {'load':>5s} {'queue QPS':>10s} {'b1 QPS':>10s} "
+         f"{'batch':>6s} {'p99 wait':>9s} {'miss%':>6s} {'b1 miss%':>8s}")
+    for point in sweep["points"]:
+        q, b1 = point["queue"], point["batch1"]
+        show(
+            f"  {point['load']:5.1f} {q['achieved_qps']:10,.0f} "
+            f"{b1['achieved_qps']:10,.0f} {q['mean_batch_size']:6.1f} "
+            f"{q['p99_wait_seconds'] * 1e3:7.2f}ms "
+            f"{q['deadline_miss_fraction'] * 100:5.1f} "
+            f"{b1['deadline_miss_fraction'] * 100:7.1f}"
+        )
+
+    payload = json.loads(BENCH_PATH.read_text())
+    payload["arrival_serving"] = sweep
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    show(f"  updated {BENCH_PATH.name} (arrival_serving)")
+
+    by_load = {p["load"]: p for p in sweep["points"]}
+    for point in sweep["points"]:
+        q, b1 = point["queue"], point["batch1"]
+        # Every arrival is served exactly once in both modes.
+        assert q["batches"] >= 1 and b1["batches"] == ARRIVAL_N
+        # Below saturation the batching timeout may cost a sliver of
+        # makespan (that is the forming trade-off); it must stay a sliver.
+        assert q["achieved_qps"] >= b1["achieved_qps"] * 0.95
+        assert q["deadline_miss_fraction"] <= b1["deadline_miss_fraction"] + 1e-9
+        if point["load"] >= 1.0:
+            # At and past saturation, forming wins outright.
+            assert q["achieved_qps"] >= b1["achieved_qps"] * (1 - 1e-9)
+    # Under overload the former must actually batch, win on throughput,
+    # and keep the p99 deadline miss bounded while batch-size-1 collapses.
+    top = by_load[max(ARRIVAL_LOADS)]
+    assert top["queue"]["mean_batch_size"] > 2.0
+    assert top["queue"]["achieved_qps"] >= top["batch1"]["achieved_qps"] * 1.5
+    assert top["queue"]["deadline_miss_fraction"] <= 0.1
+    assert top["batch1"]["deadline_miss_fraction"] >= 0.25
+    assert top["queue"]["p99_wait_seconds"] <= sweep["deadline_budget_seconds"]
+    # Below saturation the queue tracks the offered load.
+    low = by_load[min(ARRIVAL_LOADS)]
+    assert low["queue"]["deadline_miss_fraction"] == 0.0

@@ -16,6 +16,9 @@ retrieval system of Sec. 4:
   schedule as data) and the sequential executor.
 * :mod:`repro.core.batch` -- the batched multi-query executor with
   die/channel-occupancy costing.
+* :mod:`repro.core.queue` -- the async host submission queue:
+  deadline/occupancy batch forming with per-tenant fairness on a
+  simulated clock.
 * :mod:`repro.core.costing` -- the shared latency-composition layer.
 * :mod:`repro.core.analytic` -- the paper-scale analytic twin.
 * :mod:`repro.core.api` -- the device API (Table 1) and NVMe wiring.
@@ -56,7 +59,19 @@ from repro.core.plan import (
     build_page_schedule,
     build_query_plan,
 )
+from repro.core.queue import (
+    BatchFormer,
+    FormingEstimate,
+    QueueAdmissionError,
+    QueuePolicy,
+    QueueServeReport,
+    QueuedBatch,
+    ServedQuery,
+    Submission,
+    SubmissionQueue,
+)
 from repro.core.scheduler import DeviceScheduler, ScheduleAccounting
+from repro.sim.latency import SimClock
 from repro.core.layout import (
     CapacityError,
     DatabaseDeployer,
@@ -74,9 +89,19 @@ __all__ = [
     "AnalyticWorkload",
     "BatchExecution",
     "BatchExecutor",
+    "BatchFormer",
     "BatchSearchResult",
     "BatchStats",
     "BroadcastStage",
+    "FormingEstimate",
+    "QueueAdmissionError",
+    "QueuePolicy",
+    "QueueServeReport",
+    "QueuedBatch",
+    "ServedQuery",
+    "SimClock",
+    "Submission",
+    "SubmissionQueue",
     "CapacityError",
     "CoarseStage",
     "DocumentStage",

@@ -35,9 +35,10 @@ from repro.core.batch import BatchExecution, BatchStats
 from repro.core.config import OptFlags, ReisConfig, REIS_SSD1
 from repro.core.engine import InStorageAnnsEngine, ReisQueryResult
 from repro.core.layout import DatabaseDeployer, DeployedDatabase
+from repro.core.queue import QueuePolicy, SubmissionQueue
 from repro.rag.documents import Corpus
 from repro.rag.pipeline import RetrievalResult
-from repro.sim.latency import LatencyReport
+from repro.sim.latency import LatencyReport, SimClock
 from repro.ssd.nvme import NvmeCommand, NvmeCompletion, NvmeOpcode
 
 
@@ -60,6 +61,9 @@ class BatchSearchResult:
     results: List[ReisQueryResult]
     batch_report: Optional[LatencyReport] = None
     batch_stats: Optional[BatchStats] = None
+    # Queries completed past their submission deadline (queue-served
+    # batches only; they are still served and returned, never dropped).
+    deadline_misses: int = 0
 
     @classmethod
     def from_execution(cls, execution: BatchExecution) -> "BatchSearchResult":
@@ -67,6 +71,7 @@ class BatchSearchResult:
             results=execution.results,
             batch_report=execution.report,
             batch_stats=execution.stats,
+            deadline_misses=execution.deadline_misses,
         )
 
     @property
@@ -86,6 +91,14 @@ class BatchSearchResult:
         return self.total_seconds
 
     @property
+    def queue_seconds(self) -> float:
+        """Host-side batch-forming wait included in ``wall_seconds``
+        (non-zero only for queue-served batches)."""
+        if self.batch_stats is not None:
+            return self.batch_stats.queue_seconds
+        return 0.0
+
+    @property
     def qps(self) -> float:
         total = self.wall_seconds
         return len(self.results) / total if total > 0 else float("inf")
@@ -100,8 +113,10 @@ class BatchSearchResult:
         """Wall-clock seconds per pipeline phase for the whole batch.
 
         Keys are the phase names (``ibc``, ``coarse``, ``fine``,
-        ``rerank``, ``documents``, ``host``); values sum to
-        ``wall_seconds``.  Uses the batched composition when available,
+        ``rerank``, ``documents``, ``host``, and -- for queue-served
+        batches with a non-zero forming window -- ``queue``); values sum
+        to ``wall_seconds``, so the submission-to-completion wall clock
+        decomposes fully.  Uses the batched composition when available,
         otherwise aggregates the per-query solo reports.
         """
         if self.batch_report is not None:
@@ -267,6 +282,34 @@ class ReisDevice:
         )
         return BatchSearchResult.from_execution(execution)
 
+    def submission_queue(
+        self,
+        db_id: int,
+        k: int = 10,
+        nprobe: Optional[int] = None,
+        fetch_documents: bool = True,
+        metadata_filter: Optional[int] = None,
+        policy: Optional[QueuePolicy] = None,
+        clock: Optional[SimClock] = None,
+    ) -> SubmissionQueue:
+        """An async host submission queue serving one deployed database.
+
+        The queue accepts per-tenant submissions with deadlines on a
+        simulated clock and forms batches by the deadline/occupancy policy
+        (:class:`~repro.core.queue.QueuePolicy`); see
+        :class:`~repro.core.queue.SubmissionQueue`.  ``search`` /
+        ``ivf_search`` remain the synchronous whole-batch API.
+        """
+        db = self.database(db_id)
+        if nprobe is not None and not db.is_ivf:
+            raise ValueError(f"database {db_id} was deployed without IVF")
+        return SubmissionQueue(
+            self.engine, db, k=k, nprobe=nprobe,
+            fetch_documents=fetch_documents,
+            metadata_filter=metadata_filter,
+            policy=policy, clock=clock,
+        )
+
     def resolve_nprobe(self, db_id: int, recall_target: float) -> int:
         """Heuristic nprobe for a recall target.
 
@@ -365,10 +408,12 @@ class ReisRetriever:
         nprobe: Optional[int] = None,
         paper_workload: Optional[AnalyticWorkload] = None,
         paper_config: Optional[ReisConfig] = None,
+        queue_policy: Optional[QueuePolicy] = None,
     ) -> None:
         self.device = device
         self.db_id = db_id
         self.nprobe = nprobe
+        self.queue_policy = queue_policy
         self.paper_workload = paper_workload
         # Paper-scale timing runs on the evaluated SSD configuration, which
         # may differ from the (typically down-scaled) functional device.
@@ -384,7 +429,23 @@ class ReisRetriever:
 
     def search_batch(self, queries: np.ndarray, k: int) -> RetrievalResult:
         db = self.device.database(self.db_id)
-        if db.is_ivf:
+        extra: Dict[str, float] = {}
+        if self.queue_policy is not None:
+            # Route through the async submission queue: the host forms the
+            # batches (deadline/occupancy policy) instead of the caller.
+            queue = self.device.submission_queue(
+                self.db_id, k=k,
+                nprobe=self.nprobe if db.is_ivf else None,
+                policy=self.queue_policy,
+            )
+            report = queue.serve(np.atleast_2d(queries))
+            batch = report.as_batch_result()
+            extra = {
+                "queue_wait_seconds": report.total_queue_wait_s,
+                "deadline_misses": float(len(report.deadline_misses)),
+                "batches_formed": float(len(report.batches)),
+            }
+        elif db.is_ivf:
             batch = self.device.ivf_search(
                 self.db_id, queries, k, nprobe=self.nprobe,
                 fetch_documents=True,
@@ -397,4 +458,4 @@ class ReisRetriever:
             seconds = per_query * n_queries
         else:
             seconds = batch.total_seconds
-        return RetrievalResult(ids=batch.ids, search_seconds=seconds)
+        return RetrievalResult(ids=batch.ids, search_seconds=seconds, extra=extra)

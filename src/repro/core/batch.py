@@ -79,6 +79,13 @@ class BatchStats:
     # for those phases (compose_batch_phase bills the schedule verbatim).
     scan_requests: int = 0
     scan_senses: int = 0
+    # Host-side wait: the batch-forming window (first member's submission
+    # to service start) when the batch was formed by a
+    # :class:`~repro.core.queue.SubmissionQueue`; zero for batches handed
+    # to the executor directly.  Reported as the ``queue`` phase so
+    # ``phase_seconds()`` decomposes the full submission-to-completion
+    # wall clock, not just the on-device time.
+    queue_seconds: float = 0.0
 
     @property
     def total_senses(self) -> int:
@@ -94,6 +101,31 @@ class BatchStats:
     def senses_amortized(self) -> int:
         return self.total_senses - self.unique_senses
 
+    def merge(self, other: "BatchStats") -> None:
+        """Accumulate another batch's accounting (queue-served sequences)."""
+        self.n_queries += other.n_queries
+        self.scan_requests += other.scan_requests
+        self.scan_senses += other.scan_senses
+        self.queue_seconds += other.queue_seconds
+        for name, breakdown in other.phases.items():
+            mine = self.phases.get(name)
+            if mine is None:
+                self.phases[name] = BatchPhaseBreakdown(
+                    name=breakdown.name,
+                    seconds=breakdown.seconds,
+                    components=dict(breakdown.components),
+                    unique_senses=breakdown.unique_senses,
+                    total_senses=breakdown.total_senses,
+                )
+                continue
+            mine.seconds += breakdown.seconds
+            mine.unique_senses += breakdown.unique_senses
+            mine.total_senses += breakdown.total_senses
+            for component, seconds in breakdown.components.items():
+                mine.components[component] = (
+                    mine.components.get(component, 0.0) + seconds
+                )
+
 
 @dataclass
 class BatchExecution:
@@ -102,11 +134,20 @@ class BatchExecution:
     results: List[ReisQueryResult]
     report: LatencyReport
     stats: BatchStats
+    # Queries whose deadline had already passed when the batch completed
+    # (set by the submission queue; deadline-missed queries are still
+    # served and returned, never dropped).
+    deadline_misses: int = 0
 
     @property
     def batch_seconds(self) -> float:
         """Wall-clock time to drain the whole batch (overlapped model)."""
         return self.report.total_s
+
+    @property
+    def queue_seconds(self) -> float:
+        """Host-side batch-forming wait included in ``batch_seconds``."""
+        return self.stats.queue_seconds
 
     def __len__(self) -> int:
         return len(self.results)

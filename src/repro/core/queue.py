@@ -1,0 +1,784 @@
+"""Async host submission queue: deadline/occupancy batch forming.
+
+PR 2/3 built a plan/execute engine whose :class:`~repro.core.batch.
+BatchExecutor` amortizes page senses across *caller-defined* query groups.
+Serving heavy multi-user traffic means the host must form those groups
+itself from an asynchronous stream of per-tenant submissions -- the
+admission-control layer every disaggregated serving system lives or dies
+on.  This module models that layer on a **simulated clock**
+(:class:`~repro.sim.latency.SimClock`; never wall time, so queueing
+behavior is deterministic and tier-1 stays flake-free):
+
+* :class:`Submission` -- one query with a tenant id, an arrival instant
+  and an absolute deadline on the sim clock.
+* :class:`BatchFormer` -- the batch-forming state machine.  The pending
+  set becomes a batch when the first of these triggers fires:
+
+  ``full``       the pending set reaches ``max_batch``;
+  ``occupancy``  the estimated scan footprint covers enough of the
+                 device (plane coverage and sense-collision targets,
+                 estimated with :func:`~repro.core.plan.
+                 build_page_schedule` over the layout's real page->plane
+                 map);
+  ``timeout``    the oldest pending submission has waited
+                 ``batching_timeout_s``;
+  ``deadline``   some pending submission's deadline is within
+                 ``deadline_slack_s`` -- waiting longer would turn a
+                 servable query into a miss;
+  ``flush``      the stream is known drained (explicit
+                 :meth:`SubmissionQueue.drain`) and nothing else can
+                 arrive.
+
+* :class:`SubmissionQueue` -- per-tenant FIFOs drained by **weighted
+  round-robin**: each forming pass visits tenants cyclically and takes at
+  most ``weight(tenant)`` submissions per visit, so a tenant flooding the
+  queue cannot push another tenant's share of a batch below its weight --
+  the fairness invariant the starvation tests pin down.  The rotation
+  offset advances every batch so no tenant is permanently first.
+
+Deadline-missed queries are **never dropped**: they are served, returned,
+and counted (:attr:`~repro.core.batch.BatchExecution.deadline_misses`,
+:class:`QueueServeReport`), because retrieval results are still useful
+late and silent drops would corrupt the bit-identity contract.  The union
+of results produced through the queue is bit-identical per query to the
+direct :meth:`~repro.core.engine.InStorageAnnsEngine.search` path -- the
+queue only *partitions* submissions into batches, and batching itself is
+bit-identical by the PR 3 order-preserving replay.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import (
+    TYPE_CHECKING,
+    Deque,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+import numpy as np
+
+from repro.core.batch import BatchExecution, BatchExecutor, BatchStats
+from repro.core.layout import DeployedDatabase, RegionInfo
+from repro.core.plan import PageRequest, build_page_schedule
+from repro.sim.latency import LatencyReport, SimClock
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.api import BatchSearchResult
+    from repro.core.engine import InStorageAnnsEngine
+
+_EPS = 1e-12
+
+
+class QueueAdmissionError(RuntimeError):
+    """A submission was rejected by the per-tenant admission bound."""
+
+
+@dataclass(frozen=True)
+class Submission:
+    """One tenant query waiting (or having waited) for service."""
+
+    sub_id: int
+    tenant: str
+    query: np.ndarray
+    submit_s: float
+    deadline_s: float = math.inf
+
+
+@dataclass(frozen=True)
+class ServedQuery:
+    """A submission after service: result plus its queueing history."""
+
+    submission: Submission
+    result: "object"  # ReisQueryResult (kept loose to avoid import cycle)
+    batch_index: int
+    start_s: float
+    finish_s: float
+
+    @property
+    def queue_seconds(self) -> float:
+        """Time from submission to service start (host-side wait)."""
+        return self.start_s - self.submission.submit_s
+
+    @property
+    def deadline_missed(self) -> bool:
+        return self.finish_s > self.submission.deadline_s + _EPS
+
+    @property
+    def deadline_miss_seconds(self) -> float:
+        """How late past the deadline the query completed (0 if on time)."""
+        return max(0.0, self.finish_s - self.submission.deadline_s)
+
+
+@dataclass(frozen=True)
+class QueuePolicy:
+    """Batch-forming and fairness knobs of one submission queue.
+
+    ``plane_coverage_target`` and ``collision_target`` define the
+    occupancy trigger: close once the estimated footprint of the pending
+    set covers that fraction of the database's planes *and* at least that
+    fraction of its page requests would ride a shared sense.  With the
+    defaults the occupancy trigger fires as soon as every plane the
+    database spans has work -- the point at which adding more queries only
+    deepens queues without widening device parallelism -- and the timeout
+    bounds the wait when traffic is too thin to ever get there.
+    """
+
+    max_batch: int = 64
+    min_batch: int = 1
+    batching_timeout_s: float = 500e-6
+    deadline_slack_s: float = 0.0
+    plane_coverage_target: float = 1.0
+    collision_target: float = 0.0
+    close_on_flush: bool = True
+    tenant_weights: Mapping[str, int] = field(default_factory=dict)
+    default_weight: int = 1
+    max_pending_per_tenant: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if not 1 <= self.min_batch <= self.max_batch:
+            raise ValueError("min_batch must be in [1, max_batch]")
+        if self.batching_timeout_s < 0:
+            raise ValueError("batching_timeout_s must be non-negative")
+
+    def weight(self, tenant: str) -> int:
+        """Per-forming-pass batch slots guaranteed to ``tenant``."""
+        return max(1, int(self.tenant_weights.get(tenant, self.default_weight)))
+
+
+@dataclass(frozen=True)
+class FormingEstimate:
+    """Occupancy estimate of a candidate batch's scan footprint."""
+
+    n_requests: int
+    n_senses: int
+    planes_covered: int
+    n_planes: int
+
+    @property
+    def plane_coverage(self) -> float:
+        """Fraction of the database's planes with at least one sense."""
+        if self.n_planes == 0:
+            return 1.0
+        return self.planes_covered / self.n_planes
+
+    @property
+    def collision_ratio(self) -> float:
+        """Fraction of page requests served by a shared (amortized) sense."""
+        if self.n_requests == 0:
+            return 0.0
+        return 1.0 - self.n_senses / self.n_requests
+
+
+class BatchFormer:
+    """Estimates batch occupancy and decides when the pending set closes.
+
+    The former runs on the host, *before* any query executes, so it can
+    only use layout data.  What is exact pre-execution: every query scans
+    the whole centroid region (IVF) or the whole embedding region (flat).
+    What is not knowable: which clusters an IVF query's coarse phase will
+    pick.  The former substitutes a deterministic uniform-popularity
+    surrogate -- submission ``i`` is assumed to probe ``nprobe`` clusters
+    striding the cluster list from offset ``i`` -- and feeds the union of
+    those footprints through :func:`~repro.core.plan.build_page_schedule`
+    with the layout's real page->plane map.  The resulting collision and
+    plane-coverage statistics are an *expectation model* of the schedule
+    the executor will really build; they steer admission, never results.
+    """
+
+    def __init__(
+        self,
+        engine: "InStorageAnnsEngine",
+        db: DeployedDatabase,
+        nprobe: Optional[int],
+        policy: QueuePolicy,
+    ) -> None:
+        self.engine = engine
+        self.db = db
+        self.policy = policy
+        if db.is_ivf:
+            if nprobe is None:
+                nprobe = max(1, int(round(db.n_clusters**0.5)))
+            nprobe = min(nprobe, db.n_clusters)
+        self.nprobe = nprobe
+        self._plane_cache: Dict[Tuple[str, int], int] = {}
+        self._footprints: Dict[int, List[Tuple[RegionInfo, int]]] = {}
+        self._estimates: Dict[Tuple[int, ...], FormingEstimate] = {}
+        # Computed on first estimate(): counting the planes the database
+        # spans walks every region page, which synchronous callers (whose
+        # batches close on the ``full`` trigger) never need.
+        self._n_planes: Optional[int] = None
+
+    def _count_planes(self) -> int:
+        if self._n_planes is None:
+            self._n_planes = len(
+                {
+                    self._plane_of(region, page)
+                    for region in self._scan_regions()
+                    for page in range(region.n_pages)
+                }
+            )
+        return self._n_planes
+
+    # ------------------------------------------------------------ footprint
+
+    def _scan_regions(self) -> List[RegionInfo]:
+        regions: List[RegionInfo] = []
+        if self.db.is_ivf and self.db.centroid_region is not None:
+            regions.append(self.db.centroid_region)
+        regions.append(self.db.embedding_region)
+        return regions
+
+    def _plane_of(self, region: RegionInfo, page_offset: int) -> int:
+        key = (region.name, page_offset)
+        plane = self._plane_cache.get(key)
+        if plane is None:
+            plane = self.engine._locate(region, page_offset)[1]
+            self._plane_cache[key] = plane
+        return plane
+
+    def _guessed_clusters(self, sub_id: int) -> List[int]:
+        """Uniform-popularity surrogate for a submission's probed clusters."""
+        assert self.nprobe is not None
+        nlist = self.db.n_clusters
+        stride = max(1, nlist // self.nprobe)
+        return [(sub_id + j * stride) % nlist for j in range(self.nprobe)]
+
+    def footprint(self, submission: Submission) -> List[Tuple[RegionInfo, int]]:
+        """(region, page_offset) pairs the submission is expected to scan."""
+        cached = self._footprints.get(submission.sub_id)
+        if cached is not None:
+            return cached
+        pages: List[Tuple[RegionInfo, int]] = []
+        db = self.db
+        if db.is_ivf and db.centroid_region is not None:
+            region = db.centroid_region
+            pages.extend((region, page) for page in range(region.n_pages))
+            assert db.r_ivf is not None
+            embedding = db.embedding_region
+            seen = set()
+            for cluster in self._guessed_clusters(submission.sub_id):
+                entry = db.r_ivf[cluster]
+                if entry.size <= 0:
+                    continue
+                first = entry.first_embedding // embedding.slots_per_page
+                last = entry.last_embedding // embedding.slots_per_page
+                for page in range(first, last + 1):
+                    if page not in seen:
+                        seen.add(page)
+                        pages.append((embedding, page))
+        else:
+            region = db.embedding_region
+            pages.extend((region, page) for page in range(region.n_pages))
+        self._footprints[submission.sub_id] = pages
+        return pages
+
+    def estimate(self, candidates: Sequence[Submission]) -> FormingEstimate:
+        """Occupancy statistics of the candidate batch's expected schedule.
+
+        One schedule per scanned region (coarse and fine execute as
+        separate page-major schedules), built with the same
+        ``schedule_optimization`` flag the executor will use, so the
+        estimate and the execution share one collision model.
+        """
+        key = tuple(s.sub_id for s in candidates)
+        cached = self._estimates.get(key)
+        if cached is not None:
+            return cached
+        per_region: Dict[str, List[Tuple[RegionInfo, int]]] = {}
+        for submission in candidates:
+            for region, page in self.footprint(submission):
+                per_region.setdefault(region.name, []).append((region, page))
+        n_requests = 0
+        n_senses = 0
+        planes: set = set()
+        for demands in per_region.values():
+            region = demands[0][0]
+            requests = [
+                PageRequest(task=index, page_offset=page)
+                for index, (_region, page) in enumerate(demands)
+            ]
+            schedule = build_page_schedule(
+                requests,
+                lambda page_offset, region=region: self._plane_of(
+                    region, page_offset
+                ),
+                optimize=self.engine.flags.schedule_optimization,
+            )
+            n_requests += schedule.n_requests
+            n_senses += schedule.n_senses
+            planes.update(schedule.senses_per_plane())
+        estimate = FormingEstimate(
+            n_requests=n_requests,
+            n_senses=n_senses,
+            planes_covered=len(planes),
+            n_planes=self._count_planes(),
+        )
+        self._estimates = {key: estimate}  # keep only the latest pending set
+        return estimate
+
+    # ------------------------------------------------------------- triggers
+
+    def should_close(
+        self,
+        pending: Sequence[Submission],
+        now_s: float,
+        flushing: bool,
+    ) -> Optional[str]:
+        """The first fired trigger's name, or None to keep forming."""
+        if not pending:
+            return None
+        policy = self.policy
+        if len(pending) >= policy.max_batch:
+            return "full"
+        if len(pending) >= policy.min_batch:
+            estimate = self.estimate(pending[: policy.max_batch])
+            if (
+                estimate.plane_coverage >= policy.plane_coverage_target - _EPS
+                and estimate.collision_ratio >= policy.collision_target - _EPS
+            ):
+                return "occupancy"
+        oldest = min(s.submit_s for s in pending)
+        if now_s >= oldest + policy.batching_timeout_s - _EPS:
+            return "timeout"
+        nearest = min(s.deadline_s for s in pending)
+        if math.isfinite(nearest) and now_s >= nearest - policy.deadline_slack_s - _EPS:
+            return "deadline"
+        if flushing and policy.close_on_flush:
+            return "flush"
+        return None
+
+    def next_trigger_s(self, pending: Sequence[Submission]) -> float:
+        """Earliest future instant a time-based trigger can fire."""
+        if not pending:
+            return math.inf
+        oldest = min(s.submit_s for s in pending)
+        instant = oldest + self.policy.batching_timeout_s
+        nearest = min(s.deadline_s for s in pending)
+        if math.isfinite(nearest):
+            instant = min(instant, nearest - self.policy.deadline_slack_s)
+        return instant
+
+
+@dataclass
+class QueuedBatch:
+    """One batch the queue formed and served."""
+
+    index: int
+    submissions: List[Submission]
+    execution: BatchExecution
+    close_reason: str
+    start_s: float
+    finish_s: float
+    service_seconds: float
+
+    @property
+    def forming_seconds(self) -> float:
+        """First member's submission to service start (the forming window)."""
+        return self.start_s - min(s.submit_s for s in self.submissions)
+
+    def __len__(self) -> int:
+        return len(self.submissions)
+
+
+@dataclass
+class QueueServeReport:
+    """Everything a drained queue knows about how serving went."""
+
+    served: List[ServedQuery]
+    batches: List[QueuedBatch]
+    started_s: float
+    finished_s: float
+
+    @property
+    def n_queries(self) -> int:
+        return len(self.served)
+
+    @property
+    def makespan_s(self) -> float:
+        """First submission to last completion, on the sim clock."""
+        return self.finished_s - self.started_s
+
+    @property
+    def qps(self) -> float:
+        return self.n_queries / self.makespan_s if self.makespan_s > 0 else float("inf")
+
+    @property
+    def service_seconds(self) -> float:
+        """Device-busy time summed over batches (excludes queue wait)."""
+        return sum(batch.service_seconds for batch in self.batches)
+
+    @property
+    def total_queue_wait_s(self) -> float:
+        """Per-query waits summed over every served submission."""
+        return sum(query.queue_seconds for query in self.served)
+
+    def waits(self, tenant: Optional[str] = None) -> np.ndarray:
+        """Per-query queue waits, optionally restricted to one tenant."""
+        return np.array(
+            [
+                query.queue_seconds
+                for query in self.served
+                if tenant is None or query.submission.tenant == tenant
+            ],
+            dtype=np.float64,
+        )
+
+    def p99_wait_s(self, tenant: Optional[str] = None) -> float:
+        waits = self.waits(tenant)
+        if waits.size == 0:
+            return 0.0
+        return float(np.percentile(waits, 99))
+
+    @property
+    def deadline_misses(self) -> List[ServedQuery]:
+        return [query for query in self.served if query.deadline_missed]
+
+    @property
+    def deadline_miss_fraction(self) -> float:
+        if not self.served:
+            return 0.0
+        return len(self.deadline_misses) / len(self.served)
+
+    def close_reasons(self) -> Dict[str, int]:
+        reasons: Dict[str, int] = {}
+        for batch in self.batches:
+            reasons[batch.close_reason] = reasons.get(batch.close_reason, 0) + 1
+        return reasons
+
+    def mean_batch_size(self) -> float:
+        if not self.batches:
+            return 0.0
+        return self.n_queries / len(self.batches)
+
+    def as_batch_result(self) -> "BatchSearchResult":
+        """Merge the served batches into one host-facing result.
+
+        Results come back in submission-id order (the order the caller
+        submitted), whatever batches the former cut.  The merged wall
+        clock is the **makespan** (first submission to last completion on
+        the sim clock), decomposed as the summed device phases plus one
+        ``queue`` phase covering the time the device was *not* serving
+        (forming windows and arrival gaps).  Per-batch forming windows
+        overlap earlier batches' service, so summing the per-batch totals
+        would overstate elapsed time -- the makespan is the ground truth,
+        and ``phase_seconds()`` sums to it exactly.
+        """
+        from repro.core.api import BatchSearchResult
+
+        report = LatencyReport()
+        stats = BatchStats()
+        misses = 0
+        for batch in self.batches:
+            # Device phases only: each batch's own ``queue`` phase is its
+            # forming window, which runs concurrently with other batches'
+            # service and must not be summed across batches.
+            report.total_s += batch.service_seconds
+            for name, seconds in batch.execution.report.phases.items():
+                if name != "queue":
+                    report.add_phase(name, seconds)
+            for name, seconds in batch.execution.report.components.items():
+                if name != "queue_wait":
+                    report.add_component(name, seconds)
+            stats.merge(batch.execution.stats)
+            misses += batch.execution.deadline_misses
+        queue_wait = max(0.0, self.makespan_s - self.service_seconds)
+        stats.queue_seconds = queue_wait
+        if queue_wait > 0:
+            report.add_phase("queue", queue_wait)
+            report.add_component("queue_wait", queue_wait)
+            report.total_s += queue_wait
+        ordered = sorted(self.served, key=lambda query: query.submission.sub_id)
+        return BatchSearchResult(
+            results=[query.result for query in ordered],
+            batch_report=report,
+            batch_stats=stats,
+            deadline_misses=misses,
+        )
+
+
+class SubmissionQueue:
+    """Per-tenant async submission queue in front of the batch executor.
+
+    Submissions carry an arrival instant on the queue's
+    :class:`~repro.sim.latency.SimClock` (default: now) and an optional
+    absolute deadline.  :meth:`drain` runs the event loop: admit due
+    arrivals, ask the :class:`BatchFormer` whether the pending set closes,
+    otherwise advance the clock to the next actionable instant (arrival,
+    timeout or deadline), and on close drain a weighted-round-robin batch
+    through the :class:`~repro.core.batch.BatchExecutor`, advancing the
+    clock by the batch's modeled wall clock.  One queue serves one
+    deployed database with fixed search parameters (k, nprobe, filters):
+    that is what makes every pending submission batchable with every
+    other.
+    """
+
+    def __init__(
+        self,
+        engine: "InStorageAnnsEngine",
+        db: DeployedDatabase,
+        *,
+        k: int = 10,
+        nprobe: Optional[int] = None,
+        fetch_documents: bool = True,
+        metadata_filter: Optional[int] = None,
+        policy: Optional[QueuePolicy] = None,
+        clock: Optional[SimClock] = None,
+    ) -> None:
+        self.engine = engine
+        self.db = db
+        self.k = k
+        self.nprobe = nprobe
+        self.fetch_documents = fetch_documents
+        self.metadata_filter = metadata_filter
+        self.policy = policy if policy is not None else QueuePolicy()
+        self.clock = clock if clock is not None else SimClock()
+        self.former = BatchFormer(engine, db, nprobe, self.policy)
+        self.executor = BatchExecutor(engine)
+        self._arrivals: List[Tuple[float, int, Submission]] = []
+        self._tenants: Dict[str, Deque[Submission]] = {}
+        self._rr_offset = 0
+        self._next_sub_id = 0
+        self.served: Dict[int, ServedQuery] = {}
+        self.batches: List[QueuedBatch] = []
+        self._first_submit_s: Optional[float] = None
+
+    # ----------------------------------------------------------- submission
+
+    def submit(
+        self,
+        query: np.ndarray,
+        tenant: str = "default",
+        deadline_s: float = math.inf,
+        at_s: Optional[float] = None,
+    ) -> int:
+        """Enqueue one query; returns its submission id.
+
+        ``at_s`` is the arrival instant on the sim clock (default: now).
+        Future arrivals are held and admitted when the clock reaches them,
+        which is how arrival processes (e.g. Poisson sweeps) are replayed
+        deterministically.
+        """
+        at = self.clock.now_s if at_s is None else float(at_s)
+        if at < self.clock.now_s - _EPS:
+            raise ValueError(
+                f"arrival at {at!r}s is in the past (now {self.clock.now_s!r}s)"
+            )
+        bound = self.policy.max_pending_per_tenant
+        if bound is not None and self._tenant_backlog(tenant) >= bound:
+            raise QueueAdmissionError(
+                f"tenant {tenant!r} already has {bound} pending submissions"
+            )
+        query = np.asarray(query, dtype=np.float32)
+        if query.ndim != 1 or query.size != self.db.dim:
+            raise ValueError(f"query must be a flat vector of dim {self.db.dim}")
+        submission = Submission(
+            sub_id=self._next_sub_id,
+            tenant=tenant,
+            query=query,
+            submit_s=at,
+            deadline_s=float(deadline_s),
+        )
+        self._next_sub_id += 1
+        heapq.heappush(self._arrivals, (at, submission.sub_id, submission))
+        if self._first_submit_s is None or at < self._first_submit_s:
+            self._first_submit_s = at
+        return submission.sub_id
+
+    def submit_many(
+        self,
+        queries: np.ndarray,
+        tenant: str = "default",
+        deadlines_s: Optional[Sequence[float]] = None,
+        at_s: Optional[Sequence[float]] = None,
+    ) -> List[int]:
+        """Enqueue a batch of queries for one tenant."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        n = queries.shape[0]
+        if deadlines_s is not None and len(deadlines_s) != n:
+            raise ValueError("deadlines_s must match the number of queries")
+        if at_s is not None and len(at_s) != n:
+            raise ValueError("at_s must match the number of queries")
+        return [
+            self.submit(
+                queries[i],
+                tenant=tenant,
+                deadline_s=math.inf if deadlines_s is None else deadlines_s[i],
+                at_s=None if at_s is None else at_s[i],
+            )
+            for i in range(n)
+        ]
+
+    def _tenant_backlog(self, tenant: str) -> int:
+        queued = len(self._tenants.get(tenant, ()))
+        future = sum(1 for _, _, s in self._arrivals if s.tenant == tenant)
+        return queued + future
+
+    @property
+    def pending_count(self) -> int:
+        """Admitted-but-unserved submissions (excludes future arrivals)."""
+        return sum(len(q) for q in self._tenants.values())
+
+    # ------------------------------------------------------------ admission
+
+    def _admit_due(self) -> None:
+        while self._arrivals and self._arrivals[0][0] <= self.clock.now_s + _EPS:
+            _, _, submission = heapq.heappop(self._arrivals)
+            self._tenants.setdefault(submission.tenant, deque()).append(submission)
+
+    def _pending_snapshot(self) -> List[Submission]:
+        """Admitted submissions in arrival order (for the forming triggers)."""
+        pending = [s for q in self._tenants.values() for s in q]
+        pending.sort(key=lambda s: (s.submit_s, s.sub_id))
+        return pending
+
+    def _form_batch(self) -> List[Submission]:
+        """Drain up to ``max_batch`` submissions, weighted round-robin.
+
+        Tenants are visited cyclically (rotation advanced each batch) and
+        each visit takes at most ``weight(tenant)`` submissions, so while
+        any two tenants both have work their batch shares follow their
+        weights regardless of queue depths -- the no-starvation bound.
+        """
+        policy = self.policy
+        order = [t for t, q in self._tenants.items() if q]
+        picked: List[Submission] = []
+        if not order:
+            return picked
+        start = self._rr_offset % len(order)
+        self._rr_offset += 1
+        while len(picked) < policy.max_batch:
+            progressed = False
+            for i in range(len(order)):
+                tenant = order[(start + i) % len(order)]
+                backlog = self._tenants[tenant]
+                take = min(
+                    policy.weight(tenant),
+                    len(backlog),
+                    policy.max_batch - len(picked),
+                )
+                for _ in range(take):
+                    picked.append(backlog.popleft())
+                if take:
+                    progressed = True
+                if len(picked) >= policy.max_batch:
+                    break
+            if not progressed:
+                break
+        return picked
+
+    # ------------------------------------------------------------- serving
+
+    def _serve_batch(self, members: List[Submission], reason: str) -> QueuedBatch:
+        start_s = self.clock.now_s
+        queries = np.stack([s.query for s in members])
+        execution = self.executor.execute(
+            self.db,
+            queries,
+            k=self.k,
+            nprobe=self.nprobe,
+            fetch_documents=self.fetch_documents,
+            metadata_filter=self.metadata_filter,
+        )
+        service_seconds = execution.batch_seconds
+        self.clock.advance(service_seconds)
+        finish_s = self.clock.now_s
+
+        forming = start_s - min(s.submit_s for s in members)
+        execution.stats.queue_seconds = forming
+        if forming > 0:
+            execution.report.add_phase("queue", forming)
+            execution.report.add_component("queue_wait", forming)
+            execution.report.total_s += forming
+
+        batch = QueuedBatch(
+            index=len(self.batches),
+            submissions=members,
+            execution=execution,
+            close_reason=reason,
+            start_s=start_s,
+            finish_s=finish_s,
+            service_seconds=service_seconds,
+        )
+        misses = 0
+        for submission, result in zip(members, execution.results):
+            query = ServedQuery(
+                submission=submission,
+                result=result,
+                batch_index=batch.index,
+                start_s=start_s,
+                finish_s=finish_s,
+            )
+            if query.deadline_missed:
+                misses += 1
+            self.served[submission.sub_id] = query
+        execution.deadline_misses = misses
+        self.batches.append(batch)
+        return batch
+
+    def step(self) -> Optional[QueuedBatch]:
+        """Advance the event loop until one batch is served (or nothing is
+        left to do); returns the served batch, or None when idle."""
+        while self._arrivals or self.pending_count:
+            self._admit_due()
+            pending = self._pending_snapshot()
+            flushing = not self._arrivals
+            reason = self.former.should_close(pending, self.clock.now_s, flushing)
+            if reason is not None:
+                return self._serve_batch(self._form_batch(), reason)
+            instants = []
+            if self._arrivals:
+                instants.append(self._arrivals[0][0])
+            if pending:
+                instants.append(self.former.next_trigger_s(pending))
+            next_s = min(instants)
+            if not math.isfinite(next_s):
+                # Pending work, no trigger can ever fire (close_on_flush
+                # off, infinite timeout/deadlines): refuse to spin.
+                raise RuntimeError(
+                    "submission queue is stuck: no batch-forming trigger "
+                    "can fire for the pending set"
+                )
+            self.clock.advance_to(next_s)
+        return None
+
+    def drain(self) -> QueueServeReport:
+        """Serve until every submission (present and future) completes."""
+        while self.step() is not None:
+            pass
+        return self.report()
+
+    def serve(
+        self,
+        queries: np.ndarray,
+        tenant: str = "default",
+        deadlines_s: Optional[Sequence[float]] = None,
+        at_s: Optional[Sequence[float]] = None,
+    ) -> QueueServeReport:
+        """Submit a batch of queries and drain the queue (convenience)."""
+        self.submit_many(queries, tenant=tenant, deadlines_s=deadlines_s, at_s=at_s)
+        return self.drain()
+
+    # ------------------------------------------------------------ reporting
+
+    def report(self) -> QueueServeReport:
+        served = sorted(self.served.values(), key=lambda q: q.submission.sub_id)
+        started = self._first_submit_s if self._first_submit_s is not None else 0.0
+        finished = max(
+            (batch.finish_s for batch in self.batches), default=started
+        )
+        return QueueServeReport(
+            served=served,
+            batches=list(self.batches),
+            started_s=started,
+            finished_s=finished,
+        )

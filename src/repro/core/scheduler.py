@@ -18,11 +18,12 @@ boundaries.  :class:`DeviceScheduler` implements this policy over a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
 from repro.core.api import BatchSearchResult, ReisDevice
+from repro.core.queue import QueuePolicy, SubmissionQueue
 from repro.ssd.gc import GcResult
 from repro.ssd.refresh import RefreshManager, RefreshResult
 
@@ -40,6 +41,11 @@ class ScheduleAccounting:
     host_pages_written: int = 0
     gc_results: List[GcResult] = field(default_factory=list)
     refresh_results: List[RefreshResult] = field(default_factory=list)
+    # Host-side submission-queue accounting (the device is busy elsewhere
+    # while queries wait, so queue wait is *not* part of total_seconds).
+    queue_wait_seconds: float = 0.0
+    deadline_misses: int = 0
+    batches_formed: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -92,22 +98,64 @@ class DeviceScheduler:
         queries: np.ndarray,
         k: int = 10,
         nprobe: Optional[int] = None,
+        *,
+        tenants: Optional[Sequence[str]] = None,
+        deadlines_s: Optional[Sequence[float]] = None,
+        arrivals_s: Optional[Sequence[float]] = None,
+        policy: Optional[QueuePolicy] = None,
     ) -> BatchSearchResult:
         """Serve a retrieval batch, switching into RAG mode if needed.
 
-        Queries route through the device's :class:`~repro.core.batch.
-        BatchExecutor`, so the time accounted to RAG is the batched wall
-        clock (shared senses, die/channel overlap), not the sum of solo
-        query latencies.
+        The default front-end is a :class:`~repro.core.queue.
+        SubmissionQueue`: submissions (optionally per-tenant, with
+        deadlines and arrival instants on the queue's simulated clock) are
+        formed into batches by the deadline/occupancy policy and executed
+        through the device's :class:`~repro.core.batch.BatchExecutor` --
+        direct ``BatchExecutor.execute`` remains the low-level API for
+        callers that already hold a formed batch.  Results come back in
+        submission order, bit-identical to the direct path.  The time
+        accounted to RAG is the device-busy wall clock of the executed
+        batches; host-side queue wait, deadline misses and the number of
+        formed batches land in their own accounting fields.
         """
         self._enter_rag()
         db = self.device.database(db_id)
-        if db.is_ivf:
-            batch = self.device.ivf_search(db_id, queries, k, nprobe=nprobe)
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        if policy is None:
+            # Synchronous call sites hand over a complete batch: admit it
+            # whole (flush-close) instead of waiting out a forming window.
+            policy = QueuePolicy(max_batch=max(1, queries.shape[0]))
+        queue = SubmissionQueue(
+            self.device.engine, db, k=k,
+            nprobe=nprobe if db.is_ivf else None,
+            policy=policy,
+        )
+        if tenants is None:
+            queue.submit_many(queries, deadlines_s=deadlines_s, at_s=arrivals_s)
         else:
-            batch = self.device.search(db_id, queries, k)
-        self.accounting.rag_seconds += batch.wall_seconds
+            n = queries.shape[0]
+            if len(tenants) != n:
+                raise ValueError("tenants must match the number of queries")
+            if deadlines_s is not None and len(deadlines_s) != n:
+                raise ValueError("deadlines_s must match the number of queries")
+            if arrivals_s is not None and len(arrivals_s) != n:
+                raise ValueError("arrivals_s must match the number of queries")
+            for i in range(queries.shape[0]):
+                queue.submit(
+                    queries[i],
+                    tenant=tenants[i],
+                    deadline_s=(
+                        float("inf") if deadlines_s is None else deadlines_s[i]
+                    ),
+                    at_s=None if arrivals_s is None else arrivals_s[i],
+                )
+        report = queue.drain()
+        batch = report.as_batch_result()
+        self.accounting.rag_seconds += report.service_seconds
         self.accounting.queries_served += len(batch)
+        self.accounting.queue_wait_seconds += report.total_queue_wait_s
+        self.accounting.deadline_misses += len(report.deadline_misses)
+        self.accounting.batches_formed += len(report.batches)
         return batch
 
     # --------------------------------------------------------- normal side
@@ -163,4 +211,7 @@ class DeviceScheduler:
             "utilization": acc.utilization(),
             "gc_blocks_reclaimed": sum(r.erased_blocks for r in acc.gc_results),
             "refreshed_blocks": sum(r.blocks_refreshed for r in acc.refresh_results),
+            "batches_formed": acc.batches_formed,
+            "queue_wait_seconds": acc.queue_wait_seconds,
+            "deadline_misses": acc.deadline_misses,
         }

@@ -54,6 +54,10 @@ class RagRunReport:
     stage_seconds: Dict[str, float]
     retrieved_ids: List[np.ndarray]
     n_queries: int
+    # Retriever-specific extras (e.g. submission-queue wait, deadline
+    # misses and batches formed when the retriever serves through an
+    # async host queue); empty for plain synchronous retrievers.
+    retrieval_extra: Dict[str, float] = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
@@ -97,4 +101,5 @@ class RagPipeline:
             stage_seconds=stage_seconds,
             retrieved_ids=result.ids,
             n_queries=n_queries,
+            retrieval_extra=dict(result.extra),
         )

@@ -1,12 +1,13 @@
 """Simulation kernel: counters, latency composition and deterministic RNG."""
 
-from repro.sim.latency import LatencyReport, overlap, pipeline_time, serial
+from repro.sim.latency import LatencyReport, SimClock, overlap, pipeline_time, serial
 from repro.sim.rng import make_rng
 from repro.sim.stats import CounterSet
 
 __all__ = [
     "CounterSet",
     "LatencyReport",
+    "SimClock",
     "pipeline_time",
     "serial",
     "overlap",

@@ -13,6 +13,34 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable
 
 
+@dataclass
+class SimClock:
+    """A simulated wall clock for host-side serving decisions.
+
+    Everything above the device -- the submission queue, batch-forming
+    timeouts, deadline accounting -- runs on *simulated* time, advanced by
+    modeled latencies (:class:`LatencyReport` totals, arrival processes),
+    never by :func:`time.time` or :func:`time.perf_counter`.  That keeps
+    queueing behavior deterministic and the tier-1 suite flake-free; a
+    grep-based guard test pins down that no module under ``repro.core``
+    reads the real clock.
+    """
+
+    now_s: float = 0.0
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward by ``seconds`` (must be non-negative)."""
+        if seconds < 0:
+            raise ValueError(f"cannot advance the clock by {seconds!r}s")
+        self.now_s += seconds
+        return self.now_s
+
+    def advance_to(self, instant_s: float) -> float:
+        """Move time forward to ``instant_s`` (no-op if already past it)."""
+        self.now_s = max(self.now_s, instant_s)
+        return self.now_s
+
+
 def serial(stages: Iterable[float]) -> float:
     """Total latency of stages executed back-to-back."""
     return float(sum(stages))

@@ -85,3 +85,12 @@ def fresh_device():
 @pytest.fixture(scope="session")
 def rng():
     return np.random.default_rng(1234)
+
+
+@pytest.fixture()
+def sim_clock():
+    """A fresh simulated clock (host-side queue decisions never read wall
+    time; see the guard test in tests/test_core_queue.py)."""
+    from repro.sim.latency import SimClock
+
+    return SimClock()
