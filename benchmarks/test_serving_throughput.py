@@ -32,6 +32,12 @@ Invariants asserted:
 * under overload, queue-formed batches beat batch-size-1 QPS while the
   p99 deadline miss stays bounded, and the served wall clock decomposes
   fully into device phases plus the ``queue`` phase.
+
+A third test sweeps **multi-device sharding** (``shard_scaling``): the
+batched workload fanned across {1, 2, 4, 8} shard devices under
+cluster-affinity placement, distance-merged results bit-identical to one
+device holding everything, >1.8x QPS at 4 shards, with the host-side
+``merge`` phase accounted in ``phase_seconds()``.
 """
 
 import json
@@ -41,7 +47,8 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from repro.core import QueuePolicy, ReisDevice, tiny_config
+from repro.ann.ivf import build_ivf_model
+from repro.core import QueuePolicy, ReisDevice, ShardedReisDevice, tiny_config
 from repro.core.config import OptFlags
 from repro.rag.embeddings import make_clustered_embeddings, make_queries
 from repro.sim.rng import make_rng
@@ -64,6 +71,15 @@ SCHED_N, SCHED_DIM, SCHED_BATCH = 3200, 256, 32
 ARRIVAL_LOADS = (0.5, 2.0, 4.0)
 ARRIVAL_N = 64
 DEADLINE_BUDGET_SOLO = 30.0
+
+# Shard scaling: the batched workload fanned across {1, 2, 4, 8} devices
+# under cluster-affinity placement.  Sized so the per-shard work (fine
+# scan, TLC rerank/document reads) dominates the unscalable floor (IBC,
+# the single centroid page, the host merge).
+SHARD_COUNTS = (1, 2, 4, 8)
+SHARD_SCALE_N, SHARD_SCALE_DIM = 3200, 128
+SHARD_SCALE_NLIST, SHARD_SCALE_NPROBE = 32, 8
+SHARD_SCALE_BATCH = 32
 
 
 def run_serving_sweep():
@@ -279,6 +295,100 @@ def test_serving_throughput(benchmark, show):
         ablation["on"]["batched_seconds"]
         <= ablation["off"]["batched_seconds"] * (1 + 1e-9)
     )
+
+
+def run_shard_scaling():
+    """The batched workload served by 1/2/4/8-shard clusters."""
+    vectors, _ = make_clustered_embeddings(
+        SHARD_SCALE_N, SHARD_SCALE_DIM, SHARD_SCALE_NLIST, seed="scale"
+    )
+    queries = make_queries(vectors, SHARD_SCALE_BATCH, seed="scale-q")
+    model = build_ivf_model(vectors, SHARD_SCALE_NLIST, seed=0)
+
+    # The single-device reference the merged results must reproduce
+    # (batched execution is itself bit-identical to solo search).
+    reference = ReisDevice(tiny_config("SCALE-REF"))
+    ref_id = reference.ivf_deploy("scale", vectors, ivf_model=model, seed=0)
+    ref_batch = reference.ivf_search(
+        ref_id, queries, k=K, nprobe=SHARD_SCALE_NPROBE
+    )
+
+    points = []
+    for n_shards in SHARD_COUNTS:
+        device = ShardedReisDevice(
+            n_shards, tiny_config(f"SCALE-{n_shards}"), placement="cluster"
+        )
+        db_id = device.ivf_deploy("scale", vectors, ivf_model=model, seed=0)
+        wall_start = time.perf_counter()
+        batch = device.ivf_search(db_id, queries, k=K, nprobe=SHARD_SCALE_NPROBE)
+        host_wall = time.perf_counter() - wall_start
+        # Distance-merged shortlists are bit-identical to one device
+        # holding the whole corpus, at every shard count.
+        for merged, single in zip(batch, ref_batch):
+            assert np.array_equal(merged.ids, single.ids)
+            assert np.array_equal(merged.distances, single.distances)
+        phases = batch.phase_seconds()
+        points.append(
+            {
+                "shards": n_shards,
+                "batched_seconds": batch.wall_seconds,
+                "batched_qps": batch.qps,
+                "merge_seconds": phases["merge"],
+                "host_wall_seconds": host_wall,
+                "phase_seconds": phases,
+            }
+        )
+    for point in points:
+        point["speedup_vs_1"] = points[0]["batched_seconds"] / point["batched_seconds"]
+    return points
+
+
+@pytest.mark.figure("serving")
+def test_shard_scaling(benchmark, show):
+    """Multi-device scaling: QPS vs shard count, merge phase accounted."""
+    points = benchmark.pedantic(run_shard_scaling, rounds=1, iterations=1)
+
+    show("", "Shard scaling (cluster-affinity placement, batched workload):")
+    show(f"  {'shards':>6s} {'QPS':>10s} {'speedup':>8s} {'merge':>9s} "
+         f"{'host wall':>10s}")
+    for point in points:
+        show(
+            f"  {point['shards']:6d} {point['batched_qps']:10,.0f} "
+            f"{point['speedup_vs_1']:7.2f}x "
+            f"{point['merge_seconds'] * 1e6:7.1f}us "
+            f"{point['host_wall_seconds'] * 1e3:8.1f}ms"
+        )
+
+    payload = json.loads(BENCH_PATH.read_text())
+    payload["shard_scaling"] = {
+        "workload": {
+            "n_entries": SHARD_SCALE_N,
+            "dim": SHARD_SCALE_DIM,
+            "nlist": SHARD_SCALE_NLIST,
+            "nprobe": SHARD_SCALE_NPROBE,
+            "batch_size": SHARD_SCALE_BATCH,
+            "k": K,
+            "placement": "cluster",
+            "device": "REIS-TINY per shard",
+        },
+        "points": points,
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    show(f"  updated {BENCH_PATH.name} (shard_scaling)")
+
+    by_shards = {p["shards"]: p for p in points}
+    for point in points:
+        # The merge phase is accounted and the wall clock decomposes fully.
+        assert point["merge_seconds"] > 0
+        assert sum(point["phase_seconds"].values()) == pytest.approx(
+            point["batched_seconds"]
+        )
+    # Scaling: adding shards never slows the batch, and 4 shards clear the
+    # acceptance bar on the batched workload.
+    assert by_shards[1]["speedup_vs_1"] == pytest.approx(1.0)
+    assert by_shards[2]["batched_seconds"] <= by_shards[1]["batched_seconds"]
+    assert by_shards[4]["speedup_vs_1"] > 1.8
+    assert by_shards[8]["speedup_vs_1"] >= by_shards[4]["speedup_vs_1"]
 
 
 @pytest.mark.figure("serving")

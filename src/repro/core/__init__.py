@@ -19,6 +19,9 @@ retrieval system of Sec. 4:
 * :mod:`repro.core.queue` -- the async host submission queue:
   deadline/occupancy batch forming with per-tenant fairness on a
   simulated clock.
+* :mod:`repro.core.shard` -- multi-device sharding: placement policies,
+  the shard router, and host-side distance merging of per-shard
+  shortlists (bit-identical to a single device over the whole corpus).
 * :mod:`repro.core.costing` -- the shared latency-composition layer.
 * :mod:`repro.core.analytic` -- the paper-scale analytic twin.
 * :mod:`repro.core.api` -- the device API (Table 1) and NVMe wiring.
@@ -31,7 +34,12 @@ from repro.core.analytic import (
     brute_force_workload,
     ivf_workload,
 )
-from repro.core.api import BatchSearchResult, ReisDevice, ReisRetriever
+from repro.core.api import (
+    BatchSearchResult,
+    ReisDevice,
+    ReisRetriever,
+    ShardedReisDevice,
+)
 from repro.core.batch import BatchExecution, BatchExecutor, BatchStats
 from repro.core.config import (
     ALL_OPT,
@@ -50,6 +58,7 @@ from repro.core.plan import (
     CoarseStage,
     DocumentStage,
     FineStage,
+    MergeStage,
     PageRequest,
     PageSchedule,
     PlanExecutor,
@@ -70,13 +79,29 @@ from repro.core.queue import (
     Submission,
     SubmissionQueue,
 )
-from repro.core.scheduler import DeviceScheduler, ScheduleAccounting
+from repro.core.scheduler import (
+    DeviceScheduler,
+    ScheduleAccounting,
+    ShardedScheduler,
+)
+from repro.core.shard import (
+    MergeCostModel,
+    ShardAssignment,
+    ShardedBatchExecutor,
+    ShardedDatabase,
+    ShardRouter,
+    plan_placement,
+    shard_ivf_model,
+)
 from repro.sim.latency import SimClock
 from repro.core.layout import (
     CapacityError,
     DatabaseDeployer,
     DeployedDatabase,
+    DeploymentCodecs,
     RegionInfo,
+    deployment_order,
+    fit_deployment_codecs,
 )
 from repro.core.metadata import TaggedSearcher, TimePartitionedStore, TimeWindow
 from repro.core.registry import RDb, RDbEntry, RIvf, RIvfEntry, TemporalTopList, TtlEntry
@@ -119,9 +144,22 @@ __all__ = [
     "DefragmentationError",
     "Defragmenter",
     "DeployedDatabase",
+    "DeploymentCodecs",
     "DeviceScheduler",
     "EngineParams",
+    "MergeCostModel",
+    "MergeStage",
     "ScheduleAccounting",
+    "ShardAssignment",
+    "ShardRouter",
+    "ShardedBatchExecutor",
+    "ShardedDatabase",
+    "ShardedReisDevice",
+    "ShardedScheduler",
+    "deployment_order",
+    "fit_deployment_codecs",
+    "plan_placement",
+    "shard_ivf_model",
     "InStorageAnnsEngine",
     "OptFlags",
     "RDb",

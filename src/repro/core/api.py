@@ -24,8 +24,8 @@ scale through the analytic model, which is how the end-to-end comparisons
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
@@ -34,12 +34,43 @@ from repro.core.analytic import AnalyticWorkload, ReisAnalyticModel
 from repro.core.batch import BatchExecution, BatchStats
 from repro.core.config import OptFlags, ReisConfig, REIS_SSD1
 from repro.core.engine import InStorageAnnsEngine, ReisQueryResult
-from repro.core.layout import DatabaseDeployer, DeployedDatabase
+from repro.core.layout import (
+    DatabaseDeployer,
+    DeployedDatabase,
+    DeploymentCodecs,
+    fit_deployment_codecs,
+)
 from repro.core.queue import QueuePolicy, SubmissionQueue
-from repro.rag.documents import Corpus
+from repro.core.shard import (
+    MergeCostModel,
+    ShardedBatchExecutor,
+    ShardedDatabase,
+    ShardRouter,
+    plan_placement,
+    shard_ivf_model,
+)
+from repro.rag.documents import Corpus, DocumentChunk
 from repro.rag.pipeline import RetrievalResult
 from repro.sim.latency import LatencyReport, SimClock
 from repro.ssd.nvme import NvmeCommand, NvmeCompletion, NvmeOpcode
+
+
+def nprobe_for_recall(n_clusters: int, recall_target: float) -> int:
+    """Heuristic nprobe for a recall target.
+
+    Under the clustered-data assumption, coverage of the query's true
+    neighborhood grows roughly with the fraction of probed clusters; a
+    sqrt(nlist) baseline hits mid-range recall and the target scales it.
+    One calibration shared by the single-device and sharded surfaces, so
+    their operating points can never drift apart.
+    """
+    if not 0.0 < recall_target <= 1.0:
+        raise ValueError("recall_target must be in (0, 1]")
+    base = max(1.0, n_clusters**0.5)
+    # 0.90 -> ~1x base, 0.98 -> ~3.5x base: matched to the functional
+    # recall sweeps on the clustered synthetic datasets.
+    scale = 1.0 + 30.0 * max(0.0, recall_target - 0.90) ** 1.3
+    return min(n_clusters, max(1, int(round(base * scale))))
 
 
 @dataclass
@@ -113,11 +144,13 @@ class BatchSearchResult:
         """Wall-clock seconds per pipeline phase for the whole batch.
 
         Keys are the phase names (``ibc``, ``coarse``, ``fine``,
-        ``rerank``, ``documents``, ``host``, and -- for queue-served
-        batches with a non-zero forming window -- ``queue``); values sum
-        to ``wall_seconds``, so the submission-to-completion wall clock
-        decomposes fully.  Uses the batched composition when available,
-        otherwise aggregates the per-query solo reports.
+        ``rerank``, ``documents``, ``host``; ``queue`` for queue-served
+        batches with a non-zero forming window; and ``merge`` -- the
+        host-side distance merge -- for batches served by a
+        :class:`ShardedReisDevice`); values sum to ``wall_seconds``, so
+        the submission-to-completion wall clock decomposes fully.  Uses
+        the batched composition when available, otherwise aggregates the
+        per-query solo reports.
         """
         if self.batch_report is not None:
             return dict(self.batch_report.phases)
@@ -184,12 +217,18 @@ class ReisDevice:
         db_id: Optional[int] = None,
         metadata_tags: Optional[np.ndarray] = None,
         seed: object = 0,
+        codecs: Optional[DeploymentCodecs] = None,
     ) -> int:
-        """``DB_Deploy(DB, Did, N)``: deploy a flat (brute-force) database."""
+        """``DB_Deploy(DB, Did, N)``: deploy a flat (brute-force) database.
+
+        ``codecs`` injects pre-fit quantizers + DF threshold (the
+        multi-device deployment hook; see
+        :class:`~repro.core.layout.DeploymentCodecs`).
+        """
         db_id = self._allocate_db_id(db_id)
         deployed = self.deployer.deploy(
             db_id, name, vectors, corpus=corpus,
-            metadata_tags=metadata_tags, seed=seed,
+            metadata_tags=metadata_tags, seed=seed, codecs=codecs,
         )
         self._databases[db_id] = deployed
         self.ssd.enter_rag_mode()
@@ -205,12 +244,15 @@ class ReisDevice:
         db_id: Optional[int] = None,
         metadata_tags: Optional[np.ndarray] = None,
         seed: object = 0,
+        codecs: Optional[DeploymentCodecs] = None,
     ) -> int:
         """``IVF_Deploy(DB, Did, N, CI)``: deploy an IVF database.
 
         ``CI`` (cluster information) is either a pre-trained
         :class:`~repro.ann.ivf.IvfModel` or an ``nlist`` for which the
         device trains k-means during indexing (the offline stage).
+        ``codecs`` injects pre-fit quantizers + DF threshold (the
+        multi-device deployment hook).
         """
         if ivf_model is None:
             if nlist is None:
@@ -219,7 +261,7 @@ class ReisDevice:
         db_id = self._allocate_db_id(db_id)
         deployed = self.deployer.deploy(
             db_id, name, vectors, corpus=corpus, ivf_model=ivf_model,
-            metadata_tags=metadata_tags, seed=seed,
+            metadata_tags=metadata_tags, seed=seed, codecs=codecs,
         )
         self._databases[db_id] = deployed
         self.ssd.enter_rag_mode()
@@ -311,20 +353,8 @@ class ReisDevice:
         )
 
     def resolve_nprobe(self, db_id: int, recall_target: float) -> int:
-        """Heuristic nprobe for a recall target.
-
-        Under the clustered-data assumption, coverage of the query's true
-        neighborhood grows roughly with the fraction of probed clusters; a
-        sqrt(nlist) baseline hits mid-range recall and the target scales it.
-        """
-        if not 0.0 < recall_target <= 1.0:
-            raise ValueError("recall_target must be in (0, 1]")
-        db = self.database(db_id)
-        base = max(1.0, db.n_clusters**0.5)
-        # 0.90 -> ~1x base, 0.98 -> ~3.5x base: matched to the functional
-        # recall sweeps on the clustered synthetic datasets.
-        scale = 1.0 + 30.0 * max(0.0, recall_target - 0.90) ** 1.3
-        return min(db.n_clusters, max(1, int(round(base * scale))))
+        """Heuristic nprobe for a recall target (see :func:`nprobe_for_recall`)."""
+        return nprobe_for_recall(self.database(db_id).n_clusters, recall_target)
 
     # ----------------------------------------------------- NVMe plumbing
 
@@ -390,20 +420,315 @@ class ReisDevice:
         }
 
 
-class ReisRetriever:
-    """Adapts a deployed REIS database to the RAG-pipeline protocol.
+class ShardedReisDevice:
+    """N REIS drives serving one logical database behind one device API.
 
-    * ``dataset_load_seconds`` is zero -- the database lives in storage and
-      queries execute there (the entire point of the paper).
-    * retrieved ids come from the functional engine;
-    * ``search_seconds`` comes from the functional latency reports, or --
-      when ``paper_workload`` is provided -- from the analytic model at
-      paper dataset scale, which is how Table 4's REIS column is produced.
+    The host-facing surface mirrors :class:`ReisDevice` (``db_deploy`` /
+    ``ivf_deploy`` / ``search`` / ``ivf_search`` / ``submission_queue``),
+    so everything built on the single-device API -- the RAG pipeline via
+    :class:`ReisRetriever`, the scheduler, the examples -- runs unchanged
+    on a cluster.  Deployment fits one codec set on the full corpus
+    (:func:`~repro.core.layout.fit_deployment_codecs`), partitions the
+    vectors under the placement policy, and deploys each piece to its
+    shard; serving fans queries out through the
+    :class:`~repro.core.shard.ShardRouter` and distance-merges per-shard
+    shortlists into a global top-k that is bit-identical to a single
+    device deploying everything.
     """
 
     def __init__(
         self,
-        device: ReisDevice,
+        n_shards: int,
+        config: ReisConfig = REIS_SSD1,
+        flags: Optional[OptFlags] = None,
+        placement: str = "cluster",
+        merge_model: Optional[MergeCostModel] = None,
+    ) -> None:
+        if n_shards < 1:
+            raise ValueError("n_shards must be at least 1")
+        self.placement = placement
+        self.config = config
+        self.flags = flags if flags is not None else OptFlags()
+        self.shards = [
+            ReisDevice(
+                replace(config, name=f"{config.name}/shard{i}"),
+                flags=self.flags,
+            )
+            for i in range(n_shards)
+        ]
+        self.router = ShardRouter(
+            [shard.engine for shard in self.shards], merge_model=merge_model
+        )
+        self._databases: Dict[int, ShardedDatabase] = {}
+        self._next_db_id = 0
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+    # ----------------------------------------------------------- inventory
+
+    @property
+    def databases(self) -> Dict[int, ShardedDatabase]:
+        return dict(self._databases)
+
+    def database(self, db_id: int) -> ShardedDatabase:
+        try:
+            return self._databases[db_id]
+        except KeyError:
+            raise KeyError(f"database id {db_id} is not deployed") from None
+
+    def _allocate_db_id(self, db_id: Optional[int]) -> int:
+        if db_id is None:
+            db_id = self._next_db_id
+        if db_id in self._databases:
+            raise ValueError(f"database id {db_id} already deployed")
+        self._next_db_id = max(self._next_db_id, db_id + 1)
+        return db_id
+
+    # --------------------------------------------------------- deployment
+
+    def db_deploy(
+        self,
+        name: str,
+        vectors: np.ndarray,
+        corpus: Optional[Corpus] = None,
+        db_id: Optional[int] = None,
+        metadata_tags: Optional[np.ndarray] = None,
+        seed: object = 0,
+    ) -> int:
+        """Deploy a flat database across the shards."""
+        return self._deploy(
+            name, vectors, None, corpus, db_id, metadata_tags, seed
+        )
+
+    def ivf_deploy(
+        self,
+        name: str,
+        vectors: np.ndarray,
+        nlist: Optional[int] = None,
+        ivf_model: Optional[IvfModel] = None,
+        corpus: Optional[Corpus] = None,
+        db_id: Optional[int] = None,
+        metadata_tags: Optional[np.ndarray] = None,
+        seed: object = 0,
+    ) -> int:
+        """Deploy an IVF database across the shards.
+
+        The clustering is trained (or taken) *globally*; each shard
+        deploys the centroids it owns under the placement policy plus its
+        members of every cluster, so the union of shards is exactly the
+        single-device deployment, re-partitioned.
+        """
+        vectors = np.asarray(vectors, dtype=np.float32)
+        if ivf_model is None:
+            if nlist is None:
+                raise ValueError("provide either nlist or a trained ivf_model")
+            ivf_model = build_ivf_model(vectors, nlist, seed=seed)
+        return self._deploy(
+            name, vectors, ivf_model, corpus, db_id, metadata_tags, seed
+        )
+
+    def _deploy(
+        self,
+        name: str,
+        vectors: np.ndarray,
+        ivf_model: Optional[IvfModel],
+        corpus: Optional[Corpus],
+        db_id: Optional[int],
+        metadata_tags: Optional[np.ndarray],
+        seed: object,
+    ) -> int:
+        vectors = np.asarray(vectors, dtype=np.float32)
+        n = vectors.shape[0]
+        if corpus is not None and len(corpus) != n:
+            raise ValueError("corpus size must match the number of embeddings")
+        if metadata_tags is not None:
+            metadata_tags = np.asarray(metadata_tags, dtype=np.uint32)
+            if metadata_tags.shape != (n,):
+                raise ValueError("need exactly one metadata tag per embedding")
+        db_id = self._allocate_db_id(db_id)
+        # One code space for the whole corpus: quantizers and the DF
+        # threshold are fit globally and injected into every shard.
+        codecs = fit_deployment_codecs(vectors, self.config.engine, seed)
+        assignment = plan_placement(
+            n, self.n_shards, self.placement, ivf_model
+        )
+        shard_dbs: List[Optional[DeployedDatabase]] = []
+        shard_db_ids: List[Optional[int]] = []
+        for shard in range(self.n_shards):
+            mine = assignment.shard_vectors[shard]
+            owns_clusters = assignment.shard_clusters[shard].size > 0
+            if mine.size == 0 and not (ivf_model is not None and owns_clusters):
+                shard_dbs.append(None)
+                shard_db_ids.append(None)
+                continue
+            device = self.shards[shard]
+            local_corpus = None
+            if corpus is not None:
+                # Shard-local chunk ids (the shard's slot->original mapping
+                # is local); the router restores global identity on fetch.
+                local_corpus = Corpus(
+                    [
+                        DocumentChunk(
+                            chunk_id=local,
+                            text=corpus[int(global_id)].text,
+                            source=corpus[int(global_id)].source,
+                        )
+                        for local, global_id in enumerate(mine)
+                    ]
+                )
+            local_tags = (
+                metadata_tags[mine] if metadata_tags is not None else None
+            )
+            if ivf_model is not None:
+                local_model = shard_ivf_model(ivf_model, assignment, shard)
+                local_id = device.ivf_deploy(
+                    f"{name}@{shard}", vectors[mine], ivf_model=local_model,
+                    corpus=local_corpus, metadata_tags=local_tags,
+                    seed=seed, codecs=codecs,
+                )
+            else:
+                local_id = device.db_deploy(
+                    f"{name}@{shard}", vectors[mine], corpus=local_corpus,
+                    metadata_tags=local_tags, seed=seed, codecs=codecs,
+                )
+            shard_dbs.append(device.database(local_id))
+            shard_db_ids.append(local_id)
+        sdb = ShardedDatabase(
+            db_id=db_id,
+            name=name,
+            n_entries=n,
+            dim=int(vectors.shape[1]),
+            assignment=assignment,
+            shard_dbs=shard_dbs,
+            shard_db_ids=shard_db_ids,
+            ivf_model=ivf_model,
+            corpus=corpus,
+            metadata_tags=metadata_tags,
+        )
+        self._databases[db_id] = sdb
+        return db_id
+
+    def drop(self, db_id: int) -> None:
+        """Remove the logical database from every shard."""
+        sdb = self.database(db_id)
+        for shard, local_id in enumerate(sdb.shard_db_ids):
+            if local_id is not None:
+                self.shards[shard].drop(local_id)
+        del self._databases[db_id]
+
+    # -------------------------------------------------------------- search
+
+    def search(
+        self,
+        db_id: int,
+        queries: np.ndarray,
+        k: int = 10,
+        fetch_documents: bool = True,
+        metadata_filter: Optional[int] = None,
+    ) -> BatchSearchResult:
+        """Brute-force top-k across all shards, distance-merged."""
+        sdb = self.database(db_id)
+        execution = self.router.execute(
+            sdb, queries, k,
+            nprobe=None if not sdb.is_ivf else sdb.n_clusters,
+            fetch_documents=fetch_documents,
+            metadata_filter=metadata_filter,
+        )
+        return BatchSearchResult.from_execution(execution)
+
+    def ivf_search(
+        self,
+        db_id: int,
+        queries: np.ndarray,
+        k: int = 10,
+        nprobe: Optional[int] = None,
+        recall_target: Optional[float] = None,
+        fetch_documents: bool = True,
+        metadata_filter: Optional[int] = None,
+    ) -> BatchSearchResult:
+        """IVF top-k across all shards, distance-merged."""
+        sdb = self.database(db_id)
+        if not sdb.is_ivf:
+            raise ValueError(f"database {db_id} was deployed without IVF")
+        if nprobe is None and recall_target is not None:
+            nprobe = self.resolve_nprobe(db_id, recall_target)
+        execution = self.router.execute(
+            sdb, queries, k, nprobe=nprobe,
+            fetch_documents=fetch_documents,
+            metadata_filter=metadata_filter,
+        )
+        return BatchSearchResult.from_execution(execution)
+
+    def submission_queue(
+        self,
+        db_id: int,
+        k: int = 10,
+        nprobe: Optional[int] = None,
+        fetch_documents: bool = True,
+        metadata_filter: Optional[int] = None,
+        policy: Optional[QueuePolicy] = None,
+        clock: Optional[SimClock] = None,
+    ) -> SubmissionQueue:
+        """An async submission queue draining into the shard router.
+
+        Batch forming (deadlines, occupancy, per-tenant fairness) is the
+        same host-side machinery as on one device -- the occupancy
+        estimate anchors on the first active shard's layout, admission
+        only -- and each formed batch executes across every shard with
+        distance-merged results, so fairness and deadlines work
+        cluster-wide.
+        """
+        sdb = self.database(db_id)
+        if nprobe is not None and not sdb.is_ivf:
+            raise ValueError(f"database {db_id} was deployed without IVF")
+        anchor = sdb.active_shards[0]
+        return SubmissionQueue(
+            self.shards[anchor].engine, sdb.shard_dbs[anchor],
+            k=k, nprobe=nprobe,
+            fetch_documents=fetch_documents,
+            metadata_filter=metadata_filter,
+            policy=policy, clock=clock,
+            executor=ShardedBatchExecutor(self.router, sdb),
+        )
+
+    def resolve_nprobe(self, db_id: int, recall_target: float) -> int:
+        """Heuristic nprobe for a recall target, on the *global* cluster
+        count (the per-shard plans trim it to owned centroids)."""
+        return nprobe_for_recall(self.database(db_id).n_clusters, recall_target)
+
+    # ----------------------------------------------------------- reporting
+
+    def energy_report(self, elapsed_s: float) -> Dict[str, object]:
+        """Cluster energy: every shard runs for the elapsed interval."""
+        per_shard = [shard.energy_report(elapsed_s) for shard in self.shards]
+        return {
+            "energy_j": sum(r["energy_j"] for r in per_shard),
+            "average_power_w": sum(r["average_power_w"] for r in per_shard),
+            "core_busy_s": sum(r["core_busy_s"] for r in per_shard),
+            "per_shard": per_shard,
+        }
+
+
+class ReisRetriever:
+    """Adapts a deployed REIS database to the RAG-pipeline protocol.
+
+    * ``dataset_load_seconds`` is zero -- the database lives in storage and
+      queries execute there (the entire point of the paper);
+    * retrieved ids come from the functional engine;
+    * ``search_seconds`` comes from the functional latency reports, or --
+      when ``paper_workload`` is provided -- from the analytic model at
+      paper dataset scale, which is how Table 4's REIS column is produced.
+
+    ``device`` is either a single :class:`ReisDevice` or a
+    :class:`ShardedReisDevice` -- both expose the same search/queue
+    surface, so the RAG pipeline runs unchanged on a cluster.
+    """
+
+    def __init__(
+        self,
+        device: Union[ReisDevice, "ShardedReisDevice"],
         db_id: int,
         nprobe: Optional[int] = None,
         paper_workload: Optional[AnalyticWorkload] = None,

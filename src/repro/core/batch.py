@@ -68,7 +68,14 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
 
 @dataclass
 class BatchStats:
-    """Device-level accounting for one served batch."""
+    """Device-level accounting for one served batch.
+
+    ``phases`` maps phase names to their composed breakdowns: the on-device
+    pipeline phases (``coarse``, ``fine``, ``rerank``, ``documents``) and --
+    for batches served by a :class:`~repro.core.shard.ShardRouter` -- the
+    host-side ``merge`` phase (distance-merging per-shard shortlists), which
+    carries transfer/core components but no senses.
+    """
 
     n_queries: int = 0
     phases: Dict[str, BatchPhaseBreakdown] = field(default_factory=dict)
@@ -138,6 +145,10 @@ class BatchExecution:
     # (set by the submission queue; deadline-missed queries are still
     # served and returned, never dropped).
     deadline_misses: int = 0
+    # Per-shard device-busy seconds when the batch was served by a
+    # :class:`~repro.core.shard.ShardRouter` (None for single-device
+    # batches); lets the sharded scheduler bill each shard's utilization.
+    shard_seconds: Optional[List[float]] = None
 
     @property
     def batch_seconds(self) -> float:
@@ -163,6 +174,29 @@ class _ScanTask:
     query: int
     page_offset: int
     window: "ScanWindow"
+
+
+@dataclass
+class _FineScanState:
+    """Everything the fine phase carries between scan, retry and finish.
+
+    Exists so the retry decision and the final shortlist selection can be
+    driven from outside the executor (the shard router interleaves a
+    cluster-wide merge between these steps).
+    """
+
+    threshold: Optional[int]
+    fine_stages: Sequence[object]  # FineStage per query
+    shortlist_sizes: List[int]
+    entry_bytes: int
+    costs: List[PhaseCost]
+    ttls: List[TemporalTopList]
+    ranges_per_query: List[List[Tuple[int, int]]]
+
+    def survivors(self, qi: int) -> int:
+        """Entries the filtered pass retained for query ``qi`` (the count
+        the retry predicate inspects)."""
+        return len(self.ttls[qi])
 
 
 def _range_tasks(
@@ -286,15 +320,20 @@ class BatchExecutor:
 
     # --------------------------------------------------------- phase drivers
 
-    def _run_coarse_phase(
+    def _coarse_scan(
         self,
         db: DeployedDatabase,
         plans: Sequence[QueryPlan],
         ctxs: Sequence[PlanContext],
         stats: BatchStats,
         scheduled_senses: Dict[str, Dict[int, int]],
-    ) -> None:
-        """Page-major coarse search: all queries sweep the centroid region."""
+    ) -> List[TemporalTopList]:
+        """Page-major centroid sweep; returns the per-query TTL-Cs.
+
+        Deposits each query's coarse :class:`PhaseCost` into its context;
+        cluster *selection* is left to the caller so the shard router can
+        merge centroid candidates across devices before resolving ids.
+        """
         engine = self.engine
         region = db.centroid_region
         assert region is not None
@@ -323,13 +362,11 @@ class BatchExecutor:
         )
         self._record_schedule(schedule, "coarse", stats, scheduled_senses)
         self._replay(engine, tasks, hits, ttls, costs, ctxs, entry_bytes, nprobes)
-        for qi, ctx in enumerate(ctxs):
-            ctx.clusters = engine.select_clusters(
-                db, ttls[qi], nprobes[qi], costs[qi], ctx.stats
-            )
-            ctx.phase_costs["coarse"] = costs[qi]
+        for ctx, cost in zip(ctxs, costs):
+            ctx.phase_costs["coarse"] = cost
+        return ttls
 
-    def _run_fine_phase(
+    def _run_coarse_phase(
         self,
         db: DeployedDatabase,
         plans: Sequence[QueryPlan],
@@ -337,7 +374,33 @@ class BatchExecutor:
         stats: BatchStats,
         scheduled_senses: Dict[str, Dict[int, int]],
     ) -> None:
-        """Page-major fine search, including the per-query filter retry."""
+        """Page-major coarse search: all queries sweep the centroid region."""
+        engine = self.engine
+        nprobes = [
+            next(s.nprobe for s in plan.stages if s.name == "coarse")
+            for plan in plans
+        ]
+        ttls = self._coarse_scan(db, plans, ctxs, stats, scheduled_senses)
+        for qi, ctx in enumerate(ctxs):
+            ctx.clusters = engine.select_clusters(
+                db, ttls[qi], nprobes[qi], ctx.phase_costs["coarse"], ctx.stats
+            )
+
+    def _fine_scan(
+        self,
+        db: DeployedDatabase,
+        plans: Sequence[QueryPlan],
+        ctxs: Sequence[PlanContext],
+        stats: BatchStats,
+        scheduled_senses: Dict[str, Dict[int, int]],
+    ) -> "_FineScanState":
+        """The filtered page-major fine sweep (no retry, no selection).
+
+        Split out so the retry decision can be taken *outside*: locally by
+        :meth:`_run_fine_phase`, or cluster-wide by the shard router (the
+        retry predicate must see the whole corpus's survivor count, exactly
+        as one device scanning everything would).
+        """
         engine = self.engine
         region = db.embedding_region
         fine_stages = [
@@ -383,44 +446,89 @@ class BatchExecutor:
         self._replay(
             engine, tasks, hits, ttls, costs, ctxs, entry_bytes, shortlist_sizes
         )
+        return _FineScanState(
+            threshold=threshold,
+            fine_stages=fine_stages,
+            shortlist_sizes=shortlist_sizes,
+            entry_bytes=entry_bytes,
+            costs=costs,
+            ttls=ttls,
+            ranges_per_query=ranges_per_query,
+        )
 
+    def _fine_retry(
+        self,
+        db: DeployedDatabase,
+        state: "_FineScanState",
+        ctxs: Sequence[PlanContext],
+        stats: BatchStats,
+        scheduled_senses: Dict[str, Dict[int, int]],
+        retries: Sequence[int],
+    ) -> None:
+        """Unfiltered rescan for the given queries, as one shared schedule."""
+        if not retries:
+            return
+        engine = self.engine
+        region = db.embedding_region
+        retry_tasks: List[_ScanTask] = []
+        for qi in retries:
+            ctxs[qi].stats.filter_retries += 1
+            state.ttls[qi].clear()
+            for first, last in state.ranges_per_query[qi]:
+                retry_tasks.extend(
+                    _range_tasks(
+                        qi, region, ctxs[qi].query_code, first, last,
+                        threshold=None,
+                        metadata_filter=state.fine_stages[qi].metadata_filter,
+                    )
+                )
+        retry_schedule, retry_hits = self._serve_scan_phase(
+            region, retry_tasks, coarse=False,
+            code_bytes=db.code_bytes,
+            oob_record_bytes=db.oob_record_bytes,
+        )
+        self._record_schedule(retry_schedule, "fine", stats, scheduled_senses)
+        self._replay(
+            engine, retry_tasks, retry_hits, state.ttls, state.costs, ctxs,
+            state.entry_bytes, state.shortlist_sizes,
+        )
+
+    def _fine_finish(
+        self,
+        state: "_FineScanState",
+        ctxs: Sequence[PlanContext],
+    ) -> None:
+        """Final quickselect of every query's TTL-E into its shortlist."""
+        engine = self.engine
+        for qi, ctx in enumerate(ctxs):
+            ctx.shortlist = engine.finish_fine_search(
+                state.ttls[qi], state.shortlist_sizes[qi], state.costs[qi]
+            )
+            ctx.phase_costs["fine"] = state.costs[qi]
+
+    def _run_fine_phase(
+        self,
+        db: DeployedDatabase,
+        plans: Sequence[QueryPlan],
+        ctxs: Sequence[PlanContext],
+        stats: BatchStats,
+        scheduled_senses: Dict[str, Dict[int, int]],
+    ) -> None:
+        """Page-major fine search, including the per-query filter retry."""
+        engine = self.engine
+        state = self._fine_scan(db, plans, ctxs, stats, scheduled_senses)
         # Queries the calibrated threshold starved below k rescan without
         # filtering -- still as one shared page-major schedule.
         retries = [
             qi
             for qi, ctx in enumerate(ctxs)
             if engine.fine_needs_retry(
-                ttls[qi], threshold, shortlist_sizes[qi], ctx.stats
+                state.ttls[qi], state.threshold,
+                state.shortlist_sizes[qi], ctx.stats,
             )
         ]
-        if retries:
-            retry_tasks: List[_ScanTask] = []
-            for qi in retries:
-                ctxs[qi].stats.filter_retries += 1
-                ttls[qi].clear()
-                for first, last in ranges_per_query[qi]:
-                    retry_tasks.extend(
-                        _range_tasks(
-                            qi, region, ctxs[qi].query_code, first, last,
-                            threshold=None,
-                            metadata_filter=fine_stages[qi].metadata_filter,
-                        )
-                    )
-            retry_schedule, retry_hits = self._serve_scan_phase(
-                region, retry_tasks, coarse=False,
-                code_bytes=db.code_bytes,
-                oob_record_bytes=db.oob_record_bytes,
-            )
-            self._record_schedule(retry_schedule, "fine", stats, scheduled_senses)
-            self._replay(
-                engine, retry_tasks, retry_hits, ttls, costs, ctxs,
-                entry_bytes, shortlist_sizes,
-            )
-        for qi, ctx in enumerate(ctxs):
-            ctx.shortlist = engine.finish_fine_search(
-                ttls[qi], shortlist_sizes[qi], costs[qi]
-            )
-            ctx.phase_costs["fine"] = costs[qi]
+        self._fine_retry(db, state, ctxs, stats, scheduled_senses, retries)
+        self._fine_finish(state, ctxs)
 
     @staticmethod
     def _record_schedule(
@@ -438,7 +546,7 @@ class BatchExecutor:
 
     # -------------------------------------------------------------- execute
 
-    def execute(
+    def prepare(
         self,
         db: DeployedDatabase,
         queries: np.ndarray,
@@ -446,11 +554,10 @@ class BatchExecutor:
         nprobe: Optional[int] = None,
         fetch_documents: bool = True,
         metadata_filter: Optional[int] = None,
-    ) -> BatchExecution:
-        """Serve a batch: plan per query, scan page-major, cost jointly."""
+    ) -> Tuple[List[QueryPlan], List[PlanContext]]:
+        """Build and validate one serviceable plan + context per query."""
         engine = self.engine
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
-
         plans = [
             build_query_plan(
                 engine, db, query, k, nprobe, fetch_documents, metadata_filter
@@ -469,12 +576,33 @@ class BatchExecutor:
                     "PlanExecutor instead"
                 )
         ctxs = [PlanContext(db=plan.db, query=plan.query) for plan in plans]
+        return plans, ctxs
+
+    def run_ibc(
+        self, plans: Sequence[QueryPlan], ctxs: Sequence[PlanContext]
+    ) -> None:
+        """Step 1 per query: encode + IBC (sets ``ctx.query_code``)."""
+        for plan, ctx in zip(plans, ctxs):
+            next(s for s in plan.stages if s.name == "ibc").run(self.engine, ctx)
+
+    def execute(
+        self,
+        db: DeployedDatabase,
+        queries: np.ndarray,
+        k: int = 10,
+        nprobe: Optional[int] = None,
+        fetch_documents: bool = True,
+        metadata_filter: Optional[int] = None,
+    ) -> BatchExecution:
+        """Serve a batch: plan per query, scan page-major, cost jointly."""
+        engine = self.engine
+        plans, ctxs = self.prepare(
+            db, queries, k, nprobe, fetch_documents, metadata_filter
+        )
         stats = BatchStats(n_queries=len(plans))
         scheduled_senses: Dict[str, Dict[int, int]] = {}
 
-        # Step 1 per query: encode + IBC (sets ctx.query_code).
-        for plan, ctx in zip(plans, ctxs):
-            next(s for s in plan.stages if s.name == "ibc").run(engine, ctx)
+        self.run_ibc(plans, ctxs)
 
         # Scan phases run page-major across the whole batch.
         if plans and any(s.name == "coarse" for s in plans[0].stages):
@@ -492,34 +620,51 @@ class BatchExecutor:
             finalize_query_result(engine, plan, ctx)
             for plan, ctx in zip(plans, ctxs)
         ]
-
-        # Joint cost composition; scan phases bill the executed schedules.
-        phase_costs: Dict[str, List[PhaseCost]] = {}
-        ibc_seconds = 0.0
-        host_seconds = 0.0
-        for ctx in ctxs:
-            ibc_seconds += ctx.ibc_seconds
-            host_seconds += ctx.host_seconds
-            for name, cost in ctx.phase_costs.items():
-                phase_costs.setdefault(name, []).append(cost)
-
-        ecc_rate = engine.ssd.ecc.decode_time(1)
-        report = LatencyReport()
-        report.add_component("ibc", ibc_seconds)
-        report.add_phase("ibc", ibc_seconds)
-        report.total_s += ibc_seconds
-        for name, costs in phase_costs.items():
-            breakdown = compose_batch_phase(
-                costs, engine.timing, engine.flags, ecc_rate,
-                scheduled_senses=scheduled_senses.get(name),
-            )
-            stats.phases[name] = breakdown
-            report.total_s += breakdown.seconds
-            report.add_phase(name, breakdown.seconds)
-            for component, seconds in breakdown.components.items():
-                report.add_component(component, seconds)
-        if host_seconds:
-            report.add_component("host_transfer", host_seconds)
-            report.add_phase("host", host_seconds)
-            report.total_s += host_seconds
+        report = compose_batch_report(engine, ctxs, stats, scheduled_senses)
         return BatchExecution(results=results, report=report, stats=stats)
+
+
+def compose_batch_report(
+    engine: "InStorageAnnsEngine",
+    ctxs: Sequence[PlanContext],
+    stats: BatchStats,
+    scheduled_senses: Dict[str, Dict[int, int]],
+) -> LatencyReport:
+    """Joint cost composition of one device's served batch.
+
+    Merges the per-query :class:`PhaseCost` records under the die/channel
+    occupancy model (:func:`~repro.core.costing.compose_batch_phase`),
+    billing the scan phases exactly the senses their executed schedules
+    performed, and deposits the per-phase breakdowns into ``stats``.
+    Shared by :meth:`BatchExecutor.execute` and the per-shard composition
+    of :class:`~repro.core.shard.ShardRouter`.
+    """
+    phase_costs: Dict[str, List[PhaseCost]] = {}
+    ibc_seconds = 0.0
+    host_seconds = 0.0
+    for ctx in ctxs:
+        ibc_seconds += ctx.ibc_seconds
+        host_seconds += ctx.host_seconds
+        for name, cost in ctx.phase_costs.items():
+            phase_costs.setdefault(name, []).append(cost)
+
+    ecc_rate = engine.ssd.ecc.decode_time(1)
+    report = LatencyReport()
+    report.add_component("ibc", ibc_seconds)
+    report.add_phase("ibc", ibc_seconds)
+    report.total_s += ibc_seconds
+    for name, costs in phase_costs.items():
+        breakdown = compose_batch_phase(
+            costs, engine.timing, engine.flags, ecc_rate,
+            scheduled_senses=scheduled_senses.get(name),
+        )
+        stats.phases[name] = breakdown
+        report.total_s += breakdown.seconds
+        report.add_phase(name, breakdown.seconds)
+        for component, seconds in breakdown.components.items():
+            report.add_component(component, seconds)
+    if host_seconds:
+        report.add_component("host_transfer", host_seconds)
+        report.add_phase("host", host_seconds)
+        report.total_s += host_seconds
+    return report

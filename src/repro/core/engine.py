@@ -364,21 +364,34 @@ class InStorageAnnsEngine:
         clusters = self.select_clusters(db, ttl_c, nprobe, cost, stats)
         return clusters, cost
 
-    def select_clusters(
+    def select_cluster_entries(
         self,
-        db: DeployedDatabase,
         ttl_c: TemporalTopList,
         nprobe: int,
         cost: PhaseCost,
+    ) -> List[TtlEntry]:
+        """Quickselect the nprobe nearest centroid entries (nearest first).
+
+        The entries still carry their Hamming distances, which is what the
+        shard router merges across devices before any cluster id is
+        resolved; the single-device path resolves ids immediately via
+        :meth:`resolve_cluster_ids`.
+        """
+        cost.core_seconds += self.ssd.cores.reis_core.quickselect(
+            len(ttl_c), nprobe
+        )
+        return ttl_c.select_smallest(nprobe)
+
+    def resolve_cluster_ids(
+        self,
+        db: DeployedDatabase,
+        entries: Sequence[TtlEntry],
         stats: SearchStats,
     ) -> List[int]:
-        """Quickselect the nprobe nearest centroids and resolve cluster ids."""
+        """Map selected centroid entries to cluster ids (tag cross-check)."""
         assert db.r_ivf is not None
-        core = self.ssd.cores.reis_core
-        cost.core_seconds += core.quickselect(len(ttl_c), nprobe)
-        nearest = ttl_c.select_smallest(nprobe)
         clusters: List[int] = []
-        for entry in nearest:
+        for entry in entries:
             # EADR is the centroid's mini-page address == the cluster id; the
             # 8-bit tag (which aliases for nlist > 256) is cross-checked.
             cluster_id = entry.eadr
@@ -389,6 +402,18 @@ class InStorageAnnsEngine:
             clusters.append(cluster_id)
         stats.clusters_probed = len(clusters)
         return clusters
+
+    def select_clusters(
+        self,
+        db: DeployedDatabase,
+        ttl_c: TemporalTopList,
+        nprobe: int,
+        cost: PhaseCost,
+        stats: SearchStats,
+    ) -> List[int]:
+        """Quickselect the nprobe nearest centroids and resolve cluster ids."""
+        nearest = self.select_cluster_entries(ttl_c, nprobe, cost)
+        return self.resolve_cluster_ids(db, nearest, stats)
 
     def _fine_search(
         self,
@@ -453,6 +478,24 @@ class InStorageAnnsEngine:
                 )
         return self.finish_fine_search(ttl_e, shortlist_size, cost), cost
 
+    def fine_retry_needed(
+        self,
+        n_entries: int,
+        threshold: Optional[int],
+        shortlist_size: int,
+        n_candidates: int,
+    ) -> bool:
+        """The raw retry predicate: did filtering starve below k survivors?
+
+        Exposed on counts (rather than a TTL) so the shard router can apply
+        the *same* rule to cluster-wide totals: the retry is a global
+        decision, exactly as it would be on one device scanning the whole
+        corpus -- per-shard local decisions would let one shard inject
+        unfiltered candidates a single device never saw.
+        """
+        k = max(1, shortlist_size // self.params.shortlist_factor)
+        return threshold is not None and n_entries < min(k, n_candidates)
+
     def fine_needs_retry(
         self,
         ttl_e: TemporalTopList,
@@ -461,8 +504,9 @@ class InStorageAnnsEngine:
         stats: SearchStats,
     ) -> bool:
         """Did distance filtering starve this query below k candidates?"""
-        k = max(1, shortlist_size // self.params.shortlist_factor)
-        return threshold is not None and len(ttl_e) < min(k, stats.candidates)
+        return self.fine_retry_needed(
+            len(ttl_e), threshold, shortlist_size, stats.candidates
+        )
 
     def finish_fine_search(
         self,

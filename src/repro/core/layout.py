@@ -213,12 +213,21 @@ class DatabaseDeployer:
         ivf_model: Optional[IvfModel] = None,
         metadata_tags: Optional[np.ndarray] = None,
         seed: object = 0,
+        codecs: Optional[DeploymentCodecs] = None,
     ) -> DeployedDatabase:
         """Deploy a database; with ``ivf_model`` this is ``IVF_Deploy``.
 
         ``metadata_tags`` optionally attaches one integer tag per embedding
         for Sec. 7.1 metadata filtering; tags are stored as a third 4-byte
         word in each embedding's OOB record.
+
+        ``codecs`` optionally injects pre-fit quantizers and a pre-calibrated
+        distance-filtering threshold.  By default every deployment fits its
+        own (:func:`fit_deployment_codecs` on the deployed vectors); a
+        multi-device deployment instead fits one codec set on the *full*
+        corpus and hands it to every shard, so all shards measure distances
+        in the same code space -- the precondition for merging per-shard
+        shortlists by distance (:mod:`repro.core.shard`).
 
         Deployment is transactional: if any region fails to allocate or
         program (e.g. the array is too small), all space reserved by this
@@ -227,7 +236,8 @@ class DatabaseDeployer:
         checkpoint = self._next_page_in_plane
         try:
             return self._deploy(
-                db_id, name, vectors, corpus, ivf_model, metadata_tags, seed
+                db_id, name, vectors, corpus, ivf_model, metadata_tags, seed,
+                codecs,
             )
         except Exception:
             self._rollback(checkpoint)
@@ -255,6 +265,7 @@ class DatabaseDeployer:
         ivf_model: Optional[IvfModel],
         metadata_tags: Optional[np.ndarray],
         seed: object,
+        codecs: Optional[DeploymentCodecs] = None,
     ) -> DeployedDatabase:
         vectors = np.asarray(vectors, dtype=np.float32)
         n, dim = vectors.shape
@@ -269,19 +280,14 @@ class DatabaseDeployer:
         g = self._geometry()
         params = self.params
 
-        binary = BinaryQuantizer().fit(vectors)
-        int8 = Int8Quantizer().fit(vectors)
+        if codecs is None:
+            codecs = fit_deployment_codecs(vectors, params, seed)
+        binary = codecs.binary
+        int8 = codecs.int8
         code_bytes = dim // 8
 
         # IVF-tailored ordering: embeddings of a cluster are contiguous.
-        if ivf_model is not None:
-            order = np.concatenate(
-                [lst for lst in ivf_model.lists if len(lst)]
-            ).astype(np.int64)
-            if order.size != n:
-                raise ValueError("IVF lists do not cover every vector exactly once")
-        else:
-            order = np.arange(n, dtype=np.int64)
+        order = deployment_order(n, ivf_model)
         original_to_slot = np.empty(n, dtype=np.int64)
         original_to_slot[order] = np.arange(n, dtype=np.int64)
 
@@ -372,18 +378,6 @@ class DatabaseDeployer:
             ]
         self._program_region(document_region, doc_payloads)
 
-        # The distance-filtering threshold must pass at least the rescoring
-        # shortlist.  At paper scale (10s of millions of entries) the
-        # shortlist is a vanishing fraction and the configured quantile
-        # dominates; at functional scale the shortlist fraction dominates.
-        shortlist_fraction = min(
-            1.0, 1.5 * params.shortlist_factor * 10 / max(n, 1)
-        )
-        keep_quantile = max(params.filter_keep_quantile, shortlist_fraction)
-        threshold = _calibrate_filter_threshold(
-            vectors, binary, keep_quantile, seed
-        )
-
         self.r_db.register(
             RDbEntry(
                 db_id=db_id,
@@ -408,11 +402,77 @@ class DatabaseDeployer:
             int8_quantizer=int8,
             slot_to_original=order,
             original_to_slot=original_to_slot,
-            filter_threshold=threshold,
+            filter_threshold=codecs.filter_threshold,
             oob_record_bytes=oob_record_bytes,
             metadata_tags=metadata_tags,
             corpus=corpus,
         )
+
+
+@dataclass(frozen=True)
+class DeploymentCodecs:
+    """The data-dependent pieces of a deployment: quantizers + DF threshold.
+
+    Fitting these is separated from :meth:`DatabaseDeployer.deploy` so a
+    multi-device deployment can fit them **once on the full corpus** and
+    inject the same codecs into every shard: binary/INT8 distances are then
+    comparable across shards (one code space) and the distance filter cuts
+    at the same calibrated threshold everywhere, which is what makes
+    per-shard shortlists mergeable by raw distance.
+    """
+
+    binary: BinaryQuantizer
+    int8: Int8Quantizer
+    filter_threshold: int
+
+
+def fit_deployment_codecs(
+    vectors: np.ndarray,
+    params: Optional[EngineParams] = None,
+    seed: object = 0,
+) -> DeploymentCodecs:
+    """Fit the quantizers and calibrate the DF threshold for a corpus.
+
+    This is exactly what :meth:`DatabaseDeployer.deploy` does when no codecs
+    are injected, factored out so single-device and sharded deployments of
+    the same corpus produce bit-identical code spaces.
+    """
+    vectors = np.asarray(vectors, dtype=np.float32)
+    params = params or EngineParams()
+    n = vectors.shape[0]
+    binary = BinaryQuantizer().fit(vectors)
+    int8 = Int8Quantizer().fit(vectors)
+    # The distance-filtering threshold must pass at least the rescoring
+    # shortlist.  At paper scale (10s of millions of entries) the
+    # shortlist is a vanishing fraction and the configured quantile
+    # dominates; at functional scale the shortlist fraction dominates.
+    shortlist_fraction = min(
+        1.0, 1.5 * params.shortlist_factor * 10 / max(n, 1)
+    )
+    keep_quantile = max(params.filter_keep_quantile, shortlist_fraction)
+    threshold = _calibrate_filter_threshold(vectors, binary, keep_quantile, seed)
+    return DeploymentCodecs(binary=binary, int8=int8, filter_threshold=threshold)
+
+
+def deployment_order(n: int, ivf_model: Optional[IvfModel]) -> np.ndarray:
+    """The canonical slot order of a deployment: cluster-major for IVF
+    (cluster members contiguous, ascending id within a cluster), identity
+    for flat databases.
+
+    Exposed so the shard router can compute the slot a vector *would*
+    occupy on a single device -- the tie-breaking key that keeps
+    distance-merged shortlists bit-identical to the unsharded engine.
+    """
+    if ivf_model is None:
+        return np.arange(n, dtype=np.int64)
+    nonempty = [lst for lst in ivf_model.lists if len(lst)]
+    if not nonempty:
+        order = np.empty(0, dtype=np.int64)
+    else:
+        order = np.concatenate(nonempty).astype(np.int64)
+    if order.size != n:
+        raise ValueError("IVF lists do not cover every vector exactly once")
+    return order
 
 
 def _calibrate_filter_threshold(

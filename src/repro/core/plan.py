@@ -183,6 +183,27 @@ class DocumentStage(PlanStage):
         ctx.phase_costs[self.name] = cost
 
 
+@dataclass
+class MergeStage(PlanStage):
+    """Host-side distance merge of per-shard candidate lists.
+
+    This stage is the multi-device seam: a sharded logical plan is the
+    per-shard scan stages plus one merge, executed by the
+    :class:`~repro.core.shard.ShardRouter` *on the host* between the
+    shards' fine searches and their reranks.  It is plan *data* only --
+    single-device executors must never service it, which the
+    :class:`~repro.core.batch.BatchExecutor` stage validation enforces.
+    """
+
+    fan_in: int = 1
+    name: str = "merge"
+
+    def run(self, engine: "InStorageAnnsEngine", ctx: PlanContext) -> None:
+        raise RuntimeError(
+            "MergeStage executes on the host (ShardRouter), not on a device"
+        )
+
+
 @dataclass(frozen=True)
 class PageRequest:
     """One task's demand for one page of a region.
@@ -366,15 +387,14 @@ class PlanExecutor:
         return self.execute(plan)[0]
 
 
-def finalize_query_result(
-    engine: "InStorageAnnsEngine", plan: QueryPlan, ctx: PlanContext
-) -> ReisQueryResult:
-    """Compose a query's solo latency report and package its result.
+def compose_solo_report(
+    engine: "InStorageAnnsEngine", ctx: PlanContext
+) -> LatencyReport:
+    """Compose one query's phase costs as solo (otherwise-idle) latency.
 
-    Shared by the sequential :class:`PlanExecutor` and the page-major batch
-    executor: however a plan was *serviced*, its per-query phase costs are
-    composed solo here, so every query keeps the latency report it would
-    have had on an otherwise-idle device.
+    Used by :func:`finalize_query_result` and, per shard, by the
+    :class:`~repro.core.shard.ShardRouter` (a sharded query's solo report
+    is the phase-wise slowest shard plus its merge share).
     """
     ecc_rate = engine.ssd.ecc.decode_time(1)
     phases: Dict[str, Tuple[float, Dict[str, float]]] = {
@@ -386,6 +406,20 @@ def finalize_query_result(
         report.add_component("host_transfer", ctx.host_seconds)
         report.add_phase("host", ctx.host_seconds)
         report.total_s += ctx.host_seconds
+    return report
+
+
+def finalize_query_result(
+    engine: "InStorageAnnsEngine", plan: QueryPlan, ctx: PlanContext
+) -> ReisQueryResult:
+    """Compose a query's solo latency report and package its result.
+
+    Shared by the sequential :class:`PlanExecutor` and the page-major batch
+    executor: however a plan was *serviced*, its per-query phase costs are
+    composed solo here, so every query keeps the latency report it would
+    have had on an otherwise-idle device.
+    """
+    report = compose_solo_report(engine, ctx)
 
     db = plan.db
     ids = db.slot_to_original[ctx.slots] if ctx.slots.size else ctx.slots

@@ -519,7 +519,10 @@ class SubmissionQueue:
     clock by the batch's modeled wall clock.  One queue serves one
     deployed database with fixed search parameters (k, nprobe, filters):
     that is what makes every pending submission batchable with every
-    other.
+    other.  The database may be a *logical* one spanning many drives:
+    :meth:`repro.core.api.ShardedReisDevice.submission_queue` injects a
+    shard-routing executor, so the same forming and fairness machinery
+    feeds a whole cluster.
     """
 
     def __init__(
@@ -533,6 +536,7 @@ class SubmissionQueue:
         metadata_filter: Optional[int] = None,
         policy: Optional[QueuePolicy] = None,
         clock: Optional[SimClock] = None,
+        executor: Optional[object] = None,
     ) -> None:
         self.engine = engine
         self.db = db
@@ -543,7 +547,12 @@ class SubmissionQueue:
         self.policy = policy if policy is not None else QueuePolicy()
         self.clock = clock if clock is not None else SimClock()
         self.former = BatchFormer(engine, db, nprobe, self.policy)
-        self.executor = BatchExecutor(engine)
+        # The back end formed batches drain into.  Default: this device's
+        # page-major executor.  A sharded deployment injects a
+        # :class:`~repro.core.shard.ShardedBatchExecutor` so batches fan
+        # out through the router and come back distance-merged -- ``db``
+        # then only anchors forming estimates and submission validation.
+        self.executor = executor if executor is not None else BatchExecutor(engine)
         self._arrivals: List[Tuple[float, int, Submission]] = []
         self._tenants: Dict[str, Deque[Submission]] = {}
         self._rr_offset = 0

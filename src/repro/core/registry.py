@@ -206,11 +206,21 @@ class TemporalTopList:
                 self._grow_region()
 
     def select_smallest(self, k: int) -> List[TtlEntry]:
-        """Quickselect: the k nearest entries (unsorted, as on the core)."""
+        """Quickselect: the k nearest entries, nearest first.
+
+        Distance ties break by arrival order, so the selection is a pure
+        function of (distances, insertion order) -- a deterministic total
+        order.  That determinism is what makes the selection reproducible
+        across *any* partitioning of the scan: per-shard shortlists merged
+        by the same (distance, scan-order) key reconstruct exactly the
+        list a single device would have selected (see
+        :mod:`repro.core.shard`), and the streaming :meth:`compact` keeps
+        the same top-k the full candidate stream would yield.
+        """
         if k <= 0 or not self.entries:
             return []
         k = min(k, len(self.entries))
-        idx = np.argpartition(np.asarray(self._dists), k - 1)[:k]
+        idx = np.argsort(np.asarray(self._dists), kind="stable")[:k]
         return [self.entries[i] for i in idx]
 
     def compact(self, k: int) -> int:

@@ -22,20 +22,81 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.api import BatchSearchResult, ReisDevice
-from repro.core.queue import QueuePolicy, SubmissionQueue
+from repro.core.api import BatchSearchResult, ReisDevice, ShardedReisDevice
+from repro.core.queue import QueuePolicy, QueueServeReport
 from repro.ssd.gc import GcResult
 from repro.ssd.refresh import RefreshManager, RefreshResult
 
 
+def _serve_through_queue(
+    device,
+    db_id: int,
+    queries: np.ndarray,
+    k: int,
+    nprobe: Optional[int],
+    *,
+    tenants: Optional[Sequence[str]],
+    deadlines_s: Optional[Sequence[float]],
+    arrivals_s: Optional[Sequence[float]],
+    policy: Optional[QueuePolicy],
+) -> QueueServeReport:
+    """Drive a batch through ``device.submission_queue`` and drain it.
+
+    Shared by :class:`DeviceScheduler` (one drive) and
+    :class:`ShardedScheduler` (a cluster): both devices expose the same
+    ``submission_queue`` surface, so the queue-fronted serving path is one
+    piece of code.
+    """
+    db = device.database(db_id)
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+    if policy is None:
+        # Synchronous call sites hand over a complete batch: admit it
+        # whole (flush-close) instead of waiting out a forming window.
+        policy = QueuePolicy(max_batch=max(1, queries.shape[0]))
+    queue = device.submission_queue(
+        db_id, k=k,
+        nprobe=nprobe if db.is_ivf else None,
+        policy=policy,
+    )
+    if tenants is None:
+        queue.submit_many(queries, deadlines_s=deadlines_s, at_s=arrivals_s)
+    else:
+        n = queries.shape[0]
+        if len(tenants) != n:
+            raise ValueError("tenants must match the number of queries")
+        if deadlines_s is not None and len(deadlines_s) != n:
+            raise ValueError("deadlines_s must match the number of queries")
+        if arrivals_s is not None and len(arrivals_s) != n:
+            raise ValueError("arrivals_s must match the number of queries")
+        for i in range(queries.shape[0]):
+            queue.submit(
+                queries[i],
+                tenant=tenants[i],
+                deadline_s=(
+                    float("inf") if deadlines_s is None else deadlines_s[i]
+                ),
+                at_s=None if arrivals_s is None else arrivals_s[i],
+            )
+    return queue.drain()
+
+
 @dataclass
 class ScheduleAccounting:
-    """Where the device spent its time, by activity."""
+    """Where the device (or cluster) spent its time, by activity.
+
+    ``merge_seconds`` is the host-side distance-merge work of sharded
+    serving (the ``merge`` phase of
+    :meth:`~repro.core.api.BatchSearchResult.phase_seconds`): always zero
+    for a single-device scheduler, tracked at the cluster level by
+    :class:`ShardedScheduler`.  It is busy time the serving path depends
+    on, so it counts toward ``total_seconds`` and ``utilization()``.
+    """
 
     rag_seconds: float = 0.0
     host_io_seconds: float = 0.0
     maintenance_seconds: float = 0.0
     mode_switch_seconds: float = 0.0
+    merge_seconds: float = 0.0
     mode_switches: int = 0
     queries_served: int = 0
     host_pages_written: int = 0
@@ -54,9 +115,16 @@ class ScheduleAccounting:
             + self.host_io_seconds
             + self.maintenance_seconds
             + self.mode_switch_seconds
+            + self.merge_seconds
         )
 
     def utilization(self) -> Dict[str, float]:
+        """Fraction of ``total_seconds`` per activity.
+
+        Keys: ``rag`` (in-storage retrieval), ``host_io``, ``maintenance``,
+        ``mode_switch``, and ``merge`` (host-side shard merging; 0.0 unless
+        the accounting belongs to a sharded serving stack).
+        """
         total = self.total_seconds
         if total <= 0:
             return {}
@@ -65,6 +133,7 @@ class ScheduleAccounting:
             "host_io": self.host_io_seconds / total,
             "maintenance": self.maintenance_seconds / total,
             "mode_switch": self.mode_switch_seconds / total,
+            "merge": self.merge_seconds / total,
         }
 
 
@@ -119,37 +188,11 @@ class DeviceScheduler:
         formed batches land in their own accounting fields.
         """
         self._enter_rag()
-        db = self.device.database(db_id)
-        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
-        if policy is None:
-            # Synchronous call sites hand over a complete batch: admit it
-            # whole (flush-close) instead of waiting out a forming window.
-            policy = QueuePolicy(max_batch=max(1, queries.shape[0]))
-        queue = SubmissionQueue(
-            self.device.engine, db, k=k,
-            nprobe=nprobe if db.is_ivf else None,
+        report = _serve_through_queue(
+            self.device, db_id, queries, k, nprobe,
+            tenants=tenants, deadlines_s=deadlines_s, arrivals_s=arrivals_s,
             policy=policy,
         )
-        if tenants is None:
-            queue.submit_many(queries, deadlines_s=deadlines_s, at_s=arrivals_s)
-        else:
-            n = queries.shape[0]
-            if len(tenants) != n:
-                raise ValueError("tenants must match the number of queries")
-            if deadlines_s is not None and len(deadlines_s) != n:
-                raise ValueError("deadlines_s must match the number of queries")
-            if arrivals_s is not None and len(arrivals_s) != n:
-                raise ValueError("arrivals_s must match the number of queries")
-            for i in range(queries.shape[0]):
-                queue.submit(
-                    queries[i],
-                    tenant=tenants[i],
-                    deadline_s=(
-                        float("inf") if deadlines_s is None else deadlines_s[i]
-                    ),
-                    at_s=None if arrivals_s is None else arrivals_s[i],
-                )
-        report = queue.drain()
         batch = report.as_batch_result()
         self.accounting.rag_seconds += report.service_seconds
         self.accounting.queries_served += len(batch)
@@ -214,4 +257,140 @@ class DeviceScheduler:
             "batches_formed": acc.batches_formed,
             "queue_wait_seconds": acc.queue_wait_seconds,
             "deadline_misses": acc.deadline_misses,
+        }
+
+
+class ShardedScheduler:
+    """Cluster-aware scheduling over a :class:`~repro.core.api.ShardedReisDevice`.
+
+    One :class:`DeviceScheduler` child per shard keeps the single-device
+    duties (mode switching, maintenance, host I/O) per drive, and the
+    cluster level adds what only exists above the shards: queue-fronted
+    serving through the shard router, per-shard busy-time billing (shards
+    overlap, so each shard's ``rag_seconds`` is *its own* busy time, not
+    the cluster wall clock), and the host-side ``merge`` phase in the
+    aggregate accounting.
+    """
+
+    def __init__(self, device: ShardedReisDevice) -> None:
+        self.device = device
+        self.children = [DeviceScheduler(shard) for shard in device.shards]
+        # Cluster-level accounting: rag_seconds is the cluster's serving
+        # wall clock (slowest shard per phase), merge_seconds the host
+        # merge work on top of it.
+        self.accounting = ScheduleAccounting()
+
+    @property
+    def shard_accounting(self) -> List[ScheduleAccounting]:
+        """Per-shard accounting (one entry per drive, in shard order)."""
+        return [child.accounting for child in self.children]
+
+    # ------------------------------------------------------------ RAG side
+
+    def serve_queries(
+        self,
+        db_id: int,
+        queries: np.ndarray,
+        k: int = 10,
+        nprobe: Optional[int] = None,
+        *,
+        tenants: Optional[Sequence[str]] = None,
+        deadlines_s: Optional[Sequence[float]] = None,
+        arrivals_s: Optional[Sequence[float]] = None,
+        policy: Optional[QueuePolicy] = None,
+    ) -> BatchSearchResult:
+        """Serve a retrieval batch cluster-wide, queue-fronted.
+
+        The same submission-queue front end as
+        :meth:`DeviceScheduler.serve_queries`, draining into the shard
+        router: per-tenant fairness and deadlines apply to the cluster.
+        Each shard's accounting is billed its own device-busy seconds per
+        batch; the aggregate is billed the cluster serving wall clock,
+        split into device time (``rag``) and host merge time (``merge``).
+        """
+        sdb = self.device.database(db_id)
+        for shard in sdb.active_shards:
+            self.children[shard]._enter_rag()
+        report = _serve_through_queue(
+            self.device, db_id, queries, k, nprobe,
+            tenants=tenants, deadlines_s=deadlines_s, arrivals_s=arrivals_s,
+            policy=policy,
+        )
+        batch = report.as_batch_result()
+        merge_seconds = 0.0
+        for queued in report.batches:
+            execution = queued.execution
+            merge_breakdown = execution.stats.phases.get("merge")
+            if merge_breakdown is not None:
+                merge_seconds += merge_breakdown.seconds
+            if execution.shard_seconds is not None:
+                for shard, seconds in enumerate(execution.shard_seconds):
+                    self.children[shard].accounting.rag_seconds += seconds
+                    if seconds > 0:
+                        self.children[shard].accounting.queries_served += len(
+                            queued.submissions
+                        )
+        acc = self.accounting
+        acc.rag_seconds += report.service_seconds - merge_seconds
+        acc.merge_seconds += merge_seconds
+        acc.queries_served += len(batch)
+        acc.queue_wait_seconds += report.total_queue_wait_s
+        acc.deadline_misses += len(report.deadline_misses)
+        acc.batches_formed += len(report.batches)
+        return batch
+
+    # --------------------------------------------------------- normal side
+
+    def run_maintenance(
+        self,
+        max_gc_blocks: int = 1,
+        max_refresh_blocks: int = 4,
+        wear_level: bool = True,
+    ) -> None:
+        """Run GC/refresh/wear-leveling on every shard (Sec. 7.2 per drive).
+
+        Drives maintain themselves independently and concurrently, so the
+        cluster-level accounting bills the slowest shard's increment.
+        """
+        before = [child.accounting.maintenance_seconds for child in self.children]
+        for child in self.children:
+            child.run_maintenance(
+                max_gc_blocks=max_gc_blocks,
+                max_refresh_blocks=max_refresh_blocks,
+                wear_level=wear_level,
+            )
+        self.accounting.maintenance_seconds += max(
+            (
+                child.accounting.maintenance_seconds - prior
+                for child, prior in zip(self.children, before)
+            ),
+            default=0.0,
+        )
+
+    # ---------------------------------------------------------- reporting
+
+    def aggregate_utilization(self) -> Dict[str, float]:
+        """Cluster utilization: the aggregate accounting's split (device
+        serving vs host merge vs maintenance vs mode switches)."""
+        return self.accounting.utilization()
+
+    def report(self) -> Dict[str, object]:
+        acc = self.accounting
+        return {
+            "n_shards": self.device.n_shards,
+            "queries_served": acc.queries_served,
+            "utilization": acc.utilization(),
+            "merge_seconds": acc.merge_seconds,
+            "batches_formed": acc.batches_formed,
+            "queue_wait_seconds": acc.queue_wait_seconds,
+            "deadline_misses": acc.deadline_misses,
+            "per_shard": [
+                {
+                    "rag_seconds": child.accounting.rag_seconds,
+                    "utilization": child.accounting.utilization(),
+                    "mode_switches": child.accounting.mode_switches,
+                    "queries_served": child.accounting.queries_served,
+                }
+                for child in self.children
+            ],
         }

@@ -1,0 +1,883 @@
+"""Multi-device sharding: shard router, per-shard plans, distance merges.
+
+One REIS drive tops out at its own channels and dies; serving production
+traffic needs horizontal scale-out.  This module shards one logical
+database across N :class:`~repro.core.engine.InStorageAnnsEngine` devices
+and serves one logical query as N per-shard
+:class:`~repro.core.plan.QueryPlan` executions plus host-side **distance
+merges** -- the shard-and-merge design of SPANN/DiskANN-class distributed
+ANN systems, specialized to the in-storage engine:
+
+* :func:`plan_placement` partitions the corpus.  ``round_robin`` stripes
+  vectors across shards (every shard replicates every centroid);
+  ``cluster`` places whole IVF clusters with greedy size balancing
+  (centroid scans divide across shards; flat databases fall back to
+  contiguous chunks).
+* Every shard is deployed with the **same**
+  :class:`~repro.core.layout.DeploymentCodecs` -- quantizers and the
+  distance-filter threshold fit once on the full corpus -- so all shards
+  measure distances in one code space and per-shard candidates are
+  mergeable by raw distance.
+* :class:`ShardRouter` fans a batch out: each shard runs the page-major
+  batch executor over its own pages (per-shard ``nprobe`` trimmed by the
+  plan to the centroids the shard actually owns), and the router merges at
+  three barriers: centroid candidates -> global probe set, fine shortlists
+  -> global rescoring shortlist, INT8 rerank scores -> global top-k.
+  The filter-retry decision is likewise taken on cluster-wide survivor
+  counts, exactly as one device scanning everything would take it.
+
+**Bit identity.**  The merges reconstruct, candidate for candidate, the
+state a single device deploying the whole corpus would have built: the TTL
+selection is a deterministic total order (distance, then scan order --
+:meth:`~repro.core.registry.TemporalTopList.select_smallest`), each
+shard's local top list provably contains its members of the global top
+list, and the router merges with the single-device scan-order key
+(coarse: global cluster id; fine: probe rank, then the slot the vector
+would occupy in the canonical single-device layout,
+:func:`~repro.core.layout.deployment_order`).  The property tests in
+``tests/test_core_shard.py`` pin sharded top-k == single-device top-k
+(ids and distances) for arbitrary splits, placements, k and metadata
+filters.
+
+**Cost model.**  Shards execute concurrently, each under its own
+die/channel occupancy composition
+(:func:`~repro.core.batch.compose_batch_report`); the merges are barriers,
+so every phase's wall clock is the slowest shard's, and the ``merge``
+phase adds the host-side work (per-shard shortlist transfer over each
+shard's host link in parallel, then one serial merge kernel) -- wall clock
+is the slowest shard plus merge, and
+:meth:`~repro.core.api.BatchSearchResult.phase_seconds` still decomposes
+it exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ann.ivf import IvfModel
+from repro.core.batch import (
+    BatchExecution,
+    BatchExecutor,
+    BatchStats,
+    compose_batch_report,
+)
+from repro.core.costing import BatchPhaseBreakdown
+from repro.core.layout import DeployedDatabase, deployment_order
+from repro.core.plan import (
+    MergeStage,
+    PlanContext,
+    QueryPlan,
+    ReisQueryResult,
+    SearchStats,
+    compose_solo_report,
+)
+from repro.core.registry import TtlEntry
+from repro.rag.documents import Corpus, DocumentChunk
+from repro.sim.latency import LatencyReport
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.engine import InStorageAnnsEngine
+
+PLACEMENT_POLICIES = ("round_robin", "cluster")
+
+
+# --------------------------------------------------------------- placement
+
+
+@dataclass(frozen=True)
+class ShardAssignment:
+    """How one corpus is split across N shards.
+
+    ``shard_vectors[s]`` holds shard ``s``'s global vector ids in ascending
+    order -- the order the shard's deployer receives them, so a shard-local
+    original index maps back through it.  ``global_slot[v]`` is the slot
+    vector ``v`` would occupy on a *single* device deploying the whole
+    corpus (the canonical layout), which is the scan-order tie-break key
+    the router merges shortlists with.
+    """
+
+    policy: str
+    n_shards: int
+    shard_of_vector: np.ndarray  # (n,) owning shard per global vector id
+    shard_vectors: List[np.ndarray]  # per shard: global ids, ascending
+    shard_clusters: List[np.ndarray]  # per shard: owned global cluster ids
+    global_slot: np.ndarray  # (n,) canonical single-device slot
+    cluster_of_vector: Optional[np.ndarray]  # (n,) global cluster (IVF)
+
+    @property
+    def is_ivf(self) -> bool:
+        return self.cluster_of_vector is not None
+
+    def shard_sizes(self) -> np.ndarray:
+        return np.array([v.size for v in self.shard_vectors], dtype=np.int64)
+
+
+def plan_placement(
+    n: int,
+    n_shards: int,
+    policy: str,
+    ivf_model: Optional[IvfModel] = None,
+) -> ShardAssignment:
+    """Partition ``n`` vectors across ``n_shards`` under a placement policy.
+
+    ``round_robin`` assigns vector ``i`` to shard ``i % n_shards``; with an
+    IVF model every cluster then has members on every shard, so each shard
+    owns (a replica of) every centroid.  ``cluster`` assigns whole clusters
+    greedily -- largest first, each to the currently lightest shard -- so
+    a probed cluster lives on exactly one shard and centroid scans divide;
+    without a model it degrades to contiguous chunks.  Both policies are
+    deterministic functions of their inputs.
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be at least 1")
+    if policy not in PLACEMENT_POLICIES:
+        raise ValueError(
+            f"unknown placement policy {policy!r}; pick from {PLACEMENT_POLICIES}"
+        )
+    cluster_of: Optional[np.ndarray] = None
+    if ivf_model is not None:
+        cluster_of = np.empty(n, dtype=np.int64)
+        for cluster, members in enumerate(ivf_model.lists):
+            cluster_of[members] = cluster
+
+    if policy == "round_robin":
+        shard_of = np.arange(n, dtype=np.int64) % n_shards
+        if ivf_model is not None:
+            all_clusters = np.arange(ivf_model.nlist, dtype=np.int64)
+            shard_clusters = [all_clusters.copy() for _ in range(n_shards)]
+        else:
+            shard_clusters = [np.empty(0, dtype=np.int64) for _ in range(n_shards)]
+    elif ivf_model is not None:  # cluster affinity
+        sizes = ivf_model.cluster_sizes()
+        # Largest clusters first (ties by id), each to the lightest shard
+        # (ties by shard id): deterministic greedy balance.
+        order = sorted(range(ivf_model.nlist), key=lambda c: (-sizes[c], c))
+        load = [0] * n_shards
+        owner = np.empty(ivf_model.nlist, dtype=np.int64)
+        owned: List[List[int]] = [[] for _ in range(n_shards)]
+        for cluster in order:
+            shard = min(range(n_shards), key=lambda s: (load[s], s))
+            owner[cluster] = shard
+            owned[shard].append(cluster)
+            load[shard] += int(sizes[cluster])
+        shard_of = owner[cluster_of] if n else np.empty(0, dtype=np.int64)
+        shard_clusters = [
+            np.array(sorted(c), dtype=np.int64) for c in owned
+        ]
+    else:  # cluster affinity without clusters: contiguous chunks
+        shard_of = np.empty(n, dtype=np.int64)
+        for shard, chunk in enumerate(np.array_split(np.arange(n), n_shards)):
+            shard_of[chunk] = shard
+        shard_clusters = [np.empty(0, dtype=np.int64) for _ in range(n_shards)]
+
+    shard_vectors = [
+        np.nonzero(shard_of == s)[0].astype(np.int64) for s in range(n_shards)
+    ]
+    order = deployment_order(n, ivf_model)
+    global_slot = np.empty(n, dtype=np.int64)
+    global_slot[order] = np.arange(n, dtype=np.int64)
+    return ShardAssignment(
+        policy=policy,
+        n_shards=n_shards,
+        shard_of_vector=shard_of,
+        shard_vectors=shard_vectors,
+        shard_clusters=shard_clusters,
+        global_slot=global_slot,
+        cluster_of_vector=cluster_of,
+    )
+
+
+def shard_ivf_model(
+    ivf_model: IvfModel, assignment: ShardAssignment, shard: int
+) -> IvfModel:
+    """Shard ``shard``'s local IVF model: its owned centroids, with lists
+    holding shard-local vector indices (positions within
+    ``assignment.shard_vectors[shard]``).
+
+    Local cluster ids are positions within the shard's (ascending) owned
+    cluster array, so local scan order stays consistent with global
+    cluster ids -- the coarse-merge tie-break key.
+    """
+    owned = assignment.shard_clusters[shard]
+    mine = assignment.shard_vectors[shard]
+    lists: List[np.ndarray] = []
+    for cluster in owned:
+        members = ivf_model.lists[int(cluster)]
+        local_members = members[assignment.shard_of_vector[members] == shard]
+        lists.append(
+            np.searchsorted(mine, local_members).astype(np.int64)
+        )
+    return IvfModel(
+        centroids=ivf_model.centroids[owned].copy(),
+        lists=lists,
+    )
+
+
+# --------------------------------------------------------- logical database
+
+
+@dataclass
+class ShardedDatabase:
+    """One logical database deployed across N shard devices."""
+
+    db_id: int
+    name: str
+    n_entries: int
+    dim: int
+    assignment: ShardAssignment
+    shard_dbs: List[Optional[DeployedDatabase]]  # None for empty shards
+    shard_db_ids: List[Optional[int]]
+    ivf_model: Optional[IvfModel]
+    corpus: Optional[Corpus] = field(default=None, repr=False)
+    metadata_tags: Optional[np.ndarray] = field(default=None, repr=False)
+
+    @property
+    def is_ivf(self) -> bool:
+        return self.ivf_model is not None
+
+    @property
+    def n_clusters(self) -> int:
+        return self.ivf_model.nlist if self.ivf_model is not None else 0
+
+    @property
+    def has_metadata(self) -> bool:
+        return self.metadata_tags is not None
+
+    @property
+    def active_shards(self) -> List[int]:
+        """Shards that actually hold a deployed piece of this database."""
+        return [s for s, db in enumerate(self.shard_dbs) if db is not None]
+
+    def document_chunk(self, global_id: int) -> DocumentChunk:
+        """The globally-identified chunk for a vector id.
+
+        Shards store chunk payloads under shard-local ids; the router
+        restores the global identity here (from the logical corpus, or the
+        deployer's synthetic ``chunk-<id>`` text when none was supplied),
+        so sharded results carry exactly the chunks a single device would.
+        """
+        if self.corpus is not None:
+            return self.corpus[global_id]
+        return DocumentChunk(chunk_id=global_id, text=f"chunk-{global_id}")
+
+
+# ------------------------------------------------------------- merge model
+
+
+@dataclass(frozen=True)
+class MergeCostModel:
+    """Host-side cost of distance-merging per-shard candidate lists.
+
+    Each shard ships fixed-size (distance, id) records over its own host
+    link -- links run in parallel, so transfer time is the busiest shard's
+    -- and one host merge kernel then consumes every record serially at a
+    CPU-selection-class element rate.
+    """
+
+    record_bytes: int = 8
+    merge_elements_per_s: float = 2.0e9
+
+    def transfer_seconds(self, records: int, link_bps: float) -> float:
+        return records * self.record_bytes / link_bps
+
+    def merge_seconds(self, records: int) -> float:
+        return records / self.merge_elements_per_s
+
+
+@dataclass
+class _MergeAccounting:
+    """Running totals of the router's merge barriers for one batch."""
+
+    records_merged: int = 0
+    records_shipped: Dict[int, int] = field(default_factory=dict)  # per shard
+
+    def add(self, shard: int, records: int) -> None:
+        self.records_merged += records
+        self.records_shipped[shard] = (
+            self.records_shipped.get(shard, 0) + records
+        )
+
+
+# ------------------------------------------------------------------ router
+
+
+@dataclass
+class _ShardRun:
+    """One shard's in-flight state while the router serves a batch."""
+
+    shard: int
+    executor: BatchExecutor
+    db: DeployedDatabase
+    plans: List[QueryPlan]
+    ctxs: List[PlanContext]
+    stats: BatchStats
+    senses: Dict[str, Dict[int, int]] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class _Candidate:
+    """One merged shortlist candidate with its provenance."""
+
+    global_id: int
+    hamming: int
+    shard: int
+    entry: TtlEntry
+
+
+class ShardRouter:
+    """Fans one logical batch out to per-shard plans and merges by distance.
+
+    The router holds the shard engines; which logical database to serve
+    comes in per call (a :class:`ShardedDatabase`), mirroring how
+    :class:`~repro.core.batch.BatchExecutor` takes a
+    :class:`~repro.core.layout.DeployedDatabase`.
+    """
+
+    def __init__(
+        self,
+        engines: Sequence["InStorageAnnsEngine"],
+        merge_model: Optional[MergeCostModel] = None,
+    ) -> None:
+        if not engines:
+            raise ValueError("a shard router needs at least one engine")
+        self.engines = list(engines)
+        self.executors = [BatchExecutor(engine) for engine in self.engines]
+        self.merge_model = merge_model or MergeCostModel()
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.engines)
+
+    # ------------------------------------------------------------ plumbing
+
+    def resolve_nprobe(self, sdb: ShardedDatabase, nprobe: Optional[int]) -> Optional[int]:
+        """The *global* nprobe (per-shard plans trim it to owned centroids)."""
+        if not sdb.is_ivf:
+            return None
+        if nprobe is None:
+            nprobe = max(1, int(round(sdb.n_clusters**0.5)))
+        return min(nprobe, sdb.n_clusters)
+
+    def logical_plan(
+        self,
+        sdb: ShardedDatabase,
+        query: np.ndarray,
+        k: int = 10,
+        nprobe: Optional[int] = None,
+        fetch_documents: bool = True,
+        metadata_filter: Optional[int] = None,
+    ) -> QueryPlan:
+        """The sharded schedule as plan data: per-shard stages + the merge.
+
+        Built against the first active shard (every shard runs the same
+        stage list) with a :class:`~repro.core.plan.MergeStage` spliced in
+        between the fine search and the rerank -- where the router really
+        merges shortlists.  Introspection only; execution goes through
+        :meth:`execute`.
+        """
+        from repro.core.plan import build_query_plan
+
+        active = sdb.active_shards
+        if not active:
+            raise ValueError("database has no deployed shards")
+        anchor = active[0]
+        plan = build_query_plan(
+            self.engines[anchor], sdb.shard_dbs[anchor], query, k,
+            self.resolve_nprobe(sdb, nprobe), fetch_documents, metadata_filter,
+        )
+        merged = []
+        for stage in plan.stages:
+            merged.append(stage)
+            if stage.name == "fine":
+                merged.append(MergeStage(fan_in=len(active)))
+        plan.stages = merged
+        return plan
+
+    # ------------------------------------------------------------- execute
+
+    def execute(
+        self,
+        sdb: ShardedDatabase,
+        queries: np.ndarray,
+        k: int = 10,
+        nprobe: Optional[int] = None,
+        fetch_documents: bool = True,
+        metadata_filter: Optional[int] = None,
+    ) -> BatchExecution:
+        """Serve a batch across all shards and merge to the global top-k."""
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        n_queries = queries.shape[0]
+        active = sdb.active_shards
+        if not active:
+            raise ValueError("database has no deployed shards")
+        nprobe = self.resolve_nprobe(sdb, nprobe)
+        merge_acc = _MergeAccounting()
+
+        runs: List[_ShardRun] = []
+        for shard in active:
+            executor = self.executors[shard]
+            db = sdb.shard_dbs[shard]
+            plans, ctxs = executor.prepare(
+                db, queries, k,
+                nprobe if db.is_ivf else None,
+                fetch_documents, metadata_filter,
+            )
+            runs.append(
+                _ShardRun(
+                    shard=shard, executor=executor, db=db,
+                    plans=plans, ctxs=ctxs,
+                    stats=BatchStats(n_queries=n_queries),
+                )
+            )
+        for run in runs:
+            run.executor.run_ibc(run.plans, run.ctxs)
+
+        probe_ranks: List[Optional[Dict[int, int]]] = [None] * n_queries
+        if sdb.is_ivf:
+            probe_ranks = self._coarse_barrier(sdb, runs, n_queries, nprobe, merge_acc)
+
+        retried = self._fine_barrier(runs, n_queries)
+        shortlists = self._shortlist_barrier(
+            sdb, runs, n_queries, probe_ranks, merge_acc
+        )
+        ranked = self._rerank_barrier(sdb, runs, queries, shortlists, merge_acc)
+        documents = self._document_barrier(sdb, runs, ranked, fetch_documents)
+
+        return self._compose(
+            sdb, runs, queries, ranked, documents, retried,
+            probe_ranks, merge_acc,
+        )
+
+    # ------------------------------------------------------------- barriers
+
+    def _coarse_barrier(
+        self,
+        sdb: ShardedDatabase,
+        runs: List[_ShardRun],
+        n_queries: int,
+        nprobe: int,
+        merge_acc: _MergeAccounting,
+    ) -> List[Optional[Dict[int, int]]]:
+        """Per-shard coarse scans -> merged global probe set, rank order.
+
+        Each shard quickselects its local top ``min(nprobe, local nlist)``
+        centroids (the plan already trimmed its nprobe); the router merges
+        by (distance, global cluster id) -- the single-device selection
+        key -- dedupes replicas (round-robin placement deploys every
+        centroid on every shard; replicas tie exactly), and hands each
+        shard its local ids of the winning clusters in global rank order.
+        """
+        local_entries: Dict[int, List[List[TtlEntry]]] = {}
+        for run in runs:
+            engine = run.executor.engine
+            ttls = run.executor._coarse_scan(
+                run.db, run.plans, run.ctxs, run.stats, run.senses
+            )
+            per_query: List[List[TtlEntry]] = []
+            for qi, ctx in enumerate(run.ctxs):
+                entries = engine.select_cluster_entries(
+                    ttls[qi], run.plans[qi].nprobe, ctx.phase_costs["coarse"]
+                )
+                # Same tag cross-check the single device performs.
+                engine.resolve_cluster_ids(run.db, entries, ctx.stats)
+                per_query.append(entries)
+                merge_acc.add(run.shard, len(entries))
+            local_entries[run.shard] = per_query
+
+        local_position = {
+            run.shard: {
+                int(cluster): index
+                for index, cluster in enumerate(
+                    sdb.assignment.shard_clusters[run.shard]
+                )
+            }
+            for run in runs
+        }
+        probe_ranks: List[Optional[Dict[int, int]]] = []
+        for qi in range(n_queries):
+            merged: List[Tuple[int, int]] = []  # (distance, global cluster)
+            for run in runs:
+                owned = sdb.assignment.shard_clusters[run.shard]
+                for entry in local_entries[run.shard][qi]:
+                    merged.append((entry.dist, int(owned[entry.eadr])))
+            merged.sort()
+            probe: List[int] = []
+            seen: set = set()
+            for dist, cluster in merged:
+                if cluster in seen:
+                    continue  # a replica of an already-merged centroid
+                seen.add(cluster)
+                probe.append(cluster)
+                if len(probe) >= nprobe:
+                    break
+            ranks = {cluster: rank for rank, cluster in enumerate(probe)}
+            probe_ranks.append(ranks)
+            for run in runs:
+                position = local_position[run.shard]
+                local = [
+                    position[cluster] for cluster in probe if cluster in position
+                ]
+                run.ctxs[qi].clusters = local
+                run.ctxs[qi].stats.clusters_probed = len(local)
+        return probe_ranks
+
+    def _fine_barrier(
+        self,
+        runs: List[_ShardRun],
+        n_queries: int,
+    ) -> List[bool]:
+        """Filtered fine scans everywhere, then the cluster-wide retry.
+
+        The retry predicate runs on summed survivor and candidate counts:
+        the decision one device scanning the whole corpus would take.  A
+        retry rescans *every* shard unfiltered, as the single device
+        rescans its whole candidate set.
+        """
+        states = {}
+        for run in runs:
+            states[run.shard] = run.executor._fine_scan(
+                run.db, run.plans, run.ctxs, run.stats, run.senses
+            )
+        retried: List[bool] = []
+        for qi in range(n_queries):
+            survivors = sum(states[run.shard].survivors(qi) for run in runs)
+            candidates = sum(run.ctxs[qi].stats.candidates for run in runs)
+            state = states[runs[0].shard]
+            retried.append(
+                runs[0].executor.engine.fine_retry_needed(
+                    survivors, state.threshold,
+                    state.shortlist_sizes[qi], candidates,
+                )
+            )
+        retry_indices = [qi for qi in range(n_queries) if retried[qi]]
+        for run in runs:
+            run.executor._fine_retry(
+                run.db, states[run.shard], run.ctxs, run.stats, run.senses,
+                retry_indices,
+            )
+            run.executor._fine_finish(states[run.shard], run.ctxs)
+        return retried
+
+    def _shortlist_barrier(
+        self,
+        sdb: ShardedDatabase,
+        runs: List[_ShardRun],
+        n_queries: int,
+        probe_ranks: List[Optional[Dict[int, int]]],
+        merge_acc: _MergeAccounting,
+    ) -> List[List[_Candidate]]:
+        """Merge per-shard shortlists into the global rescoring shortlist.
+
+        The merge key is (Hamming distance, single-device scan order):
+        probe rank then canonical slot for IVF, canonical slot alone for
+        flat.  Each shard's local top-S contains its members of the global
+        top-S, so the merged head *is* the single-device shortlist.
+        """
+        assignment = sdb.assignment
+        shortlists: List[List[_Candidate]] = []
+        for qi in range(n_queries):
+            merged: List[Tuple[Tuple, _Candidate]] = []
+            # Every shard plans the same unclamped shortlist_factor * k.
+            shortlist_size = next(
+                s.shortlist_size
+                for s in runs[0].plans[qi].stages
+                if s.name == "fine"
+            )
+            for run in runs:
+                ctx = run.ctxs[qi]
+                mine = assignment.shard_vectors[run.shard]
+                merge_acc.add(run.shard, len(ctx.shortlist))
+                for entry in ctx.shortlist:
+                    local_original = int(run.db.slot_to_original[entry.radr])
+                    global_id = int(mine[local_original])
+                    slot = int(assignment.global_slot[global_id])
+                    if probe_ranks[qi] is not None:
+                        cluster = int(assignment.cluster_of_vector[global_id])
+                        key = (entry.dist, probe_ranks[qi][cluster], slot)
+                    else:
+                        key = (entry.dist, slot)
+                    merged.append(
+                        (key, _Candidate(global_id, entry.dist, run.shard, entry))
+                    )
+            merged.sort(key=lambda pair: pair[0])
+            shortlists.append([cand for _, cand in merged[:shortlist_size]])
+        return shortlists
+
+    def _rerank_barrier(
+        self,
+        sdb: ShardedDatabase,
+        runs: List[_ShardRun],
+        queries: np.ndarray,
+        shortlists: List[List[_Candidate]],
+        merge_acc: _MergeAccounting,
+    ) -> List[List[Tuple[int, int, int, int]]]:
+        """Per-shard INT8 reranks of the global shortlist, merged to top-k.
+
+        Each shard rescores only its members; the router sorts by
+        (INT8 distance, global shortlist position) -- the stable order the
+        single device's rerank argsort produces -- and truncates to k.
+        Returns, per query, ranked (global id, refined distance, shard,
+        local dadr) tuples.
+        """
+        ranked: List[List[Tuple[int, int, int, int]]] = []
+        for qi, shortlist in enumerate(shortlists):
+            position = {
+                cand.global_id: pos for pos, cand in enumerate(shortlist)
+            }
+            scored: List[Tuple[int, int, int, int, int]] = []
+            members: Dict[int, List[_Candidate]] = {}
+            for cand in shortlist:
+                members.setdefault(cand.shard, []).append(cand)
+            k = runs[0].plans[qi].k
+            for run in runs:
+                mine = members.get(run.shard, [])
+                ctx = run.ctxs[qi]
+                ctx.shortlist = [cand.entry for cand in mine]
+                distances, dadrs, slots, cost = run.executor.engine._rerank(
+                    run.db, queries[qi], ctx.shortlist, len(mine), ctx.stats
+                )
+                ctx.phase_costs["rerank"] = cost
+                ctx.distances, ctx.dadrs, ctx.slots = distances, dadrs, slots
+                shard_vec = sdb.assignment.shard_vectors[run.shard]
+                for row in range(distances.size):
+                    local_original = int(run.db.slot_to_original[int(slots[row])])
+                    global_id = int(shard_vec[local_original])
+                    scored.append(
+                        (
+                            int(distances[row]),
+                            position[global_id],
+                            global_id,
+                            run.shard,
+                            int(dadrs[row]),
+                        )
+                    )
+                merge_acc.add(run.shard, len(mine))
+            scored.sort()
+            ranked.append(
+                [
+                    (global_id, dist, shard, dadr)
+                    for dist, _pos, global_id, shard, dadr in scored[:k]
+                ]
+            )
+        return ranked
+
+    def _document_barrier(
+        self,
+        sdb: ShardedDatabase,
+        runs: List[_ShardRun],
+        ranked: List[List[Tuple[int, int, int, int]]],
+        fetch_documents: bool,
+    ) -> List[List[DocumentChunk]]:
+        """Fetch each winner's chunk from its owning shard, rank order kept."""
+        documents: List[List[DocumentChunk]] = [[] for _ in ranked]
+        if not fetch_documents:
+            return documents
+        by_shard = {run.shard: run for run in runs}
+        for qi, winners in enumerate(ranked):
+            per_shard: Dict[int, List[int]] = {}
+            for _global_id, _dist, shard, dadr in winners:
+                per_shard.setdefault(shard, []).append(dadr)
+            for shard, dadrs in per_shard.items():
+                run = by_shard[shard]
+                ctx = run.ctxs[qi]
+                _docs, cost, host_s = run.executor.engine._fetch_documents(
+                    run.db, np.asarray(dadrs, dtype=np.int64), ctx.stats
+                )
+                ctx.phase_costs["documents"] = cost
+                ctx.host_seconds += host_s
+            documents[qi] = [
+                sdb.document_chunk(global_id)
+                for global_id, _dist, _shard, _dadr in winners
+            ]
+        return documents
+
+    # -------------------------------------------------------- composition
+
+    def _merge_breakdown(self, merge_acc: _MergeAccounting) -> BatchPhaseBreakdown:
+        """The merge phase's cost: parallel per-shard ship + serial merge."""
+        transfer = max(
+            (
+                self.merge_model.transfer_seconds(
+                    records,
+                    self.engines[shard].ssd.spec.host_link_bandwidth_bps,
+                )
+                for shard, records in merge_acc.records_shipped.items()
+            ),
+            default=0.0,
+        )
+        core = self.merge_model.merge_seconds(merge_acc.records_merged)
+        return BatchPhaseBreakdown(
+            name="merge",
+            seconds=transfer + core,
+            components={"merge_transfer": transfer, "merge_core": core},
+            unique_senses=0,
+            total_senses=0,
+        )
+
+    @staticmethod
+    def _merge_reports(
+        reports: Sequence[LatencyReport],
+        merge_breakdown: Optional[BatchPhaseBreakdown],
+    ) -> LatencyReport:
+        """Barrier-compose per-shard reports: each phase is its slowest
+        shard (components copied from that shard), plus the merge phase."""
+        merged = LatencyReport()
+        names: List[str] = []
+        for report in reports:
+            for name in report.phases:
+                if name not in names:
+                    names.append(name)
+        for name in names:
+            seconds = [report.phases.get(name, 0.0) for report in reports]
+            winner = reports[int(np.argmax(seconds))]
+            merged.add_phase(name, max(seconds))
+            merged.total_s += max(seconds)
+            if name == "ibc":
+                prefixes = ("ibc",)
+            elif name == "host":
+                prefixes = ("host_transfer",)
+            else:
+                prefixes = tuple(
+                    c for c in winner.components if c.startswith(f"{name}_")
+                )
+            for component in prefixes:
+                merged.add_component(component, winner.components.get(component, 0.0))
+        if merge_breakdown is not None and merge_breakdown.seconds >= 0:
+            merged.add_phase("merge", merge_breakdown.seconds)
+            merged.total_s += merge_breakdown.seconds
+            for component, seconds in merge_breakdown.components.items():
+                merged.add_component(component, seconds)
+        return merged
+
+    def _compose(
+        self,
+        sdb: ShardedDatabase,
+        runs: List[_ShardRun],
+        queries: np.ndarray,
+        ranked: List[List[Tuple[int, int, int, int]]],
+        documents: List[List[DocumentChunk]],
+        retried: List[bool],
+        probe_ranks: List[Optional[Dict[int, int]]],
+        merge_acc: _MergeAccounting,
+    ) -> BatchExecution:
+        """Assemble per-query results and the batch-level wall clock."""
+        n_queries = queries.shape[0]
+        merge_breakdown = self._merge_breakdown(merge_acc)
+        per_query_merge = BatchPhaseBreakdown(
+            name="merge",
+            seconds=merge_breakdown.seconds / max(n_queries, 1),
+            components={
+                name: seconds / max(n_queries, 1)
+                for name, seconds in merge_breakdown.components.items()
+            },
+            unique_senses=0,
+            total_senses=0,
+        )
+
+        results: List[ReisQueryResult] = []
+        for qi in range(n_queries):
+            solo_reports = [
+                compose_solo_report(run.executor.engine, run.ctxs[qi])
+                for run in runs
+            ]
+            report = self._merge_reports(solo_reports, per_query_merge)
+            stats = SearchStats()
+            for run in runs:
+                shard_stats = run.ctxs[qi].stats
+                stats.pages_read += shard_stats.pages_read
+                stats.entries_scanned += shard_stats.entries_scanned
+                stats.entries_transferred += shard_stats.entries_transferred
+                stats.entries_filtered += shard_stats.entries_filtered
+                stats.candidates += shard_stats.candidates
+                stats.ibc_transfers += shard_stats.ibc_transfers
+            stats.filter_retries = 1 if retried[qi] else 0
+            stats.clusters_probed = (
+                len(probe_ranks[qi]) if probe_ranks[qi] is not None else 0
+            )
+            results.append(
+                ReisQueryResult(
+                    ids=np.array(
+                        [g for g, _d, _s, _a in ranked[qi]], dtype=np.int64
+                    ),
+                    distances=np.array(
+                        [d for _g, d, _s, _a in ranked[qi]], dtype=np.int64
+                    ),
+                    documents=documents[qi],
+                    latency=report,
+                    stats=stats,
+                )
+            )
+
+        stats = BatchStats(n_queries=n_queries)
+        shard_reports: List[LatencyReport] = []
+        shard_seconds = [0.0] * self.n_shards
+        for run in runs:
+            report = compose_batch_report(
+                run.executor.engine, run.ctxs, run.stats, run.senses
+            )
+            shard_reports.append(report)
+            shard_seconds[run.shard] = report.total_s
+            stats.scan_requests += run.stats.scan_requests
+            stats.scan_senses += run.stats.scan_senses
+        phase_names: List[str] = []
+        for run in runs:
+            for name in run.stats.phases:
+                if name not in phase_names:
+                    phase_names.append(name)
+        for name in phase_names:
+            breakdowns = [
+                run.stats.phases.get(name) for run in runs
+            ]
+            seconds = [b.seconds if b is not None else 0.0 for b in breakdowns]
+            winner = breakdowns[int(np.argmax(seconds))]
+            stats.phases[name] = BatchPhaseBreakdown(
+                name=name,
+                seconds=max(seconds),
+                components=dict(winner.components) if winner is not None else {},
+                unique_senses=sum(
+                    b.unique_senses for b in breakdowns if b is not None
+                ),
+                total_senses=sum(
+                    b.total_senses for b in breakdowns if b is not None
+                ),
+            )
+        stats.phases["merge"] = merge_breakdown
+        report = self._merge_reports(shard_reports, merge_breakdown)
+        return BatchExecution(
+            results=results,
+            report=report,
+            stats=stats,
+            shard_seconds=shard_seconds,
+        )
+
+
+class ShardedBatchExecutor:
+    """Drop-in :class:`~repro.core.batch.BatchExecutor` for one sharded DB.
+
+    Lets the :class:`~repro.core.queue.SubmissionQueue` drain formed
+    batches into the router: tenant fairness, deadlines and batch forming
+    then work cluster-wide, unchanged.
+    """
+
+    def __init__(self, router: ShardRouter, sdb: ShardedDatabase) -> None:
+        self.router = router
+        self.sdb = sdb
+
+    def execute(
+        self,
+        db: DeployedDatabase,
+        queries: np.ndarray,
+        k: int = 10,
+        nprobe: Optional[int] = None,
+        fetch_documents: bool = True,
+        metadata_filter: Optional[int] = None,
+    ) -> BatchExecution:
+        # ``db`` is the queue's forming anchor (one shard's layout, used
+        # for occupancy estimates); execution spans every shard.
+        return self.router.execute(
+            self.sdb, queries, k=k, nprobe=nprobe,
+            fetch_documents=fetch_documents, metadata_filter=metadata_filter,
+        )

@@ -177,7 +177,12 @@ class TestDeviceScheduler:
         )
         utilization = acc.utilization()
         assert sum(utilization.values()) == pytest.approx(1.0)
-        assert set(utilization) == {"rag", "host_io", "maintenance", "mode_switch"}
+        # "merge" is the host-side shard-merge bucket: present in the key
+        # set (the sharded scheduler fills it) but zero on one device.
+        assert set(utilization) == {
+            "rag", "host_io", "maintenance", "mode_switch", "merge"
+        }
+        assert utilization["merge"] == 0.0
 
     def test_maintenance_between_batches_preserves_results(
         self, scheduler, small_queries

@@ -1,0 +1,443 @@
+"""Tests for multi-device sharding (core/shard.py).
+
+The central contracts:
+
+* **Bit identity across any split** -- for any corpus split, placement
+  policy and k, the sharded top-k (ids *and* distances) equals the
+  single-device ``engine.search``, including metadata-filtered queries:
+  the router's distance merges reconstruct the single-device candidate
+  stream exactly (hypothesis property below).
+* **Merge phase accounting** -- sharded batches report a ``merge`` phase
+  and ``phase_seconds()`` still sums to ``wall_seconds``; the satellite
+  regression pins the same decomposition on the single-device path.
+* **Cluster-wide queue** -- the submission queue drains into the router,
+  so tenant fairness / deadlines / bit identity hold on the cluster.
+* **Scheduling** -- ``ShardedScheduler`` bills per-shard busy time and a
+  cluster-level ``merge`` utilization bucket.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.ann.ivf import build_ivf_model
+from repro.core import (
+    BatchExecutor,
+    MergeStage,
+    QueuePolicy,
+    ReisDevice,
+    ReisRetriever,
+    ScheduleAccounting,
+    ShardedReisDevice,
+    ShardedScheduler,
+    plan_placement,
+    shard_ivf_model,
+    tiny_config,
+)
+from repro.rag.embeddings import make_clustered_embeddings, make_queries
+
+
+class TestPlacement:
+    def test_round_robin_stripes_vectors(self):
+        assignment = plan_placement(10, 3, "round_robin")
+        assert assignment.shard_of_vector.tolist() == [
+            0, 1, 2, 0, 1, 2, 0, 1, 2, 0
+        ]
+        # Every vector lands on exactly one shard.
+        total = np.concatenate(assignment.shard_vectors)
+        assert sorted(total.tolist()) == list(range(10))
+
+    def test_cluster_affinity_keeps_clusters_whole_and_balances(self):
+        vectors, _ = make_clustered_embeddings(300, 32, 6, seed="place")
+        model = build_ivf_model(vectors, 6, seed=0)
+        assignment = plan_placement(300, 2, "cluster", model)
+        # A cluster's members all live on its owner shard.
+        for cluster, members in enumerate(model.lists):
+            owners = set(assignment.shard_of_vector[members].tolist())
+            assert len(owners) == 1
+        # Greedy balancing keeps the shards within one max-cluster of even.
+        sizes = assignment.shard_sizes()
+        assert abs(int(sizes[0]) - int(sizes[1])) <= int(
+            model.cluster_sizes().max()
+        )
+        # Owned-cluster sets partition the clusters.
+        owned = np.concatenate(assignment.shard_clusters)
+        assert sorted(owned.tolist()) == list(range(6))
+
+    def test_round_robin_replicates_every_centroid(self):
+        vectors, _ = make_clustered_embeddings(120, 32, 4, seed="place-rr")
+        model = build_ivf_model(vectors, 4, seed=0)
+        assignment = plan_placement(120, 3, "round_robin", model)
+        for owned in assignment.shard_clusters:
+            assert owned.tolist() == [0, 1, 2, 3]
+
+    def test_cluster_policy_without_model_chunks_contiguously(self):
+        assignment = plan_placement(9, 2, "cluster")
+        assert assignment.shard_vectors[0].tolist() == [0, 1, 2, 3, 4]
+        assert assignment.shard_vectors[1].tolist() == [5, 6, 7, 8]
+
+    def test_placement_is_deterministic(self):
+        vectors, _ = make_clustered_embeddings(200, 32, 5, seed="det")
+        model = build_ivf_model(vectors, 5, seed=0)
+        a = plan_placement(200, 4, "cluster", model)
+        b = plan_placement(200, 4, "cluster", model)
+        assert np.array_equal(a.shard_of_vector, b.shard_of_vector)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            plan_placement(10, 0, "round_robin")
+        with pytest.raises(ValueError):
+            plan_placement(10, 2, "zigzag")
+
+    def test_shard_ivf_model_local_lists_cover_shard(self):
+        vectors, _ = make_clustered_embeddings(150, 32, 5, seed="local")
+        model = build_ivf_model(vectors, 5, seed=0)
+        assignment = plan_placement(150, 2, "round_robin", model)
+        for shard in range(2):
+            local = shard_ivf_model(model, assignment, shard)
+            covered = np.sort(np.concatenate([lst for lst in local.lists]))
+            assert covered.tolist() == list(
+                range(assignment.shard_vectors[shard].size)
+            )
+
+
+class TestShardedBitIdentity:
+    """Satellite 3: sharded top-k == single-device top-k, any split."""
+
+    SETTINGS = settings(
+        max_examples=6,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+
+    @given(
+        st.tuples(
+            st.integers(80, 180),  # n
+            st.sampled_from([32, 64]),  # dim
+            st.integers(2, 6),  # nlist (0 -> flat)
+            st.integers(1, 8),  # k
+            st.integers(1, 4),  # shards
+            st.sampled_from(["round_robin", "cluster"]),
+            st.booleans(),  # IVF or flat
+            st.integers(0, 10**6),  # seed
+        )
+    )
+    @SETTINGS
+    def test_sharded_topk_matches_single_device(self, shape):
+        n, dim, nlist, k, shards, policy, use_ivf, seed = shape
+        vectors, _ = make_clustered_embeddings(n, dim, max(nlist, 2), seed=seed)
+        queries = make_queries(vectors, 4, seed=(seed, "sq"))
+        tags = (np.arange(n) % 3).astype(np.uint32)
+        model = build_ivf_model(vectors, nlist, seed=seed) if use_ivf else None
+
+        single = ReisDevice(tiny_config(f"SBI-{seed}-{n}"))
+        sharded = ShardedReisDevice(
+            shards, tiny_config(f"SBI-SH-{seed}-{n}"), placement=policy
+        )
+        if use_ivf:
+            sid = single.ivf_deploy(
+                "s", vectors, ivf_model=model, metadata_tags=tags, seed=seed
+            )
+            did = sharded.ivf_deploy(
+                "s", vectors, ivf_model=model, metadata_tags=tags, seed=seed
+            )
+        else:
+            sid = single.db_deploy(
+                "s", vectors, metadata_tags=tags, seed=seed
+            )
+            did = sharded.db_deploy(
+                "s", vectors, metadata_tags=tags, seed=seed
+            )
+        db = single.database(sid)
+        nprobe = max(1, nlist // 2) if use_ivf else None
+
+        for metadata_filter in (None, int(seed % 3)):
+            if use_ivf:
+                batch = sharded.ivf_search(
+                    did, queries, k=k, nprobe=nprobe,
+                    metadata_filter=metadata_filter,
+                )
+            else:
+                batch = sharded.search(
+                    did, queries, k=k, metadata_filter=metadata_filter
+                )
+            for query, result in zip(queries, batch):
+                solo = single.engine.search(
+                    db, query, k=k, nprobe=nprobe,
+                    metadata_filter=metadata_filter,
+                )
+                assert np.array_equal(solo.ids, result.ids)
+                assert np.array_equal(solo.distances, result.distances)
+                assert [d.chunk_id for d in solo.documents] == [
+                    d.chunk_id for d in result.documents
+                ]
+            # The merged wall clock decomposes exactly, merge included.
+            phases = batch.phase_seconds()
+            assert "merge" in phases
+            assert sum(phases.values()) == pytest.approx(batch.wall_seconds)
+
+
+@pytest.fixture(scope="module")
+def sharded_pair():
+    """A single device and a 4-shard cluster over the same IVF corpus."""
+    vectors, _ = make_clustered_embeddings(800, 64, 16, seed="pair")
+    queries = make_queries(vectors, 16, seed="pair-q")
+    model = build_ivf_model(vectors, 16, seed=0)
+    single = ReisDevice(tiny_config("PAIR-1"))
+    sid = single.ivf_deploy("pair", vectors, ivf_model=model, seed=0)
+    sharded = ShardedReisDevice(4, tiny_config("PAIR-4"), placement="cluster")
+    did = sharded.ivf_deploy("pair", vectors, ivf_model=model, seed=0)
+    return single, sid, sharded, did, queries
+
+
+class TestMergeAccounting:
+    """Satellite 2: the merge phase in the wall-clock decomposition."""
+
+    def test_single_device_phase_seconds_sums_to_wall(self, sharded_pair):
+        """Regression: the decomposition invariant on the unsharded path."""
+        single, sid, _, _, queries = sharded_pair
+        batch = single.ivf_search(sid, queries[:8], k=5, nprobe=4)
+        phases = batch.phase_seconds()
+        assert "merge" not in phases
+        assert sum(phases.values()) == pytest.approx(batch.wall_seconds)
+
+    def test_sharded_phase_seconds_sums_to_wall_with_merge(self, sharded_pair):
+        _, _, sharded, did, queries = sharded_pair
+        batch = sharded.ivf_search(did, queries[:8], k=5, nprobe=4)
+        phases = batch.phase_seconds()
+        assert phases["merge"] > 0
+        assert sum(phases.values()) == pytest.approx(batch.wall_seconds)
+        merge = batch.batch_stats.phases["merge"]
+        assert merge.seconds == pytest.approx(
+            merge.components["merge_transfer"] + merge.components["merge_core"]
+        )
+        # Merging moves no flash pages.
+        assert merge.unique_senses == 0 and merge.total_senses == 0
+
+    def test_wall_clock_is_slowest_shard_plus_merge(self, sharded_pair):
+        """Shards overlap: each phase costs its slowest shard; the total is
+        the per-phase maxima plus the host merge."""
+        _, _, sharded, did, queries = sharded_pair
+        execution = sharded.router.execute(
+            sharded.database(did), queries[:8], k=5, nprobe=4
+        )
+        assert execution.shard_seconds is not None
+        busiest = max(execution.shard_seconds)
+        merge_s = execution.stats.phases["merge"].seconds
+        # The barrier model can only add sync waits on top of the busiest
+        # shard; it never undercuts it, and merge rides on top.
+        assert execution.report.total_s >= busiest + merge_s - 1e-15
+        # Device phases (without merge) are bounded by the sum of per-phase
+        # maxima, which each shard's own total also cannot exceed.
+        assert busiest <= execution.report.total_s - merge_s + 1e-15
+
+    def test_sharding_speeds_up_the_batched_workload(self, sharded_pair):
+        single, sid, sharded, did, queries = sharded_pair
+        one = single.ivf_search(sid, queries, k=5, nprobe=4)
+        four = sharded.ivf_search(did, queries, k=5, nprobe=4)
+        assert four.wall_seconds < one.wall_seconds
+
+    def test_scale_accounting_utilization_has_merge_bucket(self):
+        acc = ScheduleAccounting(rag_seconds=3.0, merge_seconds=1.0)
+        assert acc.total_seconds == pytest.approx(4.0)
+        utilization = acc.utilization()
+        assert utilization["merge"] == pytest.approx(0.25)
+        assert sum(utilization.values()) == pytest.approx(1.0)
+
+
+class TestLogicalPlan:
+    def test_logical_plan_contains_merge_stage(self, sharded_pair):
+        _, _, sharded, did, queries = sharded_pair
+        plan = sharded.router.logical_plan(
+            sharded.database(did), queries[0], k=5, nprobe=4
+        )
+        names = plan.stage_names()
+        assert names == ["ibc", "coarse", "fine", "merge", "rerank", "documents"]
+        merge = next(s for s in plan.stages if s.name == "merge")
+        assert merge.fan_in == 4
+
+    def test_single_device_executor_whitelist_excludes_merge(self):
+        # The merge stage is host-side plan data: the page-major executor's
+        # stage whitelist must never admit it.
+        assert "merge" not in BatchExecutor.SERVICEABLE_STAGES
+        assert MergeStage().name == "merge"
+
+    def test_merge_stage_never_runs_on_a_device(self, sharded_pair):
+        single, sid, _, _, queries = sharded_pair
+        with pytest.raises(RuntimeError, match="host"):
+            MergeStage().run(single.engine, None)
+
+
+class TestShardedQueue:
+    """The submission queue drains into the router, cluster-wide."""
+
+    def test_queue_results_bit_identical_and_fair(self, sharded_pair):
+        single, sid, sharded, did, queries = sharded_pair
+        db = single.database(sid)
+        policy = QueuePolicy(
+            max_batch=4, min_batch=4, batching_timeout_s=2e-4,
+            tenant_weights={"flood": 1, "slow": 1},
+        )
+        queue = sharded.submission_queue(did, k=5, nprobe=4, policy=policy)
+        rng = np.random.default_rng(11)
+        flood_at = np.sort(rng.uniform(0.0, 2e-3, size=12))
+        slow_at = np.sort(rng.uniform(0.0, 2e-3, size=3))
+        for i, at in enumerate(flood_at):
+            queue.submit(queries[i], tenant="flood", at_s=at)
+        for i, at in enumerate(slow_at):
+            queue.submit(queries[12 + i], tenant="slow", at_s=at)
+        report = queue.drain()
+        assert report.n_queries == 15
+        merged = report.as_batch_result()
+        for i in range(15):
+            solo = single.engine.search(
+                db, queries[i if i < 12 else i], k=5, nprobe=4
+            )
+            assert np.array_equal(solo.ids, merged[i].ids)
+            assert np.array_equal(solo.distances, merged[i].distances)
+        # Fairness machinery is the same cluster-wide: while both tenants
+        # have work the slow one rides every batch.
+        max_service = max(b.service_seconds for b in report.batches)
+        bound = policy.batching_timeout_s + 2 * max_service
+        assert report.p99_wait_s("slow") <= bound
+        phases = merged.phase_seconds()
+        assert sum(phases.values()) == pytest.approx(merged.wall_seconds)
+
+    def test_retriever_runs_rag_pipeline_on_the_cluster(self, sharded_pair):
+        from repro.rag.pipeline import RagPipeline
+
+        single, sid, sharded, did, queries = sharded_pair
+        cluster = ReisRetriever(sharded, did, nprobe=4)
+        alone = ReisRetriever(single, sid, nprobe=4)
+        cluster_report = RagPipeline(cluster).run(queries[:6], k=5)
+        alone_report = RagPipeline(alone).run(queries[:6], k=5)
+        for a, b in zip(cluster_report.retrieved_ids, alone_report.retrieved_ids):
+            assert np.array_equal(a, b)
+
+    def test_retriever_through_queue_policy(self, sharded_pair):
+        from repro.rag.pipeline import RagPipeline
+
+        single, sid, sharded, did, queries = sharded_pair
+        queued = ReisRetriever(
+            sharded, did, nprobe=4, queue_policy=QueuePolicy(max_batch=4)
+        )
+        report = RagPipeline(queued).run(queries[:6], k=5)
+        assert len(report.retrieved_ids) == 6
+        assert report.retrieval_extra["batches_formed"] >= 1.0
+
+
+class TestShardedScheduler:
+    @pytest.fixture()
+    def scheduler(self):
+        vectors, _ = make_clustered_embeddings(600, 64, 12, seed="ssched")
+        device = ShardedReisDevice(3, tiny_config("SSCHED"), placement="cluster")
+        self.db_id = device.ivf_deploy("s", vectors, nlist=12, seed=0)
+        self.queries = make_queries(vectors, 12, seed="ssched-q")
+        return ShardedScheduler(device)
+
+    def test_results_match_direct_router(self, scheduler):
+        batch = scheduler.serve_queries(self.db_id, self.queries[:6], k=5, nprobe=3)
+        device = scheduler.device
+        direct = device.ivf_search(self.db_id, self.queries[:6], k=5, nprobe=3)
+        for queued, straight in zip(batch, direct):
+            assert np.array_equal(queued.ids, straight.ids)
+            assert np.array_equal(queued.distances, straight.distances)
+
+    def test_cluster_accounting_splits_rag_and_merge(self, scheduler):
+        batch = scheduler.serve_queries(self.db_id, self.queries[:6], k=5, nprobe=3)
+        acc = scheduler.accounting
+        assert acc.queries_served == 6
+        assert acc.merge_seconds > 0
+        assert acc.rag_seconds > 0
+        assert acc.rag_seconds + acc.merge_seconds == pytest.approx(
+            batch.wall_seconds
+        )
+        utilization = scheduler.aggregate_utilization()
+        assert utilization["merge"] > 0
+        assert sum(utilization.values()) == pytest.approx(1.0)
+
+    def test_per_shard_busy_seconds_billed(self, scheduler):
+        scheduler.serve_queries(self.db_id, self.queries[:6], k=5, nprobe=3)
+        per_shard = scheduler.shard_accounting
+        active = scheduler.device.database(self.db_id).active_shards
+        for shard in active:
+            assert per_shard[shard].rag_seconds > 0
+            # Shards overlap: each one's busy time is below the cluster's
+            # serving wall clock (sum of per-phase maxima).
+            assert per_shard[shard].rag_seconds <= (
+                scheduler.accounting.rag_seconds
+                + scheduler.accounting.merge_seconds
+            ) * (1 + 1e-9)
+        report = scheduler.report()
+        assert report["n_shards"] == 3
+        assert len(report["per_shard"]) == 3
+
+    def test_maintenance_runs_on_every_shard(self, scheduler):
+        scheduler.run_maintenance()
+        for child in scheduler.children:
+            assert len(child.accounting.gc_results) == 1
+            assert len(child.accounting.refresh_results) == 1
+
+
+class TestShardedDeviceSurface:
+    def test_drop_removes_from_every_shard(self):
+        vectors, _ = make_clustered_embeddings(200, 32, 4, seed="drop")
+        device = ShardedReisDevice(2, tiny_config("SDROP"))
+        db_id = device.ivf_deploy("d", vectors, nlist=4, seed=0)
+        shard_counts = [len(s.databases) for s in device.shards]
+        device.drop(db_id)
+        assert all(
+            len(s.databases) == count - 1 if count else len(s.databases) == 0
+            for s, count in zip(device.shards, shard_counts)
+        )
+        with pytest.raises(KeyError):
+            device.database(db_id)
+
+    def test_ivf_search_requires_ivf(self):
+        vectors, _ = make_clustered_embeddings(120, 32, 3, seed="flat")
+        device = ShardedReisDevice(2, tiny_config("SFLAT"))
+        db_id = device.db_deploy("f", vectors, seed=0)
+        with pytest.raises(ValueError):
+            device.ivf_search(db_id, vectors[:2], k=3)
+        with pytest.raises(ValueError):
+            device.submission_queue(db_id, nprobe=2)
+
+    def test_more_shards_than_clusters_leaves_empty_shards(self):
+        """Cluster affinity with nlist < shards: spare shards stay empty
+        and the cluster still answers correctly."""
+        vectors, _ = make_clustered_embeddings(120, 32, 2, seed="tiny")
+        model = build_ivf_model(vectors, 2, seed=0)
+        single = ReisDevice(tiny_config("TINY-1"))
+        sid = single.ivf_deploy("t", vectors, ivf_model=model, seed=0)
+        device = ShardedReisDevice(4, tiny_config("TINY-4"), placement="cluster")
+        db_id = device.ivf_deploy("t", vectors, ivf_model=model, seed=0)
+        sdb = device.database(db_id)
+        assert len(sdb.active_shards) <= 2
+        queries = make_queries(vectors, 3, seed="tiny-q")
+        batch = device.ivf_search(db_id, queries, k=4, nprobe=2)
+        db = single.database(sid)
+        for query, result in zip(queries, batch):
+            solo = single.engine.search(db, query, k=4, nprobe=2)
+            assert np.array_equal(solo.ids, result.ids)
+            assert np.array_equal(solo.distances, result.distances)
+
+    def test_resolve_nprobe_uses_global_cluster_count(self):
+        vectors, _ = make_clustered_embeddings(300, 32, 9, seed="np")
+        single = ReisDevice(tiny_config("NP-1"))
+        sid = single.ivf_deploy("n", vectors, nlist=9, seed=0)
+        device = ShardedReisDevice(3, tiny_config("NP-3"))
+        db_id = device.ivf_deploy("n", vectors, nlist=9, seed=0)
+        assert device.resolve_nprobe(db_id, 0.95) == single.resolve_nprobe(
+            sid, 0.95
+        )
+
+    def test_energy_report_aggregates_shards(self):
+        vectors, _ = make_clustered_embeddings(120, 32, 3, seed="energy")
+        device = ShardedReisDevice(2, tiny_config("SENERGY"))
+        db_id = device.ivf_deploy("e", vectors, nlist=3, seed=0)
+        device.ivf_search(db_id, vectors[:4], k=3, nprobe=2)
+        report = device.energy_report(1e-3)
+        assert report["energy_j"] == pytest.approx(
+            sum(r["energy_j"] for r in report["per_shard"])
+        )
+        assert len(report["per_shard"]) == 2
