@@ -38,6 +38,16 @@ batched workload fanned across {1, 2, 4, 8} shard devices under
 cluster-affinity placement, distance-merged results bit-identical to one
 device holding everything, >1.8x QPS at 4 shards, with the host-side
 ``merge`` phase accounted in ``phase_seconds()``.
+
+A fourth test drives **streaming ingest** (``ingest_serving``): the same
+Poisson arrival process with a write tenant mixed in at {0%, 10%, 50%} of
+submissions (inserts and deletes through the
+:class:`~repro.core.ingest.IngestQueue`), recording the read tenant's p99
+queue wait at each mix, then a compaction maintenance pass
+(:meth:`~repro.core.scheduler.DeviceScheduler.run_ingest_maintenance`)
+with recall@k against the exact float top-k of the live corpus measured
+before and after -- the drift must be exactly zero, because compaction is
+bit-identical by construction.
 """
 
 import json
@@ -71,6 +81,14 @@ SCHED_N, SCHED_DIM, SCHED_BATCH = 3200, 256, 32
 ARRIVAL_LOADS = (0.5, 2.0, 4.0)
 ARRIVAL_N = 64
 DEADLINE_BUDGET_SOLO = 30.0
+
+# Ingest serving: the arrival process re-run with a write tenant owning
+# {0%, 10%, 50%} of the submissions (2/3 inserts, 1/3 deletes), plus a
+# compaction pass with recall measured on either side.
+INGEST_WRITE_MIXES = (0.0, 0.1, 0.5)
+INGEST_N_ARRIVALS = 64
+INGEST_LOAD = 2.0
+INGEST_N_EVAL = 16
 
 # Shard scaling: the batched workload fanned across {1, 2, 4, 8} devices
 # under cluster-affinity placement.  Sized so the per-shard work (fine
@@ -440,3 +458,175 @@ def test_arrival_rate_serving(benchmark, show):
     # Below saturation the queue tracks the offered load.
     low = by_load[min(ARRIVAL_LOADS)]
     assert low["queue"]["deadline_miss_fraction"] == 0.0
+
+
+def run_ingest_serving():
+    """Read p99 under a write-tenant mix, recall drift across maintenance."""
+    from repro.core.scheduler import DeviceScheduler
+
+    base_vectors, _ = make_clustered_embeddings(
+        N_ENTRIES, DIM, NLIST, seed="ingest"
+    )
+    model = build_ivf_model(base_vectors, NLIST, seed=0)
+    eval_queries = make_queries(base_vectors, INGEST_N_EVAL, seed="ingest-eval")
+
+    calib = ReisDevice(tiny_config("INGEST-CAL"))
+    calib_id = calib.ivf_deploy("cal", base_vectors, ivf_model=model, seed=0)
+    solo_qps = calib.ivf_search(
+        calib_id, eval_queries[:1], k=K, nprobe=NPROBE
+    ).sequential_qps
+    solo_s = 1.0 / solo_qps
+    rate = INGEST_LOAD * solo_qps
+
+    points = []
+    for mix in INGEST_WRITE_MIXES:
+        device = ReisDevice(tiny_config(f"INGEST-{int(mix * 100)}"))
+        db_id = device.ivf_deploy(
+            "live", base_vectors, ivf_model=model, seed=0, growth_entries=2048
+        )
+        manager = device.ingest_manager(db_id)
+        queue = device.ingest_queue(
+            db_id, k=K, nprobe=NPROBE,
+            policy=QueuePolicy(
+                max_batch=32, min_batch=4,
+                batching_timeout_s=4.0 * solo_s,
+                collision_target=0.5,
+            ),
+        )
+        rng = make_rng("ingest-mix", mix)
+        arrivals = np.cumsum(
+            rng.exponential(1.0 / rate, size=INGEST_N_ARRIVALS)
+        )
+        n_writes = int(round(mix * INGEST_N_ARRIVALS))
+        write_slots = (
+            set(
+                rng.choice(
+                    INGEST_N_ARRIVALS, size=n_writes, replace=False
+                ).tolist()
+            )
+            if n_writes
+            else set()
+        )
+        read_queries = make_queries(
+            base_vectors, INGEST_N_ARRIVALS, seed=("ingest-q", mix)
+        )
+
+        # The host-side live-corpus model the recall ground truth uses.
+        live_vectors = {i: base_vectors[i] for i in range(N_ENTRIES)}
+        pending_inserts = {}
+        deletable = list(range(N_ENTRIES))
+        n_reads = n_deletes = 0
+        for i in range(INGEST_N_ARRIVALS):
+            at = float(arrivals[i])
+            if i in write_slots:
+                if i % 3 == 2 and deletable:
+                    victim = deletable.pop(int(rng.integers(len(deletable))))
+                    queue.submit_delete(victim, tenant="writer", at_s=at)
+                    del live_vectors[victim]
+                    n_deletes += 1
+                else:
+                    anchor = base_vectors[int(rng.integers(N_ENTRIES))]
+                    vector = (anchor + rng.normal(0, 0.05, DIM)).astype(
+                        np.float32
+                    )
+                    sub_id = queue.submit_insert(
+                        vector, tenant="writer", at_s=at
+                    )
+                    pending_inserts[sub_id] = vector
+            else:
+                queue.submit(read_queries[i], tenant="reader", at_s=at)
+                n_reads += 1
+        report = queue.drain()
+        for sub_id, vector in pending_inserts.items():
+            ack = queue.mutation_acks[sub_id]
+            assert ack.applied
+            live_vectors[ack.entry_id] = vector
+
+        gt_ids = np.array(sorted(live_vectors), dtype=np.int64)
+        gt_matrix = np.stack([live_vectors[int(g)] for g in gt_ids])
+
+        def mean_recall():
+            batch = device.ivf_search(db_id, eval_queries, k=K, nprobe=NPROBE)
+            total = 0.0
+            for query, result in zip(eval_queries, batch):
+                exact = ((gt_matrix - query) ** 2).sum(axis=1)
+                truth = gt_ids[np.argsort(exact, kind="stable")[:K]]
+                total += len(set(truth.tolist()) & set(result.ids.tolist()))
+            return total / (len(eval_queries) * K)
+
+        recall_before = mean_recall()
+        scheduler = DeviceScheduler(device)
+        maintenance = scheduler.run_ingest_maintenance(manager)
+        recall_after = mean_recall()
+        points.append(
+            {
+                "write_fraction": mix,
+                "n_reads": n_reads,
+                "n_inserts": len(pending_inserts),
+                "n_deletes": n_deletes,
+                "achieved_qps": report.qps,
+                "mean_batch_size": report.mean_batch_size(),
+                "read_p99_wait_seconds": report.p99_wait_s("reader"),
+                "recall_before_maintenance": recall_before,
+                "recall_after_maintenance": recall_after,
+                "recall_drift": recall_after - recall_before,
+                "maintenance": {
+                    "seconds": maintenance.seconds,
+                    "reclaimed_pages": maintenance.reclaimed_pages,
+                    "erased_blocks": maintenance.erased_blocks,
+                    "live_entries": maintenance.live_entries,
+                },
+            }
+        )
+    return {
+        "solo_qps": solo_qps,
+        "load": INGEST_LOAD,
+        "n_arrivals": INGEST_N_ARRIVALS,
+        "n_eval_queries": INGEST_N_EVAL,
+        "k": K,
+        "points": points,
+    }
+
+
+@pytest.mark.figure("serving")
+def test_ingest_serving(benchmark, show):
+    """Streaming ingest: write-tenant mix sweep + maintenance recall drift."""
+    sweep = benchmark.pedantic(run_ingest_serving, rounds=1, iterations=1)
+
+    show("", "Ingest serving (write tenant mixed into the arrival process):")
+    show(f"  {'writes':>6s} {'reads':>6s} {'ins/del':>8s} {'read p99':>9s} "
+         f"{'recall pre':>10s} {'recall post':>11s} {'maint':>8s}")
+    for point in sweep["points"]:
+        show(
+            f"  {point['write_fraction'] * 100:5.0f}% {point['n_reads']:6d} "
+            f"{point['n_inserts']:4d}/{point['n_deletes']:<3d} "
+            f"{point['read_p99_wait_seconds'] * 1e3:7.2f}ms "
+            f"{point['recall_before_maintenance']:10.3f} "
+            f"{point['recall_after_maintenance']:11.3f} "
+            f"{point['maintenance']['seconds'] * 1e3:6.1f}ms"
+        )
+
+    payload = json.loads(BENCH_PATH.read_text())
+    payload["ingest_serving"] = sweep
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    show(f"  updated {BENCH_PATH.name} (ingest_serving)")
+
+    by_mix = {p["write_fraction"]: p for p in sweep["points"]}
+    for point in sweep["points"]:
+        # Maintenance rewrites flash (it costs time) but moves no result
+        # bit, so recall drift is exactly zero at every mix.
+        assert point["recall_drift"] == 0.0
+        assert point["maintenance"]["seconds"] > 0
+        assert point["read_p99_wait_seconds"] > 0
+        assert point["n_reads"] + point["n_inserts"] + point["n_deletes"] == (
+            INGEST_N_ARRIVALS
+        )
+    # The mixes actually differ, and mutations reclaim something at 50%.
+    assert by_mix[0.0]["n_inserts"] == by_mix[0.0]["n_deletes"] == 0
+    assert by_mix[0.5]["n_inserts"] > 0 and by_mix[0.5]["n_deletes"] > 0
+    assert by_mix[0.5]["maintenance"]["reclaimed_pages"] > 0
+    # Retrieval quality holds through a heavy write mix: the live-corpus
+    # recall at 50% writes stays within a whisker of the read-only mix.
+    assert by_mix[0.5]["recall_before_maintenance"] >= (
+        by_mix[0.0]["recall_before_maintenance"] - 0.15
+    )

@@ -34,6 +34,7 @@ from repro.core.analytic import AnalyticWorkload, ReisAnalyticModel
 from repro.core.batch import BatchExecution, BatchStats
 from repro.core.config import OptFlags, ReisConfig, REIS_SSD1
 from repro.core.engine import InStorageAnnsEngine, ReisQueryResult
+from repro.core.ingest import IngestManager, IngestQueue, ShardedIngestCoordinator
 from repro.core.layout import (
     DatabaseDeployer,
     DeployedDatabase,
@@ -184,6 +185,7 @@ class ReisDevice:
         self.deployer = DatabaseDeployer(self.ssd, config.engine)
         self.engine = InStorageAnnsEngine(self.ssd, config, self.flags)
         self._databases: Dict[int, DeployedDatabase] = {}
+        self._ingest_managers: Dict[int, IngestManager] = {}
         self._next_db_id = 0
         self._register_nvme_handlers()
 
@@ -218,17 +220,20 @@ class ReisDevice:
         metadata_tags: Optional[np.ndarray] = None,
         seed: object = 0,
         codecs: Optional[DeploymentCodecs] = None,
+        growth_entries: int = 0,
     ) -> int:
         """``DB_Deploy(DB, Did, N)``: deploy a flat (brute-force) database.
 
         ``codecs`` injects pre-fit quantizers + DF threshold (the
         multi-device deployment hook; see
-        :class:`~repro.core.layout.DeploymentCodecs`).
+        :class:`~repro.core.layout.DeploymentCodecs`).  ``growth_entries``
+        reserves erased slot headroom for streaming ingest.
         """
         db_id = self._allocate_db_id(db_id)
         deployed = self.deployer.deploy(
             db_id, name, vectors, corpus=corpus,
             metadata_tags=metadata_tags, seed=seed, codecs=codecs,
+            growth_entries=growth_entries,
         )
         self._databases[db_id] = deployed
         self.ssd.enter_rag_mode()
@@ -245,6 +250,7 @@ class ReisDevice:
         metadata_tags: Optional[np.ndarray] = None,
         seed: object = 0,
         codecs: Optional[DeploymentCodecs] = None,
+        growth_entries: int = 0,
     ) -> int:
         """``IVF_Deploy(DB, Did, N, CI)``: deploy an IVF database.
 
@@ -252,7 +258,8 @@ class ReisDevice:
         :class:`~repro.ann.ivf.IvfModel` or an ``nlist`` for which the
         device trains k-means during indexing (the offline stage).
         ``codecs`` injects pre-fit quantizers + DF threshold (the
-        multi-device deployment hook).
+        multi-device deployment hook).  ``growth_entries`` reserves erased
+        slot headroom so :meth:`ingest_queue` can stream inserts in later.
         """
         if ivf_model is None:
             if nlist is None:
@@ -262,6 +269,7 @@ class ReisDevice:
         deployed = self.deployer.deploy(
             db_id, name, vectors, corpus=corpus, ivf_model=ivf_model,
             metadata_tags=metadata_tags, seed=seed, codecs=codecs,
+            growth_entries=growth_entries,
         )
         self._databases[db_id] = deployed
         self.ssd.enter_rag_mode()
@@ -272,6 +280,7 @@ class ReisDevice:
         the paper treats deployment regions as long-lived reservations)."""
         self.database(db_id)
         del self._databases[db_id]
+        self._ingest_managers.pop(db_id, None)
         self.deployer.r_db.drop(db_id)
 
     # -------------------------------------------------------------- search
@@ -350,6 +359,46 @@ class ReisDevice:
             fetch_documents=fetch_documents,
             metadata_filter=metadata_filter,
             policy=policy, clock=clock,
+        )
+
+    def ingest_manager(self, db_id: int) -> IngestManager:
+        """The (cached) streaming-ingest manager for one IVF database.
+
+        Created on first use; it installs the mutable index on the
+        deployed database, so every serving surface (direct search, batch
+        executor, submission queue, scheduler) observes mutations.
+        """
+        if db_id not in self._ingest_managers:
+            self._ingest_managers[db_id] = IngestManager(
+                self.ssd, self.database(db_id)
+            )
+        return self._ingest_managers[db_id]
+
+    def ingest_queue(
+        self,
+        db_id: int,
+        k: int = 10,
+        nprobe: Optional[int] = None,
+        fetch_documents: bool = True,
+        metadata_filter: Optional[int] = None,
+        policy: Optional[QueuePolicy] = None,
+        clock: Optional[SimClock] = None,
+    ) -> IngestQueue:
+        """A submission queue that also accepts inserts/deletes/updates.
+
+        Mutations batch with queries under the same forming policy and
+        commit on the same simulated clock; see
+        :class:`~repro.core.ingest.IngestQueue`.
+        """
+        db = self.database(db_id)
+        if not db.is_ivf:
+            raise ValueError("streaming ingest requires an IVF deployment")
+        return IngestQueue(
+            self.engine, db, k=k, nprobe=nprobe,
+            fetch_documents=fetch_documents,
+            metadata_filter=metadata_filter,
+            policy=policy, clock=clock,
+            manager=self.ingest_manager(db_id),
         )
 
     def resolve_nprobe(self, db_id: int, recall_target: float) -> int:
@@ -460,6 +509,7 @@ class ShardedReisDevice:
             [shard.engine for shard in self.shards], merge_model=merge_model
         )
         self._databases: Dict[int, ShardedDatabase] = {}
+        self._ingest_coordinators: Dict[int, ShardedIngestCoordinator] = {}
         self._next_db_id = 0
 
     @property
@@ -496,10 +546,12 @@ class ShardedReisDevice:
         db_id: Optional[int] = None,
         metadata_tags: Optional[np.ndarray] = None,
         seed: object = 0,
+        growth_entries: int = 0,
     ) -> int:
         """Deploy a flat database across the shards."""
         return self._deploy(
-            name, vectors, None, corpus, db_id, metadata_tags, seed
+            name, vectors, None, corpus, db_id, metadata_tags, seed,
+            growth_entries,
         )
 
     def ivf_deploy(
@@ -512,13 +564,16 @@ class ShardedReisDevice:
         db_id: Optional[int] = None,
         metadata_tags: Optional[np.ndarray] = None,
         seed: object = 0,
+        growth_entries: int = 0,
     ) -> int:
         """Deploy an IVF database across the shards.
 
         The clustering is trained (or taken) *globally*; each shard
         deploys the centroids it owns under the placement policy plus its
         members of every cluster, so the union of shards is exactly the
-        single-device deployment, re-partitioned.
+        single-device deployment, re-partitioned.  ``growth_entries``
+        reserves that much erased ingest headroom on *every* shard (any
+        shard can end up owning a skewed share of the streamed inserts).
         """
         vectors = np.asarray(vectors, dtype=np.float32)
         if ivf_model is None:
@@ -526,7 +581,8 @@ class ShardedReisDevice:
                 raise ValueError("provide either nlist or a trained ivf_model")
             ivf_model = build_ivf_model(vectors, nlist, seed=seed)
         return self._deploy(
-            name, vectors, ivf_model, corpus, db_id, metadata_tags, seed
+            name, vectors, ivf_model, corpus, db_id, metadata_tags, seed,
+            growth_entries,
         )
 
     def _deploy(
@@ -538,6 +594,7 @@ class ShardedReisDevice:
         db_id: Optional[int],
         metadata_tags: Optional[np.ndarray],
         seed: object,
+        growth_entries: int = 0,
     ) -> int:
         vectors = np.asarray(vectors, dtype=np.float32)
         n = vectors.shape[0]
@@ -586,12 +643,13 @@ class ShardedReisDevice:
                 local_id = device.ivf_deploy(
                     f"{name}@{shard}", vectors[mine], ivf_model=local_model,
                     corpus=local_corpus, metadata_tags=local_tags,
-                    seed=seed, codecs=codecs,
+                    seed=seed, codecs=codecs, growth_entries=growth_entries,
                 )
             else:
                 local_id = device.db_deploy(
                     f"{name}@{shard}", vectors[mine], corpus=local_corpus,
                     metadata_tags=local_tags, seed=seed, codecs=codecs,
+                    growth_entries=growth_entries,
                 )
             shard_dbs.append(device.database(local_id))
             shard_db_ids.append(local_id)
@@ -617,6 +675,7 @@ class ShardedReisDevice:
             if local_id is not None:
                 self.shards[shard].drop(local_id)
         del self._databases[db_id]
+        self._ingest_coordinators.pop(db_id, None)
 
     # -------------------------------------------------------------- search
 
@@ -691,6 +750,48 @@ class ShardedReisDevice:
             metadata_filter=metadata_filter,
             policy=policy, clock=clock,
             executor=ShardedBatchExecutor(self.router, sdb),
+        )
+
+    def ingest_coordinator(self, db_id: int) -> ShardedIngestCoordinator:
+        """The (cached) mutation router for one sharded IVF database.
+
+        Creates one :class:`~repro.core.ingest.IngestManager` per active
+        shard on first use, installing the mutable indexes everywhere.
+        """
+        if db_id not in self._ingest_coordinators:
+            self._ingest_coordinators[db_id] = ShardedIngestCoordinator(
+                self, db_id
+            )
+        return self._ingest_coordinators[db_id]
+
+    def ingest_queue(
+        self,
+        db_id: int,
+        k: int = 10,
+        nprobe: Optional[int] = None,
+        fetch_documents: bool = True,
+        metadata_filter: Optional[int] = None,
+        policy: Optional[QueuePolicy] = None,
+        clock: Optional[SimClock] = None,
+    ) -> IngestQueue:
+        """A cluster-wide submission queue accepting mutations + queries.
+
+        Mutations route to their owning shard through the
+        :class:`~repro.core.ingest.ShardedIngestCoordinator`; reads drain
+        through the shard router as usual.
+        """
+        sdb = self.database(db_id)
+        if not sdb.is_ivf:
+            raise ValueError("streaming ingest requires an IVF deployment")
+        anchor = sdb.active_shards[0]
+        return IngestQueue(
+            self.shards[anchor].engine, sdb.shard_dbs[anchor],
+            k=k, nprobe=nprobe,
+            fetch_documents=fetch_documents,
+            metadata_filter=metadata_filter,
+            policy=policy, clock=clock,
+            executor=ShardedBatchExecutor(self.router, sdb),
+            manager=self.ingest_coordinator(db_id),
         )
 
     def resolve_nprobe(self, db_id: int, recall_target: float) -> int:

@@ -522,7 +522,18 @@ class InStorageAnnsEngine:
     def _slot_ranges(
         self, db: DeployedDatabase, clusters: Optional[Sequence[int]]
     ) -> List[Tuple[int, int]]:
-        """Contiguous slot ranges the fine search must scan."""
+        """Contiguous slot ranges the fine search must scan.
+
+        A mutable database answers from its live cluster membership
+        (:mod:`repro.core.ingest`): streamed appends extend a cluster past
+        its deployed range and tombstoned entries drop out of the ranges,
+        so the scan/rerank/filter phases skip dead slots without any
+        re-layout.  Both the solo path and the batch executor's schedule
+        builder resolve their ranges here, so the two stay in lockstep.
+        """
+        index = getattr(db, "mutable_index", None)
+        if index is not None:
+            return index.slot_ranges(clusters)
         if clusters is None:
             return [(0, db.n_entries - 1)] if db.n_entries else []
         assert db.r_ivf is not None
@@ -656,7 +667,7 @@ class InStorageAnnsEngine:
             )
             payload = page[start : start + region.item_bytes]
             text = DocumentChunk.decode_bytes(payload)
-            original_id = int(db.slot_to_original[int(dadr)])
+            original_id = db.original_of_dadr(int(dadr))
             if db.corpus is not None:
                 documents.append(db.corpus[original_id])
             else:

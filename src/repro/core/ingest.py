@@ -1,0 +1,1028 @@
+"""Streaming mutability: inserts / deletes / updates under live traffic.
+
+REIS deployments so far were immutable -- ``IVF_Deploy`` froze the corpus
+into cluster-major regions and every later PR served reads off that frozen
+layout.  Real retrieval corpora churn, so this module adds the mutation
+path (Sec. 7.2's normal/RAG mode split already gives the maintenance
+window; this gives the foreground path):
+
+* **Inserts** append entries to the erased *growth tail* of the deployed
+  regions (``growth_entries`` headroom reserved by
+  :meth:`~repro.core.layout.DatabaseDeployer.deploy`).  The entry is
+  assigned to its nearest centroid -- re-encoded with the deployment's own
+  codecs and compared against the centroid codes read back from the
+  centroid region, the same XOR+popcount the coarse scan performs -- and
+  programmed with the same payload/OOB wire format the deployer uses, so
+  the scan pipeline needs no new read path.
+* **Deletes** tombstone the entry in the controller-DRAM
+  :class:`~repro.core.registry.TombstoneRegistry`; the flash pages are
+  untouched and the scan simply skips the entry (dead slots drop out of
+  the :meth:`MutableIndex.slot_ranges` the fine search scans).
+* **Updates** compose the two: tombstone the old entry, append the new
+  vector under a *fresh* id.  Ids are never reused -- reusing one would
+  place it out of ascending-id order inside its cluster and break the
+  bit-identity contract below.
+
+**Bit-identity contract.**  After any interleaving of mutations and
+queries, a query against the mutated database returns results bit-identical
+to the same query against a *fresh deployment of the live snapshot* (same
+codecs, same clusters, live entries only).  This holds because the engine's
+candidate stream is fully determined by the per-cluster entry sequence
+(ascending slot == ascending id within each cluster) and every downstream
+selection is a stable (distance, arrival-order) quickselect
+(:meth:`~repro.core.registry.TemporalTopList.select_smallest`).  Appends
+preserve ascending id order per cluster; tombstones only remove entries;
+so the mutated scan enumerates exactly the sequence the snapshot deploy
+would.  :meth:`IngestManager.compact` rewrites the regions into canonical
+packed form (the maintenance pass schedulers overlap with serving) and is
+a no-op for that entry sequence.
+
+Sharded deployments route mutations through
+:class:`ShardedIngestCoordinator`: the owning shard is derived from the
+placement policy (cluster owner, or ``id % n_shards`` for round-robin) and
+the global merge keys (``global_slot``, ``cluster_of_vector``,
+``shard_vectors``) are re-derived after every commit so the router's
+distance-merge stays bit-identical to the single-device engine.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ann.distances import hamming_packed
+from repro.core.batch import BatchExecution, BatchStats
+from repro.core.defrag import Defragmenter
+from repro.core.layout import CapacityError, DeployedDatabase, RegionInfo
+from repro.core.plan import SearchStats
+from repro.core.queue import QueuedBatch, ServedQuery, Submission, SubmissionQueue
+from repro.core.registry import R_IVF_ENTRY_BYTES, RIvf, RIvfEntry, TombstoneRegistry
+from repro.rag.documents import DocumentChunk
+from repro.sim.latency import LatencyReport
+from repro.ssd.allocation import ContiguousRegionAllocator
+from repro.ssd.device import SimulatedSSD
+
+MUTATION_OPS = ("insert", "delete", "update")
+
+
+# ------------------------------------------------------------- requests
+
+
+@dataclass(frozen=True)
+class MutationRequest:
+    """One corpus mutation, expressed host-side.
+
+    ``cluster`` and ``assign_id`` pin the (local) cluster assignment and
+    the assigned id; the sharded coordinator uses them to route a
+    globally-resolved mutation into a shard without re-deriving either.
+    Host callers normally leave both ``None``.
+    """
+
+    op: str
+    vector: Optional[np.ndarray] = None
+    entry_id: Optional[int] = None  # delete/update target
+    text: Optional[str] = None
+    metadata_tag: Optional[int] = None
+    cluster: Optional[int] = None
+    assign_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.op not in MUTATION_OPS:
+            raise ValueError(f"unknown mutation op {self.op!r}")
+        if self.op in ("insert", "update") and self.vector is None:
+            raise ValueError(f"{self.op} requires a vector")
+        if self.op in ("delete", "update") and self.entry_id is None:
+            raise ValueError(f"{self.op} requires an entry_id")
+
+
+@dataclass
+class MutationAck:
+    """The durable answer to one mutation.
+
+    Duck-types :class:`~repro.core.plan.ReisQueryResult` (empty result
+    columns) so acks flow through the submission queue's serving records
+    and reports unchanged.
+    """
+
+    op: str
+    entry_id: int  # id inserted or deleted; for updates, the new id
+    applied: bool
+    replaced_id: Optional[int] = None  # updates: the retired id
+    note: str = ""
+    ids: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    distances: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    documents: List[DocumentChunk] = field(default_factory=list)
+    latency: LatencyReport = field(default_factory=LatencyReport)
+    stats: SearchStats = field(default_factory=SearchStats)
+
+
+@dataclass
+class CommitResult:
+    """One applied mutation group (all mutations of one served batch)."""
+
+    n_inserts: int = 0
+    n_deletes: int = 0
+    n_updates: int = 0
+    ids: List[int] = field(default_factory=list)  # ids assigned to inserts
+    pages_programmed: Dict[str, int] = field(default_factory=dict)
+    seconds: float = 0.0
+    acks: List[MutationAck] = field(default_factory=list)
+
+
+@dataclass
+class CompactionResult:
+    """Outcome of one maintenance compaction pass."""
+
+    live_entries: int = 0
+    erased_blocks: int = 0
+    reclaimed_pages: int = 0
+    pages_programmed: int = 0
+    seconds: float = 0.0
+
+
+# -------------------------------------------------------- mutable index
+
+
+@dataclass
+class EntryInfo:
+    """Where one live entry physically lives (all three regions)."""
+
+    cluster: int
+    eadr: int  # embedding slot
+    radr: int  # INT8 slot
+    dadr: int  # document slot
+    meta: int = -1
+
+
+class MutableIndex:
+    """Live cluster membership layered over a deployed database.
+
+    The deployer's R-IVF describes contiguous ``[first, last]`` slot ranges;
+    once entries are appended to the growth tail and tombstoned in place,
+    membership becomes a per-cluster *list* of embedding slots.  The index
+    keeps those lists in ascending slot order -- which, by construction
+    (monotone id assignment, appends in arrival order), is ascending id
+    order, the canonical single-device scan order -- and hands the engine
+    maximal consecutive-slot runs so the page-major scan machinery is
+    reused unchanged (:meth:`~repro.core.engine.InStorageAnnsEngine.
+    _slot_ranges` dispatches here when the database carries an index).
+    """
+
+    def __init__(self, db: DeployedDatabase, tombstones: TombstoneRegistry) -> None:
+        if db.r_ivf is None:
+            raise ValueError("a mutable index requires an IVF deployment")
+        self.db = db
+        self.tombstones = tombstones
+        self.members: List[List[Tuple[int, int]]] = [
+            [] for _ in range(len(db.r_ivf))
+        ]  # per cluster: (embedding slot, entry id), ascending slot
+        self.entries: Dict[int, EntryInfo] = {}
+        self._dadr_to_id: Dict[int, int] = {}
+        for cluster, record in enumerate(db.r_ivf.entries):
+            for slot in range(record.first_embedding, record.last_embedding + 1):
+                entry_id = int(db.slot_to_original[slot])
+                meta = (
+                    int(db.metadata_tags[entry_id]) if db.has_metadata else -1
+                )
+                self.members[cluster].append((slot, entry_id))
+                self.entries[entry_id] = EntryInfo(cluster, slot, slot, slot, meta)
+
+    # ------------------------------------------------------------ queries
+
+    def is_live(self, entry_id: int) -> bool:
+        return entry_id in self.entries and not self.tombstones.is_dead(entry_id)
+
+    def live_count(self) -> int:
+        return sum(len(m) for m in self.members)
+
+    def live_ids(self) -> List[int]:
+        """All live ids in canonical scan order (cluster-major, ascending)."""
+        return [entry_id for m in self.members for _, entry_id in m]
+
+    def slot_ranges(self, clusters: Optional[Sequence[int]]) -> List[Tuple[int, int]]:
+        """Maximal runs of consecutive live embedding slots, scan order."""
+        cluster_ids = range(len(self.members)) if clusters is None else clusters
+        ranges: List[Tuple[int, int]] = []
+        for cluster in cluster_ids:
+            run_start: Optional[int] = None
+            run_end = -1
+            for slot, _entry_id in self.members[cluster]:
+                if run_start is None:
+                    run_start, run_end = slot, slot
+                elif slot == run_end + 1:
+                    run_end = slot
+                else:
+                    ranges.append((run_start, run_end))
+                    run_start, run_end = slot, slot
+            if run_start is not None:
+                ranges.append((run_start, run_end))
+        return ranges
+
+    def original_of_dadr(self, dadr: int) -> int:
+        """Entry id stored at document slot ``dadr``.
+
+        Appended entries' document slots diverge from their embedding
+        slots (each region has its own tail cursor), so the deployer's
+        identity mapping only covers the original deployment.
+        """
+        if dadr in self._dadr_to_id:
+            return self._dadr_to_id[dadr]
+        return int(self.db.slot_to_original[dadr])
+
+    # ---------------------------------------------------------- mutation
+
+    def insert(
+        self, entry_id: int, cluster: int, eadr: int, radr: int, dadr: int, meta: int
+    ) -> None:
+        if entry_id in self.entries:
+            raise ValueError(f"entry id {entry_id} already exists")
+        members = self.members[cluster]
+        if members and members[-1][0] >= eadr:
+            raise ValueError("appends must keep ascending slot order")
+        members.append((eadr, entry_id))
+        self.entries[entry_id] = EntryInfo(cluster, eadr, radr, dadr, meta)
+        self._dadr_to_id[dadr] = entry_id
+
+    def remove(self, entry_id: int) -> None:
+        info = self.entries[entry_id]
+        self.members[info.cluster].remove((info.eadr, entry_id))
+
+
+# ------------------------------------------------------------- manager
+
+
+class IngestManager:
+    """The device-side mutation path for one deployed IVF database.
+
+    Owns the per-region tail cursors (page-aligned: a NAND page programs
+    once, so each commit seals whole tail pages), the parallelism-first
+    tail allocators (fast-forwarded past the deployed pages; the rotation
+    is identical to the coarse region's offset order, so allocation *k*
+    lands on region offset *k*), the tombstone registry and the
+    :class:`MutableIndex` it installs on the database.
+    """
+
+    def __init__(self, ssd: SimulatedSSD, db: DeployedDatabase) -> None:
+        if not db.is_ivf:
+            raise ValueError("streaming ingest requires an IVF deployment")
+        if db.mutable_index is not None:
+            raise ValueError(
+                f"database {db.db_id} already has an ingest manager attached"
+            )
+        self.ssd = ssd
+        self.db = db
+        self.geometry = ssd.spec.geometry
+        self.timing = ssd.spec.timing
+        self.tombstones = TombstoneRegistry(db.db_id, dram=ssd.dram)
+        self.tombstones.track_capacity(db.embedding_region.n_slots)
+        self.index = MutableIndex(db, self.tombstones)
+        db.mutable_index = self.index
+        self.next_id = (
+            int(db.slot_to_original.max()) + 1 if db.slot_to_original.size else 0
+        )
+        self.centroid_codes = self._read_centroid_codes()
+        self.commits: List[CommitResult] = []
+        self._regions: Dict[str, RegionInfo] = {
+            "embeddings": db.embedding_region,
+            "int8": db.int8_region,
+            "documents": db.document_region,
+        }
+        self._cursor: Dict[str, int] = {}
+        self._allocators: Dict[str, ContiguousRegionAllocator] = {}
+        self._reset_tails(db.n_entries)
+
+    def _reset_tails(self, n_live_slots: int) -> None:
+        """Point every region's cursor at its first erased tail page."""
+        for key, region in self._regions.items():
+            pages = math.ceil(n_live_slots / region.slots_per_page)
+            self._cursor[key] = pages * region.slots_per_page
+            allocator = ContiguousRegionAllocator(
+                self.geometry, region.region.start_page_in_plane
+            )
+            allocator.advance(pages)
+            self._allocators[key] = allocator
+
+    def _read_centroid_codes(self) -> np.ndarray:
+        """Centroid codes sensed back from the centroid region (ESP-SLC is
+        error-free, so the golden page *is* the sensed page)."""
+        region = self.db.centroid_region
+        codes = np.empty((region.n_slots, self.db.code_bytes), dtype=np.uint8)
+        for page_offset in range(region.n_pages):
+            ppa = region.region.translate(page_offset, self.geometry)
+            plane = self.ssd.array.plane(ppa)
+            data, _oob = plane.golden_page(ppa.block, ppa.page)
+            start = page_offset * region.slots_per_page
+            stop = min(start + region.slots_per_page, region.n_slots)
+            for i, slot in enumerate(range(start, stop)):
+                offset = i * region.item_bytes
+                codes[slot] = data[offset : offset + self.db.code_bytes]
+        return codes
+
+    def assign_cluster(self, code: np.ndarray) -> int:
+        """Nearest centroid by packed Hamming distance (ties: lowest id)."""
+        return int(np.argmin(hamming_packed(code, self.centroid_codes)))
+
+    @property
+    def free_slots(self) -> int:
+        """Insert capacity left before the tightest region runs out."""
+        return min(
+            region.n_slots - self._cursor[key]
+            for key, region in self._regions.items()
+        )
+
+    # ------------------------------------------------------------- commit
+
+    def apply(self, requests: Sequence[MutationRequest]) -> CommitResult:
+        """Apply a mutation group atomically and return its commit.
+
+        Mutations land in request order.  Capacity is checked up front so
+        a group either fits entirely or raises :class:`~repro.core.layout.
+        CapacityError` before any state changes.
+        """
+        n_slots_needed = sum(1 for r in requests if r.op in ("insert", "update"))
+        for key, region in self._regions.items():
+            # Pure-delete groups need no tail slots, so they must go
+            # through even when the (page-aligned) tail has outrun a small
+            # growth region -- deletes are how capacity comes back.
+            if n_slots_needed and self._cursor[key] + n_slots_needed > region.n_slots:
+                raise CapacityError(
+                    f"region {region.name!r} has "
+                    f"{region.n_slots - self._cursor[key]} free slots, "
+                    f"need {n_slots_needed}; run a compaction pass or "
+                    f"redeploy with more growth_entries"
+                )
+        result = CommitResult()
+        staged: Dict[str, List[Tuple[np.ndarray, Optional[np.ndarray]]]] = {
+            key: [] for key in self._regions
+        }
+        new_radr_ids: List[Tuple[int, int]] = []
+        for request in requests:
+            if request.op == "insert":
+                ack = self._stage_insert(request, staged, new_radr_ids)
+                result.n_inserts += 1
+                if ack.applied:
+                    result.ids.append(ack.entry_id)
+            elif request.op == "delete":
+                ack = self._apply_delete(int(request.entry_id))
+                result.n_deletes += 1
+            else:  # update = delete old + insert fresh id
+                old_id = int(request.entry_id)
+                if not self.index.is_live(old_id):
+                    ack = MutationAck(
+                        op="update", entry_id=old_id, applied=False,
+                        note="target entry is not live",
+                    )
+                else:
+                    self._apply_delete(old_id)
+                    ack = self._stage_insert(request, staged, new_radr_ids)
+                    ack.op = "update"
+                    ack.replaced_id = old_id
+                    result.ids.append(ack.entry_id)
+                result.n_updates += 1
+            result.acks.append(ack)
+        result.seconds, result.pages_programmed = self._program_staged(staged)
+        # Registry bookkeeping rides the controller DRAM.
+        result.seconds += self.ssd.dram.access_time(
+            max(1, len(requests)) * R_IVF_ENTRY_BYTES
+        )
+        self._extend_slot_table(new_radr_ids)
+        self.db.n_entries = self.index.live_count()
+        self.commits.append(result)
+        return result
+
+    def _apply_delete(self, entry_id: int) -> MutationAck:
+        if not self.index.is_live(entry_id):
+            return MutationAck(
+                op="delete", entry_id=entry_id, applied=False,
+                note="target entry is not live",
+            )
+        self.tombstones.mark(entry_id)
+        self.index.remove(entry_id)
+        return MutationAck(op="delete", entry_id=entry_id, applied=True)
+
+    def _stage_insert(
+        self,
+        request: MutationRequest,
+        staged: Dict[str, List[Tuple[np.ndarray, Optional[np.ndarray]]]],
+        new_radr_ids: List[Tuple[int, int]],
+    ) -> MutationAck:
+        vector = np.asarray(request.vector, dtype=np.float32)
+        if vector.shape != (self.db.dim,):
+            raise ValueError(f"insert vector must have dim {self.db.dim}")
+        if self.db.has_metadata and request.metadata_tag is None:
+            raise ValueError(
+                "this database carries metadata tags; inserts must supply one"
+            )
+        entry_id = (
+            self.next_id if request.assign_id is None else int(request.assign_id)
+        )
+        self.next_id = max(self.next_id, entry_id + 1)
+        code = self.db.binary_quantizer.encode_one(vector)
+        code_i8 = self.db.int8_quantizer.encode_one(vector)
+        cluster = (
+            self.assign_cluster(code)
+            if request.cluster is None
+            else int(request.cluster)
+        )
+        eadr = self._cursor["embeddings"] + len(staged["embeddings"])
+        radr = self._cursor["int8"] + len(staged["int8"])
+        dadr = self._cursor["documents"] + len(staged["documents"])
+        meta = -1 if request.metadata_tag is None else int(request.metadata_tag)
+        # Same OOB wire format the deployer writes: DADR + RADR words,
+        # plus the metadata tag word when the database carries tags.
+        words = [dadr, radr]
+        if self.db.has_metadata:
+            words.append(meta)
+        oob = np.frombuffer(
+            np.array(words, dtype="<u4").tobytes(), dtype=np.uint8
+        ).copy()
+        staged["embeddings"].append((code, oob))
+        staged["int8"].append((code_i8.view(np.uint8), None))
+        text = request.text if request.text is not None else f"chunk-{entry_id}"
+        chunk = DocumentChunk(chunk_id=entry_id, text=text)
+        staged["documents"].append(
+            (chunk.encode_bytes(self.db.document_region.item_bytes), None)
+        )
+        self.index.insert(entry_id, cluster, eadr, radr, dadr, meta)
+        new_radr_ids.append((radr, entry_id))
+        if self.db.corpus is not None:
+            self.db.corpus.add(chunk)
+        return MutationAck(op="insert", entry_id=entry_id, applied=True)
+
+    def _program_staged(
+        self, staged: Dict[str, List[Tuple[np.ndarray, Optional[np.ndarray]]]]
+    ) -> Tuple[float, Dict[str, int]]:
+        """Seal the staged slots into whole tail pages, region by region."""
+        seconds = 0.0
+        pages_programmed: Dict[str, int] = {}
+        g = self.geometry
+        for key, region in self._regions.items():
+            items = staged[key]
+            if not items:
+                pages_programmed[key] = 0
+                continue
+            spp = region.slots_per_page
+            cursor = self._cursor[key]
+            n_pages = math.ceil(len(items) / spp)
+            for j in range(n_pages):
+                chunk = items[j * spp : (j + 1) * spp]
+                data = np.zeros(g.page_bytes, dtype=np.uint8)
+                oob: Optional[np.ndarray] = None
+                for i, (payload, record) in enumerate(chunk):
+                    offset = i * region.item_bytes
+                    data[offset : offset + payload.size] = payload
+                if chunk[0][1] is not None:
+                    record_bytes = chunk[0][1].size
+                    oob = np.zeros(g.oob_bytes, dtype=np.uint8)
+                    for i, (_payload, record) in enumerate(chunk):
+                        oob[i * record_bytes : i * record_bytes + record.size] = record
+                ppa = self._allocators[key].allocate()
+                expected = region.region.translate(cursor // spp + j, g)
+                if ppa.to_linear(g) != expected.to_linear(g):
+                    raise RuntimeError(
+                        f"tail allocator diverged from region striping in {key}"
+                    )
+                self.ssd.array.program(ppa, data, oob)
+                seconds += self.timing.program_time(region.mode.timing_key)
+            self._cursor[key] = (cursor // spp + n_pages) * spp
+            pages_programmed[key] = n_pages
+        return seconds, pages_programmed
+
+    def _extend_slot_table(self, new_radr_ids: List[Tuple[int, int]]) -> None:
+        """Grow ``slot_to_original`` over the appended INT8 slots.
+
+        The table is RADR-indexed (at deploy RADR == slot), which is how
+        the rerank and the shard router map shortlist entries back to ids;
+        padding slots stay ``-1``.
+        """
+        if not new_radr_ids:
+            return
+        new_size = self._cursor["int8"]
+        table = self.db.slot_to_original
+        if new_size > table.size:
+            extended = np.full(new_size, -1, dtype=np.int64)
+            extended[: table.size] = table
+            table = extended
+        for radr, entry_id in new_radr_ids:
+            table[radr] = entry_id
+        self.db.slot_to_original = table
+
+    # -------------------------------------------------------- maintenance
+
+    def compact(self) -> CompactionResult:
+        """Rewrite the regions into canonical packed form.
+
+        Reads every live entry's payload back (golden ESP/ECC-corrected
+        data -- the functional sim stores golden bytes), erases the region
+        windows through the defragmenter, restores their cell modes and
+        reprograms the live set cluster-major from slot zero: exactly the
+        layout a fresh deployment of the live snapshot produces, which is
+        why compaction cannot perturb query results.  Tombstones and the
+        dadr divergence reset; reclaimed tail pages return to the erased
+        headroom.
+        """
+        db = self.db
+        g = self.geometry
+        order: List[Tuple[int, EntryInfo]] = [
+            (entry_id, self.index.entries[entry_id])
+            for entry_id in self.index.live_ids()
+        ]
+        result = CompactionResult(live_entries=len(order))
+        pages_before = sum(
+            self._cursor[key] // region.slots_per_page
+            for key, region in self._regions.items()
+        )
+
+        payloads: Dict[str, List[np.ndarray]] = {key: [] for key in self._regions}
+        slot_of = {"embeddings": "eadr", "int8": "radr", "documents": "dadr"}
+        for key, region in self._regions.items():
+            page_cache: Dict[int, np.ndarray] = {}
+            width = (
+                db.code_bytes if key == "embeddings" else region.item_bytes
+            )
+            for _entry_id, info in order:
+                slot = getattr(info, slot_of[key])
+                page_offset, slot_in_page = divmod(slot, region.slots_per_page)
+                if page_offset not in page_cache:
+                    ppa = region.region.translate(page_offset, g)
+                    plane = self.ssd.array.plane(ppa)
+                    page_cache[page_offset], _ = plane.golden_page(
+                        ppa.block, ppa.page
+                    )
+                    result.seconds += self.timing.read_time(region.mode.timing_key)
+                start = slot_in_page * region.item_bytes
+                payloads[key].append(
+                    page_cache[page_offset][start : start + width].copy()
+                )
+
+        for key, region in self._regions.items():
+            window = region.region
+            cleared = Defragmenter(self.ssd).clear_window(
+                window.start_page_in_plane, window.end_page_in_plane
+            )
+            result.seconds += cleared.seconds
+            result.erased_blocks += cleared.erased_blocks
+            self.ssd.hybrid.convert_region(
+                window.start_page_in_plane, window.end_page_in_plane, region.mode
+            )
+
+        # Reprogram packed from slot 0 in canonical order and rebuild the
+        # registry structures to the fresh-deploy state.
+        metas = [info.meta for _entry_id, info in order]
+        staged: Dict[str, List[Tuple[np.ndarray, Optional[np.ndarray]]]] = {
+            key: [] for key in self._regions
+        }
+        for slot, ((_entry_id, _info), meta) in enumerate(zip(order, metas)):
+            words = [slot, slot]
+            if db.has_metadata:
+                words.append(meta)
+            oob = np.frombuffer(
+                np.array(words, dtype="<u4").tobytes(), dtype=np.uint8
+            ).copy()
+            staged["embeddings"].append((payloads["embeddings"][slot], oob))
+            staged["int8"].append((payloads["int8"][slot], None))
+            staged["documents"].append((payloads["documents"][slot], None))
+        self._reset_tails(0)
+        program_seconds, pages = self._program_staged(staged)
+        result.seconds += program_seconds
+        result.pages_programmed = sum(pages.values())
+
+        entries: List[RIvfEntry] = []
+        cursor = 0
+        for cluster in range(len(self.index.members)):
+            first = cursor
+            cursor += len(self.index.members[cluster])
+            entries.append(
+                RIvfEntry(
+                    centroid_addr=cluster,
+                    first_embedding=first,
+                    last_embedding=cursor - 1,
+                    tag=cluster & 0xFF,
+                )
+            )
+        db.r_ivf = RIvf(entries, dram=self.ssd.dram, db_id=db.db_id)
+        live_ids = np.array([entry_id for entry_id, _ in order], dtype=np.int64)
+        db.slot_to_original = live_ids
+        original_to_slot = np.full(self.next_id, -1, dtype=np.int64)
+        original_to_slot[live_ids] = np.arange(live_ids.size, dtype=np.int64)
+        db.original_to_slot = original_to_slot
+        db.n_entries = live_ids.size
+
+        slot = 0
+        self.index._dadr_to_id.clear()
+        self.index.entries = {}
+        for cluster in range(len(self.index.members)):
+            rebuilt = []
+            for _old_slot, entry_id in self.index.members[cluster]:
+                rebuilt.append((slot, entry_id))
+                self.index.entries[entry_id] = EntryInfo(
+                    cluster, slot, slot, slot, metas[slot]
+                )
+                slot += 1
+            self.index.members[cluster] = rebuilt
+        self.tombstones.clear()
+        result.seconds += self.ssd.dram.access_time(
+            max(1, len(entries)) * R_IVF_ENTRY_BYTES
+        )
+        pages_after = sum(
+            self._cursor[key] // region.slots_per_page
+            for key, region in self._regions.items()
+        )
+        result.reclaimed_pages = pages_before - pages_after
+        return result
+
+
+# --------------------------------------------------------------- queue
+
+
+class IngestQueue(SubmissionQueue):
+    """A submission queue that serves mutations alongside queries.
+
+    Mutations are submitted like queries (an insert's vector doubles as
+    its forming-estimate query; deletes carry a zero vector) and batch
+    with reads under the same forming policy, deadlines and tenant
+    fairness.  When a batch closes, its mutations commit *first* (in
+    submission order) and the batch's reads then execute against the
+    mutated database -- every read observes every mutation of its own
+    batch, and the commit time lands on the same simulated clock the
+    reads' service time does.
+    """
+
+    def __init__(self, *args, manager=None, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if manager is None:
+            raise ValueError("an IngestQueue needs an ingest manager")
+        self.manager = manager
+        self._mutations: Dict[int, MutationRequest] = {}
+        self.mutation_acks: Dict[int, MutationAck] = {}
+
+    # ---------------------------------------------------------- submission
+
+    def submit_insert(
+        self,
+        vector: np.ndarray,
+        text: Optional[str] = None,
+        metadata_tag: Optional[int] = None,
+        tenant: str = "default",
+        deadline_s: float = math.inf,
+        at_s: Optional[float] = None,
+    ) -> int:
+        vector = np.asarray(vector, dtype=np.float32)
+        sub_id = self.submit(vector, tenant=tenant, deadline_s=deadline_s, at_s=at_s)
+        self._mutations[sub_id] = MutationRequest(
+            op="insert", vector=vector, text=text, metadata_tag=metadata_tag
+        )
+        return sub_id
+
+    def submit_delete(
+        self,
+        entry_id: int,
+        tenant: str = "default",
+        deadline_s: float = math.inf,
+        at_s: Optional[float] = None,
+    ) -> int:
+        placeholder = np.zeros(self.db.dim, dtype=np.float32)
+        sub_id = self.submit(
+            placeholder, tenant=tenant, deadline_s=deadline_s, at_s=at_s
+        )
+        self._mutations[sub_id] = MutationRequest(op="delete", entry_id=int(entry_id))
+        return sub_id
+
+    def submit_update(
+        self,
+        entry_id: int,
+        vector: np.ndarray,
+        text: Optional[str] = None,
+        metadata_tag: Optional[int] = None,
+        tenant: str = "default",
+        deadline_s: float = math.inf,
+        at_s: Optional[float] = None,
+    ) -> int:
+        vector = np.asarray(vector, dtype=np.float32)
+        sub_id = self.submit(vector, tenant=tenant, deadline_s=deadline_s, at_s=at_s)
+        self._mutations[sub_id] = MutationRequest(
+            op="update",
+            entry_id=int(entry_id),
+            vector=vector,
+            text=text,
+            metadata_tag=metadata_tag,
+        )
+        return sub_id
+
+    # ------------------------------------------------------------- serving
+
+    def _serve_batch(self, members: List[Submission], reason: str) -> QueuedBatch:
+        start_s = self.clock.now_s
+        mutation_members = [
+            (i, s) for i, s in enumerate(members) if s.sub_id in self._mutations
+        ]
+        read_members = [
+            (i, s) for i, s in enumerate(members) if s.sub_id not in self._mutations
+        ]
+        commit: Optional[CommitResult] = None
+        if mutation_members:
+            requests = [self._mutations.pop(s.sub_id) for _i, s in mutation_members]
+            commit = self.manager.apply(requests)
+        if read_members:
+            queries = np.stack([s.query for _i, s in read_members])
+            execution = self.executor.execute(
+                self.db,
+                queries,
+                k=self.k,
+                nprobe=self.nprobe,
+                fetch_documents=self.fetch_documents,
+                metadata_filter=self.metadata_filter,
+            )
+        else:
+            execution = BatchExecution(
+                results=[], report=LatencyReport(), stats=BatchStats()
+            )
+        if commit is not None and commit.seconds > 0:
+            execution.report.add_phase("ingest", commit.seconds)
+            execution.report.add_component("ingest_commit", commit.seconds)
+            execution.report.total_s += commit.seconds
+        service_seconds = execution.batch_seconds
+        self.clock.advance(service_seconds)
+        finish_s = self.clock.now_s
+        forming = start_s - min(s.submit_s for s in members)
+        execution.stats.queue_seconds = forming
+        if forming > 0:
+            execution.report.add_phase("queue", forming)
+            execution.report.add_component("queue_wait", forming)
+            execution.report.total_s += forming
+        results: List[object] = [None] * len(members)
+        if commit is not None:
+            for (i, submission), ack in zip(mutation_members, commit.acks):
+                ack.latency.add_phase("ingest", commit.seconds)
+                ack.latency.total_s = commit.seconds
+                self.mutation_acks[submission.sub_id] = ack
+                results[i] = ack
+        for (i, _submission), result in zip(read_members, execution.results):
+            results[i] = result
+        execution.results = results
+        batch = QueuedBatch(
+            index=len(self.batches),
+            submissions=members,
+            execution=execution,
+            close_reason=reason,
+            start_s=start_s,
+            finish_s=finish_s,
+            service_seconds=service_seconds,
+        )
+        misses = 0
+        for submission, result in zip(members, execution.results):
+            query = ServedQuery(
+                submission=submission,
+                result=result,
+                batch_index=batch.index,
+                start_s=start_s,
+                finish_s=finish_s,
+            )
+            if query.deadline_missed:
+                misses += 1
+            self.served[submission.sub_id] = query
+        execution.deadline_misses = misses
+        self.batches.append(batch)
+        return batch
+
+
+# -------------------------------------------------------------- sharding
+
+
+class ShardedIngestCoordinator:
+    """Routes mutations to owning shards and keeps the merge keys global.
+
+    One per sharded database.  Inserts resolve their *global* cluster
+    against the full centroid set (same codecs as every shard), pick the
+    owning shard from the placement policy, and commit into that shard's
+    :class:`IngestManager` with the cluster pinned (shard-local id) so the
+    shard does not re-derive assignment from its partial centroid view.
+    After every commit the :class:`~repro.core.shard.ShardAssignment` is
+    re-derived -- extended ownership arrays, per-shard id lists (stable
+    local positions; dead ids stay), and the canonical single-device
+    ``global_slot`` over the live membership -- which is all the router
+    needs to keep distance-merged results bit-identical to one big device.
+    """
+
+    def __init__(self, device, db_id: int) -> None:
+        from repro.core.shard import ShardAssignment
+
+        self._assignment_cls = ShardAssignment
+        self.device = device
+        self.db_id = db_id
+        self.sdb = device.database(db_id)
+        if not self.sdb.is_ivf:
+            raise ValueError("streaming ingest requires an IVF deployment")
+        self.managers: Dict[int, IngestManager] = {}
+        for shard in self.sdb.active_shards:
+            self.managers[shard] = IngestManager(
+                device.shards[shard].ssd, self.sdb.shard_dbs[shard]
+            )
+        anchor = self.sdb.shard_dbs[self.sdb.active_shards[0]]
+        self._binary = anchor.binary_quantizer
+        self.centroid_codes = self._binary.encode(self.sdb.ivf_model.centroids)
+        assignment = self.sdb.assignment
+        self.next_id = int(assignment.shard_of_vector.size)
+        self._dead: set = set()
+        self._shard_of: List[int] = [int(s) for s in assignment.shard_of_vector]
+        self._cluster_of: List[int] = [
+            int(c) for c in assignment.cluster_of_vector
+        ]
+        self._shard_vectors: List[List[int]] = [
+            [int(v) for v in vec] for vec in assignment.shard_vectors
+        ]
+        self._local_of: Dict[int, int] = {}
+        for vec in self._shard_vectors:
+            for local, global_id in enumerate(vec):
+                self._local_of[global_id] = local
+        self._members: List[List[int]] = [
+            [] for _ in range(self.sdb.n_clusters)
+        ]
+        for global_id, cluster in enumerate(self._cluster_of):
+            self._members[cluster].append(global_id)
+        self._cluster_owner: Dict[int, Tuple[int, int]] = {}
+        if assignment.policy == "cluster":
+            for shard in self.sdb.active_shards:
+                owned = assignment.shard_clusters[shard]
+                for local, cluster in enumerate(owned):
+                    self._cluster_owner[int(cluster)] = (shard, local)
+        self.commits: List[CommitResult] = []
+
+    # ------------------------------------------------------------- routing
+
+    def _route_insert(self, global_id: int, cluster: int) -> Tuple[int, int]:
+        """(owning shard, shard-local cluster id) for a new entry."""
+        if self.sdb.assignment.policy == "cluster":
+            if cluster not in self._cluster_owner:
+                raise RuntimeError(
+                    f"cluster {cluster} is owned by a shard with no deployment"
+                )
+            return self._cluster_owner[cluster]
+        # Round-robin placement replicates every centroid on every shard,
+        # so the local cluster id is the global one.
+        shard = global_id % self.sdb.assignment.n_shards
+        if shard not in self.managers:
+            raise RuntimeError(f"shard {shard} has no deployment to ingest into")
+        return shard, cluster
+
+    def apply(self, requests: Sequence[MutationRequest]) -> CommitResult:
+        """Route one mutation group and commit it shard-by-shard."""
+        result = CommitResult()
+        per_shard: Dict[int, List[MutationRequest]] = {}
+        # Per request: ("shard", shard, index-in-shard-list, global ack
+        # template) or ("reject", ack).
+        plans: List[Tuple] = []
+
+        def enqueue(shard: int, request: MutationRequest) -> int:
+            per_shard.setdefault(shard, []).append(request)
+            return len(per_shard[shard]) - 1
+
+        for request in requests:
+            if request.op == "insert":
+                ack, entry = self._plan_insert(request, enqueue)
+                result.n_inserts += 1
+            elif request.op == "delete":
+                ack, entry = self._plan_delete(int(request.entry_id), enqueue)
+                result.n_deletes += 1
+            else:
+                old_id = int(request.entry_id)
+                if old_id in self._dead or not (0 <= old_id < len(self._shard_of)):
+                    ack, entry = (
+                        MutationAck(
+                            op="update", entry_id=old_id, applied=False,
+                            note="target entry is not live",
+                        ),
+                        None,
+                    )
+                else:
+                    self._plan_delete(old_id, enqueue)
+                    ack, entry = self._plan_insert(request, enqueue)
+                    ack.op = "update"
+                    ack.replaced_id = old_id
+                result.n_updates += 1
+            if ack.applied and ack.op in ("insert", "update"):
+                result.ids.append(ack.entry_id)
+            plans.append((ack, entry))
+
+        shard_commits: Dict[int, CommitResult] = {}
+        for shard, shard_requests in per_shard.items():
+            commit = self.managers[shard].apply(shard_requests)
+            shard_commits[shard] = commit
+            for key, pages in commit.pages_programmed.items():
+                result.pages_programmed[key] = (
+                    result.pages_programmed.get(key, 0) + pages
+                )
+        # Shards commit in parallel: the group costs its slowest shard.
+        result.seconds = max(
+            (commit.seconds for commit in shard_commits.values()), default=0.0
+        )
+        for ack, entry in plans:
+            result.acks.append(ack)
+            if entry is not None:
+                shard, index = entry
+                shard_ack = shard_commits[shard].acks[index]
+                ack.applied = ack.applied and shard_ack.applied
+        self._rebuild_assignment()
+        self.commits.append(result)
+        return result
+
+    def _plan_insert(self, request: MutationRequest, enqueue):
+        vector = np.asarray(request.vector, dtype=np.float32)
+        code = self._binary.encode_one(vector)
+        cluster = int(np.argmin(hamming_packed(code, self.centroid_codes)))
+        global_id = self.next_id
+        self.next_id += 1
+        shard, local_cluster = self._route_insert(global_id, cluster)
+        text = request.text if request.text is not None else f"chunk-{global_id}"
+        index = enqueue(
+            shard,
+            MutationRequest(
+                op="insert",
+                vector=vector,
+                text=text,
+                metadata_tag=request.metadata_tag,
+                cluster=local_cluster,
+            ),
+        )
+        self._shard_of.append(shard)
+        self._cluster_of.append(cluster)
+        self._local_of[global_id] = len(self._shard_vectors[shard])
+        self._shard_vectors[shard].append(global_id)
+        self._members[cluster].append(global_id)
+        if self.sdb.corpus is not None:
+            self.sdb.corpus.add(DocumentChunk(chunk_id=global_id, text=text))
+        if self.sdb.metadata_tags is not None:
+            self.sdb.metadata_tags = np.append(
+                self.sdb.metadata_tags, np.uint32(request.metadata_tag)
+            )
+        ack = MutationAck(op="insert", entry_id=global_id, applied=True)
+        return ack, (shard, index)
+
+    def _plan_delete(self, entry_id: int, enqueue):
+        live = (
+            0 <= entry_id < len(self._shard_of) and entry_id not in self._dead
+        )
+        if not live:
+            return (
+                MutationAck(
+                    op="delete", entry_id=entry_id, applied=False,
+                    note="target entry is not live",
+                ),
+                None,
+            )
+        shard = self._shard_of[entry_id]
+        local_id = self._local_of[entry_id]
+        index = enqueue(
+            shard, MutationRequest(op="delete", entry_id=local_id)
+        )
+        self._dead.add(entry_id)
+        self._members[self._cluster_of[entry_id]].remove(entry_id)
+        return MutationAck(op="delete", entry_id=entry_id, applied=True), (
+            shard,
+            index,
+        )
+
+    def _rebuild_assignment(self) -> None:
+        old = self.sdb.assignment
+        global_slot = np.full(self.next_id, -1, dtype=np.int64)
+        slot = 0
+        for cluster_members in self._members:
+            for global_id in cluster_members:
+                global_slot[global_id] = slot
+                slot += 1
+        self.sdb.assignment = self._assignment_cls(
+            policy=old.policy,
+            n_shards=old.n_shards,
+            shard_of_vector=np.array(self._shard_of, dtype=np.int64),
+            shard_vectors=[
+                np.array(vec, dtype=np.int64) for vec in self._shard_vectors
+            ],
+            shard_clusters=old.shard_clusters,
+            global_slot=global_slot,
+            cluster_of_vector=np.array(self._cluster_of, dtype=np.int64),
+        )
+        self.sdb.n_entries = slot
+
+    # -------------------------------------------------------- maintenance
+
+    def compact(self) -> CompactionResult:
+        """Compact every shard; shards run their passes in parallel.
+
+        Shard-local layouts re-pack but global ids, ownership and the
+        canonical ``global_slot`` are untouched -- local positions in
+        ``shard_vectors`` are stable by construction.
+        """
+        result = CompactionResult()
+        slowest = 0.0
+        for manager in self.managers.values():
+            shard_result = manager.compact()
+            result.live_entries += shard_result.live_entries
+            result.erased_blocks += shard_result.erased_blocks
+            result.reclaimed_pages += shard_result.reclaimed_pages
+            result.pages_programmed += shard_result.pages_programmed
+            slowest = max(slowest, shard_result.seconds)
+        result.seconds = slowest
+        return result

@@ -19,7 +19,7 @@ page-level FTL.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Optional, Sequence, Tuple
 
 import numpy as np
@@ -86,10 +86,26 @@ class DeployedDatabase:
     oob_record_bytes: int = 8  # per-embedding OOB linkage record size
     metadata_tags: Optional[np.ndarray] = field(default=None, repr=False)
     corpus: Optional[Corpus] = field(default=None, repr=False)
+    # Streaming-ingest headroom: regions are sized for n_entries +
+    # growth_entries slots, with the tail left erased for appends.
+    growth_entries: int = 0
+    # The live IngestManager's view of cluster membership, installed by
+    # core/ingest.py; None for an immutable (deploy-once) database.
+    mutable_index: Optional[object] = field(default=None, repr=False)
 
     @property
     def has_metadata(self) -> bool:
         return self.metadata_tags is not None
+
+    def original_of_dadr(self, dadr: int) -> int:
+        """Original (external) id of the entry stored at document slot
+        ``dadr``.  At deploy time DADR == slot, so the base mapping is the
+        slot table; streamed appends may place an entry's document at a
+        different slot than its embedding, which the mutable index tracks.
+        """
+        if self.mutable_index is not None:
+            return self.mutable_index.original_of_dadr(dadr)
+        return int(self.slot_to_original[dadr])
 
     @property
     def is_ivf(self) -> bool:
@@ -214,8 +230,16 @@ class DatabaseDeployer:
         metadata_tags: Optional[np.ndarray] = None,
         seed: object = 0,
         codecs: Optional[DeploymentCodecs] = None,
+        growth_entries: int = 0,
     ) -> DeployedDatabase:
         """Deploy a database; with ``ivf_model`` this is ``IVF_Deploy``.
+
+        ``growth_entries`` reserves slot headroom for streaming ingest: the
+        embedding/INT8/document regions are allocated for
+        ``n + growth_entries`` slots, the initial corpus is programmed into
+        the head, and the tail pages stay erased so
+        :class:`repro.core.ingest.IngestManager` can append cluster-tail
+        pages later without re-layout.
 
         ``metadata_tags`` optionally attaches one integer tag per embedding
         for Sec. 7.1 metadata filtering; tags are stored as a third 4-byte
@@ -237,7 +261,7 @@ class DatabaseDeployer:
         try:
             return self._deploy(
                 db_id, name, vectors, corpus, ivf_model, metadata_tags, seed,
-                codecs,
+                codecs, growth_entries,
             )
         except Exception:
             self._rollback(checkpoint)
@@ -266,9 +290,12 @@ class DatabaseDeployer:
         metadata_tags: Optional[np.ndarray],
         seed: object,
         codecs: Optional[DeploymentCodecs] = None,
+        growth_entries: int = 0,
     ) -> DeployedDatabase:
         vectors = np.asarray(vectors, dtype=np.float32)
         n, dim = vectors.shape
+        if growth_entries < 0:
+            raise ValueError("growth_entries must be non-negative")
         if dim % 8 != 0:
             raise ValueError("embedding dimension must be a multiple of 8")
         if corpus is not None and len(corpus) != n:
@@ -311,15 +338,22 @@ class DatabaseDeployer:
                 code_bytes,
                 CellMode.SLC_ESP,
             )
+        # Mutable regions are allocated with ingest headroom; the initial
+        # corpus is programmed through views trimmed back to n slots so the
+        # headroom pages stay erased for streamed appends.
+        n_total = n + growth_entries
         embedding_region = self._allocate_region(
-            f"{name}/embeddings", n, emb_spp, code_bytes, CellMode.SLC_ESP
+            f"{name}/embeddings", n_total, emb_spp, code_bytes, CellMode.SLC_ESP
         )
         int8_region = self._allocate_region(
-            f"{name}/int8", n, int8_spp, dim, CellMode.TLC
+            f"{name}/int8", n_total, int8_spp, dim, CellMode.TLC
         )
         document_region = self._allocate_region(
-            f"{name}/documents", n, doc_spp, params.doc_slot_bytes, CellMode.TLC
+            f"{name}/documents", n_total, doc_spp, params.doc_slot_bytes, CellMode.TLC
         )
+        emb_initial = replace(embedding_region, n_slots=n)
+        int8_initial = replace(int8_region, n_slots=n)
+        doc_initial = replace(document_region, n_slots=n)
 
         # Embedding pages: payload = binary code; OOB = DADR + RADR per slot
         # (+ the metadata tag as a third word when tags are deployed).
@@ -333,7 +367,7 @@ class DatabaseDeployer:
                     np.array(words, dtype="<u4").tobytes(), dtype=np.uint8
                 ).copy()
             )
-        self._program_region(embedding_region, list(codes), emb_oob)
+        self._program_region(emb_initial, list(codes), emb_oob)
 
         # Centroid pages: payload = centroid code; OOB = 8-bit tag per slot.
         if centroid_region is not None:
@@ -359,7 +393,7 @@ class DatabaseDeployer:
 
         # INT8 pages (TLC, ECC-protected): int8 viewed as raw bytes.
         self._program_region(
-            int8_region, [c.view(np.uint8) for c in codes_i8]
+            int8_initial, [c.view(np.uint8) for c in codes_i8]
         )
 
         # Document pages: chunk text bytes in deployment order.
@@ -376,7 +410,7 @@ class DatabaseDeployer:
                 ).copy()
                 for original in order
             ]
-        self._program_region(document_region, doc_payloads)
+        self._program_region(doc_initial, doc_payloads)
 
         self.r_db.register(
             RDbEntry(
@@ -406,6 +440,7 @@ class DatabaseDeployer:
             oob_record_bytes=oob_record_bytes,
             metadata_tags=metadata_tags,
             corpus=corpus,
+            growth_entries=growth_entries,
         )
 
 

@@ -73,6 +73,12 @@ class RDb:
     def drop(self, db_id: int) -> None:
         self._entries.pop(db_id, None)
         self._sync_dram()
+        if self._dram is not None:
+            # The per-database DRAM structures (the R-IVF cluster array and
+            # the tombstone bitmap of a mutable deployment) die with the
+            # R-DB record -- otherwise register->drop cycles leak DRAM.
+            self._dram.free(f"r-ivf-{db_id}")
+            self._dram.free(f"tombstones-{db_id}")
 
     def lookup(self, db_id: int) -> RDbEntry:
         try:
@@ -103,11 +109,18 @@ class RIvf:
 
     def __init__(self, entries: List[RIvfEntry], dram: Optional[InternalDram] = None, db_id: int = 0) -> None:
         self.entries = list(entries)
+        self._dram = dram
+        self._db_id = db_id
         self._tag_to_cluster = {}
         for cluster_id, entry in enumerate(self.entries):
             self._tag_to_cluster.setdefault(entry.tag, []).append(cluster_id)
         if dram is not None:
             dram.allocate(f"r-ivf-{db_id}", self.footprint_bytes)
+
+    def release(self) -> None:
+        """Free the DRAM region backing this cluster array."""
+        if self._dram is not None:
+            self._dram.free(f"r-ivf-{self._db_id}")
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -123,6 +136,61 @@ class RIvf:
         """Tags are 8-bit, so large nlist values alias; disambiguation uses
         the centroid address carried in the TTL entry."""
         return list(self._tag_to_cluster.get(tag, []))
+
+
+class TombstoneRegistry:
+    """Per-database set of dead entry ids, DRAM-accounted as a bitmap.
+
+    Streaming deletes do not rewrite flash: the entry stays physically in
+    its cluster tail, and this registry records it as dead so the scan /
+    rerank / filter phases skip it (:mod:`repro.core.ingest`).  The DRAM
+    cost is one bit per addressable slot, booked in the named region
+    ``tombstones-{db_id}`` -- compaction clears the set and shrinks the
+    region back to its floor.
+    """
+
+    def __init__(self, db_id: int, dram: Optional[InternalDram] = None) -> None:
+        self.db_id = db_id
+        self._dram = dram
+        self._dead: set = set()
+        self._capacity_slots = 0
+
+    def track_capacity(self, n_slots: int) -> None:
+        """Size the bitmap for ``n_slots`` addressable entry slots."""
+        if n_slots > self._capacity_slots:
+            self._capacity_slots = n_slots
+            self._sync_dram()
+
+    def mark(self, entry_id: int) -> None:
+        self._dead.add(int(entry_id))
+
+    def is_dead(self, entry_id: int) -> bool:
+        return int(entry_id) in self._dead
+
+    def __len__(self) -> int:
+        return len(self._dead)
+
+    def __contains__(self, entry_id: int) -> bool:
+        return self.is_dead(entry_id)
+
+    def clear(self) -> None:
+        """Forget all tombstones (compaction rewrote the layout)."""
+        self._dead.clear()
+
+    def release(self) -> None:
+        """Free the DRAM region backing the bitmap (database dropped)."""
+        self._dead.clear()
+        self._capacity_slots = 0
+        if self._dram is not None:
+            self._dram.free(f"tombstones-{self.db_id}")
+
+    @property
+    def footprint_bytes(self) -> int:
+        return (self._capacity_slots + 7) // 8
+
+    def _sync_dram(self) -> None:
+        if self._dram is not None:
+            self._dram.allocate(f"tombstones-{self.db_id}", self.footprint_bytes)
 
 
 @dataclass

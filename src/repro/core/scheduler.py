@@ -244,6 +244,20 @@ class DeviceScheduler:
             gc_seconds + refresh_seconds + level_seconds
         )
 
+    def run_ingest_maintenance(self, manager) -> "CompactionResult":
+        """Compact a streamed-into database (:meth:`repro.core.ingest.
+        IngestManager.compact`) as a normal-mode maintenance pass.
+
+        Like GC/refresh, compaction rewrites flash through the maintenance
+        machinery, so it runs at a mode boundary and its wall clock bills
+        to ``maintenance_seconds`` -- serving resumes against the packed
+        layout on the next :meth:`serve_queries`.
+        """
+        self._enter_normal()
+        result = manager.compact()
+        self.accounting.maintenance_seconds += result.seconds
+        return result
+
     # ---------------------------------------------------------- reporting
 
     def report(self) -> Dict[str, object]:
@@ -366,6 +380,32 @@ class ShardedScheduler:
             ),
             default=0.0,
         )
+
+    def run_ingest_maintenance(self, coordinator) -> "CompactionResult":
+        """Compact every shard of a streamed-into sharded database.
+
+        Each shard's compaction is local maintenance (billed to that
+        shard's child scheduler); shards compact concurrently, so the
+        cluster is billed the slowest shard's pass.
+        """
+        sdb = self.device.database(coordinator.db_id)
+        slowest = 0.0
+        from repro.core.ingest import CompactionResult
+
+        total = CompactionResult()
+        for shard in sdb.active_shards:
+            child = self.children[shard]
+            child._enter_normal()
+            shard_result = coordinator.managers[shard].compact()
+            child.accounting.maintenance_seconds += shard_result.seconds
+            total.live_entries += shard_result.live_entries
+            total.erased_blocks += shard_result.erased_blocks
+            total.reclaimed_pages += shard_result.reclaimed_pages
+            total.pages_programmed += shard_result.pages_programmed
+            slowest = max(slowest, shard_result.seconds)
+        total.seconds = slowest
+        self.accounting.maintenance_seconds += slowest
+        return total
 
     # ---------------------------------------------------------- reporting
 

@@ -86,6 +86,16 @@ class Corpus:
     def __getitem__(self, chunk_id: int) -> DocumentChunk:
         return self._by_id[chunk_id]
 
+    def __contains__(self, chunk_id: int) -> bool:
+        return chunk_id in self._by_id
+
+    def add(self, chunk: DocumentChunk) -> None:
+        """Register a streamed-in chunk (ids must stay unique)."""
+        if chunk.chunk_id in self._by_id:
+            raise ValueError(f"duplicate chunk id {chunk.chunk_id}")
+        self._chunks.append(chunk)
+        self._by_id[chunk.chunk_id] = chunk
+
     @classmethod
     def synthetic(cls, n_chunks: int, topics: Sequence[int], dataset: str) -> "Corpus":
         """Build ``n_chunks`` synthetic chunks with the given topic labels."""

@@ -125,3 +125,19 @@ class ContiguousRegionAllocator(PageAllocator):
     def end_page_in_plane(self) -> int:
         """First in-plane page index past the allocated window."""
         return max(self._next_page)
+
+    def advance(self, n_pages: int) -> None:
+        """Skip ``n_pages`` allocations (already-programmed region pages).
+
+        Streaming ingest re-enters a deployed region's window mid-stream:
+        the deployer programmed the first pages at deploy time, so the
+        appender fast-forwards the parallelism-first rotation to the first
+        erased page before allocating cluster-tail pages.  The rotation is
+        identical to :meth:`repro.ssd.coarse.CoarseRegion.translate`'s
+        offset order, so allocation ``k`` lands exactly on region offset
+        ``k``.
+        """
+        if n_pages < 0:
+            raise ValueError("cannot advance backwards")
+        for _ in range(n_pages):
+            self.allocate()

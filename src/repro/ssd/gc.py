@@ -8,7 +8,7 @@ general-purpose remainder of the drive (Sec. 7.2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional, Set, Tuple
 
 from repro.nand.array import FlashArray
@@ -22,6 +22,9 @@ class GcResult:
 
     erased_blocks: int = 0
     relocated_pages: int = 0
+    # (plane_index, block_index) of each erased victim, in erase order --
+    # lets maintenance callers (scheduler, tests) see where GC worked.
+    victim_blocks: List[Tuple[int, int]] = field(default_factory=list)
 
 
 class GarbageCollector:
@@ -74,6 +77,7 @@ class GarbageCollector:
                 result.relocated_pages += 1
             plane.erase_block(block_index)
             result.erased_blocks += 1
+            result.victim_blocks.append((plane_index, block_index))
         return result
 
     def _locate(self, plane_index: int, block: int, page: int):

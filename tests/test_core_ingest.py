@@ -1,0 +1,541 @@
+"""Tests for the streaming mutability subsystem (core/ingest.py).
+
+The central contract (the PR 6 tentpole): after *any* interleaving of
+inserts, deletes and updates with queries, search results are
+bit-identical to a fresh deployment of the equivalent corpus snapshot --
+on one device and across shards.  Hypothesis drives random mutation
+scripts; a host-side model replays the commit acks to reconstruct the
+snapshot independently.  On top of that: mutations batch with reads in
+the :class:`~repro.core.ingest.IngestQueue` (same forming policy, same
+simulated clock), capacity is checked atomically, and compaction -- a
+scheduler maintenance pass -- never changes a single result bit.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.ann.ivf import IvfModel, build_ivf_model
+from repro.core.api import ReisDevice, ShardedReisDevice
+from repro.core.config import tiny_config
+from repro.core.ingest import MutationRequest
+from repro.core.layout import CapacityError, DeploymentCodecs
+from repro.core.scheduler import DeviceScheduler, ShardedScheduler
+from repro.rag.documents import Corpus, synthetic_chunk
+from repro.rag.embeddings import make_clustered_embeddings, make_queries
+
+DIM = 16
+NLIST = 5
+K = 5
+
+SETTINGS = settings(
+    max_examples=8,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+# A mutation script: op string (Insert / Delete / Update) plus a seed the
+# script derives its vectors and targets from.
+mutation_scripts = st.tuples(
+    st.lists(st.sampled_from("IDU"), min_size=1, max_size=8),
+    st.integers(0, 10**6),
+)
+
+
+def _base(n, seed):
+    vectors, _ = make_clustered_embeddings(n, DIM, NLIST, seed=seed)
+    model = build_ivf_model(vectors, NLIST, seed=0)
+    queries = make_queries(vectors, 6, seed=(seed, "q"))
+    return vectors, model, queries
+
+
+def _run_script(manager, ops, seed, base_vectors):
+    """Drive a mutation script and replay its acks into a host-side model.
+
+    Returns ``(vectors_by_id, live)``: the vector of every id ever
+    assigned, and the set of ids the device should consider live.
+    """
+    rng = np.random.default_rng(seed)
+    n = len(base_vectors)
+    candidates = set(range(n))  # optimistic view, only used for targeting
+    requests = []
+    for op in ops:
+        if op == "I" or not candidates:
+            anchor = base_vectors[int(rng.integers(n))]
+            vector = (anchor + rng.normal(0, 0.05, DIM)).astype(np.float32)
+            requests.append(MutationRequest(op="insert", vector=vector))
+        elif op == "D":
+            target = int(rng.choice(sorted(candidates)))
+            candidates.discard(target)
+            requests.append(MutationRequest(op="delete", entry_id=target))
+        else:
+            target = int(rng.choice(sorted(candidates)))
+            candidates.discard(target)
+            vector = (
+                base_vectors[target % n] * 0.97 + rng.normal(0, 0.02, DIM)
+            ).astype(np.float32)
+            requests.append(
+                MutationRequest(op="update", entry_id=target, vector=vector)
+            )
+    # Two commit groups, so the tail pages see more than one append pass.
+    mid = max(1, len(requests) // 2)
+    groups = [requests[:mid]] + ([requests[mid:]] if requests[mid:] else [])
+    vectors_by_id = {i: base_vectors[i] for i in range(n)}
+    live = set(range(n))
+    for group in groups:
+        commit = manager.apply(group)
+        assert len(commit.acks) == len(group)
+        for request, ack in zip(group, commit.acks):
+            if not ack.applied:
+                continue
+            if ack.op == "insert":
+                vectors_by_id[ack.entry_id] = request.vector
+                live.add(ack.entry_id)
+            elif ack.op == "delete":
+                live.discard(ack.entry_id)
+            else:  # update
+                live.discard(ack.replaced_id)
+                vectors_by_id[ack.entry_id] = request.vector
+                live.add(ack.entry_id)
+    return vectors_by_id, live
+
+
+def _snapshot_search(members, vectors_by_id, centroids, codecs, queries, name):
+    """Fresh-deploy the live snapshot (same codecs) and search it.
+
+    ``members`` is the per-cluster list of live global ids in scan order;
+    the fresh deployment reproduces exactly that membership, so any
+    result difference is a bug in the mutation path, not in clustering.
+    """
+    live_ids = np.array(
+        sorted(g for cluster in members for g in cluster), dtype=np.int64
+    )
+    pos = {int(g): i for i, g in enumerate(live_ids)}
+    lists = [
+        np.array([pos[int(g)] for g in cluster], dtype=np.int64)
+        for cluster in members
+    ]
+    snap_vectors = np.stack([vectors_by_id[int(g)] for g in live_ids]).astype(
+        np.float32
+    )
+    device = ReisDevice(tiny_config(name))
+    db_id = device.ivf_deploy(
+        "snapshot",
+        snap_vectors,
+        ivf_model=IvfModel(centroids=centroids, lists=lists),
+        codecs=codecs,
+    )
+    return live_ids, device.ivf_search(db_id, queries, k=K, nprobe=NLIST)
+
+
+def _assert_bit_identical(batch, snapshot, live_ids):
+    for mine, ref in zip(batch.results, snapshot.results):
+        assert np.array_equal(mine.ids, live_ids[ref.ids])
+        assert np.array_equal(mine.distances, ref.distances)
+
+
+class TestBitIdentitySingleDevice:
+    """Mutated database == fresh deploy of the live snapshot, always."""
+
+    @SETTINGS
+    @given(mutation_scripts)
+    def test_mutations_match_fresh_snapshot(self, script):
+        ops, seed = script
+        vectors, model, queries = _base(40, seed=("ing", seed))
+        device = ReisDevice(tiny_config(f"ING-{seed}"))
+        db_id = device.ivf_deploy(
+            "db", vectors, ivf_model=model, growth_entries=2048
+        )
+        manager = device.ingest_manager(db_id)
+        vectors_by_id, live = _run_script(manager, ops, seed, vectors)
+        # Independent membership check before trusting the index's lists.
+        assert set(manager.index.live_ids()) == live
+        assert manager.index.live_count() == len(live)
+        members = [
+            [g for _slot, g in manager.index.members[c]] for c in range(NLIST)
+        ]
+        db = device.database(db_id)
+        codecs = DeploymentCodecs(
+            binary=db.binary_quantizer,
+            int8=db.int8_quantizer,
+            filter_threshold=db.filter_threshold,
+        )
+        live_ids, snapshot = _snapshot_search(
+            members, vectors_by_id, model.centroids, codecs, queries,
+            f"SNAP-{seed}",
+        )
+        after = device.ivf_search(db_id, queries, k=K, nprobe=NLIST)
+        _assert_bit_identical(after, snapshot, live_ids)
+        # Compaction repacks flash but must not move a single result bit.
+        result = manager.compact()
+        assert result.live_entries == len(live)
+        post = device.ivf_search(db_id, queries, k=K, nprobe=NLIST)
+        for a, b in zip(after.results, post.results):
+            assert np.array_equal(a.ids, b.ids)
+            assert np.array_equal(a.distances, b.distances)
+
+
+class TestBitIdentitySharded:
+    """The same contract across shards, for both placement policies."""
+
+    @settings(
+        max_examples=5,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+    )
+    @given(
+        st.tuples(
+            st.lists(st.sampled_from("IDU"), min_size=1, max_size=6),
+            st.integers(0, 10**6),
+            st.sampled_from(["cluster", "round_robin"]),
+        )
+    )
+    def test_sharded_mutations_match_fresh_snapshot(self, script):
+        ops, seed, placement = script
+        vectors, model, queries = _base(60, seed=("shing", seed))
+        device = ShardedReisDevice(
+            2, tiny_config(f"SHING-{seed}"), placement=placement
+        )
+        db_id = device.ivf_deploy(
+            "db", vectors, ivf_model=model, growth_entries=2048
+        )
+        coordinator = device.ingest_coordinator(db_id)
+        vectors_by_id, live = _run_script(coordinator, ops, seed, vectors)
+        members = [list(cluster) for cluster in coordinator._members]
+        assert set(g for cluster in members for g in cluster) == live
+        sdb = device.database(db_id)
+        assert sdb.n_entries == len(live)
+        anchor = sdb.shard_dbs[sdb.active_shards[0]]
+        codecs = DeploymentCodecs(
+            binary=anchor.binary_quantizer,
+            int8=anchor.int8_quantizer,
+            filter_threshold=anchor.filter_threshold,
+        )
+        live_ids, snapshot = _snapshot_search(
+            members, vectors_by_id, model.centroids, codecs, queries,
+            f"SHSNAP-{seed}",
+        )
+        after = device.ivf_search(db_id, queries, k=K, nprobe=NLIST)
+        _assert_bit_identical(after, snapshot, live_ids)
+        coordinator.compact()
+        post = device.ivf_search(db_id, queries, k=K, nprobe=NLIST)
+        for a, b in zip(after.results, post.results):
+            assert np.array_equal(a.ids, b.ids)
+            assert np.array_equal(a.distances, b.distances)
+
+
+class TestMutationAcks:
+    @pytest.fixture()
+    def manager(self):
+        vectors, model, _ = _base(40, seed="acks")
+        device = ReisDevice(tiny_config("INGA"))
+        db_id = device.ivf_deploy(
+            "db", vectors, ivf_model=model, growth_entries=2048
+        )
+        return device.ingest_manager(db_id)
+
+    def test_delete_of_dead_entry_is_not_applied(self, manager):
+        first = manager.apply([MutationRequest(op="delete", entry_id=5)])
+        assert first.acks[0].applied
+        again = manager.apply([MutationRequest(op="delete", entry_id=5)])
+        assert not again.acks[0].applied
+        assert again.acks[0].note == "target entry is not live"
+
+    def test_update_assigns_fresh_id_and_tombstones_old(self, manager):
+        vector = np.ones(DIM, dtype=np.float32)
+        commit = manager.apply(
+            [MutationRequest(op="update", entry_id=7, vector=vector)]
+        )
+        ack = commit.acks[0]
+        assert ack.op == "update"
+        assert ack.applied
+        assert ack.replaced_id == 7
+        assert ack.entry_id == 40  # ids are monotone, never reused
+        assert not manager.index.is_live(7)
+        assert manager.tombstones.is_dead(7)
+        assert manager.index.is_live(40)
+
+    def test_update_of_dead_target_rejected(self, manager):
+        manager.apply([MutationRequest(op="delete", entry_id=9)])
+        commit = manager.apply(
+            [
+                MutationRequest(
+                    op="update",
+                    entry_id=9,
+                    vector=np.ones(DIM, dtype=np.float32),
+                )
+            ]
+        )
+        assert not commit.acks[0].applied
+        assert commit.n_updates == 1
+        assert commit.ids == []
+
+    def test_insert_requires_tag_on_tagged_databases(self):
+        vectors, model, _ = _base(40, seed="tags")
+        tags = np.arange(40, dtype=np.uint32) % 3
+        device = ReisDevice(tiny_config("INGT"))
+        db_id = device.ivf_deploy(
+            "db", vectors, ivf_model=model, metadata_tags=tags,
+            growth_entries=2048,
+        )
+        manager = device.ingest_manager(db_id)
+        with pytest.raises(ValueError, match="metadata tags"):
+            manager.apply([MutationRequest(op="insert", vector=vectors[0])])
+        commit = manager.apply(
+            [MutationRequest(op="insert", vector=vectors[0], metadata_tag=2)]
+        )
+        new_id = commit.ids[0]
+        # The appended entry's in-die tag filter sees the supplied tag.
+        hit = device.ivf_search(
+            db_id, vectors[0][None, :], k=K, nprobe=NLIST, metadata_filter=2
+        )
+        assert new_id in hit.results[0].ids
+        miss = device.ivf_search(
+            db_id, vectors[0][None, :], k=K, nprobe=NLIST, metadata_filter=1
+        )
+        assert new_id not in miss.results[0].ids
+
+
+class TestCapacity:
+    def test_group_rejected_atomically_when_tail_is_full(self):
+        vectors, model, _ = _base(40, seed="cap")
+        device = ReisDevice(tiny_config("INGC"))
+        db_id = device.ivf_deploy("db", vectors, ivf_model=model)  # no growth
+        manager = device.ingest_manager(db_id)
+        before = manager.index.live_count()
+        with pytest.raises(CapacityError):
+            manager.apply(
+                [
+                    MutationRequest(op="delete", entry_id=0),
+                    MutationRequest(op="insert", vector=vectors[0]),
+                ]
+            )
+        # The whole group bounced: even the delete ahead of the doomed
+        # insert must not have landed.
+        assert manager.index.live_count() == before
+        assert manager.index.is_live(0)
+
+    def test_compaction_reopens_headroom(self):
+        vectors, model, _ = _base(40, seed="cap2")
+        device = ReisDevice(tiny_config("INGC2"))
+        db_id = device.ivf_deploy(
+            "db", vectors, ivf_model=model, growth_entries=2048
+        )
+        manager = device.ingest_manager(db_id)
+        free_before = manager.free_slots
+        commit = manager.apply(
+            [
+                MutationRequest(op="insert", vector=vectors[i])
+                for i in range(10)
+            ]
+        )
+        assert manager.free_slots < free_before
+        manager.apply(
+            [MutationRequest(op="delete", entry_id=i) for i in commit.ids]
+        )
+        result = manager.compact()
+        assert result.reclaimed_pages > 0
+        # With the appended-then-deleted entries packed away, the tail is
+        # back exactly where the original deployment left it.
+        assert manager.free_slots == free_before
+
+
+class TestMutableIndex:
+    @pytest.fixture()
+    def manager(self):
+        vectors, model, _ = _base(40, seed="index")
+        device = ReisDevice(tiny_config("INGI"))
+        db_id = device.ivf_deploy(
+            "db", vectors, ivf_model=model, growth_entries=2048
+        )
+        return device.ingest_manager(db_id)
+
+    def test_deploy_time_ranges_are_contiguous_per_cluster(self, manager):
+        ranges = manager.index.slot_ranges(list(range(NLIST)))
+        assert len(ranges) == NLIST
+        covered = sorted(ranges)
+        assert covered[0][0] == 0
+        for (_, prev_end), (next_start, _) in zip(covered, covered[1:]):
+            assert next_start == prev_end + 1
+        assert covered[-1][1] == 39
+
+    def test_tombstone_splits_a_run(self, manager):
+        victim_cluster = max(
+            range(NLIST), key=lambda c: len(manager.index.members[c])
+        )
+        slots = [slot for slot, _ in manager.index.members[victim_cluster]]
+        middle_slot, middle_id = manager.index.members[victim_cluster][
+            len(slots) // 2
+        ]
+        n_before = len(manager.index.slot_ranges([victim_cluster]))
+        manager.apply([MutationRequest(op="delete", entry_id=middle_id)])
+        ranges = manager.index.slot_ranges([victim_cluster])
+        assert len(ranges) == n_before + 1
+        assert all(
+            not (start <= middle_slot <= end) for start, end in ranges
+        )
+
+    def test_appended_entries_diverge_from_slot_identity(self, manager):
+        commit = manager.apply(
+            [
+                MutationRequest(
+                    op="insert", vector=np.zeros(DIM, dtype=np.float32)
+                )
+            ]
+        )
+        entry_id = commit.ids[0]
+        info = manager.index.entries[entry_id]
+        # Per-region tail cursors are page-aligned independently, so the
+        # three addresses no longer coincide the way deploy slots do.
+        assert info.eadr != info.dadr
+        assert manager.index.original_of_dadr(info.dadr) == entry_id
+        assert manager.db.original_of_dadr(info.dadr) == entry_id
+
+    def test_duplicate_id_rejected(self, manager):
+        with pytest.raises(ValueError, match="already exists"):
+            manager.index.insert(0, 0, 10_000, 10_000, 10_000, -1)
+
+
+class TestIngestQueue:
+    def _deployed(self, name="INGQ"):
+        vectors, model, queries = _base(50, seed=("queue", name))
+        device = ReisDevice(tiny_config(name))
+        db_id = device.ivf_deploy(
+            "db", vectors, ivf_model=model, growth_entries=2048
+        )
+        return device, db_id, vectors, queries
+
+    def test_reads_observe_same_batch_mutations(self, ):
+        device, db_id, vectors, _ = self._deployed("INGQ1")
+        queue = device.ingest_queue(db_id, k=K, nprobe=NLIST)
+        probe = vectors[7] * 1.01
+        insert_id = queue.submit_insert(probe)
+        read_id = queue.submit(probe)
+        queue.drain()
+        ack = queue.mutation_acks[insert_id]
+        assert ack.op == "insert" and ack.applied
+        result = queue.served[read_id].result
+        # The same-batch insert is visible to the read...
+        assert ack.entry_id in result.ids
+        # ...and the queue path is bit-identical to a direct search of
+        # the mutated database.
+        direct = device.ivf_search(db_id, probe[None, :], k=K, nprobe=NLIST)
+        assert np.array_equal(result.ids, direct.results[0].ids)
+        assert np.array_equal(result.distances, direct.results[0].distances)
+
+    def test_delete_hides_entry_from_same_batch_reads(self):
+        device, db_id, vectors, _ = self._deployed("INGQ2")
+        before = device.ivf_search(db_id, vectors[3][None, :], k=K, nprobe=NLIST)
+        assert 3 in before.results[0].ids
+        queue = device.ingest_queue(db_id, k=K, nprobe=NLIST)
+        queue.submit_delete(3)
+        read_id = queue.submit(vectors[3])
+        queue.drain()
+        assert 3 not in queue.served[read_id].result.ids
+
+    def test_commit_time_lands_on_the_sim_clock(self):
+        device, db_id, vectors, _ = self._deployed("INGQ3")
+        queue = device.ingest_queue(db_id, k=K, nprobe=NLIST)
+        queue.submit_insert(vectors[0] * 1.02)
+        queue.submit(vectors[1])
+        report = queue.drain()
+        batch = queue.batches[0]
+        assert batch.execution.report.phases["ingest"] > 0
+        assert batch.service_seconds > 0
+        assert queue.clock.now_s == pytest.approx(batch.finish_s)
+        assert report.n_queries == 2
+
+    def test_mutation_only_batch_still_advances_the_clock(self):
+        device, db_id, vectors, _ = self._deployed("INGQ4")
+        queue = device.ingest_queue(db_id, k=K, nprobe=NLIST)
+        queue.submit_delete(1)
+        queue.submit_insert(vectors[2] * 0.99)
+        queue.drain()
+        assert queue.clock.now_s > 0.0
+        assert len(queue.mutation_acks) == 2
+
+    def test_non_ivf_deployments_refuse_an_ingest_queue(self):
+        vectors, _, _ = _base(40, seed="flat")
+        device = ReisDevice(tiny_config("INGF"))
+        db_id = device.db_deploy("flat", vectors)
+        with pytest.raises(ValueError, match="IVF"):
+            device.ingest_queue(db_id)
+
+
+class TestMaintenanceScheduling:
+    def test_device_scheduler_bills_compaction_as_maintenance(self):
+        vectors, model, queries = _base(40, seed="maint")
+        device = ReisDevice(tiny_config("INGM"))
+        db_id = device.ivf_deploy(
+            "db", vectors, ivf_model=model, growth_entries=2048
+        )
+        manager = device.ingest_manager(db_id)
+        manager.apply(
+            [MutationRequest(op="insert", vector=vectors[0] * 1.01)]
+            + [MutationRequest(op="delete", entry_id=i) for i in range(4)]
+        )
+        before = device.ivf_search(db_id, queries, k=K, nprobe=NLIST)
+        scheduler = DeviceScheduler(device)
+        result = scheduler.run_ingest_maintenance(manager)
+        assert result.seconds > 0
+        assert scheduler.accounting.maintenance_seconds >= result.seconds
+        after = device.ivf_search(db_id, queries, k=K, nprobe=NLIST)
+        for a, b in zip(before.results, after.results):
+            assert np.array_equal(a.ids, b.ids)
+            assert np.array_equal(a.distances, b.distances)
+
+    def test_sharded_scheduler_bills_the_slowest_shard(self):
+        vectors, model, queries = _base(60, seed="shmaint")
+        device = ShardedReisDevice(2, tiny_config("INGSM"))
+        db_id = device.ivf_deploy(
+            "db", vectors, ivf_model=model, growth_entries=2048
+        )
+        coordinator = device.ingest_coordinator(db_id)
+        coordinator.apply(
+            [
+                MutationRequest(op="insert", vector=vectors[1] * 1.01),
+                MutationRequest(op="delete", entry_id=2),
+            ]
+        )
+        before = device.ivf_search(db_id, queries, k=K, nprobe=NLIST)
+        scheduler = ShardedScheduler(device)
+        result = scheduler.run_ingest_maintenance(coordinator)
+        per_shard = [
+            child.accounting.maintenance_seconds
+            for child in scheduler.children
+        ]
+        assert result.seconds == pytest.approx(max(per_shard))
+        assert scheduler.accounting.maintenance_seconds == pytest.approx(
+            result.seconds
+        )
+        after = device.ivf_search(db_id, queries, k=K, nprobe=NLIST)
+        for a, b in zip(before.results, after.results):
+            assert np.array_equal(a.ids, b.ids)
+            assert np.array_equal(a.distances, b.distances)
+
+
+class TestCorpusIngest:
+    def test_streamed_chunks_are_retrievable(self):
+        vectors, model, _ = _base(40, seed="corpus")
+        corpus = Corpus(
+            [synthetic_chunk(i, i % NLIST, "live") for i in range(40)]
+        )
+        device = ReisDevice(tiny_config("INGD"))
+        db_id = device.ivf_deploy(
+            "db", vectors, ivf_model=model, corpus=corpus, growth_entries=2048
+        )
+        manager = device.ingest_manager(db_id)
+        probe = (vectors[11] * 1.001).astype(np.float32)
+        commit = manager.apply(
+            [
+                MutationRequest(
+                    op="insert", vector=probe, text="a freshly streamed fact"
+                )
+            ]
+        )
+        new_id = commit.ids[0]
+        assert new_id in corpus
+        hit = device.ivf_search(db_id, probe[None, :], k=K, nprobe=NLIST)
+        docs = {r_id: doc for r_id, doc in zip(hit.results[0].ids, hit.results[0].documents)}
+        assert new_id in docs
+        assert docs[new_id].text == "a freshly streamed fact"

@@ -11,11 +11,13 @@ from repro.core.registry import (
     RIvf,
     RIvfEntry,
     TemporalTopList,
+    TombstoneRegistry,
     TtlEntry,
     R_IVF_ENTRY_BYTES,
 )
 from repro.nand.cell import CellMode
 from repro.ssd.coarse import COARSE_ENTRY_BYTES, CoarseRegion
+from repro.ssd.dram import InternalDram
 
 
 class TestRDb:
@@ -53,6 +55,76 @@ class TestRDb:
         rdb.register(self._entry(0))
         rdb.register(self._entry(1))
         assert rdb.footprint_bytes == 2 * COARSE_ENTRY_BYTES
+
+
+class TestRDbDramResync:
+    """register->drop->register cycles must not leak controller DRAM."""
+
+    def _entry(self, db_id):
+        return RDbEntry(
+            db_id=db_id,
+            embedding_region=CoarseRegion(0, 4),
+            document_region=CoarseRegion(4, 8),
+            n_entries=100,
+        )
+
+    def test_footprint_resyncs_over_register_drop_cycles(self):
+        dram = InternalDram(10_000)
+        rdb = RDb(dram=dram)
+        for _ in range(3):
+            rdb.register(self._entry(7))
+            assert rdb.footprint_bytes == COARSE_ENTRY_BYTES
+            assert dram.region_size("r-db") == COARSE_ENTRY_BYTES
+            rdb.drop(7)
+            assert rdb.footprint_bytes == 0
+            assert dram.region_size("r-db") == 0
+        assert dram.allocated_bytes == 0
+
+    def test_drop_frees_per_database_dram_structures(self):
+        dram = InternalDram(10_000)
+        rdb = RDb(dram=dram)
+        rdb.register(self._entry(3))
+        RIvf(
+            [RIvfEntry(centroid_addr=0, first_embedding=0, last_embedding=4, tag=0)],
+            dram=dram,
+            db_id=3,
+        )
+        tombstones = TombstoneRegistry(3, dram=dram)
+        tombstones.track_capacity(100)
+        assert dram.region_size("r-ivf-3") == R_IVF_ENTRY_BYTES
+        assert dram.region_size("tombstones-3") == (100 + 7) // 8
+        rdb.drop(3)
+        assert dram.region_size("r-ivf-3") == 0
+        assert dram.region_size("tombstones-3") == 0
+        assert dram.allocated_bytes == 0
+        # The slate is clean: a re-register allocates exactly one record.
+        rdb.register(self._entry(3))
+        assert dram.allocated_bytes == COARSE_ENTRY_BYTES
+
+
+class TestTombstoneRegistry:
+    def test_mark_and_membership(self):
+        tombstones = TombstoneRegistry(0)
+        tombstones.track_capacity(64)
+        assert not tombstones.is_dead(5)
+        tombstones.mark(5)
+        assert tombstones.is_dead(5)
+        assert 5 in tombstones
+        assert len(tombstones) == 1
+        tombstones.mark(5)  # idempotent
+        assert len(tombstones) == 1
+        tombstones.clear()
+        assert len(tombstones) == 0
+        assert not tombstones.is_dead(5)
+
+    def test_footprint_is_one_bit_per_slot(self):
+        dram = InternalDram(10_000)
+        tombstones = TombstoneRegistry(1, dram=dram)
+        tombstones.track_capacity(9)
+        assert tombstones.footprint_bytes == 2  # ceil(9 / 8)
+        assert dram.region_size("tombstones-1") == 2
+        tombstones.release()
+        assert dram.region_size("tombstones-1") == 0
 
 
 class TestRIvf:

@@ -64,9 +64,67 @@ class TestGarbageCollection:
             ftl.write(lpa, np.zeros(8, dtype=np.uint8))
         gc.reserve_block(0, 0)
         result = gc.collect()
-        assert result.erased_blocks == 0 or all(
-            (0, 0) != victim for victim in [(0, 0)]
-        ) and result.erased_blocks <= 1
+        assert (0, 0) not in result.victim_blocks
+
+
+MULTIPLANE_GEOMETRY = FlashGeometry(
+    channels=1,
+    chips_per_channel=1,
+    dies_per_chip=1,
+    planes_per_die=2,
+    blocks_per_plane=3,
+    pages_per_block=4,
+    page_bytes=1024,
+    oob_bytes=64,
+    subpage_bytes=256,
+)
+
+
+class TestGarbageCollectionMultiBlock:
+    """collect(max_blocks > 1) across planes, with reservations honored."""
+
+    def _system(self):
+        array = FlashArray(MULTIPLANE_GEOMETRY)
+        # Parallelism-first striping puts consecutive writes on alternate
+        # planes, so full-of-garbage blocks appear on both planes at once.
+        ftl = PageLevelFtl(array, ParallelismFirstAllocator(MULTIPLANE_GEOMETRY))
+        return array, ftl, GarbageCollector(array, ftl)
+
+    def _fill_and_invalidate(self, ftl):
+        for lpa in range(8):  # fills block 0 on both planes
+            ftl.write(lpa, np.full(8, lpa, dtype=np.uint8))
+        for lpa in range(8):  # rewrite: both block 0s are pure garbage
+            ftl.write(lpa, np.full(8, 0xAB, dtype=np.uint8))
+
+    def test_collect_spreads_victims_across_planes(self):
+        array, ftl, gc = self._system()
+        self._fill_and_invalidate(ftl)
+        result = gc.collect(max_blocks=2)
+        assert result.erased_blocks == 2
+        assert len(result.victim_blocks) == 2
+        assert {plane for plane, _ in result.victim_blocks} == {0, 1}
+        for lpa in range(8):  # every live page still reachable afterwards
+            ppa = ftl.translate(lpa)
+            golden, _ = array.plane(ppa).golden_page(ppa.block, ppa.page)
+            assert golden is not None
+
+    def test_max_blocks_caps_the_erase_count(self):
+        _, ftl, gc = self._system()
+        self._fill_and_invalidate(ftl)
+        first = gc.collect(max_blocks=1)
+        assert first.erased_blocks == 1
+        second = gc.collect(max_blocks=4)
+        assert second.erased_blocks == 1  # only one victim was left
+        assert first.victim_blocks[0] != second.victim_blocks[0]
+
+    def test_reserved_blocks_never_become_victims(self):
+        _, ftl, gc = self._system()
+        self._fill_and_invalidate(ftl)
+        gc.reserve_block(0, 0)
+        gc.reserve_block(1, 0)
+        result = gc.collect(max_blocks=4)
+        assert result.erased_blocks == 0
+        assert result.victim_blocks == []
 
 
 class TestWearLeveler:
