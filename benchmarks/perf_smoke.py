@@ -1,0 +1,66 @@
+"""CI perf gate: the 10^4-entry host-scaling point must not regress.
+
+Reads the checked-in ``BENCH_serving.json`` (run this BEFORE anything
+regenerates it), re-measures the batch-64 ``host_wall_seconds`` at the
+10^4-entry host-scaling point best-of-5 in-process, and fails when the
+measured wall clock exceeds 2x the checked-in value.  The 2x margin
+absorbs CI machine speed variance; a vectorization regression on the
+serving hot path (a reintroduced per-query Python loop) costs well over
+2x and trips the gate.
+
+Usage: ``PYTHONPATH=src python benchmarks/perf_smoke.py``
+"""
+
+import json
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from test_serving_throughput import (  # noqa: E402
+    BENCH_PATH,
+    HOST_SCALE_POINTS,
+    run_host_scaling_point,
+)
+
+GATE_N_ENTRIES = 10_000
+REGRESSION_FACTOR = 2.0
+REPEATS = 5
+
+
+def main() -> int:
+    checked_in = json.loads(BENCH_PATH.read_text())
+    baseline = next(
+        p
+        for p in checked_in["host_scaling"]["points"]
+        if p["n_entries"] == GATE_N_ENTRIES
+    )
+    n_entries, nlist, blocks_per_plane = next(
+        p for p in HOST_SCALE_POINTS if p[0] == GATE_N_ENTRIES
+    )
+    measured = run_host_scaling_point(
+        n_entries, nlist, blocks_per_plane, repeats=REPEATS
+    )
+
+    budget = baseline["host_wall_seconds"] * REGRESSION_FACTOR
+    print(
+        f"perf-smoke: batch-{measured['batch_size']} host wall at "
+        f"{n_entries:,} entries: measured "
+        f"{measured['host_wall_seconds'] * 1e3:.1f}ms (best of {REPEATS}), "
+        f"checked-in {baseline['host_wall_seconds'] * 1e3:.1f}ms, "
+        f"budget {budget * 1e3:.1f}ms"
+    )
+    for name, seconds in sorted(measured["host_phase_seconds"].items()):
+        print(f"  {name:>15s}: {seconds * 1e3:7.2f}ms")
+    if measured["host_wall_seconds"] > budget:
+        print(
+            f"perf-smoke: FAIL -- host wall regressed "
+            f">{REGRESSION_FACTOR:.0f}x vs checked-in BENCH_serving.json"
+        )
+        return 1
+    print("perf-smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

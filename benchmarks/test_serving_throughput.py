@@ -39,6 +39,13 @@ cluster-affinity placement, distance-merged results bit-identical to one
 device holding everything, >1.8x QPS at 4 shards, with the host-side
 ``merge`` phase accounted in ``phase_seconds()``.
 
+A fifth test sweeps **corpus size** (``host_scaling``): the batch-64
+workload at 10^4 and 10^5 entries on a deeper (more blocks per plane)
+flash array, with a :class:`~repro.host.profile.HostProfile` attached so
+the recorded ``host_wall_seconds`` decomposes into per-phase host
+seconds (prepare/ibc/coarse/fine/rerank/documents/finalize).  The 10^4
+point doubles as the CI perf gate (``benchmarks/perf_smoke.py``).
+
 A fourth test drives **streaming ingest** (``ingest_serving``): the same
 Poisson arrival process with a write tenant mixed in at {0%, 10%, 50%} of
 submissions (inserts and deletes through the
@@ -51,6 +58,8 @@ bit-identical by construction.
 """
 
 import json
+import os
+import platform
 import time
 from pathlib import Path
 
@@ -59,7 +68,10 @@ import pytest
 
 from repro.ann.ivf import build_ivf_model
 from repro.core import QueuePolicy, ReisDevice, ShardedReisDevice, tiny_config
-from repro.core.config import OptFlags
+from repro.core.config import OptFlags, ReisConfig
+from repro.host.profile import HostProfile
+from repro.nand.geometry import FlashGeometry
+from repro.nand.timing import NandTiming
 from repro.rag.embeddings import make_clustered_embeddings, make_queries
 from repro.sim.rng import make_rng
 
@@ -90,6 +102,18 @@ INGEST_N_ARRIVALS = 64
 INGEST_LOAD = 2.0
 INGEST_N_EVAL = 16
 
+# Host scaling: the batch-64 workload at growing corpus sizes, with the
+# opt-in HostProfile attached.  Each point is (n_entries, nlist,
+# blocks_per_plane); the flash array is deepened so the corpus fits (the
+# document region costs one subpage per entry).  10^6 would need ~9 GB of
+# programmed pages -- out of CI budget, so the sweep tops out at 10^5.
+HOST_SCALE_POINTS = (
+    (10_000, 64, 16),
+    (100_000, 128, 64),
+)
+HOST_SCALE_BATCH = 64
+HOST_SCALE_REPEATS = 3
+
 # Shard scaling: the batched workload fanned across {1, 2, 4, 8} devices
 # under cluster-affinity placement.  Sized so the per-shard work (fine
 # scan, TLC rerank/document reads) dominates the unscalable floor (IBC,
@@ -98,6 +122,88 @@ SHARD_COUNTS = (1, 2, 4, 8)
 SHARD_SCALE_N, SHARD_SCALE_DIM = 3200, 128
 SHARD_SCALE_NLIST, SHARD_SCALE_NPROBE = 32, 8
 SHARD_SCALE_BATCH = 32
+
+
+def environment_block():
+    """Host environment stamped into every section's workload block."""
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def host_scale_config(name, blocks_per_plane):
+    """The tiny topology with a deeper array so larger corpora fit."""
+    return ReisConfig(
+        name=name,
+        geometry=FlashGeometry(
+            channels=2,
+            chips_per_channel=1,
+            dies_per_chip=2,
+            planes_per_die=2,
+            blocks_per_plane=blocks_per_plane,
+            pages_per_block=64,
+        ),
+        timing=NandTiming(channel_bandwidth_bps=1.2e9),
+    )
+
+
+def run_host_scaling_point(n_entries, nlist, blocks_per_plane,
+                           repeats=HOST_SCALE_REPEATS):
+    """Deploy ``n_entries`` and serve the batch-64 workload ``repeats`` times.
+
+    Returns the best-of-``repeats`` host wall clock (within one process, so
+    the numbers are comparable across points) with its per-phase HostProfile
+    decomposition, asserting every repeat returns bit-identical results.
+    """
+    vectors, _ = make_clustered_embeddings(n_entries, DIM, nlist, seed="host-scale")
+    queries = make_queries(vectors, HOST_SCALE_BATCH, seed="host-scale-q")
+    device = ReisDevice(host_scale_config(f"HOST-{n_entries}", blocks_per_plane))
+    deploy_start = time.perf_counter()
+    db_id = device.ivf_deploy("host-scale", vectors, nlist=nlist, seed=0)
+    deploy_seconds = time.perf_counter() - deploy_start
+
+    best = None
+    reference = None
+    for _ in range(repeats):
+        profile = HostProfile()
+        wall_start = time.perf_counter()
+        batch = device.ivf_search(
+            db_id, queries, k=K, nprobe=NPROBE, host_profile=profile
+        )
+        host_wall = time.perf_counter() - wall_start
+        results = [(r.ids.tolist(), r.distances.tolist()) for r in batch]
+        if reference is None:
+            reference = results
+        else:
+            # Post-ECC results are deterministic: every repeat is
+            # bit-identical even though raw senses re-inject errors.
+            assert results == reference
+        if best is None or host_wall < best["host_wall_seconds"]:
+            best = {
+                "host_wall_seconds": host_wall,
+                "host_phase_seconds": profile.report(),
+                "host_phase_calls": dict(profile.calls),
+                "batched_seconds": batch.wall_seconds,
+                "speedup": batch.qps / batch.sequential_qps,
+            }
+    best.update(
+        n_entries=n_entries,
+        nlist=nlist,
+        blocks_per_plane=blocks_per_plane,
+        batch_size=HOST_SCALE_BATCH,
+        deploy_seconds=deploy_seconds,
+        repeats=repeats,
+    )
+    return best
+
+
+def run_host_scaling():
+    return [
+        run_host_scaling_point(n_entries, nlist, blocks_per_plane)
+        for n_entries, nlist, blocks_per_plane in HOST_SCALE_POINTS
+    ]
 
 
 def run_serving_sweep():
@@ -230,6 +336,14 @@ def run_arrival_sweep():
             )
         points.append(point)
     return {
+        "workload": {
+            "n_entries": N_ENTRIES,
+            "dim": DIM,
+            "nlist": NLIST,
+            "nprobe": NPROBE,
+            "k": K,
+            "environment": environment_block(),
+        },
         "solo_qps": solo_qps,
         "deadline_budget_seconds": deadline_budget,
         "n_arrivals": ARRIVAL_N,
@@ -274,6 +388,7 @@ def test_serving_throughput(benchmark, show):
             "nprobe": NPROBE,
             "k": K,
             "device": "REIS-TINY (2ch x 2die x 2pl)",
+            "environment": environment_block(),
         },
         "points": points,
         "speedup_at_16": next(
@@ -286,6 +401,7 @@ def test_serving_throughput(benchmark, show):
                 "nlist": NLIST,
                 "nprobe": NPROBE,
                 "batch_size": SCHED_BATCH,
+                "environment": environment_block(),
             },
             "on": {k: v for k, v in ablation["on"].items() if k != "ids"},
             "off": {k: v for k, v in ablation["off"].items() if k != "ids"},
@@ -313,6 +429,59 @@ def test_serving_throughput(benchmark, show):
         ablation["on"]["batched_seconds"]
         <= ablation["off"]["batched_seconds"] * (1 + 1e-9)
     )
+
+
+@pytest.mark.figure("serving")
+def test_host_scaling_serving(benchmark, show):
+    """Corpus-size sweep with per-phase host wall-clock decomposition."""
+    points = benchmark.pedantic(run_host_scaling, rounds=1, iterations=1)
+
+    show("", "Host scaling (batch 64, HostProfile attached, best of "
+         f"{HOST_SCALE_REPEATS}):")
+    show(f"  {'entries':>8s} {'deploy':>8s} {'host wall':>10s} "
+         f"{'fine':>8s} {'rerank':>8s} {'docs':>8s}")
+    for point in points:
+        phases = point["host_phase_seconds"]
+        show(
+            f"  {point['n_entries']:8,d} {point['deploy_seconds']:7.2f}s "
+            f"{point['host_wall_seconds'] * 1e3:8.1f}ms "
+            f"{phases['host_fine'] * 1e3:6.1f}ms "
+            f"{phases['host_rerank'] * 1e3:6.1f}ms "
+            f"{phases['host_documents'] * 1e3:6.1f}ms"
+        )
+
+    payload = json.loads(BENCH_PATH.read_text())
+    payload["host_scaling"] = {
+        "workload": {
+            "n_entries": [p[0] for p in HOST_SCALE_POINTS],
+            "dim": DIM,
+            "nprobe": NPROBE,
+            "k": K,
+            "batch_size": HOST_SCALE_BATCH,
+            "device": "REIS-TINY, deepened array (blocks_per_plane per point)",
+            "environment": environment_block(),
+        },
+        "points": points,
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    show(f"  updated {BENCH_PATH.name} (host_scaling)")
+
+    # The sweep reaches at least 10^5 entries (the acceptance floor).
+    assert max(p["n_entries"] for p in points) >= 100_000
+    for point in points:
+        phases = point["host_phase_seconds"]
+        # Every executor phase is profiled, per-query phases once per query,
+        # and the phases nest inside the measured wall clock.
+        assert set(phases) == {
+            "host_prepare", "host_ibc", "host_coarse", "host_fine",
+            "host_rerank", "host_documents", "host_finalize",
+        }
+        assert point["host_phase_calls"]["rerank"] == HOST_SCALE_BATCH
+        assert point["host_phase_calls"]["documents"] == HOST_SCALE_BATCH
+        assert sum(phases.values()) <= point["host_wall_seconds"] * (1 + 1e-6)
+        assert sum(phases.values()) >= point["host_wall_seconds"] * 0.5
+        # Batching still wins on the modeled clock at every corpus size.
+        assert point["speedup"] > 1.0
 
 
 def run_shard_scaling():
@@ -388,6 +557,7 @@ def test_shard_scaling(benchmark, show):
             "k": K,
             "placement": "cluster",
             "device": "REIS-TINY per shard",
+            "environment": environment_block(),
         },
         "points": points,
     }
@@ -579,6 +749,14 @@ def run_ingest_serving():
             }
         )
     return {
+        "workload": {
+            "n_entries": N_ENTRIES,
+            "dim": DIM,
+            "nlist": NLIST,
+            "nprobe": NPROBE,
+            "k": K,
+            "environment": environment_block(),
+        },
         "solo_qps": solo_qps,
         "load": INGEST_LOAD,
         "n_arrivals": INGEST_N_ARRIVALS,

@@ -152,13 +152,23 @@ class BatchSearchResult:
         the submission-to-completion wall clock decomposes fully.  Uses
         the batched composition when available, otherwise aggregates the
         per-query solo reports.
+
+        Batches served under an opt-in host profile
+        (:class:`~repro.host.profile.HostProfile`) additionally carry
+        ``host_<phase>`` keys: the *host process's* wall clock per phase.
+        Those are diagnostics for the Python hot path, not modeled device
+        time, and are excluded from the sums-to-``wall_seconds`` contract;
+        profiling-disabled runs (the default) add no keys at all.
         """
         if self.batch_report is not None:
-            return dict(self.batch_report.phases)
-        totals: Dict[str, float] = {}
-        for result in self.results:
-            for name, seconds in result.latency.phases.items():
-                totals[name] = totals.get(name, 0.0) + seconds
+            totals = dict(self.batch_report.phases)
+        else:
+            totals = {}
+            for result in self.results:
+                for name, seconds in result.latency.phases.items():
+                    totals[name] = totals.get(name, 0.0) + seconds
+        if self.batch_stats is not None and self.batch_stats.host_profile:
+            totals.update(self.batch_stats.host_profile.report())
         return totals
 
     def __len__(self) -> int:
@@ -312,6 +322,7 @@ class ReisDevice:
         recall_target: Optional[float] = None,
         fetch_documents: bool = True,
         metadata_filter: Optional[int] = None,
+        host_profile=None,
     ) -> BatchSearchResult:
         """``IVF_Search(Q, Qid, Did, k, R)``: IVF top-k for a query batch.
 
@@ -320,6 +331,11 @@ class ReisDevice:
         whose expected cluster coverage reaches the target (a device-side
         heuristic; :mod:`repro.experiments.operating_points` measures exact
         recall-calibrated operating points for the evaluation figures).
+
+        ``host_profile`` opts into host wall-clock accounting per phase
+        (:class:`~repro.host.profile.HostProfile`); its ``host_<phase>``
+        diagnostics then ride along in
+        :meth:`BatchSearchResult.phase_seconds`.
         """
         db = self.database(db_id)
         if not db.is_ivf:
@@ -330,6 +346,7 @@ class ReisDevice:
             db, queries, k, nprobe=nprobe,
             fetch_documents=fetch_documents,
             metadata_filter=metadata_filter,
+            host_profile=host_profile,
         )
         return BatchSearchResult.from_execution(execution)
 

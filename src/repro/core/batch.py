@@ -8,13 +8,15 @@ same story: the paper's "one sense, N distance extractions".
 
 :class:`BatchExecutor` works phase by phase:
 
-* **Scan phases (coarse, fine)** are driven by a
-  :class:`~repro.core.plan.PageSchedule`: the union of pages the batch
-  touches, each mapped to every (query, slot-window, threshold, filter)
-  scan that wants it.  The device senses each scheduled page once and the
-  vectorized kernel (:meth:`~repro.core.engine.InStorageAnnsEngine.
-  scan_page_windows`) drains all interested queries against the latched
-  data.  With ``OptFlags.schedule_optimization`` the schedule groups every
+* **Scan phases (coarse, fine)** are driven by a columnar task table
+  (:class:`_ScanTasks`): the union of pages the batch touches, each mapped
+  to every (query, slot-window, threshold, filter) scan that wants it, as
+  parallel arrays scheduled with :func:`~repro.core.plan.schedule_order` /
+  :func:`~repro.core.plan.schedule_senses`.  The device senses each
+  scheduled page once and the array kernel
+  (:meth:`~repro.core.engine.InStorageAnnsEngine.scan_page_run`) drains
+  all interested queries against the latched data.  With
+  ``OptFlags.schedule_optimization`` the schedule groups every
   request for a page into one run (maximum collisions); without it,
   requests stay in query order and only accidental adjacency shares a
   sense.
@@ -42,6 +44,7 @@ analytic cross-validation tests); the batch-level wall clock lives in
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
@@ -50,20 +53,29 @@ import numpy as np
 from repro.core.costing import BatchPhaseBreakdown, PhaseCost, compose_batch_phase
 from repro.core.layout import DeployedDatabase, RegionInfo
 from repro.core.plan import (
-    PageRequest,
-    PageSchedule,
     PlanContext,
     QueryPlan,
     ReisQueryResult,
-    build_page_schedule,
     build_query_plan,
     finalize_query_result,
+    schedule_order,
+    schedule_senses,
 )
 from repro.core.registry import TemporalTopList
 from repro.sim.latency import LatencyReport
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (engine imports us)
-    from repro.core.engine import InStorageAnnsEngine, PageScanHit, ScanWindow
+    from repro.core.engine import InStorageAnnsEngine, PageScanHit
+    from repro.host.profile import HostProfile
+
+# Shared no-op context for profiling-disabled runs: entering it reads no
+# clock and allocates nothing, keeping the default path overhead-free.
+_NO_PROFILE = nullcontext()
+
+
+def _phase_timer(profile: Optional["HostProfile"], name: str):
+    """``profile.phase(name)`` when profiling is on, a shared no-op else."""
+    return _NO_PROFILE if profile is None else profile.phase(name)
 
 
 @dataclass
@@ -93,6 +105,11 @@ class BatchStats:
     # ``phase_seconds()`` decomposes the full submission-to-completion
     # wall clock, not just the on-device time.
     queue_seconds: float = 0.0
+    # The opt-in host wall-clock profile this batch was served under
+    # (None when profiling is off, which is the default).  Carries real
+    # process time per host phase -- diagnostics for the Python hot path,
+    # deliberately separate from the modeled phase breakdowns above.
+    host_profile: Optional["HostProfile"] = None
 
     @property
     def total_senses(self) -> int:
@@ -167,13 +184,29 @@ class BatchExecution:
         return iter(self.results)
 
 
-@dataclass(frozen=True)
-class _ScanTask:
-    """One (query, page) scan demand inside a batch phase."""
+@dataclass
+class _ScanTasks:
+    """A batch phase's scan demands in columnar (array-structured) form.
 
-    query: int
-    page_offset: int
-    window: "ScanWindow"
+    Row ``t`` is one (query, page, slot-window) demand; ``queries[t]``
+    indexes the batch's contexts.  ``threshold`` is phase-uniform and
+    ``filters`` is per *query* (indexed through ``queries``), matching how
+    the phase drivers parameterize their sweeps.  Rows are appended
+    query-major in sequential scan order, so replaying them by ascending
+    index reproduces the solo path exactly -- the same contract the
+    per-task object list used to carry, without materializing an object
+    per (query, page) pair.
+    """
+
+    queries: np.ndarray  # (T,) int64 -- context index of each demand
+    pages: np.ndarray  # (T,) int64 -- region page offset
+    lo: np.ndarray  # (T,) int64 -- window bounds, unclamped
+    hi: np.ndarray  # (T,) int64
+    threshold: Optional[int]
+    filters: Sequence[Optional[int]]  # per query, len == n_queries
+
+    def __len__(self) -> int:
+        return int(self.pages.size)
 
 
 @dataclass
@@ -199,29 +232,45 @@ class _FineScanState:
         return len(self.ttls[qi])
 
 
-def _range_tasks(
-    query: int,
+def _tasks_from_ranges(
     region: RegionInfo,
-    code: np.ndarray,
-    first_slot: int,
-    last_slot: int,
+    query_of_range: np.ndarray,
+    firsts: np.ndarray,
+    lasts: np.ndarray,
     threshold: Optional[int],
-    metadata_filter: Optional[int],
-) -> List[_ScanTask]:
-    """One task per page of ``[first_slot, last_slot]``, in scan order.
+    filters: Sequence[Optional[int]],
+) -> _ScanTasks:
+    """Vectorized page/window expansion of many (query, slot-range) demands.
 
-    The page/window enumeration is shared with the solo scan loop
-    (:func:`~repro.core.engine.iter_page_windows`), so replaying the tasks
-    in order reproduces the sequential path bit for bit.
+    Replicates :func:`~repro.core.engine.iter_page_windows` arithmetic over
+    every range at once: range ``r`` covering slots ``[firsts[r],
+    lasts[r]]`` expands to its pages ``firsts[r]//spp .. lasts[r]//spp``
+    with unclamped window bounds relative to each page (empty ranges are
+    skipped, as the solo loop skips them).  Row order is the ranges' order,
+    pages ascending within a range -- callers supply ranges query-major in
+    scan order, so the rows replay sequentially.
     """
-    from repro.core.engine import iter_page_windows
-
-    return [
-        _ScanTask(query=query, page_offset=page_offset, window=window)
-        for page_offset, window in iter_page_windows(
-            region, code, first_slot, last_slot, threshold, metadata_filter
-        )
-    ]
+    spp = region.slots_per_page
+    keep = lasts >= firsts
+    q = query_of_range[keep]
+    f = firsts[keep]
+    last = lasts[keep]
+    first_page = f // spp
+    n_pages = last // spp - first_page + 1
+    reps = np.repeat(np.arange(f.size), n_pages)
+    # Position of each row within its range: row index minus the range's
+    # starting row (exclusive prefix sum of the page counts).
+    within = np.arange(reps.size) - np.repeat(np.cumsum(n_pages) - n_pages, n_pages)
+    pages = first_page[reps] + within
+    page_first = pages * spp
+    return _ScanTasks(
+        queries=q[reps],
+        pages=pages,
+        lo=f[reps] - page_first,
+        hi=last[reps] - page_first,
+        threshold=threshold,
+        filters=filters,
+    )
 
 
 class BatchExecutor:
@@ -242,57 +291,69 @@ class BatchExecutor:
     def _serve_scan_phase(
         self,
         region: RegionInfo,
-        tasks: Sequence[_ScanTask],
+        tasks: _ScanTasks,
         coarse: bool,
         code_bytes: int,
         oob_record_bytes: int,
-    ) -> Tuple[PageSchedule, List["PageScanHit"]]:
+        code_rows: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, List["PageScanHit"]]:
         """Schedule a phase's page demands and drain them page-major.
 
-        Each service run senses its page at most once and the vectorized
-        kernel extracts every interested query's window from the latched
-        data.  Returns the executed schedule plus one hit per task (indexed
-        like ``tasks``), ready for per-query replay.
+        The schedule is computed directly on the task arrays (the same
+        :func:`~repro.core.plan.schedule_order` /
+        :func:`~repro.core.plan.schedule_senses` primitives that
+        ``build_page_schedule`` wraps for object-holding callers); each
+        maximal same-page run senses at most once and the array kernel
+        extracts every interested query's window from the latched data.
+        ``code_rows`` is the batch's stacked query-code matrix, so a run's
+        codes are one row gather.  Returns ``(sensed, planes, hits)`` with
+        ``hits`` indexed like ``tasks``, ready for per-query replay.
         """
         engine = self.engine
-        requests = [
-            PageRequest(task=index, page_offset=task.page_offset)
-            for index, task in enumerate(tasks)
-        ]
-        plane_of_page: Dict[int, int] = {}
+        n_tasks = len(tasks)
+        if n_tasks == 0:
+            empty = np.empty(0, dtype=np.int64)
+            return np.empty(0, dtype=bool), empty, []
+        pages = tasks.pages
+        order = schedule_order(pages, engine.flags.schedule_optimization)
+        if order is None:
+            order = np.arange(n_tasks)
+        pages_o = pages[order]
 
         def locate_plane(page_offset: int) -> int:
-            plane = plane_of_page.get(page_offset)
-            if plane is None:
-                plane = engine._locate(region, page_offset)[1]
-                plane_of_page[page_offset] = plane
-            return plane
+            return engine._locate(region, page_offset)[1]
 
-        schedule = build_page_schedule(
-            requests,
-            locate_plane,
-            optimize=engine.flags.schedule_optimization,
-        )
-        hits: List[Optional["PageScanHit"]] = [None] * len(tasks)
-        for page_offset, _plane, sense, run in schedule.service_groups():
-            windows = [tasks[request.task].window for request in run]
-            run_hits = engine.scan_page_windows(
+        sensed, planes = schedule_senses(pages_o, locate_plane)
+
+        starts = np.flatnonzero(np.r_[True, pages_o[1:] != pages_o[:-1]])
+        ends = np.r_[starts[1:], n_tasks]
+        q_of = tasks.queries
+        filters = tasks.filters
+        hits: List[Optional["PageScanHit"]] = [None] * n_tasks
+        for s, e in zip(starts.tolist(), ends.tolist()):
+            rows = order[s:e]
+            qrows = q_of[rows]
+            run_hits = engine.scan_page_run(
                 region,
-                page_offset,
-                windows,
+                int(pages_o[s]),
+                code_rows[qrows],
+                tasks.lo[rows],
+                tasks.hi[rows],
+                [tasks.threshold] * (e - s),
+                [filters[qi] for qi in qrows],
                 coarse,
                 code_bytes,
                 oob_record_bytes,
-                sense=sense,
+                sense=bool(sensed[s]),
             )
-            for request, hit in zip(run, run_hits):
-                hits[request.task] = hit
-        return schedule, hits
+            for row, hit in zip(rows.tolist(), run_hits):
+                hits[row] = hit
+        return sensed, planes, hits
 
     @staticmethod
     def _replay(
         engine: "InStorageAnnsEngine",
-        tasks: Sequence[_ScanTask],
+        tasks: _ScanTasks,
         hits: Sequence["PageScanHit"],
         ttls: Sequence[TemporalTopList],
         costs: Sequence[PhaseCost],
@@ -302,13 +363,12 @@ class BatchExecutor:
     ) -> None:
         """Replay extracted hits per query, in each query's original order.
 
-        Tasks were appended query by query in sequential scan order, so
+        Task rows were appended query by query in sequential scan order, so
         walking them by ascending index within each query reproduces the
         exact TTL append / compact interleaving of the solo path -- the
         order-preserving replay that keeps batching bit-identical.
         """
-        for index, task in enumerate(tasks):
-            qi = task.query
+        for index, qi in enumerate(tasks.queries.tolist()):
             engine.absorb_scan_hit(
                 hits[index],
                 ttls[qi],
@@ -347,20 +407,24 @@ class BatchExecutor:
             TemporalTopList("c", entry_bytes, dram=engine.ssd.dram)
             for _ in plans
         ]
-        tasks: List[_ScanTask] = []
-        for qi, ctx in enumerate(ctxs):
-            tasks.extend(
-                _range_tasks(
-                    qi, region, ctx.query_code, 0, region.n_slots - 1,
-                    threshold=None, metadata_filter=None,
-                )
-            )
-        schedule, hits = self._serve_scan_phase(
+        n_queries = len(ctxs)
+        tasks = _tasks_from_ranges(
+            region,
+            np.arange(n_queries, dtype=np.int64),
+            np.zeros(n_queries, dtype=np.int64),
+            np.full(n_queries, region.n_slots - 1, dtype=np.int64),
+            threshold=None,
+            filters=[None] * n_queries,
+        )
+        sensed, planes, hits = self._serve_scan_phase(
             region, tasks, coarse=True,
             code_bytes=db.code_bytes,
             oob_record_bytes=engine.params.tag_bytes,
+            code_rows=np.stack([ctx.query_code for ctx in ctxs]),
         )
-        self._record_schedule(schedule, "coarse", stats, scheduled_senses)
+        self._record_schedule(
+            len(tasks), sensed, planes, "coarse", stats, scheduled_senses
+        )
         self._replay(engine, tasks, hits, ttls, costs, ctxs, entry_bytes, nprobes)
         for ctx, cost in zip(ctxs, costs):
             ctx.phase_costs["coarse"] = cost
@@ -426,23 +490,32 @@ class BatchExecutor:
         ranges_per_query = [
             engine._slot_ranges(db, ctx.clusters) for ctx in ctxs
         ]
-        tasks: List[_ScanTask] = []
+        query_of_range: List[int] = []
+        firsts: List[int] = []
+        lasts: List[int] = []
         for qi, ctx in enumerate(ctxs):
             for first, last in ranges_per_query[qi]:
                 ctx.stats.candidates += last - first + 1
-                tasks.extend(
-                    _range_tasks(
-                        qi, region, ctx.query_code, first, last,
-                        threshold=threshold,
-                        metadata_filter=fine_stages[qi].metadata_filter,
-                    )
-                )
-        schedule, hits = self._serve_scan_phase(
+                query_of_range.append(qi)
+                firsts.append(first)
+                lasts.append(last)
+        tasks = _tasks_from_ranges(
+            region,
+            np.asarray(query_of_range, dtype=np.int64),
+            np.asarray(firsts, dtype=np.int64),
+            np.asarray(lasts, dtype=np.int64),
+            threshold=threshold,
+            filters=[stage.metadata_filter for stage in fine_stages],
+        )
+        sensed, planes, hits = self._serve_scan_phase(
             region, tasks, coarse=False,
             code_bytes=db.code_bytes,
             oob_record_bytes=db.oob_record_bytes,
+            code_rows=np.stack([ctx.query_code for ctx in ctxs]),
         )
-        self._record_schedule(schedule, "fine", stats, scheduled_senses)
+        self._record_schedule(
+            len(tasks), sensed, planes, "fine", stats, scheduled_senses
+        )
         self._replay(
             engine, tasks, hits, ttls, costs, ctxs, entry_bytes, shortlist_sizes
         )
@@ -470,24 +543,33 @@ class BatchExecutor:
             return
         engine = self.engine
         region = db.embedding_region
-        retry_tasks: List[_ScanTask] = []
+        query_of_range: List[int] = []
+        firsts: List[int] = []
+        lasts: List[int] = []
         for qi in retries:
             ctxs[qi].stats.filter_retries += 1
             state.ttls[qi].clear()
             for first, last in state.ranges_per_query[qi]:
-                retry_tasks.extend(
-                    _range_tasks(
-                        qi, region, ctxs[qi].query_code, first, last,
-                        threshold=None,
-                        metadata_filter=state.fine_stages[qi].metadata_filter,
-                    )
-                )
-        retry_schedule, retry_hits = self._serve_scan_phase(
+                query_of_range.append(qi)
+                firsts.append(first)
+                lasts.append(last)
+        retry_tasks = _tasks_from_ranges(
+            region,
+            np.asarray(query_of_range, dtype=np.int64),
+            np.asarray(firsts, dtype=np.int64),
+            np.asarray(lasts, dtype=np.int64),
+            threshold=None,
+            filters=[stage.metadata_filter for stage in state.fine_stages],
+        )
+        sensed, planes, retry_hits = self._serve_scan_phase(
             region, retry_tasks, coarse=False,
             code_bytes=db.code_bytes,
             oob_record_bytes=db.oob_record_bytes,
+            code_rows=np.stack([ctx.query_code for ctx in ctxs]),
         )
-        self._record_schedule(retry_schedule, "fine", stats, scheduled_senses)
+        self._record_schedule(
+            len(retry_tasks), sensed, planes, "fine", stats, scheduled_senses
+        )
         self._replay(
             engine, retry_tasks, retry_hits, state.ttls, state.costs, ctxs,
             state.entry_bytes, state.shortlist_sizes,
@@ -532,16 +614,21 @@ class BatchExecutor:
 
     @staticmethod
     def _record_schedule(
-        schedule: PageSchedule,
+        n_requests: int,
+        sensed: np.ndarray,
+        planes: np.ndarray,
         phase: str,
         stats: BatchStats,
         scheduled_senses: Dict[str, Dict[int, int]],
     ) -> None:
         """Accumulate an executed schedule's sense counts for the cost model."""
-        stats.scan_requests += schedule.n_requests
-        stats.scan_senses += schedule.n_senses
+        stats.scan_requests += int(n_requests)
+        stats.scan_senses += int(sensed.sum())
+        if not sensed.any():
+            return
         acc = scheduled_senses.setdefault(phase, {})
-        for plane, senses in schedule.senses_per_plane().items():
+        uniq, counts = np.unique(planes[sensed], return_counts=True)
+        for plane, senses in zip(uniq.tolist(), counts.tolist()):
             acc[plane] = acc.get(plane, 0) + senses
 
     # -------------------------------------------------------------- execute
@@ -581,9 +668,30 @@ class BatchExecutor:
     def run_ibc(
         self, plans: Sequence[QueryPlan], ctxs: Sequence[PlanContext]
     ) -> None:
-        """Step 1 per query: encode + IBC (sets ``ctx.query_code``)."""
-        for plan, ctx in zip(plans, ctxs):
-            next(s for s in plan.stages if s.name == "ibc").run(self.engine, ctx)
+        """Step 1, batched: encode every query at once, broadcast back to back.
+
+        Bit-identical to running each plan's IBC stage in turn: the binary
+        quantizers encode row-wise (``encode_one(v) == encode(v[None])[0]``)
+        and cache latches are overwrite-only, so only the last broadcast's
+        latch state is ever observable.  Commands, counters and per-query
+        transfer stats account the full sequence.
+        """
+        if not ctxs:
+            return
+        for plan in plans:
+            # Preserve the per-stage dispatch's failure mode for plans
+            # without an IBC stage (prepare() normally rejects these).
+            next(s for s in plan.stages if s.name == "ibc")
+        db = ctxs[0].db
+        codes = db.binary_quantizer.encode(
+            np.stack([ctx.query for ctx in ctxs])
+        )
+        ibc_seconds = self.engine._input_broadcast_batch(
+            codes, [ctx.stats for ctx in ctxs]
+        )
+        for ctx, code in zip(ctxs, codes):
+            ctx.query_code = code
+            ctx.ibc_seconds = ibc_seconds
 
     def execute(
         self,
@@ -593,33 +701,51 @@ class BatchExecutor:
         nprobe: Optional[int] = None,
         fetch_documents: bool = True,
         metadata_filter: Optional[int] = None,
+        host_profile: Optional["HostProfile"] = None,
     ) -> BatchExecution:
-        """Serve a batch: plan per query, scan page-major, cost jointly."""
+        """Serve a batch: plan per query, scan page-major, cost jointly.
+
+        ``host_profile`` opts into host wall-clock accounting per phase
+        (:class:`~repro.host.profile.HostProfile`); the default ``None``
+        serves without ever reading the wall clock.
+        """
         engine = self.engine
-        plans, ctxs = self.prepare(
-            db, queries, k, nprobe, fetch_documents, metadata_filter
-        )
-        stats = BatchStats(n_queries=len(plans))
+        with _phase_timer(host_profile, "prepare"):
+            plans, ctxs = self.prepare(
+                db, queries, k, nprobe, fetch_documents, metadata_filter
+            )
+        stats = BatchStats(n_queries=len(plans), host_profile=host_profile)
         scheduled_senses: Dict[str, Dict[int, int]] = {}
 
-        self.run_ibc(plans, ctxs)
+        with _phase_timer(host_profile, "ibc"):
+            self.run_ibc(plans, ctxs)
 
         # Scan phases run page-major across the whole batch.
         if plans and any(s.name == "coarse" for s in plans[0].stages):
-            self._run_coarse_phase(db, plans, ctxs, stats, scheduled_senses)
+            with _phase_timer(host_profile, "coarse"):
+                self._run_coarse_phase(db, plans, ctxs, stats, scheduled_senses)
         if plans:
-            self._run_fine_phase(db, plans, ctxs, stats, scheduled_senses)
+            with _phase_timer(host_profile, "fine"):
+                self._run_fine_phase(db, plans, ctxs, stats, scheduled_senses)
 
         # Rerank + documents stay query-major (ECC-corrected TLC reads).
-        for plan, ctx in zip(plans, ctxs):
-            for stage in plan.stages:
-                if stage.name in ("rerank", "documents"):
-                    stage.run(engine, ctx)
+        if host_profile is None:
+            for plan, ctx in zip(plans, ctxs):
+                for stage in plan.stages:
+                    if stage.name in ("rerank", "documents"):
+                        stage.run(engine, ctx)
+        else:
+            for plan, ctx in zip(plans, ctxs):
+                for stage in plan.stages:
+                    if stage.name in ("rerank", "documents"):
+                        with host_profile.phase(stage.name):
+                            stage.run(engine, ctx)
 
-        results = [
-            finalize_query_result(engine, plan, ctx)
-            for plan, ctx in zip(plans, ctxs)
-        ]
+        with _phase_timer(host_profile, "finalize"):
+            results = [
+                finalize_query_result(engine, plan, ctx)
+                for plan, ctx in zip(plans, ctxs)
+            ]
         report = compose_batch_report(engine, ctxs, stats, scheduled_senses)
         return BatchExecution(results=results, report=report, stats=stats)
 

@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.nand.die import Die
-from repro.core.registry import TtlEntry
+from repro.core.registry import TtlBlock
 
 
 class FlashOp(Enum):
@@ -69,6 +69,15 @@ class DieCommandInterface:
         """IBC Q_EMB: broadcast the query into every plane's cache latch."""
         self.trace.record(FlashOp.IBC)
         return self.die.broadcast_query(query_code, multi_plane)
+
+    def ibc_many(self, query_codes: np.ndarray, multi_plane: bool) -> int:
+        """IBC Q_EMB for a back-to-back batch of queries (one per row).
+
+        Command trace and counters match issuing :meth:`ibc` once per row;
+        the latch end state is the last row's broadcast, as it would be.
+        """
+        self.trace.record_many(FlashOp.IBC, len(query_codes))
+        return self.die.broadcast_queries(query_codes, multi_plane)
 
     def read_page(self, plane: int, block: int, page: int) -> Tuple[np.ndarray, np.ndarray]:
         self.trace.record(FlashOp.READ_PAGE)
@@ -113,32 +122,33 @@ class DieCommandInterface:
         coarse: bool,
         eadr_base: int,
         metadata_filter: Optional[int] = None,
-    ) -> Tuple[List[TtlEntry], int]:
-        """Batched RD_TTL: assemble TTL entries for many slots in one sweep.
+    ) -> Tuple[Optional[TtlBlock], int]:
+        """Batched RD_TTL: assemble a columnar TTL block in one sweep.
 
         Embedding codes are gathered from the sensing latch and OOB linkage
         records are decoded vectorized; with ``metadata_filter`` the Sec. 7.1
         tag comparison runs *in the die* (the pass/fail comparator) before
         any entry moves, so mismatching entries are dropped without an
         RD_TTL command and never cross the channel.  Returns the surviving
-        entries in ascending slot order plus the in-die-filtered count.
+        rows in ascending slot order (``None`` when nothing survives) plus
+        the in-die-filtered count.
         """
         slots = np.asarray(slots, dtype=np.intp)
         if slots.size == 0:
-            return [], 0
+            return None, 0
         oob = self.die.planes[plane].buffer.oob
         n_filtered = 0
         if coarse:
             tags = oob[slots * oob_record_bytes].astype(np.int64)
             self.trace.record_many(FlashOp.RD_TTL, slots.size)
             embs = self.die.ttl_codes(plane, slots, code_bytes)
-            entries = [
-                TtlEntry(dist=dist, emb=emb, tag=int(tag), eadr=eadr_base + slot)
-                for dist, emb, tag, slot in zip(
-                    dists.tolist(), embs, tags.tolist(), slots.tolist()
-                )
-            ]
-            return entries, 0
+            block = TtlBlock(
+                dists=dists,
+                embs=embs,
+                eadrs=eadr_base + slots.astype(np.int64),
+                tags=tags,
+            )
+            return block, 0
         rows = oob.size // oob_record_bytes
         records = oob[: rows * oob_record_bytes].reshape(rows, oob_record_bytes)
         words = np.ascontiguousarray(records[slots]).view("<u4")
@@ -156,19 +166,15 @@ class DieCommandInterface:
             slots, dists = slots[keep], dists[keep]
             words, metas = words[keep], metas[keep]
             if slots.size == 0:
-                return [], n_filtered
+                return None, n_filtered
         self.trace.record_many(FlashOp.RD_TTL, slots.size)
         embs = self.die.ttl_codes(plane, slots, code_bytes)
-        dadrs = words[:, 0].astype(np.int64)
-        radrs = words[:, 1].astype(np.int64)
-        entries = [
-            TtlEntry(
-                dist=dist, emb=emb, dadr=dadr, radr=radr, meta=meta,
-                eadr=eadr_base + slot,
-            )
-            for dist, emb, dadr, radr, meta, slot in zip(
-                dists.tolist(), embs, dadrs.tolist(), radrs.tolist(),
-                metas.tolist(), slots.tolist(),
-            )
-        ]
-        return entries, n_filtered
+        block = TtlBlock(
+            dists=dists,
+            embs=embs,
+            eadrs=eadr_base + slots.astype(np.int64),
+            dadrs=words[:, 0].astype(np.int64),
+            radrs=words[:, 1].astype(np.int64),
+            metas=metas,
+        )
+        return block, n_filtered

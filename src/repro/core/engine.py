@@ -50,7 +50,7 @@ from repro.core.plan import (
     SearchStats,
     build_query_plan,
 )
-from repro.core.registry import TemporalTopList, TtlEntry
+from repro.core.registry import TemporalTopList, TtlBlock, TtlEntry
 from repro.nand.geometry import PhysicalPageAddress
 from repro.rag.documents import DocumentChunk
 from repro.ssd.device import SimulatedSSD
@@ -83,14 +83,25 @@ class ScanWindow:
 
 @dataclass
 class PageScanHit:
-    """What one window extracted from one page (steps 3-6 for one query)."""
+    """What one window extracted from one page (steps 3-6 for one query).
+
+    Surviving rows stay columnar (one :class:`TtlBlock` per hit) all the
+    way into the TTL; ``entries`` materializes them only for tests and
+    introspection.
+    """
 
     plane_index: int
     channel: int
     page_id: int
     n_valid: int
     n_filtered: int  # dropped in-die: distance threshold + metadata tag
-    entries: List[TtlEntry] = field(default_factory=list)
+    block: Optional[TtlBlock] = None
+
+    @property
+    def entries(self) -> List[TtlEntry]:
+        if self.block is None:
+            return []
+        return [self.block.entry(i) for i in range(len(self.block))]
 
 
 def iter_page_windows(
@@ -146,17 +157,28 @@ class InStorageAnnsEngine:
                 self._die_interfaces[die_index] = DieCommandInterface(
                     ssd.array.die_of_plane(plane_index)
                 )
+        # Page-translation memo: translate() is a pure function of the
+        # (frozen, value-hashable) CoarseRegion, the page offset, and this
+        # engine's fixed geometry, so the arithmetic runs once per page.
+        self._locate_cache: Dict[Tuple, Tuple[PhysicalPageAddress, int, int, int]] = {}
 
     # ------------------------------------------------------------ utilities
 
     def die_interface_of_plane(self, plane_index: int) -> DieCommandInterface:
         return self._die_interfaces[plane_index // self.geometry.planes_per_die]
 
-    def _locate(self, region: RegionInfo, page_offset: int) -> Tuple[PhysicalPageAddress, int, int]:
-        """(physical address, global plane index, channel index) of a page."""
-        ppa = region.region.translate(page_offset, self.geometry)
-        plane_index = ppa.plane_linear(self.geometry)
-        return ppa, plane_index, ppa.channel
+    def _locate(
+        self, region: RegionInfo, page_offset: int
+    ) -> Tuple[PhysicalPageAddress, int, int, int]:
+        """(physical address, global plane index, channel, linear page id)."""
+        key = (region.region, page_offset)
+        cached = self._locate_cache.get(key)
+        if cached is None:
+            ppa = region.region.translate(page_offset, self.geometry)
+            plane_index = ppa.plane_linear(self.geometry)
+            cached = (ppa, plane_index, ppa.channel, ppa.to_linear(self.geometry))
+            self._locate_cache[key] = cached
+        return cached
 
     # ----------------------------------------------------------------- IBC
 
@@ -167,6 +189,32 @@ class InStorageAnnsEngine:
                 query_code, multi_plane=self.flags.multi_plane_ibc
             )
         return ibc_time(self.geometry, self.timing, query_code.size, self.flags)
+
+    def _input_broadcast_batch(
+        self, query_codes: np.ndarray, stats_list: Sequence[SearchStats]
+    ) -> float:
+        """Batched step 1: broadcast every query's code back to back.
+
+        Cache latches are overwrite-only, so only the last row survives --
+        exactly the end state of running :meth:`_input_broadcast` per query
+        -- while commands, counters and per-query transfer stats reflect
+        the full broadcast sequence.  Returns the per-query IBC time (all
+        codes in a batch share one width).
+        """
+        n = len(query_codes)
+        if n == 0:
+            return 0.0
+        total = 0
+        for interface in self._die_interfaces.values():
+            total += interface.ibc_many(
+                query_codes, multi_plane=self.flags.multi_plane_ibc
+            )
+        per_query = total // n
+        for stats in stats_list:
+            stats.ibc_transfers += per_query
+        return ibc_time(
+            self.geometry, self.timing, query_codes.shape[1], self.flags
+        )
 
     # ------------------------------------------------------------ scan core
 
@@ -194,26 +242,62 @@ class InStorageAnnsEngine:
 
         This is the single scan primitive: the solo path calls it with one
         window per page, the page-major batch executor with every
-        interested query's window at once.
+        interested query's window at once (via the array-native
+        :meth:`scan_page_run`, which this method wraps for callers holding
+        :class:`ScanWindow` objects).
         """
-        ppa, plane_index, channel = self._locate(region, page_offset)
+        return self.scan_page_run(
+            region,
+            page_offset,
+            np.stack([window.code for window in windows]),
+            [window.lo for window in windows],
+            [window.hi for window in windows],
+            [window.threshold for window in windows],
+            [window.metadata_filter for window in windows],
+            coarse,
+            code_bytes,
+            oob_record_bytes,
+            sense=sense,
+        )
+
+    def scan_page_run(
+        self,
+        region: RegionInfo,
+        page_offset: int,
+        codes: np.ndarray,
+        los: Sequence[int],
+        his: Sequence[int],
+        thresholds: Sequence[Optional[int]],
+        metadata_filters: Sequence[Optional[int]],
+        coarse: bool,
+        code_bytes: int,
+        oob_record_bytes: int,
+        sense: bool = True,
+    ) -> List[PageScanHit]:
+        """Array-native scan kernel: one latched page, N window demands.
+
+        ``codes`` is a ``(N, code_bytes)`` matrix; the window bounds,
+        thresholds and metadata filters are parallel sequences.  Semantics
+        (and the command trace) are exactly :meth:`scan_page_windows` --
+        the batch executor calls this directly from its columnar task
+        arrays so no per-task window objects are materialized.
+        """
+        ppa, plane_index, channel, page_id = self._locate(region, page_offset)
         plane_in_die = ppa.plane
         interface = self.die_interface_of_plane(plane_index)
         if sense:
             interface.read_page(plane_in_die, ppa.block, ppa.page)
         n_segments = region.slots_in_page(page_offset)
         page_first = page_offset * region.slots_per_page
-        page_id = ppa.to_linear(self.geometry)
 
-        codes = np.stack([window.code for window in windows])
         distances = interface.gen_dist_multi(
             plane_in_die, codes, code_bytes, n_segments
         )
 
         hits: List[PageScanHit] = []
-        for row, window in enumerate(windows):
-            lo = max(window.lo, 0)
-            hi = min(window.hi, n_segments - 1)
+        for row in range(len(codes)):
+            lo = max(int(los[row]), 0)
+            hi = min(int(his[row]), n_segments - 1)
             n_valid = hi - lo + 1
             if n_valid <= 0:
                 hits.append(
@@ -221,9 +305,10 @@ class InStorageAnnsEngine:
                 )
                 continue
             window_dists = distances[row, lo : hi + 1]
-            if window.threshold is not None:
+            threshold = thresholds[row]
+            if threshold is not None:
                 mask = interface.pass_fail_mask(
-                    plane_in_die, window_dists, window.threshold
+                    plane_in_die, window_dists, threshold
                 )
                 kept = np.arange(lo, hi + 1, dtype=np.intp)[mask]
                 kept_dists = window_dists[mask]
@@ -232,7 +317,7 @@ class InStorageAnnsEngine:
                 kept = np.arange(lo, hi + 1, dtype=np.intp)
                 kept_dists = window_dists
                 n_dist_filtered = 0
-            entries, n_meta_filtered = interface.rd_ttl_batch(
+            block, n_meta_filtered = interface.rd_ttl_batch(
                 plane_in_die,
                 kept,
                 code_bytes,
@@ -240,7 +325,7 @@ class InStorageAnnsEngine:
                 oob_record_bytes,
                 coarse=coarse,
                 eadr_base=page_first,
-                metadata_filter=window.metadata_filter,
+                metadata_filter=metadata_filters[row],
             )
             hits.append(
                 PageScanHit(
@@ -249,7 +334,7 @@ class InStorageAnnsEngine:
                     page_id=page_id,
                     n_valid=n_valid,
                     n_filtered=n_dist_filtered + n_meta_filtered,
-                    entries=entries,
+                    block=block,
                 )
             )
         return hits
@@ -275,9 +360,9 @@ class InStorageAnnsEngine:
         stats.pages_read += 1
         stats.entries_scanned += hit.n_valid
         stats.entries_filtered += hit.n_filtered
-        if hit.entries:
-            ttl.extend(hit.entries)
-            n = len(hit.entries)
+        if hit.block is not None and len(hit.block):
+            ttl.extend(hit.block)
+            n = len(hit.block)
             cost.add_channel_bytes(hit.channel, n * entry_bytes)
             self.ssd.counters.add("channel_bytes", n * entry_bytes)
             stats.entries_transferred += n
@@ -403,6 +488,35 @@ class InStorageAnnsEngine:
         stats.clusters_probed = len(clusters)
         return clusters
 
+    def select_cluster_block(
+        self,
+        ttl_c: TemporalTopList,
+        nprobe: int,
+        cost: PhaseCost,
+    ) -> TtlBlock:
+        """Columnar :meth:`select_cluster_entries`: same charge, same rows."""
+        cost.core_seconds += self.ssd.cores.reis_core.quickselect(
+            len(ttl_c), nprobe
+        )
+        block = ttl_c.select_block(nprobe)
+        return block if block is not None else TtlBlock.empty()
+
+    def resolve_cluster_block(
+        self,
+        db: DeployedDatabase,
+        block: TtlBlock,
+        stats: SearchStats,
+    ) -> np.ndarray:
+        """Vectorized :meth:`resolve_cluster_ids` over a selected block."""
+        assert db.r_ivf is not None
+        cluster_ids = block.eadrs
+        mismatch = db.r_ivf.tags[cluster_ids] != block.tags
+        if np.any(mismatch):
+            bad = int(cluster_ids[np.argmax(mismatch)])
+            raise RuntimeError(f"cluster tag mismatch for centroid {bad}")
+        stats.clusters_probed = len(block)
+        return cluster_ids
+
     def select_clusters(
         self,
         db: DeployedDatabase,
@@ -412,8 +526,8 @@ class InStorageAnnsEngine:
         stats: SearchStats,
     ) -> List[int]:
         """Quickselect the nprobe nearest centroids and resolve cluster ids."""
-        nearest = self.select_cluster_entries(ttl_c, nprobe, cost)
-        return self.resolve_cluster_ids(db, nearest, stats)
+        block = self.select_cluster_block(ttl_c, nprobe, cost)
+        return [int(c) for c in self.resolve_cluster_block(db, block, stats)]
 
     def _fine_search(
         self,
@@ -423,7 +537,7 @@ class InStorageAnnsEngine:
         shortlist_size: int,
         stats: SearchStats,
         metadata_filter: Optional[int] = None,
-    ) -> Tuple[List[TtlEntry], PhaseCost]:
+    ) -> Tuple[TtlBlock, PhaseCost]:
         """Fine-grained search over embedding slots (whole region for BF)."""
         cost = PhaseCost(
             name="fine",
@@ -513,11 +627,16 @@ class InStorageAnnsEngine:
         ttl_e: TemporalTopList,
         shortlist_size: int,
         cost: PhaseCost,
-    ) -> List[TtlEntry]:
-        """Final quickselect of the fine phase: the rescoring shortlist."""
+    ) -> TtlBlock:
+        """Final quickselect of the fine phase: the rescoring shortlist.
+
+        Returned columnar (nearest first): the rerank and the shard
+        barriers consume the shortlist as arrays, never as entry objects.
+        """
         core = self.ssd.cores.reis_core
         cost.core_seconds += core.quickselect(len(ttl_e), shortlist_size)
-        return ttl_e.select_smallest(shortlist_size)
+        block = ttl_e.select_block(shortlist_size)
+        return block if block is not None else TtlBlock.empty()
 
     def _slot_ranges(
         self, db: DeployedDatabase, clusters: Optional[Sequence[int]]
@@ -548,7 +667,7 @@ class InStorageAnnsEngine:
         self,
         db: DeployedDatabase,
         query: np.ndarray,
-        shortlist: Sequence[TtlEntry],
+        shortlist,
         k: int,
         stats: SearchStats,
     ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, PhaseCost]:
@@ -559,7 +678,15 @@ class InStorageAnnsEngine:
         Returns (top distances, top DADRs, top slots, phase cost).
         """
         cost = PhaseCost(name="rerank", read_mode="tlc", with_compute=False)
-        if not shortlist:
+        if isinstance(shortlist, TtlBlock):
+            n_short = len(shortlist)
+            radrs = shortlist.radrs
+            all_dadrs = shortlist.dadrs
+        else:
+            n_short = len(shortlist)
+            radrs = np.array([entry.radr for entry in shortlist], dtype=np.int64)
+            all_dadrs = np.array([entry.dadr for entry in shortlist], dtype=np.int64)
+        if n_short == 0:
             empty = np.empty(0, dtype=np.int64)
             return empty, empty, empty, cost
         dim = db.dim
@@ -567,49 +694,63 @@ class InStorageAnnsEngine:
         query_i8 = db.int8_quantizer.encode_one(query).astype(np.int32)
         core = self.ssd.cores.reis_core
 
-        codes = np.empty((len(shortlist), dim), dtype=np.int8)
-        pages_fetched: Dict[int, np.ndarray] = {}
-        page_channel: Dict[int, int] = {}
-        codewords_moved = set()
-        cw = self.ssd.ecc.config.codeword_bytes
         # Slot -> (page, byte offset) resolved for the whole shortlist at
-        # once; the remaining loop only fetches pages and charges codewords.
-        radrs = np.array([entry.radr for entry in shortlist], dtype=np.int64)
+        # once; pages are then fetched in first-touch order (the order the
+        # scalar walk would sense them, which pins the RNG stream).
         if radrs.min() < 0 or radrs.max() >= region.n_slots:
             raise IndexError(f"shortlist RADR outside region {region.name!r}")
         page_offsets = radrs // region.slots_per_page
         starts = (radrs % region.slots_per_page) * dim
-        for row in range(len(shortlist)):
-            page_offset = int(page_offsets[row])
-            start = int(starts[row])
-            if page_offset not in pages_fetched:
-                # The sense itself; channel/ECC charges are per codeword.
-                pages_fetched[page_offset] = self._read_corrected(
-                    region, page_offset, cost, stats, start, dim,
-                    charge_transfer=False,
-                )
-                page_channel[page_offset] = self._locate(region, page_offset)[2]
-            page = pages_fetched[page_offset]
-            codes[row] = page[start : start + dim].view(np.int8)
-            # Charge each distinct ECC codeword the shortlist touches once.
-            channel = page_channel[page_offset]
-            for cw_index in range(start // cw, (start + dim - 1) // cw + 1):
-                key = (page_offset, cw_index)
-                if key not in codewords_moved:
-                    codewords_moved.add(key)
-                    cost.add_channel_bytes(channel, cw)
-                    cost.ecc_bytes += cw
-                    self.ssd.counters.add("channel_bytes", cw)
+        unique_pages, first_rows = np.unique(page_offsets, return_index=True)
+        touch_order = np.argsort(first_rows, kind="stable")
+        codes = np.empty((n_short, dim), dtype=np.int8)
+        cw = self.ssd.ecc.config.codeword_bytes
+        channel_of_page: Dict[int, int] = {}
+        for rank in touch_order:
+            page_offset = int(unique_pages[rank])
+            first_start = int(starts[first_rows[rank]])
+            # The sense itself; channel/ECC charges are per codeword below.
+            page = self._read_corrected(
+                region, page_offset, cost, stats, first_start, dim,
+                charge_transfer=False,
+            )
+            channel_of_page[page_offset] = self._locate(region, page_offset)[2]
+            rows = np.flatnonzero(page_offsets == page_offset)
+            gathered = page[starts[rows, None] + np.arange(dim)]
+            codes[rows] = gathered.view(np.int8)
+        page_channels = np.array(
+            [channel_of_page[int(p)] for p in unique_pages], dtype=np.int64
+        )
+        # Charge each distinct ECC codeword the shortlist touches once:
+        # expand every row's [first_cw, last_cw] range, then dedupe the
+        # (page, codeword) pairs in one unique() pass.
+        first_cw = starts // cw
+        last_cw = (starts + dim - 1) // cw
+        counts = (last_cw - first_cw + 1).astype(np.int64)
+        within = np.arange(counts.sum()) - np.repeat(
+            np.cumsum(counts) - counts, counts
+        )
+        cw_rows = np.repeat(np.arange(n_short), counts)
+        cw_index = np.repeat(first_cw, counts) + within
+        cw_per_page = int(last_cw.max()) + 1
+        keys = page_offsets[cw_rows] * cw_per_page + cw_index
+        unique_keys = np.unique(keys)
+        key_channels = page_channels[
+            np.searchsorted(unique_pages, unique_keys // cw_per_page)
+        ]
+        for channel in np.unique(key_channels):
+            moved = int((key_channels == channel).sum()) * cw
+            cost.add_channel_bytes(int(channel), moved)
+        cost.ecc_bytes += unique_keys.size * cw
+        self.ssd.counters.add("channel_bytes", unique_keys.size * cw)
 
         diff = codes.astype(np.int32) - query_i8[None, :]
         refined = np.einsum("ij,ij->i", diff, diff).astype(np.int64)
-        cost.core_seconds += core.int8_distances(len(shortlist), dim)
-        k = min(k, len(shortlist))
+        cost.core_seconds += core.int8_distances(n_short, dim)
+        k = min(k, n_short)
         top = np.argsort(refined, kind="stable")[:k]
-        cost.core_seconds += core.quicksort(len(shortlist))
-        dadrs = np.array([shortlist[i].dadr for i in top], dtype=np.int64)
-        slots = np.array([shortlist[i].radr for i in top], dtype=np.int64)
-        return refined[top], dadrs, slots, cost
+        cost.core_seconds += core.quicksort(n_short)
+        return refined[top], all_dadrs[top], radrs[top], cost
 
     def _read_corrected(
         self,
@@ -630,10 +771,10 @@ class InStorageAnnsEngine:
         Callers that account codewords themselves (the rerank path, which
         deduplicates across shortlist entries) pass ``charge_transfer=False``.
         """
-        ppa, plane_index, channel = self._locate(region, page_offset)
+        ppa, plane_index, channel, page_id = self._locate(region, page_offset)
         plane = self.ssd.array.plane(ppa)
         raw, _ = plane.read_page(ppa.block, ppa.page)
-        cost.add_page(plane_index, page_id=ppa.to_linear(self.geometry))
+        cost.add_page(plane_index, page_id=page_id)
         stats.pages_read += 1
         if charge_transfer:
             if byte_len is None:
@@ -645,8 +786,10 @@ class InStorageAnnsEngine:
             cost.add_channel_bytes(channel, moved)
             cost.ecc_bytes += moved
             self.ssd.counters.add("channel_bytes", moved)
-        golden, _ = plane.golden_page(ppa.block, ppa.page)
-        return self.ssd.ecc.correct(raw, golden)
+        golden, _ = plane.golden_view(ppa.block, ppa.page)
+        return self.ssd.ecc.correct(
+            raw, golden, candidate_bytes=plane.last_flipped_bytes
+        )
 
     def _fetch_documents(
         self,
@@ -654,25 +797,92 @@ class InStorageAnnsEngine:
         dadrs: np.ndarray,
         stats: SearchStats,
     ) -> Tuple[List[DocumentChunk], PhaseCost, float]:
-        """Step 9: document identification + transfer to the host."""
+        """Step 9: document identification + transfer to the host.
+
+        Each result still pays its full modeled visit -- page sense,
+        channel codewords, ECC decode -- exactly as the one-at-a-time walk
+        charged it; the charges are just accumulated in one vectorized pass
+        and the *functional* page materialization runs once per unique page
+        (the simulator re-reading an already-corrected page cannot change
+        its contents).  Pages are sensed in first-touch order, pinning each
+        plane's error-injection RNG stream to the scalar walk's.
+        """
         cost = PhaseCost(name="documents", read_mode="tlc", with_compute=False)
         region = db.document_region
         documents: List[DocumentChunk] = []
-        host_bytes = 0.0
-        for dadr in dadrs:
-            page_offset, slot_in_page = region.page_of_slot(int(dadr))
-            start = slot_in_page * region.item_bytes
-            page = self._read_corrected(
-                region, page_offset, cost, stats, start, region.item_bytes
+        n = len(dadrs)
+        if n == 0:
+            return documents, cost, 0.0
+        dadr_arr = np.asarray(dadrs, dtype=np.int64)
+        out_of_range = (dadr_arr < 0) | (dadr_arr >= region.n_slots)
+        if out_of_range.any():
+            bad = int(dadr_arr[np.argmax(out_of_range)])
+            raise IndexError(f"slot {bad} outside region {region.name!r}")
+        item_bytes = region.item_bytes
+        page_offsets = dadr_arr // region.slots_per_page
+        starts = (dadr_arr % region.slots_per_page) * item_bytes
+        cw = self.ssd.ecc.config.codeword_bytes
+        first_cw = starts // cw
+        last_cw = (starts + max(item_bytes, 1) - 1) // cw
+        moved = (last_cw - first_cw + 1) * cw
+
+        unique_pages, first_rows = np.unique(page_offsets, return_index=True)
+        touch_order = np.argsort(first_rows, kind="stable")
+        pages: Dict[int, np.ndarray] = {}
+        plane_of_page = np.empty(unique_pages.size, dtype=np.int64)
+        channel_of_page = np.empty(unique_pages.size, dtype=np.int64)
+        page_id_of_page = np.empty(unique_pages.size, dtype=np.int64)
+        for rank in touch_order:
+            page_offset = int(unique_pages[rank])
+            ppa, plane_index, channel, page_id = self._locate(region, page_offset)
+            plane = self.ssd.array.plane(ppa)
+            raw, _ = plane.read_page(ppa.block, ppa.page)
+            golden, _ = plane.golden_view(ppa.block, ppa.page)
+            pages[page_offset] = self.ssd.ecc.correct(
+                raw, golden, candidate_bytes=plane.last_flipped_bytes
             )
-            payload = page[start : start + region.item_bytes]
-            text = DocumentChunk.decode_bytes(payload)
-            original_id = db.original_of_dadr(int(dadr))
+            plane_of_page[rank] = plane_index
+            channel_of_page[rank] = channel
+            page_id_of_page[rank] = page_id
+
+        # Per-visit charges, accumulated per plane/channel in bulk.
+        page_rank = np.searchsorted(unique_pages, page_offsets)
+        visit_planes = plane_of_page[page_rank]
+        visit_channels = channel_of_page[page_rank]
+        visit_page_ids = page_id_of_page[page_rank]
+        for plane_index in np.unique(visit_planes):
+            rows = visit_planes == plane_index
+            plane_key = int(plane_index)
+            cost.pages_per_plane[plane_key] = (
+                cost.pages_per_plane.get(plane_key, 0) + int(rows.sum())
+            )
+            cost.sensed_page_ids.setdefault(plane_key, []).extend(
+                visit_page_ids[rows].tolist()
+            )
+        for channel in np.unique(visit_channels):
+            cost.add_channel_bytes(
+                int(channel), int(moved[visit_channels == channel].sum())
+            )
+        total_moved = int(moved.sum())
+        cost.ecc_bytes += total_moved
+        self.ssd.counters.add("channel_bytes", total_moved)
+        stats.pages_read += n
+
+        for i in range(n):
+            original_id = db.original_of_dadr(int(dadr_arr[i]))
             if db.corpus is not None:
                 documents.append(db.corpus[original_id])
             else:
-                documents.append(DocumentChunk(chunk_id=original_id, text=text))
-            host_bytes += region.item_bytes
+                page = pages[int(page_offsets[i])]
+                start = int(starts[i])
+                payload = page[start : start + item_bytes]
+                documents.append(
+                    DocumentChunk(
+                        chunk_id=original_id,
+                        text=DocumentChunk.decode_bytes(payload),
+                    )
+                )
+        host_bytes = float(n * item_bytes)
         host_transfer_s = host_bytes / self.ssd.spec.host_link_bandwidth_bps
         return documents, cost, host_transfer_s
 
@@ -710,6 +920,7 @@ class InStorageAnnsEngine:
         nprobe: Optional[int] = None,
         fetch_documents: bool = True,
         metadata_filter: Optional[int] = None,
+        host_profile=None,
     ) -> BatchExecution:
         """Serve a batch of queries concurrently against this device.
 
@@ -717,11 +928,14 @@ class InStorageAnnsEngine:
         :meth:`search` in a loop); the latency model charges the batch
         jointly, amortizing page senses across queries and overlapping
         independent queries across dies and channels (see
-        :class:`~repro.core.batch.BatchExecutor`).
+        :class:`~repro.core.batch.BatchExecutor`).  ``host_profile``
+        opts into host wall-clock accounting
+        (:class:`~repro.host.profile.HostProfile`).
         """
         return BatchExecutor(self).execute(
             db, queries, k,
             nprobe=nprobe,
             fetch_documents=fetch_documents,
             metadata_filter=metadata_filter,
+            host_profile=host_profile,
         )

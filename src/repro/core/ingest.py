@@ -359,9 +359,12 @@ class IngestManager:
             key: [] for key in self._regions
         }
         new_radr_ids: List[Tuple[int, int]] = []
-        for request in requests:
+        precoded = self._batch_encode(requests)
+        for index, request in enumerate(requests):
             if request.op == "insert":
-                ack = self._stage_insert(request, staged, new_radr_ids)
+                ack = self._stage_insert(
+                    request, staged, new_radr_ids, precoded.get(index)
+                )
                 result.n_inserts += 1
                 if ack.applied:
                     result.ids.append(ack.entry_id)
@@ -377,7 +380,9 @@ class IngestManager:
                     )
                 else:
                     self._apply_delete(old_id)
-                    ack = self._stage_insert(request, staged, new_radr_ids)
+                    ack = self._stage_insert(
+                        request, staged, new_radr_ids, precoded.get(index)
+                    )
                     ack.op = "update"
                     ack.replaced_id = old_id
                     result.ids.append(ack.entry_id)
@@ -403,11 +408,42 @@ class IngestManager:
         self.index.remove(entry_id)
         return MutationAck(op="delete", entry_id=entry_id, applied=True)
 
+    def _batch_encode(
+        self, requests: Sequence[MutationRequest]
+    ) -> Dict[int, Tuple[np.ndarray, np.ndarray]]:
+        """Group-batched quantizer encode of a commit group's insert vectors.
+
+        Both quantizers encode row-wise (``encode_one(v) == encode(v[None])
+        [0]``), so encoding the whole group as one matrix is bit-identical
+        to the per-insert calls it replaces.  Malformed vectors are left
+        out; :meth:`_stage_insert` raises its usual error at that request's
+        turn in the commit order.
+        """
+        rows: List[np.ndarray] = []
+        indices: List[int] = []
+        for index, request in enumerate(requests):
+            if request.op not in ("insert", "update") or request.vector is None:
+                continue
+            vector = np.asarray(request.vector, dtype=np.float32)
+            if vector.shape != (self.db.dim,):
+                continue
+            rows.append(vector)
+            indices.append(index)
+        if not rows:
+            return {}
+        mat = np.stack(rows)
+        codes = self.db.binary_quantizer.encode(mat)
+        codes_i8 = self.db.int8_quantizer.encode(mat)
+        return {
+            index: (codes[j], codes_i8[j]) for j, index in enumerate(indices)
+        }
+
     def _stage_insert(
         self,
         request: MutationRequest,
         staged: Dict[str, List[Tuple[np.ndarray, Optional[np.ndarray]]]],
         new_radr_ids: List[Tuple[int, int]],
+        precoded: Optional[Tuple[np.ndarray, np.ndarray]] = None,
     ) -> MutationAck:
         vector = np.asarray(request.vector, dtype=np.float32)
         if vector.shape != (self.db.dim,):
@@ -420,8 +456,11 @@ class IngestManager:
             self.next_id if request.assign_id is None else int(request.assign_id)
         )
         self.next_id = max(self.next_id, entry_id + 1)
-        code = self.db.binary_quantizer.encode_one(vector)
-        code_i8 = self.db.int8_quantizer.encode_one(vector)
+        if precoded is None:
+            code = self.db.binary_quantizer.encode_one(vector)
+            code_i8 = self.db.int8_quantizer.encode_one(vector)
+        else:
+            code, code_i8 = precoded
         cluster = (
             self.assign_cluster(code)
             if request.cluster is None
@@ -880,9 +919,12 @@ class ShardedIngestCoordinator:
             per_shard.setdefault(shard, []).append(request)
             return len(per_shard[shard]) - 1
 
-        for request in requests:
+        route_codes = self._batch_route_codes(requests)
+        for index, request in enumerate(requests):
             if request.op == "insert":
-                ack, entry = self._plan_insert(request, enqueue)
+                ack, entry = self._plan_insert(
+                    request, enqueue, route_codes.get(index)
+                )
                 result.n_inserts += 1
             elif request.op == "delete":
                 ack, entry = self._plan_delete(int(request.entry_id), enqueue)
@@ -899,7 +941,9 @@ class ShardedIngestCoordinator:
                     )
                 else:
                     self._plan_delete(old_id, enqueue)
-                    ack, entry = self._plan_insert(request, enqueue)
+                    ack, entry = self._plan_insert(
+                        request, enqueue, route_codes.get(index)
+                    )
                     ack.op = "update"
                     ack.replaced_id = old_id
                 result.n_updates += 1
@@ -929,9 +973,40 @@ class ShardedIngestCoordinator:
         self.commits.append(result)
         return result
 
-    def _plan_insert(self, request: MutationRequest, enqueue):
+    def _batch_route_codes(
+        self, requests: Sequence[MutationRequest]
+    ) -> Dict[int, np.ndarray]:
+        """Group-batched binary encode of the vectors needing shard routing.
+
+        Row-wise identical to the per-request ``encode_one``; vectors of
+        the wrong width are left out so :meth:`_plan_insert` fails at that
+        request's turn, as the per-request path did.
+        """
+        dim = self.centroid_codes.shape[1] * 8
+        rows: List[np.ndarray] = []
+        indices: List[int] = []
+        for index, request in enumerate(requests):
+            if request.op not in ("insert", "update") or request.vector is None:
+                continue
+            vector = np.asarray(request.vector, dtype=np.float32)
+            if vector.shape != (dim,):
+                continue
+            rows.append(vector)
+            indices.append(index)
+        if not rows:
+            return {}
+        codes = self._binary.encode(np.stack(rows))
+        return {index: codes[j] for j, index in enumerate(indices)}
+
+    def _plan_insert(
+        self,
+        request: MutationRequest,
+        enqueue,
+        code: Optional[np.ndarray] = None,
+    ):
         vector = np.asarray(request.vector, dtype=np.float32)
-        code = self._binary.encode_one(vector)
+        if code is None:
+            code = self._binary.encode_one(vector)
         cluster = int(np.argmin(hamming_packed(code, self.centroid_codes)))
         global_id = self.next_id
         self.next_id += 1

@@ -170,32 +170,73 @@ class DatabaseDeployer:
 
     # ------------------------------------------------------------- writing
 
+    @staticmethod
+    def _pack_pages(
+        slot_data: Sequence[np.ndarray],
+        n_slots: int,
+        n_pages: int,
+        slots_per_page: int,
+        item_bytes: int,
+        page_capacity: int,
+    ) -> np.ndarray:
+        """Pack per-slot payloads into a ``(n_pages, page_capacity)`` matrix.
+
+        Accepts either a uniform-width 2-D ``uint8`` matrix (one payload per
+        row) or a sequence of 1-D payloads whose sizes may vary; short
+        payloads are zero-padded to ``item_bytes``, exactly as slot-by-slot
+        writes into a zeroed page would leave them.
+        """
+        rows = np.zeros((n_pages * slots_per_page, item_bytes), dtype=np.uint8)
+        if isinstance(slot_data, np.ndarray) and slot_data.ndim == 2:
+            rows[:n_slots, : slot_data.shape[1]] = slot_data
+        else:
+            for slot in range(n_slots):
+                payload = slot_data[slot]
+                rows[slot, : payload.size] = payload
+        mat = np.zeros((n_pages, page_capacity), dtype=np.uint8)
+        mat[:, : slots_per_page * item_bytes] = rows.reshape(
+            n_pages, slots_per_page * item_bytes
+        )
+        return mat
+
     def _program_region(
         self,
         info: RegionInfo,
         slot_data: Sequence[np.ndarray],
         slot_oob: Optional[Sequence[np.ndarray]] = None,
     ) -> None:
-        """Write slot payloads (and per-slot OOB records) into a region."""
+        """Write slot payloads (and per-slot OOB records) into a region.
+
+        Payload/OOB packing runs as whole-region array math (one zero-padded
+        row matrix reshaped page-major); the per-page loop only issues the
+        physical programs.
+        """
         g = self._geometry()
-        page_bytes = g.page_bytes
-        for page_offset in range(info.n_pages):
-            start = page_offset * info.slots_per_page
-            stop = min(start + info.slots_per_page, info.n_slots)
-            data = np.zeros(page_bytes, dtype=np.uint8)
-            for i, slot in enumerate(range(start, stop)):
-                payload = slot_data[slot]
-                offset = i * info.item_bytes
-                data[offset : offset + payload.size] = payload
-            oob = None
-            if slot_oob is not None:
-                oob_record = slot_oob[start].size
-                oob = np.zeros(g.oob_bytes, dtype=np.uint8)
-                for i, slot in enumerate(range(start, stop)):
-                    record = slot_oob[slot]
-                    oob[i * oob_record : i * oob_record + record.size] = record
+        n_pages = info.n_pages
+        if n_pages == 0:
+            return
+        data_mat = self._pack_pages(
+            slot_data, info.n_slots, n_pages, info.slots_per_page,
+            info.item_bytes, g.page_bytes,
+        )
+        oob_mat = None
+        if slot_oob is not None:
+            oob_record = (
+                slot_oob.shape[1]
+                if isinstance(slot_oob, np.ndarray) and slot_oob.ndim == 2
+                else slot_oob[0].size
+            )
+            oob_mat = self._pack_pages(
+                slot_oob, info.n_slots, n_pages, info.slots_per_page,
+                oob_record, g.oob_bytes,
+            )
+        for page_offset in range(n_pages):
             ppa = info.region.translate(page_offset, g)
-            self.ssd.array.program(ppa, data, oob)
+            self.ssd.array.program(
+                ppa,
+                data_mat[page_offset],
+                None if oob_mat is None else oob_mat[page_offset],
+            )
 
     def _reserve_deployed_space(self) -> None:
         """Keep normal-mode machinery out of the deployed regions.
@@ -357,25 +398,19 @@ class DatabaseDeployer:
 
         # Embedding pages: payload = binary code; OOB = DADR + RADR per slot
         # (+ the metadata tag as a third word when tags are deployed).
-        emb_oob = []
-        for slot in range(n):
-            words = [slot, slot]
-            if metadata_tags is not None:
-                words.append(int(metadata_tags[order[slot]]))
-            emb_oob.append(
-                np.frombuffer(
-                    np.array(words, dtype="<u4").tobytes(), dtype=np.uint8
-                ).copy()
-            )
-        self._program_region(emb_initial, list(codes), emb_oob)
+        n_words = 3 if metadata_tags is not None else 2
+        oob_words = np.empty((n, n_words), dtype="<u4")
+        oob_words[:, 0] = np.arange(n, dtype=np.uint32)
+        oob_words[:, 1] = oob_words[:, 0]
+        if metadata_tags is not None:
+            oob_words[:, 2] = metadata_tags[order]
+        emb_oob = oob_words.view(np.uint8).reshape(n, 4 * n_words)
+        self._program_region(emb_initial, codes, emb_oob)
 
         # Centroid pages: payload = centroid code; OOB = 8-bit tag per slot.
         if centroid_region is not None:
-            tags = [
-                np.array([cluster & 0xFF], dtype=np.uint8)
-                for cluster in range(ivf_model.nlist)
-            ]
-            self._program_region(centroid_region, list(centroid_codes), tags)
+            tags = (np.arange(ivf_model.nlist) & 0xFF).astype(np.uint8)
+            self._program_region(centroid_region, centroid_codes, tags[:, None])
             entries = []
             cursor = 0
             for cluster, lst in enumerate(ivf_model.lists):
@@ -392,24 +427,20 @@ class DatabaseDeployer:
             r_ivf = RIvf(entries, dram=self.ssd.dram, db_id=db_id)
 
         # INT8 pages (TLC, ECC-protected): int8 viewed as raw bytes.
-        self._program_region(
-            int8_initial, [c.view(np.uint8) for c in codes_i8]
-        )
+        self._program_region(int8_initial, codes_i8.view(np.uint8))
 
         # Document pages: chunk text bytes in deployment order.
         if corpus is not None:
-            doc_payloads = [
+            doc_payloads: Sequence[np.ndarray] = [
                 corpus[int(original)].encode_bytes(params.doc_slot_bytes)
                 for original in order
             ]
         else:
-            doc_payloads = [
-                np.frombuffer(
-                    f"chunk-{int(original)}".encode().ljust(32, b"\x00"),
-                    dtype=np.uint8,
-                ).copy()
-                for original in order
-            ]
+            blob = b"".join(
+                f"chunk-{original}".encode().ljust(32, b"\x00")
+                for original in order.tolist()
+            )
+            doc_payloads = np.frombuffer(blob, dtype=np.uint8).reshape(n, 32)
         self._program_region(doc_initial, doc_payloads)
 
         self.r_db.register(

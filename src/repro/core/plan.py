@@ -91,7 +91,11 @@ class PlanContext:
     stats: SearchStats = field(default_factory=SearchStats)
     query_code: Optional[np.ndarray] = None
     clusters: Optional[List[int]] = None
-    shortlist: List[TtlEntry] = field(default_factory=list)
+    # The fine phase's rescoring shortlist: a columnar
+    # :class:`~repro.core.registry.TtlBlock` once the fine search ran
+    # (``_rerank`` also accepts a list of ``TtlEntry`` for callers that
+    # assemble shortlists by hand).
+    shortlist: object = field(default_factory=list)
     distances: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
     dadrs: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
     slots: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
@@ -290,22 +294,63 @@ def build_page_schedule(
     so the cost model can bill the schedule verbatim.
     """
     reqs = list(requests)
-    if optimize:
-        first_demand: Dict[int, int] = {}
-        for request in reqs:
-            first_demand.setdefault(request.page_offset, len(first_demand))
-        reqs.sort(key=lambda request: first_demand[request.page_offset])
-    sensed: List[bool] = []
-    planes: List[int] = []
-    latched: Dict[int, int] = {}
-    for request in reqs:
-        plane = plane_of_page(request.page_offset)
-        fresh = latched.get(plane) != request.page_offset
-        if fresh:
-            latched[plane] = request.page_offset
-        sensed.append(fresh)
-        planes.append(plane)
-    return PageSchedule(requests=reqs, sensed=sensed, planes=planes)
+    if not reqs:
+        return PageSchedule(requests=[], sensed=[], planes=[])
+    pages = np.fromiter(
+        (request.page_offset for request in reqs), dtype=np.int64, count=len(reqs)
+    )
+    order = schedule_order(pages, optimize)
+    if order is not None:
+        reqs = [reqs[i] for i in order]
+        pages = pages[order]
+    sensed, planes = schedule_senses(pages, plane_of_page)
+    return PageSchedule(
+        requests=reqs, sensed=sensed.tolist(), planes=planes.tolist()
+    )
+
+
+def schedule_order(pages: np.ndarray, optimize: bool) -> Optional[np.ndarray]:
+    """Service order for a page-demand array (``None`` = caller's order).
+
+    The optimized order groups requests stably by page, pages in
+    first-demand order -- identical to sorting by a first-seen dict rank,
+    computed here with one ``unique`` + two stable argsorts.
+    """
+    if not optimize or pages.size == 0:
+        return None
+    uniq, first_index, inverse = np.unique(
+        pages, return_index=True, return_inverse=True
+    )
+    rank = np.empty(uniq.size, dtype=np.int64)
+    rank[np.argsort(first_index, kind="stable")] = np.arange(uniq.size)
+    return np.argsort(rank[inverse], kind="stable")
+
+
+def schedule_senses(
+    pages: np.ndarray, plane_of_page: Callable[[int], int]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized per-plane latch simulation over a service order.
+
+    A request senses fresh unless the previous request on the *same plane*
+    latched the *same page* -- exactly the scalar walk that kept a
+    ``latched[plane]`` dict, evaluated as one stable sort by plane plus a
+    neighbour comparison.  ``plane_of_page`` runs once per unique page.
+    """
+    n = pages.size
+    uniq, inverse = np.unique(pages, return_inverse=True)
+    plane_of_uniq = np.fromiter(
+        (plane_of_page(int(page)) for page in uniq), dtype=np.int64, count=uniq.size
+    )
+    planes = plane_of_uniq[inverse]
+    by_plane = np.argsort(planes, kind="stable")
+    pg = pages[by_plane]
+    pl = planes[by_plane]
+    fresh_sorted = np.ones(n, dtype=bool)
+    if n > 1:
+        fresh_sorted[1:] = ~((pl[1:] == pl[:-1]) & (pg[1:] == pg[:-1]))
+    sensed = np.empty(n, dtype=bool)
+    sensed[by_plane] = fresh_sorted
+    return sensed, planes
 
 
 @dataclass

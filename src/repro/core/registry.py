@@ -109,6 +109,9 @@ class RIvf:
 
     def __init__(self, entries: List[RIvfEntry], dram: Optional[InternalDram] = None, db_id: int = 0) -> None:
         self.entries = list(entries)
+        # Column view for vectorized tag cross-checks (entries are
+        # replaced wholesale on compaction, never mutated in place).
+        self.tags = np.array([e.tag for e in self.entries], dtype=np.int64)
         self._dram = dram
         self._db_id = db_id
         self._tag_to_cluster = {}
@@ -211,8 +214,117 @@ class TtlEntry:
     meta: int = -1  # Sec. 7.1 metadata tag (present when the DB carries one)
 
 
+class TtlBlock:
+    """A columnar batch of TTL rows: one page window's extractions.
+
+    The batched RD_TTL sweep produces many rows at once; keeping them as
+    parallel columns (distance, packed code matrix, linkage words) lets the
+    TTL absorb a whole page visit with a handful of array appends instead
+    of materializing one :class:`TtlEntry` object per surviving embedding.
+    Rows are ordered by ascending slot -- the arrival order the stable
+    top-k selection ties break on.
+    """
+
+    __slots__ = ("dists", "embs", "eadrs", "tags", "radrs", "dadrs", "metas")
+
+    def __init__(
+        self,
+        dists: np.ndarray,
+        embs: np.ndarray,
+        eadrs: Optional[np.ndarray] = None,
+        tags: Optional[np.ndarray] = None,
+        radrs: Optional[np.ndarray] = None,
+        dadrs: Optional[np.ndarray] = None,
+        metas: Optional[np.ndarray] = None,
+    ) -> None:
+        n = dists.size
+        minus_ones = None
+
+        def col(values: Optional[np.ndarray]) -> np.ndarray:
+            nonlocal minus_ones
+            if values is not None:
+                return np.asarray(values, dtype=np.int64)
+            if minus_ones is None:
+                minus_ones = np.full(n, -1, dtype=np.int64)
+            return minus_ones
+
+        self.dists = np.asarray(dists, dtype=np.int64)
+        self.embs = np.atleast_2d(np.asarray(embs, dtype=np.uint8))
+        self.eadrs = col(eadrs)
+        self.tags = col(tags)
+        self.radrs = col(radrs)
+        self.dadrs = col(dadrs)
+        self.metas = col(metas)
+
+    def __len__(self) -> int:
+        return int(self.dists.size)
+
+    @classmethod
+    def from_entries(cls, entries: List[TtlEntry]) -> "TtlBlock":
+        return cls(
+            dists=np.array([e.dist for e in entries], dtype=np.int64),
+            embs=np.stack([e.emb for e in entries]) if entries else np.empty((0, 0), dtype=np.uint8),
+            eadrs=np.array([e.eadr for e in entries], dtype=np.int64),
+            tags=np.array([e.tag for e in entries], dtype=np.int64),
+            radrs=np.array([e.radr for e in entries], dtype=np.int64),
+            dadrs=np.array([e.dadr for e in entries], dtype=np.int64),
+            metas=np.array([e.meta for e in entries], dtype=np.int64),
+        )
+
+    def entry(self, row: int) -> TtlEntry:
+        """Materialize one row as a :class:`TtlEntry` (selection output)."""
+        return TtlEntry(
+            dist=int(self.dists[row]),
+            emb=self.embs[row],
+            eadr=int(self.eadrs[row]),
+            tag=int(self.tags[row]),
+            radr=int(self.radrs[row]),
+            dadr=int(self.dadrs[row]),
+            meta=int(self.metas[row]),
+        )
+
+    def take(self, rows: np.ndarray) -> "TtlBlock":
+        return TtlBlock(
+            dists=self.dists[rows],
+            embs=self.embs[rows],
+            eadrs=self.eadrs[rows],
+            tags=self.tags[rows],
+            radrs=self.radrs[rows],
+            dadrs=self.dadrs[rows],
+            metas=self.metas[rows],
+        )
+
+    @classmethod
+    def empty(cls, code_bytes: int = 0) -> "TtlBlock":
+        return cls(
+            dists=np.empty(0, dtype=np.int64),
+            embs=np.empty((0, code_bytes), dtype=np.uint8),
+        )
+
+    @classmethod
+    def concatenate(cls, blocks: List["TtlBlock"]) -> "TtlBlock":
+        if len(blocks) == 1:
+            return blocks[0]
+        return cls(
+            dists=np.concatenate([b.dists for b in blocks]),
+            embs=np.concatenate([b.embs for b in blocks]),
+            eadrs=np.concatenate([b.eadrs for b in blocks]),
+            tags=np.concatenate([b.tags for b in blocks]),
+            radrs=np.concatenate([b.radrs for b in blocks]),
+            dadrs=np.concatenate([b.dadrs for b in blocks]),
+            metas=np.concatenate([b.metas for b in blocks]),
+        )
+
+
 class TemporalTopList:
-    """An append + select-k staging list in controller DRAM."""
+    """An append + select-k staging list in controller DRAM.
+
+    Rows live in columnar :class:`TtlBlock` chunks (one per absorbed page
+    visit) and only the final selection materializes :class:`TtlEntry`
+    objects -- the batch-serving hot path streams thousands of candidates
+    through here per query, so per-row Python objects are reserved for the
+    k survivors the rest of the pipeline actually touches.
+    """
 
     def __init__(
         self,
@@ -223,24 +335,32 @@ class TemporalTopList:
         self.name = name
         self.entry_bytes = entry_bytes
         self._dram = dram
-        self.entries: List[TtlEntry] = []
-        # Distance column kept alongside the rows: the per-page quickselect
-        # of Sec. 4.3.1 runs once per sensed page on the batch-serving hot
-        # path, so the select must not rebuild its key array from the
-        # entry objects every time.  Entry distances are immutable after
-        # append, which keeps the column trivially coherent.
-        self._dists: List[int] = []
+        self._blocks: List[TtlBlock] = []
+        self._n = 0
         self.peak_entries = 0
 
     def __len__(self) -> int:
-        return len(self.entries)
+        return self._n
+
+    @property
+    def entries(self) -> List[TtlEntry]:
+        """All rows materialized as entries, in arrival order (tests /
+        introspection; the hot path never calls this)."""
+        block = self._consolidate()
+        if block is None:
+            return []
+        return [block.entry(i) for i in range(len(block))]
+
+    def _consolidate(self) -> Optional[TtlBlock]:
+        """Collapse the chunk list to one block (arrival order kept)."""
+        if not self._blocks:
+            return None
+        if len(self._blocks) > 1:
+            self._blocks = [TtlBlock.concatenate(self._blocks)]
+        return self._blocks[0]
 
     def append(self, entry: TtlEntry) -> None:
-        self.entries.append(entry)
-        self._dists.append(entry.dist)
-        self.peak_entries = max(self.peak_entries, len(self.entries))
-        if self._dram is not None:
-            self._grow_region()
+        self.extend(TtlBlock.from_entries([entry]))
 
     def _grow_region(self) -> None:
         """Raise the shared TTL arena to this list's high-water mark.
@@ -258,23 +378,26 @@ class TemporalTopList:
             self._dram.allocate(region, footprint)
 
     def extend(self, entries) -> None:
-        """Bulk append: one list extension + one DRAM high-water update.
+        """Bulk append: one chunk append + one DRAM high-water update.
 
-        Equivalent to appending each entry in order (same final state and
-        the same peak), but without the per-entry allocator round trip --
-        this is the batch-serving hot path absorbing a page's extractions.
+        Accepts a :class:`TtlBlock` (the hot path absorbing a page's
+        extractions columnar) or any iterable of :class:`TtlEntry`.
+        Equivalent to appending each row in order -- same final state and
+        the same peak -- without the per-entry allocator round trip.
         """
-        if not entries:
+        if not isinstance(entries, TtlBlock):
+            entries = TtlBlock.from_entries(list(entries))
+        if len(entries) == 0:
             return
-        self.entries.extend(entries)
-        self._dists.extend(entry.dist for entry in entries)
-        if len(self.entries) > self.peak_entries:
-            self.peak_entries = len(self.entries)
+        self._blocks.append(entries)
+        self._n += len(entries)
+        if self._n > self.peak_entries:
+            self.peak_entries = self._n
             if self._dram is not None:
                 self._grow_region()
 
-    def select_smallest(self, k: int) -> List[TtlEntry]:
-        """Quickselect: the k nearest entries, nearest first.
+    def select_block(self, k: int) -> Optional[TtlBlock]:
+        """The k nearest rows as a columnar block, nearest first.
 
         Distance ties break by arrival order, so the selection is a pure
         function of (distances, insertion order) -- a deterministic total
@@ -285,11 +408,19 @@ class TemporalTopList:
         :mod:`repro.core.shard`), and the streaming :meth:`compact` keeps
         the same top-k the full candidate stream would yield.
         """
-        if k <= 0 or not self.entries:
+        block = self._consolidate()
+        if k <= 0 or block is None:
+            return None
+        idx = np.argsort(block.dists, kind="stable")[: min(k, len(block))]
+        return block.take(idx)
+
+    def select_smallest(self, k: int) -> List[TtlEntry]:
+        """Quickselect: the k nearest entries, nearest first (see
+        :meth:`select_block` for the ordering contract)."""
+        block = self.select_block(k)
+        if block is None:
             return []
-        k = min(k, len(self.entries))
-        idx = np.argsort(np.asarray(self._dists), kind="stable")[:k]
-        return [self.entries[i] for i in idx]
+        return [block.entry(i) for i in range(len(block))]
 
     def compact(self, k: int) -> int:
         """Keep only the k nearest entries (the per-iteration quickselect
@@ -298,15 +429,16 @@ class TemporalTopList:
         Returns the number of entries the quickselect processed, so the
         caller can charge the embedded core.
         """
-        processed = len(self.entries)
+        processed = self._n
         if processed > k:
-            self.entries = self.select_smallest(k)
-            self._dists = [entry.dist for entry in self.entries]
+            block = self.select_block(k)
+            self._blocks = [block] if block is not None else []
+            self._n = len(block) if block is not None else 0
         return processed
 
     def clear(self) -> None:
-        self.entries.clear()
-        self._dists.clear()
+        self._blocks.clear()
+        self._n = 0
 
     @property
     def footprint_bytes(self) -> int:

@@ -74,7 +74,6 @@ from repro.core.plan import (
     SearchStats,
     compose_solo_report,
 )
-from repro.core.registry import TtlEntry
 from repro.rag.documents import Corpus, DocumentChunk
 from repro.sim.latency import LatencyReport
 
@@ -82,6 +81,18 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.engine import InStorageAnnsEngine
 
 PLACEMENT_POLICIES = ("round_robin", "cluster")
+
+
+def merge_order(*keys: np.ndarray) -> np.ndarray:
+    """Sort order for stacked shard columns, most-significant key first.
+
+    Every merge barrier sorts the concatenated per-shard candidates by a
+    tuple key -- (distance, tiebreak, ...) -- whose final component is
+    unique across the stack, so the order is total and reproduces the
+    single-device tuple sort exactly.  One ``np.lexsort`` computes it;
+    lexsort treats its *last* key as primary, hence the reversal.
+    """
+    return np.lexsort(keys[::-1])
 
 
 # --------------------------------------------------------------- placement
@@ -317,14 +328,23 @@ class _ShardRun:
     senses: Dict[str, Dict[int, int]] = field(default_factory=dict)
 
 
-@dataclass(frozen=True)
-class _Candidate:
-    """One merged shortlist candidate with its provenance."""
+@dataclass
+class _MergedShortlist:
+    """One query's merged global shortlist, columnar with provenance.
 
-    global_id: int
-    hamming: int
-    shard: int
-    entry: TtlEntry
+    Parallel arrays over the merged candidates in global rank order:
+    ``gids`` the global vector ids, ``run_index`` which :class:`_ShardRun`
+    produced each candidate, and ``rows`` the candidate's row inside that
+    run's per-shard shortlist block -- enough to slice each shard's members
+    back out without materializing per-candidate objects.
+    """
+
+    gids: np.ndarray
+    run_index: np.ndarray
+    rows: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.gids.size)
 
 
 class ShardRouter:
@@ -470,22 +490,22 @@ class ShardRouter:
         centroid on every shard; replicas tie exactly), and hands each
         shard its local ids of the winning clusters in global rank order.
         """
-        local_entries: Dict[int, List[List[TtlEntry]]] = {}
+        local_blocks: Dict[int, List] = {}
         for run in runs:
             engine = run.executor.engine
             ttls = run.executor._coarse_scan(
                 run.db, run.plans, run.ctxs, run.stats, run.senses
             )
-            per_query: List[List[TtlEntry]] = []
+            per_query = []
             for qi, ctx in enumerate(run.ctxs):
-                entries = engine.select_cluster_entries(
+                block = engine.select_cluster_block(
                     ttls[qi], run.plans[qi].nprobe, ctx.phase_costs["coarse"]
                 )
                 # Same tag cross-check the single device performs.
-                engine.resolve_cluster_ids(run.db, entries, ctx.stats)
-                per_query.append(entries)
-                merge_acc.add(run.shard, len(entries))
-            local_entries[run.shard] = per_query
+                engine.resolve_cluster_block(run.db, block, ctx.stats)
+                per_query.append(block)
+                merge_acc.add(run.shard, len(block))
+            local_blocks[run.shard] = per_query
 
         local_position = {
             run.shard: {
@@ -498,27 +518,33 @@ class ShardRouter:
         }
         probe_ranks: List[Optional[Dict[int, int]]] = []
         for qi in range(n_queries):
-            merged: List[Tuple[int, int]] = []  # (distance, global cluster)
-            for run in runs:
-                owned = sdb.assignment.shard_clusters[run.shard]
-                for entry in local_entries[run.shard][qi]:
-                    merged.append((entry.dist, int(owned[entry.eadr])))
-            merged.sort()
-            probe: List[int] = []
-            seen: set = set()
-            for dist, cluster in merged:
-                if cluster in seen:
-                    continue  # a replica of an already-merged centroid
-                seen.add(cluster)
-                probe.append(cluster)
-                if len(probe) >= nprobe:
-                    break
-            ranks = {cluster: rank for rank, cluster in enumerate(probe)}
+            # Stack every shard's candidates and merge by the single-device
+            # selection key (distance, global cluster id) in one lexsort;
+            # replica copies of a centroid tie exactly, so a first-seen
+            # dedupe over the sorted order keeps one of each.
+            dists = np.concatenate(
+                [local_blocks[run.shard][qi].dists for run in runs]
+            )
+            clusters = np.concatenate(
+                [
+                    np.asarray(
+                        sdb.assignment.shard_clusters[run.shard], dtype=np.int64
+                    )[local_blocks[run.shard][qi].eadrs]
+                    for run in runs
+                ]
+            )
+            order = merge_order(dists, clusters)
+            sorted_clusters = clusters[order]
+            _, first = np.unique(sorted_clusters, return_index=True)
+            probe = sorted_clusters[np.sort(first)][:nprobe]
+            ranks = {int(cluster): rank for rank, cluster in enumerate(probe)}
             probe_ranks.append(ranks)
             for run in runs:
                 position = local_position[run.shard]
                 local = [
-                    position[cluster] for cluster in probe if cluster in position
+                    position[int(cluster)]
+                    for cluster in probe
+                    if int(cluster) in position
                 ]
                 run.ctxs[qi].clusters = local
                 run.ctxs[qi].stats.clusters_probed = len(local)
@@ -568,42 +594,67 @@ class ShardRouter:
         n_queries: int,
         probe_ranks: List[Optional[Dict[int, int]]],
         merge_acc: _MergeAccounting,
-    ) -> List[List[_Candidate]]:
+    ) -> List[_MergedShortlist]:
         """Merge per-shard shortlists into the global rescoring shortlist.
 
         The merge key is (Hamming distance, single-device scan order):
         probe rank then canonical slot for IVF, canonical slot alone for
         flat.  Each shard's local top-S contains its members of the global
-        top-S, so the merged head *is* the single-device shortlist.
+        top-S, so the merged head *is* the single-device shortlist.  The
+        merge itself is one ``np.lexsort`` over the stacked shard columns;
+        slots are globally unique (vectors are partitioned, never
+        replicated), so the key is a total order and the lexsort
+        reproduces the tuple sort exactly.
         """
         assignment = sdb.assignment
-        shortlists: List[List[_Candidate]] = []
+        shortlists: List[_MergedShortlist] = []
         for qi in range(n_queries):
-            merged: List[Tuple[Tuple, _Candidate]] = []
             # Every shard plans the same unclamped shortlist_factor * k.
             shortlist_size = next(
                 s.shortlist_size
                 for s in runs[0].plans[qi].stages
                 if s.name == "fine"
             )
-            for run in runs:
-                ctx = run.ctxs[qi]
-                mine = assignment.shard_vectors[run.shard]
-                merge_acc.add(run.shard, len(ctx.shortlist))
-                for entry in ctx.shortlist:
-                    local_original = int(run.db.slot_to_original[entry.radr])
-                    global_id = int(mine[local_original])
-                    slot = int(assignment.global_slot[global_id])
-                    if probe_ranks[qi] is not None:
-                        cluster = int(assignment.cluster_of_vector[global_id])
-                        key = (entry.dist, probe_ranks[qi][cluster], slot)
-                    else:
-                        key = (entry.dist, slot)
-                    merged.append(
-                        (key, _Candidate(global_id, entry.dist, run.shard, entry))
-                    )
-            merged.sort(key=lambda pair: pair[0])
-            shortlists.append([cand for _, cand in merged[:shortlist_size]])
+            dists_parts, gid_parts, run_parts, row_parts = [], [], [], []
+            for run_idx, run in enumerate(runs):
+                block = run.ctxs[qi].shortlist
+                merge_acc.add(run.shard, len(block))
+                if len(block) == 0:
+                    continue
+                mine = np.asarray(
+                    assignment.shard_vectors[run.shard], dtype=np.int64
+                )
+                local_original = run.db.slot_to_original[block.radrs]
+                gids = mine[local_original]
+                dists_parts.append(block.dists)
+                gid_parts.append(gids)
+                run_parts.append(
+                    np.full(len(block), run_idx, dtype=np.int64)
+                )
+                row_parts.append(np.arange(len(block), dtype=np.int64))
+            if not dists_parts:
+                empty = np.empty(0, dtype=np.int64)
+                shortlists.append(_MergedShortlist(empty, empty, empty))
+                continue
+            dists = np.concatenate(dists_parts)
+            gids = np.concatenate(gid_parts)
+            run_index = np.concatenate(run_parts)
+            rows = np.concatenate(row_parts)
+            slots = np.asarray(assignment.global_slot, dtype=np.int64)[gids]
+            if probe_ranks[qi] is not None:
+                ranks = probe_ranks[qi]
+                rank_of_cluster = np.full(sdb.n_clusters, -1, dtype=np.int64)
+                for cluster, rank in ranks.items():
+                    rank_of_cluster[cluster] = rank
+                pranks = rank_of_cluster[
+                    np.asarray(assignment.cluster_of_vector, dtype=np.int64)[gids]
+                ]
+                order = merge_order(dists, pranks, slots)[:shortlist_size]
+            else:
+                order = merge_order(dists, slots)[:shortlist_size]
+            shortlists.append(
+                _MergedShortlist(gids[order], run_index[order], rows[order])
+            )
         return shortlists
 
     def _rerank_barrier(
@@ -611,55 +662,69 @@ class ShardRouter:
         sdb: ShardedDatabase,
         runs: List[_ShardRun],
         queries: np.ndarray,
-        shortlists: List[List[_Candidate]],
+        shortlists: List[_MergedShortlist],
         merge_acc: _MergeAccounting,
     ) -> List[List[Tuple[int, int, int, int]]]:
         """Per-shard INT8 reranks of the global shortlist, merged to top-k.
 
-        Each shard rescores only its members; the router sorts by
-        (INT8 distance, global shortlist position) -- the stable order the
-        single device's rerank argsort produces -- and truncates to k.
-        Returns, per query, ranked (global id, refined distance, shard,
-        local dadr) tuples.
+        Each shard rescores only its members; the router merges with one
+        ``np.lexsort`` by (INT8 distance, global shortlist position) -- the
+        stable order the single device's rerank argsort produces, positions
+        being unique -- and truncates to k.  Returns, per query, ranked
+        (global id, refined distance, shard, local dadr) tuples.
         """
         ranked: List[List[Tuple[int, int, int, int]]] = []
         for qi, shortlist in enumerate(shortlists):
-            position = {
-                cand.global_id: pos for pos, cand in enumerate(shortlist)
-            }
-            scored: List[Tuple[int, int, int, int, int]] = []
-            members: Dict[int, List[_Candidate]] = {}
-            for cand in shortlist:
-                members.setdefault(cand.shard, []).append(cand)
             k = runs[0].plans[qi].k
-            for run in runs:
-                mine = members.get(run.shard, [])
+            dist_parts, pos_parts, gid_parts, shard_parts, dadr_parts = (
+                [], [], [], [], [],
+            )
+            for run_idx, run in enumerate(runs):
+                sel = np.flatnonzero(shortlist.run_index == run_idx)
                 ctx = run.ctxs[qi]
-                ctx.shortlist = [cand.entry for cand in mine]
+                fine_block = ctx.shortlist
+                mine = fine_block.take(shortlist.rows[sel])
+                ctx.shortlist = mine
                 distances, dadrs, slots, cost = run.executor.engine._rerank(
-                    run.db, queries[qi], ctx.shortlist, len(mine), ctx.stats
+                    run.db, queries[qi], mine, len(mine), ctx.stats
                 )
                 ctx.phase_costs["rerank"] = cost
                 ctx.distances, ctx.dadrs, ctx.slots = distances, dadrs, slots
-                shard_vec = sdb.assignment.shard_vectors[run.shard]
-                for row in range(distances.size):
-                    local_original = int(run.db.slot_to_original[int(slots[row])])
-                    global_id = int(shard_vec[local_original])
-                    scored.append(
-                        (
-                            int(distances[row]),
-                            position[global_id],
-                            global_id,
-                            run.shard,
-                            int(dadrs[row]),
-                        )
-                    )
                 merge_acc.add(run.shard, len(mine))
-            scored.sort()
+                if distances.size == 0:
+                    continue
+                # The rerank returns rows in refined order; map each row
+                # back to its member (RADRs are unique within a shard) to
+                # recover global id and merged-shortlist position.
+                by_radr = np.argsort(mine.radrs)
+                member = by_radr[
+                    np.searchsorted(mine.radrs[by_radr], slots)
+                ]
+                dist_parts.append(distances)
+                pos_parts.append(sel[member])
+                gid_parts.append(shortlist.gids[sel][member])
+                shard_parts.append(
+                    np.full(distances.size, run.shard, dtype=np.int64)
+                )
+                dadr_parts.append(dadrs)
+            if not dist_parts:
+                ranked.append([])
+                continue
+            dists = np.concatenate(dist_parts)
+            positions = np.concatenate(pos_parts)
+            gids = np.concatenate(gid_parts)
+            shards = np.concatenate(shard_parts)
+            dadrs_all = np.concatenate(dadr_parts)
+            order = merge_order(dists, positions)[:k]
             ranked.append(
                 [
-                    (global_id, dist, shard, dadr)
-                    for dist, _pos, global_id, shard, dadr in scored[:k]
+                    (
+                        int(gids[i]),
+                        int(dists[i]),
+                        int(shards[i]),
+                        int(dadrs_all[i]),
+                    )
+                    for i in order
                 ]
             )
         return ranked

@@ -1,0 +1,66 @@
+"""Opt-in host-side wall-clock profiling for the serving hot path.
+
+Everything the simulator *reports* as latency comes from the timing
+model, never from the wall clock -- ``tests/test_core_queue.py`` guards
+``src/repro/core`` against reading it, so tier-1 results stay
+deterministic and flake-free.  The wall clock *is* legitimate for one
+thing: profiling the host implementation itself -- how much real time
+the Python process spends scheduling, scanning, reranking and fetching
+while it drives the functional simulation.  That is what the serving
+benchmarks measure as ``host_wall_seconds``.
+
+:class:`HostProfile` is the single opt-in boundary behind which that
+read happens.  Disabled runs pass ``host_profile=None`` (the default
+everywhere) and the hot path never enters this module; an enabled run
+hands a ``HostProfile()`` down through
+:meth:`~repro.core.api.ReisDevice.ivf_search` and per-phase host wall
+times accumulate, reported as ``host_<phase>`` keys alongside the
+modeled phases in
+:meth:`~repro.core.api.BatchSearchResult.phase_seconds`.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+
+class HostProfile:
+    """Per-phase host wall-clock and call-count accumulator (opt-in).
+
+    Constructing one opts in; the serving stack treats ``None`` as
+    "profiling off" and guards every hook with a truthiness check, so a
+    disabled run performs no clock reads and allocates nothing here.
+    Accumulated numbers describe the *host process*, not the simulated
+    device -- they belong next to ``host_wall_seconds`` in benchmark
+    reports, never in the modeled latency decomposition.
+    """
+
+    __slots__ = ("seconds", "calls")
+
+    def __init__(self) -> None:
+        self.seconds: Dict[str, float] = {}
+        self.calls: Dict[str, int] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time one host-side phase; nestable, re-entrant per name."""
+        # The wall-clock read lives here and ONLY here: the import is
+        # deferred into the opt-in path so importing this module (or
+        # serving with profiling disabled) never touches the clock.
+        from time import perf_counter
+
+        start = perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = perf_counter() - start
+            self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+            self.calls[name] = self.calls.get(name, 0) + 1
+
+    def report(self) -> Dict[str, float]:
+        """``host_<phase> -> seconds`` for merging into phase tables."""
+        return {f"host_{name}": seconds for name, seconds in self.seconds.items()}
+
+    def __bool__(self) -> bool:
+        return True

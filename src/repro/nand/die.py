@@ -81,6 +81,27 @@ class Die:
         self.counters.add("ibc_page_transfers", transfers)
         return transfers
 
+    def broadcast_queries(self, patterns: np.ndarray, multi_plane: bool) -> int:
+        """IBC of several queries back to back (one per row of ``patterns``).
+
+        The cache latch is overwrite-only, so broadcasting queries
+        back-to-back leaves only the last pattern latched; earlier patterns
+        are never observable.  This method therefore tiles only the final
+        row while accounting every broadcast and transfer, leaving latch
+        state and counters identical to calling :meth:`broadcast_query`
+        once per row.  Returns the total page-sized transfers consumed.
+        """
+        n = len(patterns)
+        if n == 0:
+            return 0
+        for plane in self.planes:
+            plane.broadcast_to_cache(patterns[-1])
+            if n > 1:
+                plane.counters.add("ibc_broadcasts", n - 1)
+        transfers = (1 if multi_plane else self.planes_per_die) * n
+        self.counters.add("ibc_page_transfers", transfers)
+        return transfers
+
     def multi_query_distances(
         self, plane: int, query_codes: np.ndarray, segment_bytes: int, n_segments: int
     ) -> np.ndarray:

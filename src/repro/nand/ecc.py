@@ -19,6 +19,28 @@ import numpy as np
 from repro.nand.latches import _POPCOUNT_TABLE
 
 
+def _diff_bytes(raw: np.ndarray, golden: np.ndarray) -> np.ndarray:
+    """Indices of bytes where ``raw`` and ``golden`` differ, ascending.
+
+    Compares word-at-a-time when the layout allows it (a page compare is
+    8x fewer elements that way), falling back to the byte compare for odd
+    sizes or non-contiguous inputs.
+    """
+    if (
+        raw.ndim == 1
+        and raw.size % 8 == 0
+        and raw.size > 0
+        and raw.flags.c_contiguous
+        and golden.flags.c_contiguous
+    ):
+        words = np.flatnonzero(raw.view(np.uint64) != golden.view(np.uint64))
+        if words.size == 0:
+            return words
+        spread = (words[:, None] * 8 + np.arange(8)).ravel()
+        return spread[raw[spread] != golden[spread]]
+    return np.flatnonzero(raw != golden)
+
+
 @dataclass(frozen=True)
 class EccConfig:
     """Parameters of the controller ECC engine."""
@@ -47,26 +69,52 @@ class EccEngine:
         self.corrected_bits = 0
         self.uncorrectable_codewords = 0
 
-    def correct(self, raw: np.ndarray, golden: np.ndarray) -> np.ndarray:
+    def correct(
+        self,
+        raw: np.ndarray,
+        golden: np.ndarray,
+        candidate_bytes: np.ndarray | None = None,
+    ) -> np.ndarray:
         """Return the corrected page data.
 
-        ``raw`` and ``golden`` are equal-length ``uint8`` arrays.
+        ``raw`` and ``golden`` are equal-length ``uint8`` arrays.  When the
+        caller already knows a superset of the differing byte positions
+        (the functional simulator's error injector reports where it flipped
+        bits), passing it as ``candidate_bytes`` skips the full-page
+        comparison; the result is identical to the unhinted call as long as
+        the candidates cover every byte where ``raw != golden``.
         """
         if raw.shape != golden.shape:
             raise ValueError("raw/golden shape mismatch")
-        out = raw.copy()
         cw = self.config.codeword_bytes
         self.decoded_bytes += int(raw.size)
         # Raw errors are sparse (a handful of flipped bits per page), so
         # locate the flipped bytes in one vectorized pass and popcount only
         # those, binned per codeword -- never a full-page bit expansion.
-        flipped = np.flatnonzero(raw != golden)
+        if candidate_bytes is None:
+            flipped = _diff_bytes(raw, golden)
+        elif candidate_bytes.size == 0:
+            return raw.copy()
+        else:
+            candidates = np.sort(candidate_bytes)
+            if candidates.size > 1:
+                keep = np.empty(candidates.size, dtype=bool)
+                keep[0] = True
+                np.not_equal(candidates[1:], candidates[:-1], out=keep[1:])
+                candidates = candidates[keep]
+            flipped = candidates[raw[candidates] != golden[candidates]]
         if flipped.size == 0:
-            return out
+            return raw.copy()
         flips_per_byte = _POPCOUNT_TABLE[
             np.bitwise_xor(raw[flipped], golden[flipped])
         ]
         errors_per_codeword = np.bincount(flipped // cw, weights=flips_per_byte)
+        if errors_per_codeword.max() <= self.config.correctable_bits_per_codeword:
+            # Every affected codeword is within capability: the corrected
+            # page is the golden page, no per-codeword restore needed.
+            self.corrected_bits += int(flips_per_byte.sum())
+            return golden.copy()
+        out = raw.copy()
         for codeword in np.flatnonzero(errors_per_codeword):
             n_errors = int(errors_per_codeword[codeword])
             start = int(codeword) * cw

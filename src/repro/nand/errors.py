@@ -9,10 +9,18 @@ functional simulator really does flip bits unless ECC runs.
 
 from __future__ import annotations
 
+from typing import Tuple
+
 import numpy as np
 
 from repro.nand.cell import CellMode, reliability
 from repro.sim.rng import make_rng
+
+_NO_FLIPS = np.empty(0, dtype=np.int64)
+_NO_FLIPS.setflags(write=False)
+
+_BIT_MASKS = (np.uint8(1) << np.arange(8, dtype=np.uint8)).astype(np.uint8)
+_BIT_MASKS.setflags(write=False)
 
 
 class BitErrorModel:
@@ -27,19 +35,30 @@ class BitErrorModel:
 
         ``data`` is a ``uint8`` array; the input is never modified in place.
         """
+        return self.corrupt_traced(data, mode)[0]
+
+    def corrupt_traced(
+        self, data: np.ndarray, mode: CellMode
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """:meth:`corrupt` plus the byte indices where flips were injected.
+
+        The returned index array is a superset of the bytes that actually
+        differ from ``data`` (two draws landing on the same bit cancel), so
+        it can seed a sparse ECC pass without a full-page comparison.  An
+        empty array guarantees the returned page equals ``data``.
+        """
         profile = reliability(mode)
         if not self.enabled or profile.raw_ber <= 0.0:
-            return data.copy()
+            return data.copy(), _NO_FLIPS
         n_bits = data.size * 8
         n_errors = self._rng.binomial(n_bits, profile.raw_ber)
         if n_errors == 0:
-            return data.copy()
+            return data.copy(), _NO_FLIPS
         corrupted = data.copy()
         positions = self._rng.integers(0, n_bits, size=n_errors)
-        byte_idx = positions // 8
-        bit_idx = positions % 8
-        np.bitwise_xor.at(corrupted, byte_idx, (1 << bit_idx).astype(np.uint8))
-        return corrupted
+        byte_idx = positions >> 3
+        np.bitwise_xor.at(corrupted, byte_idx, _BIT_MASKS[positions & 7])
+        return corrupted, byte_idx
 
     def expected_errors(self, n_bytes: int, mode: CellMode) -> float:
         """Expected number of raw bit errors in ``n_bytes`` of data."""

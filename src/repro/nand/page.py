@@ -21,6 +21,19 @@ class PageState(Enum):
     INVALID = "invalid"  # superseded by an out-of-place update
 
 
+_ERASED_VIEWS: dict = {}
+
+
+def _erased_view(n_bytes: int) -> np.ndarray:
+    """Shared read-only all-ones array modeling an erased read."""
+    view = _ERASED_VIEWS.get(n_bytes)
+    if view is None:
+        view = np.full(n_bytes, 0xFF, dtype=np.uint8)
+        view.setflags(write=False)
+        _ERASED_VIEWS[n_bytes] = view
+    return view
+
+
 class FlashPage:
     """One flash page: ``page_bytes`` of data plus ``oob_bytes`` of OOB."""
 
@@ -59,6 +72,17 @@ class FlashPage:
                 np.full(self.oob_bytes, 0xFF, dtype=np.uint8),
             )
         return self._data.copy(), self._oob.copy()
+
+    def raw_view(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Golden contents without defensive copies.
+
+        Callers must treat the returned arrays as read-only; the read path
+        copies before injecting errors or loading latches, so handing out
+        the stored arrays directly keeps page senses allocation-free.
+        """
+        if self.state is PageState.ERASED or self._data is None or self._oob is None:
+            return _erased_view(self.page_bytes), _erased_view(self.oob_bytes)
+        return self._data, self._oob
 
     def invalidate(self) -> None:
         """Mark the page's contents stale (FTL out-of-place update)."""

@@ -12,6 +12,10 @@ from repro.nand.latches import FailBitCounter, PageBuffer, PassFailChecker
 from repro.nand.page import FlashBlock, PageState
 from repro.sim.stats import CounterSet
 
+# Per-mode counter keys precomputed once: the read hot path increments one
+# of these for every sense and should not rebuild the string each time.
+_READ_COUNTER_KEYS = {mode: f"page_reads_{mode.timing_key}" for mode in CellMode}
+
 
 class Plane:
     """A plane: blocks of pages, one page buffer, peripheral logic.
@@ -42,6 +46,9 @@ class Plane:
         self.pass_fail_checker = PassFailChecker()
         self._errors = error_model or BitErrorModel(seed=plane_id)
         self.counters = counters if counters is not None else CounterSet()
+        # Byte indices the error model touched on the most recent sense --
+        # a superset of the actually-flipped bytes, usable as an ECC hint.
+        self.last_flipped_bytes = np.empty(0, dtype=np.int64)
 
     # ------------------------------------------------------------------ I/O
 
@@ -55,16 +62,22 @@ class Plane:
         """
         flash_block = self.blocks[block]
         flash_page = flash_block.pages[page]
-        golden_data, golden_oob = flash_page.raw()
-        data = self._errors.corrupt(golden_data, flash_block.mode)
+        golden_data, golden_oob = flash_page.raw_view()
+        data, self.last_flipped_bytes = self._errors.corrupt_traced(
+            golden_data, flash_block.mode
+        )
         self.buffer.load_sensing(data, golden_oob)
         self.counters.add("page_reads")
-        self.counters.add(f"page_reads_{flash_block.mode.timing_key}")
+        self.counters.add(_READ_COUNTER_KEYS[flash_block.mode])
         return data, golden_oob
 
     def golden_page(self, block: int, page: int) -> Tuple[np.ndarray, np.ndarray]:
         """Error-free page contents (for ECC reference and tests)."""
         return self.blocks[block].pages[page].raw()
+
+    def golden_view(self, block: int, page: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Error-free page contents without copies (read-only reference)."""
+        return self.blocks[block].pages[page].raw_view()
 
     def program_page(
         self, block: int, page: int, data: np.ndarray, oob: Optional[np.ndarray] = None

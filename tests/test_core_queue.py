@@ -90,6 +90,40 @@ class TestWallClockGuard:
         ]
         assert offenders == []
 
+    def test_host_profiler_reads_clock_only_inside_the_optin_boundary(self):
+        """The opt-in profiler is the one sanctioned wall-clock reader.
+
+        ``src/repro/host/profile.py`` may read ``perf_counter`` -- that is
+        its whole job -- but only behind the ``HostProfile.phase()``
+        boundary: the import must be deferred into the method body, so
+        importing the module (or serving with profiling disabled, the
+        default) never touches the clock.
+        """
+        host = Path(__file__).resolve().parents[1] / "src" / "repro" / "host"
+        profile = host / "profile.py"
+        source = profile.read_text()
+        matches = list(self.FORBIDDEN.finditer(source))
+        # Exactly one clock access in the whole module: the deferred
+        # import inside phase().  No time.*() call sites, no datetime.
+        assert len(matches) == 1
+        (match,) = matches
+        line_start = source.rfind("\n", 0, match.start()) + 1
+        line = source[line_start : source.index("\n", line_start)]
+        assert line.strip() == "from time import perf_counter"
+        phase_def = source.index("def phase(")
+        assert match.start() > phase_def, (
+            "the perf_counter import must live inside HostProfile.phase()"
+        )
+        # And it is indented (function scope), not a module-level import.
+        assert line.startswith(" ")
+        # Every other module in the host package stays clock-free.
+        offenders = [
+            path.name
+            for path in sorted(host.rglob("*.py"))
+            if path != profile and self.FORBIDDEN.search(path.read_text())
+        ]
+        assert offenders == []
+
 
 class TestBatchFormer:
     """The batch-forming state machine's triggers, in isolation."""
