@@ -8,6 +8,11 @@ absorbs CI machine speed variance; a vectorization regression on the
 serving hot path (a reintroduced per-query Python loop) costs well over
 2x and trips the gate.
 
+A second, machine-speed-independent gate watches the *share* of host
+wall spent in the TLC phases (``host_rerank`` + ``host_documents``):
+the page-major batch kernels hold it low, and a reintroduced per-query
+TLC walk inflates the share regardless of how fast the CI machine is.
+
 Usage: ``PYTHONPATH=src python benchmarks/perf_smoke.py``
 """
 
@@ -26,6 +31,19 @@ from test_serving_throughput import (  # noqa: E402
 GATE_N_ENTRIES = 10_000
 REGRESSION_FACTOR = 2.0
 REPEATS = 5
+# TLC share: measured (host_rerank + host_documents) / host_wall may grow
+# at most 1.5x over the checked-in share, with an absolute floor (noise
+# on a fast baseline must not trip the gate) and a hard ceiling.
+TLC_SHARE_FACTOR = 1.5
+TLC_SHARE_FLOOR = 0.15
+TLC_SHARE_CEILING = 0.95
+
+
+def tlc_share(point) -> float:
+    """Fraction of the host wall spent in the rerank+documents kernels."""
+    phases = point["host_phase_seconds"]
+    tlc = phases.get("host_rerank", 0.0) + phases.get("host_documents", 0.0)
+    return tlc / max(point["host_wall_seconds"], 1e-12)
 
 
 def main() -> int:
@@ -56,6 +74,24 @@ def main() -> int:
         print(
             f"perf-smoke: FAIL -- host wall regressed "
             f">{REGRESSION_FACTOR:.0f}x vs checked-in BENCH_serving.json"
+        )
+        return 1
+
+    baseline_share = tlc_share(baseline)
+    measured_share = tlc_share(measured)
+    share_budget = min(
+        TLC_SHARE_CEILING,
+        max(TLC_SHARE_FLOOR, baseline_share * TLC_SHARE_FACTOR),
+    )
+    print(
+        f"perf-smoke: TLC share of host wall: measured "
+        f"{measured_share:.1%}, checked-in {baseline_share:.1%}, "
+        f"budget {share_budget:.1%}"
+    )
+    if measured_share > share_budget:
+        print(
+            "perf-smoke: FAIL -- rerank+documents host share regressed "
+            "(per-query TLC walk reintroduced?)"
         )
         return 1
     print("perf-smoke: OK")

@@ -104,12 +104,15 @@ INGEST_N_EVAL = 16
 
 # Host scaling: the batch-64 workload at growing corpus sizes, with the
 # opt-in HostProfile attached.  Each point is (n_entries, nlist,
-# blocks_per_plane); the flash array is deepened so the corpus fits (the
-# document region costs one subpage per entry).  10^6 would need ~9 GB of
-# programmed pages -- out of CI budget, so the sweep tops out at 10^5.
+# blocks_per_plane); the flash array is deepened so the corpus fits.  The
+# packed document region (64B slots for the synthetic blobs, 256 per page
+# instead of 4 subpage-wide ones) is what makes the 10^6 point fit: at one
+# subpage per entry it needed ~9 GB of programmed pages, packed it is
+# ~250 MB alongside the embedding and INT8 regions.
 HOST_SCALE_POINTS = (
     (10_000, 64, 16),
     (100_000, 128, 64),
+    (1_000_000, 256, 32),
 )
 HOST_SCALE_BATCH = 64
 HOST_SCALE_REPEATS = 3
@@ -281,8 +284,12 @@ def run_arrival_sweep():
     db_id = device.ivf_deploy("arrive", vectors, nlist=NLIST, seed=0)
     queries = make_queries(vectors, ARRIVAL_N, seed="arrive-q")
 
-    # Calibrate the solo service rate (batch-size-1 device throughput).
-    calib = device.ivf_search(db_id, queries[:1], k=K, nprobe=NPROBE)
+    # Calibrate the solo service rate (batch-size-1 device throughput) as
+    # the mean over the arrival population, not a single probe query --
+    # per-query latency varies (shortlist sizes, page sharing in the
+    # packed document region), and "load" should mean arrival rate over
+    # the true mean service rate.
+    calib = device.ivf_search(db_id, queries, k=K, nprobe=NPROBE)
     solo_qps = calib.sequential_qps
     solo_s = 1.0 / solo_qps
     deadline_budget = DEADLINE_BUDGET_SOLO * solo_s
@@ -466,18 +473,18 @@ def test_host_scaling_serving(benchmark, show):
     BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     show(f"  updated {BENCH_PATH.name} (host_scaling)")
 
-    # The sweep reaches at least 10^5 entries (the acceptance floor).
-    assert max(p["n_entries"] for p in points) >= 100_000
+    # The packed document region lifts the sweep to 10^6 entries.
+    assert max(p["n_entries"] for p in points) >= 1_000_000
     for point in points:
         phases = point["host_phase_seconds"]
-        # Every executor phase is profiled, per-query phases once per query,
-        # and the phases nest inside the measured wall clock.
+        # Every executor phase is profiled, TLC phases once per *batch*
+        # (page-major kernels), and the phases nest inside the wall clock.
         assert set(phases) == {
             "host_prepare", "host_ibc", "host_coarse", "host_fine",
             "host_rerank", "host_documents", "host_finalize",
         }
-        assert point["host_phase_calls"]["rerank"] == HOST_SCALE_BATCH
-        assert point["host_phase_calls"]["documents"] == HOST_SCALE_BATCH
+        assert point["host_phase_calls"]["rerank"] == 1
+        assert point["host_phase_calls"]["documents"] == 1
         assert sum(phases.values()) <= point["host_wall_seconds"] * (1 + 1e-6)
         assert sum(phases.values()) >= point["host_wall_seconds"] * 0.5
         # Batching still wins on the modeled clock at every corpus size.

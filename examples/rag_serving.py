@@ -24,6 +24,7 @@ from repro.core import REIS_SSD1, ReisDevice, ReisRetriever, tiny_config
 from repro.experiments.fig07_08 import _workload_for
 from repro.experiments.operating_points import measure_operating_points
 from repro.host.baseline import CpuRetriever, CpuRetrieverConfig
+from repro.host.profile import HostProfile
 from repro.rag.datasets import PRESETS, load_dataset
 from repro.rag.embeddings import SyntheticEmbeddingModel
 from repro.rag.generation import GenerationModel
@@ -81,18 +82,46 @@ def main() -> None:
     # The device serves the whole batch concurrently (shared page senses,
     # die/channel overlap); phase_seconds() shows where the batch wall
     # clock goes, and the QPS pair quantifies the batching win.
-    device_batch = device.ivf_search(db_id, batch, k=10, nprobe=6)
+    profile = HostProfile()
+    device_batch = device.ivf_search(
+        db_id, batch, k=10, nprobe=6, host_profile=profile
+    )
     phases = device_batch.phase_seconds()
     wall = device_batch.wall_seconds
     print(f"\ndevice-side phase breakdown ({len(device_batch)} queries, "
           f"batched wall clock {wall * 1e3:.2f}ms):")
     for phase, seconds in phases.items():
+        if phase.startswith("host_"):
+            continue  # host process time is reported separately below
         fraction = seconds / wall if wall > 0 else 0.0
         bar = "#" * int(fraction * 40)
         print(f"  {phase:26s} {seconds * 1e3:8.3f}ms {fraction:6.1%} {bar}")
     print(f"  batched QPS {device_batch.qps:,.0f} vs sequential "
           f"{device_batch.sequential_qps:,.0f} "
           f"({device_batch.qps / device_batch.sequential_qps:.2f}x)")
+
+    # --- host-side phase decomposition -------------------------------------
+    # Real wall clock spent by the Python process per phase.  Every phase
+    # runs page-major at batch level -- the TLC phases (rerank, documents)
+    # included since their batch kernels landed -- so "calls" reads 1 per
+    # phase for the whole batch and max/call equals the total.
+    host_wall = sum(profile.seconds.values())
+    print(f"\nhost-side phase decomposition (process wall clock "
+          f"{host_wall * 1e3:.2f}ms):")
+    print(f"  {'phase':26s} {'total':>9s} {'calls':>6s} {'max/call':>10s}")
+    for phase, seconds in sorted(
+        profile.seconds.items(), key=lambda kv: -kv[1]
+    ):
+        print(f"  {phase:26s} {seconds * 1e3:7.2f}ms "
+              f"{profile.calls[phase]:6d} "
+              f"{profile.max_seconds[phase] * 1e3:8.3f}ms")
+    tlc = profile.seconds.get("rerank", 0.0) + profile.seconds.get(
+        "documents", 0.0
+    )
+    print(f"  TLC phases (rerank+documents): {tlc * 1e3:.2f}ms, "
+          f"{profile.calls.get('rerank', 0)} rerank call(s) + "
+          f"{profile.calls.get('documents', 0)} documents call(s) "
+          f"for {len(device_batch)} queries")
 
     # --- grounded generation ----------------------------------------------
     generator = GenerationModel()

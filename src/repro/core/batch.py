@@ -53,9 +53,11 @@ import numpy as np
 from repro.core.costing import BatchPhaseBreakdown, PhaseCost, compose_batch_phase
 from repro.core.layout import DeployedDatabase, RegionInfo
 from repro.core.plan import (
+    DocumentStage,
     PlanContext,
     QueryPlan,
     ReisQueryResult,
+    RerankStage,
     build_query_plan,
     finalize_query_result,
     schedule_order,
@@ -728,18 +730,20 @@ class BatchExecutor:
             with _phase_timer(host_profile, "fine"):
                 self._run_fine_phase(db, plans, ctxs, stats, scheduled_senses)
 
-        # Rerank + documents stay query-major (ECC-corrected TLC reads).
-        if host_profile is None:
-            for plan, ctx in zip(plans, ctxs):
-                for stage in plan.stages:
-                    if stage.name in ("rerank", "documents"):
-                        stage.run(engine, ctx)
-        else:
-            for plan, ctx in zip(plans, ctxs):
-                for stage in plan.stages:
-                    if stage.name in ("rerank", "documents"):
-                        with host_profile.phase(stage.name):
-                            stage.run(engine, ctx)
+        # TLC phases run page-major across the whole batch too: one shared
+        # functional pass per phase (each batch-unique page sensed and
+        # ECC-corrected once, one distance einsum), per-query billing --
+        # see RerankStage.run_batch / DocumentStage.run_batch.
+        if plans and any(s.name == "rerank" for s in plans[0].stages):
+            rerank_stages = [
+                next(s for s in plan.stages if s.name == "rerank")
+                for plan in plans
+            ]
+            with _phase_timer(host_profile, "rerank"):
+                RerankStage.run_batch(engine, db, rerank_stages, ctxs)
+        if plans and any(s.name == "documents" for s in plans[0].stages):
+            with _phase_timer(host_profile, "documents"):
+                DocumentStage.run_batch(engine, db, ctxs)
 
         with _phase_timer(host_profile, "finalize"):
             results = [

@@ -76,7 +76,13 @@ class EngineParams:
     # The same factor is applied to every baseline for a fair comparison.
     shortlist_factor: int = 40
     filter_keep_quantile: float = 0.02  # DF keeps ~2% of candidates
-    doc_slot_bytes: int = 4096  # one chunk per 4KB sub-page
+    # Document slots are packed: the layout engine picks the smallest
+    # power-of-two slot that holds the database's largest chunk, between
+    # this floor and the ``doc_slot_bytes`` cap.  Power-of-two widths that
+    # divide the 4KB sub-page guarantee a chunk never straddles an ECC
+    # codeword (2048B) or sub-page boundary.
+    doc_slot_bytes: int = 4096  # largest slot: one chunk per 4KB sub-page
+    doc_pack_floor_bytes: int = 64  # smallest packed slot
     oob_link_bytes: int = 8  # DADR + RADR per embedding in the OOB
 
     def coarse_entry_bytes(self, code_bytes: int) -> int:

@@ -779,13 +779,16 @@ class InStorageAnnsEngine:
         if charge_transfer:
             if byte_len is None:
                 byte_len = raw.size - byte_start
-            cw = self.ssd.ecc.config.codeword_bytes
-            first_cw = byte_start // cw
-            last_cw = (byte_start + max(byte_len, 1) - 1) // cw
-            moved = (last_cw - first_cw + 1) * cw
-            cost.add_channel_bytes(channel, moved)
-            cost.ecc_bytes += moved
-            self.ssd.counters.add("channel_bytes", moved)
+            if byte_len > 0:
+                # A zero-length read moves nothing: no codeword crosses
+                # the channel and nothing is ECC-decoded.
+                cw = self.ssd.ecc.config.codeword_bytes
+                first_cw = byte_start // cw
+                last_cw = (byte_start + byte_len - 1) // cw
+                moved = (last_cw - first_cw + 1) * cw
+                cost.add_channel_bytes(channel, moved)
+                cost.ecc_bytes += moved
+                self.ssd.counters.add("channel_bytes", moved)
         golden, _ = plane.golden_view(ppa.block, ppa.page)
         return self.ssd.ecc.correct(
             raw, golden, candidate_bytes=plane.last_flipped_bytes
@@ -799,13 +802,14 @@ class InStorageAnnsEngine:
     ) -> Tuple[List[DocumentChunk], PhaseCost, float]:
         """Step 9: document identification + transfer to the host.
 
-        Each result still pays its full modeled visit -- page sense,
-        channel codewords, ECC decode -- exactly as the one-at-a-time walk
-        charged it; the charges are just accumulated in one vectorized pass
-        and the *functional* page materialization runs once per unique page
-        (the simulator re-reading an already-corrected page cannot change
-        its contents).  Pages are sensed in first-touch order, pinning each
-        plane's error-injection RNG stream to the scalar walk's.
+        Charges are per-query-unique, exactly as the rerank phase treats
+        its shortlist: one sense per distinct page (the latch serves every
+        chunk of a page from a single sense) and one channel/ECC codeword
+        per distinct (page, codeword) pair.  With packed document slots
+        several results routinely share a page; the query pays for the
+        page once.  Cross-query charges are never deduplicated (the
+        energy-counter invariant).  Pages are sensed in first-touch order,
+        pinning each plane's error-injection RNG stream.
         """
         cost = PhaseCost(name="documents", read_mode="tlc", with_compute=False)
         region = db.document_region
@@ -824,7 +828,6 @@ class InStorageAnnsEngine:
         cw = self.ssd.ecc.config.codeword_bytes
         first_cw = starts // cw
         last_cw = (starts + max(item_bytes, 1) - 1) // cw
-        moved = (last_cw - first_cw + 1) * cw
 
         unique_pages, first_rows = np.unique(page_offsets, return_index=True)
         touch_order = np.argsort(first_rows, kind="stable")
@@ -845,28 +848,31 @@ class InStorageAnnsEngine:
             channel_of_page[rank] = channel
             page_id_of_page[rank] = page_id
 
-        # Per-visit charges, accumulated per plane/channel in bulk.
-        page_rank = np.searchsorted(unique_pages, page_offsets)
-        visit_planes = plane_of_page[page_rank]
-        visit_channels = channel_of_page[page_rank]
-        visit_page_ids = page_id_of_page[page_rank]
-        for plane_index in np.unique(visit_planes):
-            rows = visit_planes == plane_index
-            plane_key = int(plane_index)
-            cost.pages_per_plane[plane_key] = (
-                cost.pages_per_plane.get(plane_key, 0) + int(rows.sum())
+        # One sense charge per distinct page, in first-touch order.
+        for rank in touch_order:
+            cost.add_page(
+                int(plane_of_page[rank]), page_id=int(page_id_of_page[rank])
             )
-            cost.sensed_page_ids.setdefault(plane_key, []).extend(
-                visit_page_ids[rows].tolist()
-            )
-        for channel in np.unique(visit_channels):
-            cost.add_channel_bytes(
-                int(channel), int(moved[visit_channels == channel].sum())
-            )
-        total_moved = int(moved.sum())
-        cost.ecc_bytes += total_moved
-        self.ssd.counters.add("channel_bytes", total_moved)
-        stats.pages_read += n
+        stats.pages_read += unique_pages.size
+        # One channel/ECC codeword per distinct (page, codeword) pair the
+        # results touch, deduplicated in a single unique() pass.
+        counts = (last_cw - first_cw + 1).astype(np.int64)
+        within = np.arange(counts.sum()) - np.repeat(
+            np.cumsum(counts) - counts, counts
+        )
+        cw_rows = np.repeat(np.arange(n), counts)
+        cw_index = np.repeat(first_cw, counts) + within
+        cw_per_page = int(last_cw.max()) + 1
+        keys = page_offsets[cw_rows] * cw_per_page + cw_index
+        unique_keys = np.unique(keys)
+        key_channels = channel_of_page[
+            np.searchsorted(unique_pages, unique_keys // cw_per_page)
+        ]
+        for channel in np.unique(key_channels):
+            moved = int((key_channels == channel).sum()) * cw
+            cost.add_channel_bytes(int(channel), moved)
+        cost.ecc_bytes += unique_keys.size * cw
+        self.ssd.counters.add("channel_bytes", unique_keys.size * cw)
 
         for i in range(n):
             original_id = db.original_of_dadr(int(dadr_arr[i]))
@@ -885,6 +891,303 @@ class InStorageAnnsEngine:
         host_bytes = float(n * item_bytes)
         host_transfer_s = host_bytes / self.ssd.spec.host_link_bandwidth_bps
         return documents, cost, host_transfer_s
+
+    # ------------------------------------------------- batched TLC kernels
+
+    def _sense_corrected_batch(
+        self,
+        region: RegionInfo,
+        unique_pages: np.ndarray,
+        touch_order: np.ndarray,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Materialize a set of TLC pages once each, ECC-corrected in bulk.
+
+        Pages are physically sensed in ``touch_order`` (global first-touch
+        order, which pins each plane's error-injection RNG stream), then the
+        whole stack routes through :meth:`EccEngine.correct_batch` as one
+        call.  Returns ``(corrected, planes, channels, page_ids)``, all
+        aligned with ``unique_pages``.  Billing is the *caller's* job: this
+        helper only performs the shared functional work.
+        """
+        n_pages = unique_pages.size
+        raws: Optional[np.ndarray] = None
+        goldens: Optional[np.ndarray] = None
+        candidates: List[Optional[np.ndarray]] = [None] * n_pages
+        planes = np.empty(n_pages, dtype=np.int64)
+        channels = np.empty(n_pages, dtype=np.int64)
+        page_ids = np.empty(n_pages, dtype=np.int64)
+        for rank in touch_order:
+            page_offset = int(unique_pages[rank])
+            ppa, plane_index, channel, page_id = self._locate(region, page_offset)
+            plane = self.ssd.array.plane(ppa)
+            raw, _ = plane.read_page(ppa.block, ppa.page)
+            golden, _ = plane.golden_view(ppa.block, ppa.page)
+            if raws is None:
+                raws = np.empty((n_pages, raw.size), dtype=np.uint8)
+                goldens = np.empty((n_pages, raw.size), dtype=np.uint8)
+            raws[rank] = raw
+            goldens[rank] = golden
+            candidates[rank] = plane.last_flipped_bytes
+            planes[rank] = plane_index
+            channels[rank] = channel
+            page_ids[rank] = page_id
+        assert raws is not None and goldens is not None
+        corrected = self.ssd.ecc.correct_batch(raws, goldens, candidates)
+        return corrected, planes, channels, page_ids
+
+    def _bill_shared_tlc_senses(self, n_query_unique: int, n_physical: int,
+                                page_bytes: int) -> None:
+        """Charge the senses the batch kernels served from shared data.
+
+        The energy-counter invariant bills unique senses *per query*: a page
+        two queries touch costs two senses and two full-page ECC decodes,
+        exactly as the scalar walk performs them.  The batch kernels sense
+        each batch-unique page once functionally, so the per-query remainder
+        is charged here -- shared host work, unshared energy.
+        """
+        extra = n_query_unique - n_physical
+        if extra > 0:
+            self.ssd.counters.add("page_reads", extra)
+            self.ssd.counters.add("page_reads_tlc", extra)
+            self.ssd.ecc.decoded_bytes += extra * page_bytes
+
+    def _rerank_batch(
+        self,
+        db: DeployedDatabase,
+        queries: np.ndarray,
+        shortlists: Sequence[object],
+        ks: Sequence[int],
+        stats_list: Sequence[SearchStats],
+    ) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray, PhaseCost]]:
+        """Step 8 for a whole batch: page-major INT8 rerank.
+
+        Every query's shortlist RADRs are resolved to (page, codeword) in
+        one columnar pass, each batch-unique page is sensed and
+        ECC-corrected once (:meth:`_sense_corrected_batch`), the INT8 codes
+        gather into one ``(n_total_short, dim)`` matrix refined by a single
+        einsum, and each query takes its top-k from its own segment.
+        Billing stays per query and bit-identical to :meth:`_rerank`: each
+        query is charged its own unique pages, deduped channel codewords,
+        ECC bytes and core time, and the energy counters advance per query
+        (:meth:`_bill_shared_tlc_senses`).  Returns one
+        ``(distances, dadrs, slots, cost)`` tuple per query.
+        """
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
+        n_queries = len(shortlists)
+        region = db.int8_region
+        dim = db.dim
+        core = self.ssd.cores.reis_core
+        cw = self.ssd.ecc.config.codeword_bytes
+
+        per_query: List[Tuple[np.ndarray, np.ndarray]] = []
+        for shortlist in shortlists:
+            if isinstance(shortlist, TtlBlock):
+                radrs = shortlist.radrs
+                dadrs = shortlist.dadrs
+            else:
+                radrs = np.array(
+                    [entry.radr for entry in shortlist], dtype=np.int64
+                )
+                dadrs = np.array(
+                    [entry.dadr for entry in shortlist], dtype=np.int64
+                )
+            if radrs.size and (
+                radrs.min() < 0 or radrs.max() >= region.n_slots
+            ):
+                raise IndexError(
+                    f"shortlist RADR outside region {region.name!r}"
+                )
+            per_query.append((radrs, dadrs))
+        counts = np.array([r.size for r, _ in per_query], dtype=np.int64)
+        bounds = np.concatenate([[0], np.cumsum(counts)])
+        empty = np.empty(0, dtype=np.int64)
+        outs: List[Tuple[np.ndarray, np.ndarray, np.ndarray, PhaseCost]] = [
+            (
+                empty, empty, empty,
+                PhaseCost(name="rerank", read_mode="tlc", with_compute=False),
+            )
+            for _ in range(n_queries)
+        ]
+        if int(counts.sum()) == 0:
+            return outs
+
+        radrs_all = np.concatenate([r for r, _ in per_query])
+        page_offsets = radrs_all // region.slots_per_page
+        starts = (radrs_all % region.slots_per_page) * dim
+        unique_pages, first_rows = np.unique(page_offsets, return_index=True)
+        touch_order = np.argsort(first_rows, kind="stable")
+        corrected, plane_of, channel_of, page_id_of = (
+            self._sense_corrected_batch(region, unique_pages, touch_order)
+        )
+        page_rank = np.searchsorted(unique_pages, page_offsets)
+        codes_all = corrected[
+            page_rank[:, None], starts[:, None] + np.arange(dim)
+        ].view(np.int8)
+        q_i8 = db.int8_quantizer.encode(queries).astype(np.int32)
+        seg_of_row = np.repeat(np.arange(n_queries), counts)
+        diff = codes_all.astype(np.int32) - q_i8[seg_of_row]
+        refined_all = np.einsum("ij,ij->i", diff, diff).astype(np.int64)
+
+        n_query_unique = 0
+        for qi in range(n_queries):
+            lo, hi = int(bounds[qi]), int(bounds[qi + 1])
+            n_short = hi - lo
+            if n_short == 0:
+                continue
+            cost = PhaseCost(name="rerank", read_mode="tlc", with_compute=False)
+            seg_pages = page_offsets[lo:hi]
+            seg_starts = starts[lo:hi]
+            seg_rank = page_rank[lo:hi]
+            u_first = np.unique(seg_pages, return_index=True)[1]
+            u_order = np.argsort(u_first, kind="stable")
+            n_query_unique += u_first.size
+            for rank in u_order:
+                row = int(seg_rank[u_first[rank]])
+                cost.add_page(int(plane_of[row]), page_id=int(page_id_of[row]))
+                stats_list[qi].pages_read += 1
+            # Same (page, codeword) dedupe the scalar walk performs.
+            first_cw = seg_starts // cw
+            last_cw = (seg_starts + dim - 1) // cw
+            cw_counts = (last_cw - first_cw + 1).astype(np.int64)
+            within = np.arange(cw_counts.sum()) - np.repeat(
+                np.cumsum(cw_counts) - cw_counts, cw_counts
+            )
+            cw_rows = np.repeat(np.arange(n_short), cw_counts)
+            cw_index = np.repeat(first_cw, cw_counts) + within
+            cw_per_page = int(last_cw.max()) + 1
+            keys = seg_pages[cw_rows] * cw_per_page + cw_index
+            unique_keys = np.unique(keys)
+            key_channels = channel_of[
+                np.searchsorted(unique_pages, unique_keys // cw_per_page)
+            ]
+            for channel in np.unique(key_channels):
+                moved = int((key_channels == channel).sum()) * cw
+                cost.add_channel_bytes(int(channel), moved)
+            cost.ecc_bytes += unique_keys.size * cw
+            self.ssd.counters.add("channel_bytes", unique_keys.size * cw)
+
+            refined = refined_all[lo:hi]
+            cost.core_seconds += core.int8_distances(n_short, dim)
+            k = min(int(ks[qi]), n_short)
+            top = np.argsort(refined, kind="stable")[:k]
+            cost.core_seconds += core.quicksort(n_short)
+            radrs, all_dadrs = per_query[qi]
+            outs[qi] = (refined[top], all_dadrs[top], radrs[top], cost)
+        self._bill_shared_tlc_senses(
+            n_query_unique, unique_pages.size, corrected.shape[1]
+        )
+        return outs
+
+    def _fetch_documents_batch(
+        self,
+        db: DeployedDatabase,
+        dadrs_list: Sequence[np.ndarray],
+        stats_list: Sequence[SearchStats],
+    ) -> List[Tuple[List[DocumentChunk], PhaseCost, float]]:
+        """Step 9 for a whole batch: page-major document identification.
+
+        Every query's result DADRs are resolved in one columnar pass and
+        each batch-unique page materializes once (sense + one
+        :meth:`EccEngine.correct_batch` call); the per-query charges are
+        exactly :meth:`_fetch_documents`'s -- query-unique page senses and
+        query-unique channel/ECC codewords -- with the per-query unique
+        senses billed to the energy counters
+        (:meth:`_bill_shared_tlc_senses`).  Returns one
+        ``(documents, cost, host_transfer_seconds)`` tuple per query.
+        """
+        region = db.document_region
+        item_bytes = region.item_bytes
+        cw = self.ssd.ecc.config.codeword_bytes
+        arrs = [np.asarray(d, dtype=np.int64) for d in dadrs_list]
+        for arr in arrs:
+            out_of_range = (arr < 0) | (arr >= region.n_slots)
+            if out_of_range.any():
+                bad = int(arr[np.argmax(out_of_range)])
+                raise IndexError(f"slot {bad} outside region {region.name!r}")
+        outs: List[Tuple[List[DocumentChunk], PhaseCost, float]] = [
+            (
+                [],
+                PhaseCost(name="documents", read_mode="tlc", with_compute=False),
+                0.0,
+            )
+            for _ in arrs
+        ]
+        counts = np.array([a.size for a in arrs], dtype=np.int64)
+        if int(counts.sum()) == 0:
+            return outs
+        bounds = np.concatenate([[0], np.cumsum(counts)])
+        dadr_all = np.concatenate(arrs)
+        page_offsets = dadr_all // region.slots_per_page
+        starts = (dadr_all % region.slots_per_page) * item_bytes
+        first_cw = starts // cw
+        last_cw = (starts + max(item_bytes, 1) - 1) // cw
+        cw_per_page = int(last_cw.max()) + 1
+
+        unique_pages, first_rows = np.unique(page_offsets, return_index=True)
+        touch_order = np.argsort(first_rows, kind="stable")
+        corrected, plane_of, channel_of, page_id_of = (
+            self._sense_corrected_batch(region, unique_pages, touch_order)
+        )
+        page_rank = np.searchsorted(unique_pages, page_offsets)
+
+        n_query_unique = 0
+        for qi, arr in enumerate(arrs):
+            n = int(counts[qi])
+            if n == 0:
+                continue
+            lo, hi = int(bounds[qi]), int(bounds[qi + 1])
+            cost = PhaseCost(
+                name="documents", read_mode="tlc", with_compute=False
+            )
+            seg_rank = page_rank[lo:hi]
+            # One sense per query-distinct page, in this query's
+            # first-touch order -- identical to the scalar walk's charges.
+            seg_unique, seg_first = np.unique(seg_rank, return_index=True)
+            for rank in seg_unique[np.argsort(seg_first, kind="stable")]:
+                cost.add_page(int(plane_of[rank]), page_id=int(page_id_of[rank]))
+            n_query_unique += seg_unique.size
+            stats_list[qi].pages_read += seg_unique.size
+            # One channel/ECC codeword per query-distinct (page, codeword).
+            seg_first_cw = first_cw[lo:hi]
+            seg_counts = (last_cw[lo:hi] - seg_first_cw + 1).astype(np.int64)
+            within = np.arange(seg_counts.sum()) - np.repeat(
+                np.cumsum(seg_counts) - seg_counts, seg_counts
+            )
+            cw_rows = np.repeat(np.arange(n), seg_counts)
+            cw_index = np.repeat(seg_first_cw, seg_counts) + within
+            keys = page_offsets[lo:hi][cw_rows] * cw_per_page + cw_index
+            unique_keys = np.unique(keys)
+            key_channels = channel_of[
+                np.searchsorted(unique_pages, unique_keys // cw_per_page)
+            ]
+            for channel in np.unique(key_channels):
+                moved = int((key_channels == channel).sum()) * cw
+                cost.add_channel_bytes(int(channel), moved)
+            cost.ecc_bytes += unique_keys.size * cw
+            self.ssd.counters.add("channel_bytes", unique_keys.size * cw)
+
+            documents: List[DocumentChunk] = []
+            for i in range(lo, hi):
+                original_id = db.original_of_dadr(int(dadr_all[i]))
+                if db.corpus is not None:
+                    documents.append(db.corpus[original_id])
+                else:
+                    page = corrected[int(page_rank[i])]
+                    start = int(starts[i])
+                    payload = page[start : start + item_bytes]
+                    documents.append(
+                        DocumentChunk(
+                            chunk_id=original_id,
+                            text=DocumentChunk.decode_bytes(payload),
+                        )
+                    )
+            host_bytes = float(n * item_bytes)
+            host_s = host_bytes / self.ssd.spec.host_link_bandwidth_bps
+            outs[qi] = (documents, cost, host_s)
+        self._bill_shared_tlc_senses(
+            n_query_unique, unique_pages.size, corrected.shape[1]
+        )
+        return outs
 
     # -------------------------------------------------------------- search
 

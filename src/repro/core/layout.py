@@ -140,6 +140,23 @@ class DatabaseDeployer:
     def _geometry(self) -> FlashGeometry:
         return self.ssd.spec.geometry
 
+    @staticmethod
+    def packed_doc_slot_bytes(max_chunk_bytes: int, params: EngineParams) -> int:
+        """Smallest power-of-two document slot that holds the largest chunk.
+
+        Bounded below by ``params.doc_pack_floor_bytes`` (streamed appends
+        need headroom for chunks a little larger than the deployed corpus's)
+        and above by ``params.doc_slot_bytes`` (one chunk per 4KB sub-page,
+        the unpacked layout; larger chunks truncate there exactly as
+        before).  Power-of-two widths within a power-of-two page mean a
+        chunk never straddles an ECC codeword or sub-page boundary.
+        """
+        slot = max(int(params.doc_pack_floor_bytes), 1)
+        cap = int(params.doc_slot_bytes)
+        while slot < max_chunk_bytes and slot < cap:
+            slot *= 2
+        return min(slot, cap)
+
     def _allocate_region(
         self, name: str, n_slots: int, slots_per_page: int, item_bytes: int, mode: CellMode
     ) -> RegionInfo:
@@ -365,7 +382,12 @@ class DatabaseDeployer:
         oob_record_bytes = params.oob_link_bytes + (4 if metadata_tags is not None else 0)
         emb_spp = min(g.page_bytes // code_bytes, g.oob_bytes // oob_record_bytes)
         int8_spp = g.page_bytes // dim
-        doc_spp = g.page_bytes // params.doc_slot_bytes
+        # Packed document region: size the slot to this database's largest
+        # chunk (synthetic no-corpus deploys write 32-byte blobs) instead of
+        # burning a whole sub-page per chunk.
+        max_chunk = corpus.max_chunk_bytes() if corpus is not None else 32
+        doc_item_bytes = self.packed_doc_slot_bytes(max_chunk, params)
+        doc_spp = g.page_bytes // doc_item_bytes
 
         centroid_region = None
         r_ivf = None
@@ -390,7 +412,7 @@ class DatabaseDeployer:
             f"{name}/int8", n_total, int8_spp, dim, CellMode.TLC
         )
         document_region = self._allocate_region(
-            f"{name}/documents", n_total, doc_spp, params.doc_slot_bytes, CellMode.TLC
+            f"{name}/documents", n_total, doc_spp, doc_item_bytes, CellMode.TLC
         )
         emb_initial = replace(embedding_region, n_slots=n)
         int8_initial = replace(int8_region, n_slots=n)
@@ -432,7 +454,7 @@ class DatabaseDeployer:
         # Document pages: chunk text bytes in deployment order.
         if corpus is not None:
             doc_payloads: Sequence[np.ndarray] = [
-                corpus[int(original)].encode_bytes(params.doc_slot_bytes)
+                corpus[int(original)].encode_bytes(doc_item_bytes)
                 for original in order
             ]
         else:
@@ -449,6 +471,7 @@ class DatabaseDeployer:
                 embedding_region=embedding_region.region,
                 document_region=document_region.region,
                 n_entries=n,
+                doc_slot_bytes=doc_item_bytes,
             )
         )
         self._reserve_deployed_space()

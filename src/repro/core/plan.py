@@ -171,6 +171,31 @@ class RerankStage(PlanStage):
         )
         ctx.phase_costs[self.name] = cost
 
+    @staticmethod
+    def run_batch(
+        engine: "InStorageAnnsEngine",
+        db: DeployedDatabase,
+        stages: "List[RerankStage]",
+        ctxs: "List[PlanContext]",
+    ) -> None:
+        """Page-major batch kernel: every query's shortlist in one pass.
+
+        Bit-identical to calling :meth:`run` per context (the per-query
+        billing and top-k math are unchanged); only the page
+        materialization, the ECC decode and the distance einsum are shared
+        (:meth:`~repro.core.engine.InStorageAnnsEngine._rerank_batch`).
+        """
+        outs = engine._rerank_batch(
+            db,
+            np.stack([ctx.query for ctx in ctxs]),
+            [ctx.shortlist for ctx in ctxs],
+            [stage.k for stage in stages],
+            [ctx.stats for ctx in ctxs],
+        )
+        for ctx, (distances, dadrs, slots, cost) in zip(ctxs, outs):
+            ctx.distances, ctx.dadrs, ctx.slots = distances, dadrs, slots
+            ctx.phase_costs["rerank"] = cost
+
 
 @dataclass
 class DocumentStage(PlanStage):
@@ -185,6 +210,32 @@ class DocumentStage(PlanStage):
             ctx.db, ctx.dadrs, ctx.stats
         )
         ctx.phase_costs[self.name] = cost
+
+    @staticmethod
+    def run_batch(
+        engine: "InStorageAnnsEngine",
+        db: DeployedDatabase,
+        ctxs: "List[PlanContext]",
+    ) -> None:
+        """Page-major batch kernel: every query's winner DADRs in one pass.
+
+        Queries with no winners are skipped exactly as :meth:`run` skips
+        them (no ``documents`` phase cost is recorded for them); the rest
+        share one functional page pass while keeping per-query charges
+        (:meth:`~repro.core.engine.InStorageAnnsEngine._fetch_documents_batch`).
+        """
+        active = [i for i, ctx in enumerate(ctxs) if ctx.dadrs.size]
+        if not active:
+            return
+        outs = engine._fetch_documents_batch(
+            db,
+            [ctxs[i].dadrs for i in active],
+            [ctxs[i].stats for i in active],
+        )
+        for i, (documents, cost, host_s) in zip(active, outs):
+            ctxs[i].documents = documents
+            ctxs[i].host_seconds = host_s
+            ctxs[i].phase_costs["documents"] = cost
 
 
 @dataclass

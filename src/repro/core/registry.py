@@ -30,6 +30,9 @@ class RDbEntry:
     embedding_region: CoarseRegion
     document_region: CoarseRegion
     n_entries: int
+    # Width of one packed document slot (power of two; the layout engine
+    # sizes it to the database's largest chunk, see ``packed_doc_slot_bytes``).
+    doc_slot_bytes: int = 4096
 
     @property
     def size_bytes(self) -> int:

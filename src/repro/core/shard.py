@@ -667,12 +667,39 @@ class ShardRouter:
     ) -> List[List[Tuple[int, int, int, int]]]:
         """Per-shard INT8 reranks of the global shortlist, merged to top-k.
 
-        Each shard rescores only its members; the router merges with one
+        Each shard rescores only its members -- routed through the same
+        page-major batch kernel the single-device executor uses
+        (:meth:`~repro.core.engine.InStorageAnnsEngine._rerank_batch`), one
+        call per shard covering every query; the router merges with one
         ``np.lexsort`` by (INT8 distance, global shortlist position) -- the
         stable order the single device's rerank argsort produces, positions
         being unique -- and truncates to k.  Returns, per query, ranked
         (global id, refined distance, shard, local dadr) tuples.
         """
+        # Phase 1: each shard reranks all of its members in one batch call.
+        sel_of: List[List[np.ndarray]] = []
+        for run_idx, run in enumerate(runs):
+            mines, sels = [], []
+            for qi, shortlist in enumerate(shortlists):
+                sel = np.flatnonzero(shortlist.run_index == run_idx)
+                ctx = run.ctxs[qi]
+                mine = ctx.shortlist.take(shortlist.rows[sel])
+                ctx.shortlist = mine
+                merge_acc.add(run.shard, len(mine))
+                mines.append(mine)
+                sels.append(sel)
+            sel_of.append(sels)
+            outs = run.executor.engine._rerank_batch(
+                run.db, queries, mines,
+                [len(mine) for mine in mines],
+                [ctx.stats for ctx in run.ctxs],
+            )
+            for qi, (distances, dadrs, slots, cost) in enumerate(outs):
+                ctx = run.ctxs[qi]
+                ctx.phase_costs["rerank"] = cost
+                ctx.distances, ctx.dadrs, ctx.slots = distances, dadrs, slots
+
+        # Phase 2: host-side merge, unchanged from the per-query walk.
         ranked: List[List[Tuple[int, int, int, int]]] = []
         for qi, shortlist in enumerate(shortlists):
             k = runs[0].plans[qi].k
@@ -680,17 +707,10 @@ class ShardRouter:
                 [], [], [], [], [],
             )
             for run_idx, run in enumerate(runs):
-                sel = np.flatnonzero(shortlist.run_index == run_idx)
+                sel = sel_of[run_idx][qi]
                 ctx = run.ctxs[qi]
-                fine_block = ctx.shortlist
-                mine = fine_block.take(shortlist.rows[sel])
-                ctx.shortlist = mine
-                distances, dadrs, slots, cost = run.executor.engine._rerank(
-                    run.db, queries[qi], mine, len(mine), ctx.stats
-                )
-                ctx.phase_costs["rerank"] = cost
-                ctx.distances, ctx.dadrs, ctx.slots = distances, dadrs, slots
-                merge_acc.add(run.shard, len(mine))
+                mine = ctx.shortlist
+                distances, dadrs, slots = ctx.distances, ctx.dadrs, ctx.slots
                 if distances.size == 0:
                     continue
                 # The rerank returns rows in refined order; map each row
@@ -736,23 +756,40 @@ class ShardRouter:
         ranked: List[List[Tuple[int, int, int, int]]],
         fetch_documents: bool,
     ) -> List[List[DocumentChunk]]:
-        """Fetch each winner's chunk from its owning shard, rank order kept."""
+        """Fetch each winner's chunk from its owning shard, rank order kept.
+
+        Each shard serves every query's winners in one page-major batch call
+        (:meth:`~repro.core.engine.InStorageAnnsEngine._fetch_documents_batch`),
+        so a document page shared by several queries is materialized once per
+        shard while every query is still billed its own senses.
+        """
         documents: List[List[DocumentChunk]] = [[] for _ in ranked]
         if not fetch_documents:
             return documents
-        by_shard = {run.shard: run for run in runs}
+        # Group winner dadrs per owning shard, keeping the query index.
+        per_shard: Dict[int, List[Tuple[int, List[int]]]] = {
+            run.shard: [] for run in runs
+        }
         for qi, winners in enumerate(ranked):
-            per_shard: Dict[int, List[int]] = {}
+            mine: Dict[int, List[int]] = {}
             for _global_id, _dist, shard, dadr in winners:
-                per_shard.setdefault(shard, []).append(dadr)
-            for shard, dadrs in per_shard.items():
-                run = by_shard[shard]
+                mine.setdefault(shard, []).append(dadr)
+            for shard, dadrs in mine.items():
+                per_shard[shard].append((qi, dadrs))
+        for run in runs:
+            groups = per_shard[run.shard]
+            if not groups:
+                continue
+            outs = run.executor.engine._fetch_documents_batch(
+                run.db,
+                [np.asarray(dadrs, dtype=np.int64) for _qi, dadrs in groups],
+                [run.ctxs[qi].stats for qi, _dadrs in groups],
+            )
+            for (qi, _dadrs), (_docs, cost, host_s) in zip(groups, outs):
                 ctx = run.ctxs[qi]
-                _docs, cost, host_s = run.executor.engine._fetch_documents(
-                    run.db, np.asarray(dadrs, dtype=np.int64), ctx.stats
-                )
                 ctx.phase_costs["documents"] = cost
                 ctx.host_seconds += host_s
+        for qi, winners in enumerate(ranked):
             documents[qi] = [
                 sdb.document_chunk(global_id)
                 for global_id, _dist, _shard, _dadr in winners

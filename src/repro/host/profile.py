@@ -36,11 +36,15 @@ class HostProfile:
     reports, never in the modeled latency decomposition.
     """
 
-    __slots__ = ("seconds", "calls")
+    __slots__ = ("seconds", "calls", "max_seconds")
 
     def __init__(self) -> None:
         self.seconds: Dict[str, float] = {}
         self.calls: Dict[str, int] = {}
+        # Longest single call per phase: with batch-level phases (one call
+        # per batch) the sum alone can't distinguish "many cheap calls"
+        # from "one expensive call"; the max pins tail behavior.
+        self.max_seconds: Dict[str, float] = {}
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -57,6 +61,8 @@ class HostProfile:
             elapsed = perf_counter() - start
             self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
             self.calls[name] = self.calls.get(name, 0) + 1
+            if elapsed > self.max_seconds.get(name, 0.0):
+                self.max_seconds[name] = elapsed
 
     def report(self) -> Dict[str, float]:
         """``host_<phase> -> seconds`` for merging into phase tables."""

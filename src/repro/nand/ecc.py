@@ -126,6 +126,83 @@ class EccEngine:
                 self.uncorrectable_codewords += 1
         return out
 
+    def correct_batch(
+        self,
+        raws: np.ndarray,
+        goldens: np.ndarray,
+        candidate_bytes: "list[np.ndarray | None] | None" = None,
+    ) -> np.ndarray:
+        """Correct a stack of pages in one vectorized pass.
+
+        ``raws`` and ``goldens`` are ``(n_pages, page_bytes)`` ``uint8``
+        stacks; ``candidate_bytes`` optionally carries one per-page hint
+        array (the error injector's flipped-byte superset, see
+        :meth:`correct`), with ``None`` entries falling back to the full
+        compare for that page.  The result and every counter
+        (``decoded_bytes`` / ``corrected_bits`` / ``uncorrectable_codewords``)
+        are identical to calling :meth:`correct` page by page; the batch
+        form exists so a whole phase's TLC reads decode as one sparse
+        diff + one bincount instead of a Python loop.
+        """
+        if raws.shape != goldens.shape:
+            raise ValueError("raw/golden shape mismatch")
+        if raws.ndim != 2:
+            raise ValueError("correct_batch expects (n_pages, page_bytes)")
+        n_pages, page_bytes = raws.shape
+        if n_pages == 0:
+            return raws.copy()
+        cw = self.config.codeword_bytes
+        if page_bytes % cw != 0:
+            # Codewords would straddle page boundaries in the flattened
+            # view; fall back to the per-page path (counters identical).
+            hints = candidate_bytes or [None] * n_pages
+            return np.stack(
+                [
+                    self.correct(raws[i], goldens[i], candidate_bytes=hints[i])
+                    for i in range(n_pages)
+                ]
+            )
+        self.decoded_bytes += int(raws.size)
+        flat_raw = np.ascontiguousarray(raws).reshape(-1)
+        flat_golden = np.ascontiguousarray(goldens).reshape(-1)
+        if candidate_bytes is None:
+            flipped = _diff_bytes(flat_raw, flat_golden)
+        else:
+            parts = []
+            for i, hint in enumerate(candidate_bytes):
+                if hint is None:
+                    part = _diff_bytes(raws[i], goldens[i])
+                elif hint.size == 0:
+                    continue
+                else:
+                    part = hint
+                if part.size:
+                    parts.append(part.astype(np.int64) + i * page_bytes)
+            if not parts:
+                return raws.copy()
+            candidates = np.unique(np.concatenate(parts))
+            flipped = candidates[flat_raw[candidates] != flat_golden[candidates]]
+        if flipped.size == 0:
+            return raws.copy()
+        flips_per_byte = _POPCOUNT_TABLE[
+            np.bitwise_xor(flat_raw[flipped], flat_golden[flipped])
+        ]
+        errors_per_codeword = np.bincount(flipped // cw, weights=flips_per_byte)
+        if errors_per_codeword.max() <= self.config.correctable_bits_per_codeword:
+            self.corrected_bits += int(flips_per_byte.sum())
+            return goldens.copy()
+        out = flat_raw.copy()
+        for codeword in np.flatnonzero(errors_per_codeword):
+            n_errors = int(errors_per_codeword[codeword])
+            start = int(codeword) * cw
+            stop = start + cw
+            if n_errors <= self.config.correctable_bits_per_codeword:
+                out[start:stop] = flat_golden[start:stop]
+                self.corrected_bits += n_errors
+            else:
+                self.uncorrectable_codewords += 1
+        return out.reshape(n_pages, page_bytes)
+
     def decode_time(self, n_bytes: int) -> float:
         """Controller time to ECC-decode ``n_bytes``."""
         return n_bytes * self.config.decode_seconds_per_byte

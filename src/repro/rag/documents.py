@@ -96,6 +96,17 @@ class Corpus:
         self._chunks.append(chunk)
         self._by_id[chunk.chunk_id] = chunk
 
+    def max_chunk_bytes(self) -> int:
+        """Size of the largest UTF-8 encoded chunk (0 for an empty corpus).
+
+        The layout engine packs document slots to the smallest power of two
+        that holds this.
+        """
+        return max(
+            (len(chunk.text.encode("utf-8")) for chunk in self._chunks),
+            default=0,
+        )
+
     @classmethod
     def synthetic(cls, n_chunks: int, topics: Sequence[int], dataset: str) -> "Corpus":
         """Build ``n_chunks`` synthetic chunks with the given topic labels."""

@@ -298,7 +298,11 @@ class TestDatabaseDeployer:
     def test_capacity_error_on_oversized_database(self):
         config = tiny_config()
         deployer = DatabaseDeployer(config.make_ssd(), config.engine)
-        n_too_big = config.geometry.total_pages * 4 + 1  # more docs than pages
+        # Packed document slots (64B floor) fit 256 chunks per 16KB page, so
+        # overflowing the drive takes far more entries than the unpacked
+        # layout did: at 128 entries per total page the embedding and
+        # document regions together need more blocks than the planes have.
+        n_too_big = config.geometry.total_pages * 128
         with pytest.raises(CapacityError):
             deployer.deploy(
                 0, "big", np.zeros((n_too_big, 8), dtype=np.float32)

@@ -45,7 +45,10 @@ class TestCapacityExhaustion:
     # 8-plane geometry, overflowing 3 blocks/plane mid-deployment.
     def _too_big(self):
         rng = np.random.default_rng(9)
-        return rng.standard_normal((3000, 32)).astype(np.float32)
+        # 150k entries: with packed 64B document slots (256/page) and
+        # OOB-bound embeddings (276/page), the regions need ~5 blocks per
+        # plane on the 3-block drive below -- a clean capacity overflow.
+        return rng.standard_normal((150_000, 32)).astype(np.float32)
 
     def test_deploying_past_flash_capacity_fails_cleanly(self, small_vectors):
         vectors, _ = small_vectors

@@ -51,6 +51,24 @@ class TestHostProfileUnit:
         assert set(profile.seconds) == {"merge", "scan"}
         assert all(seconds >= 0.0 for seconds in profile.seconds.values())
 
+    def test_max_seconds_tracks_longest_call(self):
+        from time import sleep
+
+        profile = HostProfile()
+        with profile.phase("rerank"):
+            pass
+        with profile.phase("rerank"):
+            sleep(0.002)
+        with profile.phase("rerank"):
+            pass
+        assert profile.calls["rerank"] == 3
+        # The max is one call's duration: at least the slept call, never
+        # more than the accumulated sum.
+        assert 0.002 <= profile.max_seconds["rerank"] <= profile.seconds["rerank"]
+
+    def test_max_seconds_empty_until_first_call(self):
+        assert HostProfile().max_seconds == {}
+
     def test_report_prefixes_host(self):
         profile = HostProfile()
         with profile.phase("fine"):
@@ -63,6 +81,7 @@ class TestHostProfileUnit:
             with profile.phase("fine"):
                 raise RuntimeError("boom")
         assert profile.calls == {"fine": 1}
+        assert set(profile.max_seconds) == {"fine"}
 
     def test_truthy(self):
         # The serving stack guards hooks with a truthiness check; an
@@ -87,9 +106,10 @@ class TestHostProfileServing:
         )
         phases = batch.phase_seconds()
         assert {f"host_{name}" for name in EXECUTOR_PHASES} <= set(phases)
-        # Per-query phases are entered once per query.
-        assert profile.calls["rerank"] == BATCH
-        assert profile.calls["documents"] == BATCH
+        # TLC phases run page-major at batch level: one kernel call covers
+        # the whole batch (scan phases were already batch-level).
+        assert profile.calls["rerank"] == 1
+        assert profile.calls["documents"] == 1
         # host_ keys are diagnostics: the modeled phases alone still sum
         # to the modeled wall clock.
         modeled = {
