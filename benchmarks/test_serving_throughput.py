@@ -67,7 +67,13 @@ import numpy as np
 import pytest
 
 from repro.ann.ivf import build_ivf_model
-from repro.core import QueuePolicy, ReisDevice, ShardedReisDevice, tiny_config
+from repro.core import (
+    QueuePolicy,
+    ReisDevice,
+    ShardedReisDevice,
+    ShardUnavailableError,
+    tiny_config,
+)
 from repro.core.config import OptFlags, ReisConfig
 from repro.host.profile import HostProfile
 from repro.nand.geometry import FlashGeometry
@@ -125,6 +131,17 @@ SHARD_COUNTS = (1, 2, 4, 8)
 SHARD_SCALE_N, SHARD_SCALE_DIM = 3200, 128
 SHARD_SCALE_NLIST, SHARD_SCALE_NPROBE = 32, 8
 SHARD_SCALE_BATCH = 32
+
+# Failover serving: a stream of batches through a 3-shard cluster with a
+# shard killed mid-stream (at a fine barrier, mid-batch), replicated
+# (R=2) vs unreplicated (R=1).  R=2 must serve every query through the
+# kill bit-identically; R=1 degrades to clean per-batch failures.
+FAILOVER_SHARDS = 3
+FAILOVER_N, FAILOVER_DIM = 1200, 64
+FAILOVER_NLIST, FAILOVER_NPROBE = 16, 5
+FAILOVER_BATCHES, FAILOVER_BATCH = 10, 16
+FAILOVER_KILL_AT = 4  # batch index whose fine barrier loses the shard
+FAILOVER_VICTIM = 1
 
 
 def environment_block():
@@ -815,3 +832,147 @@ def test_ingest_serving(benchmark, show):
     assert by_mix[0.5]["recall_before_maintenance"] >= (
         by_mix[0.0]["recall_before_maintenance"] - 0.15
     )
+
+
+def run_failover_serving():
+    """A batch stream with a shard killed mid-stream, R=1 vs R=2."""
+    vectors, _ = make_clustered_embeddings(
+        FAILOVER_N, FAILOVER_DIM, FAILOVER_NLIST, seed="failover"
+    )
+    model = build_ivf_model(vectors, FAILOVER_NLIST, seed=0)
+    batches = [
+        make_queries(vectors, FAILOVER_BATCH, seed=("fo-q", i))
+        for i in range(FAILOVER_BATCHES)
+    ]
+
+    # Single-device reference per batch: what every served query must
+    # reproduce bit-for-bit, dead shard or not.
+    reference = ReisDevice(tiny_config("FOSV-REF"))
+    ref_id = reference.ivf_deploy("fo", vectors, ivf_model=model, seed=0)
+    ref_results = [
+        reference.ivf_search(ref_id, q, k=K, nprobe=FAILOVER_NPROBE)
+        for q in batches
+    ]
+
+    points = []
+    for repl in (1, 2):
+        device = ShardedReisDevice(
+            FAILOVER_SHARDS, tiny_config(f"FOSV-R{repl}"),
+            placement="cluster", replication_factor=repl,
+        )
+        db_id = device.ivf_deploy("fo", vectors, ivf_model=model, seed=0)
+        served = failed = mismatches = 0
+        latencies = []
+        batch_rows = []
+        for index, queries in enumerate(batches):
+            if index == FAILOVER_KILL_AT:
+                device.schedule_shard_failure(FAILOVER_VICTIM, "fine")
+            try:
+                batch = device.ivf_search(
+                    db_id, queries, k=K, nprobe=FAILOVER_NPROBE
+                )
+            except ShardUnavailableError:
+                failed += len(queries)
+                batch_rows.append(
+                    {
+                        "batch": index,
+                        "served": 0,
+                        "failed": len(queries),
+                        "qps": 0.0,
+                        "failover_seconds": 0.0,
+                    }
+                )
+                continue
+            served += len(queries)
+            for expect, got in zip(ref_results[index], batch):
+                if not (
+                    np.array_equal(expect.ids, got.ids)
+                    and np.array_equal(expect.distances, got.distances)
+                ):
+                    mismatches += 1
+            latencies.extend(r.latency.total_s for r in batch)
+            phases = batch.phase_seconds()
+            batch_rows.append(
+                {
+                    "batch": index,
+                    "served": len(queries),
+                    "failed": 0,
+                    "qps": batch.qps,
+                    "failover_seconds": phases.get("failover", 0.0),
+                }
+            )
+        lat = np.asarray(latencies) if latencies else np.zeros(1)
+        live_qps = [row["qps"] for row in batch_rows if row["served"]]
+        points.append(
+            {
+                "replication_factor": repl,
+                "served_queries": served,
+                "failed_queries": failed,
+                "result_mismatches": mismatches,
+                "qps_mean": float(np.mean(live_qps)) if live_qps else 0.0,
+                "p99_latency_seconds": float(np.quantile(lat, 0.99)),
+                "failover_seconds_total": float(
+                    sum(row["failover_seconds"] for row in batch_rows)
+                ),
+                "batches": batch_rows,
+            }
+        )
+    return points
+
+
+@pytest.mark.figure("serving")
+def test_failover_serving(benchmark, show):
+    """QPS/p99 through a mid-stream shard kill: R=2 serves, R=1 degrades."""
+    points = benchmark.pedantic(run_failover_serving, rounds=1, iterations=1)
+
+    total = FAILOVER_BATCHES * FAILOVER_BATCH
+    show("", "Failover serving (3 shards, shard killed at a fine barrier):")
+    show(f"  {'R':>3s} {'served':>7s} {'failed':>7s} {'QPS':>10s} "
+         f"{'p99':>9s} {'failover':>9s}")
+    for point in points:
+        show(
+            f"  {point['replication_factor']:3d} "
+            f"{point['served_queries']:7d} {point['failed_queries']:7d} "
+            f"{point['qps_mean']:10,.0f} "
+            f"{point['p99_latency_seconds'] * 1e3:7.2f}ms "
+            f"{point['failover_seconds_total'] * 1e6:7.1f}us"
+        )
+
+    payload = json.loads(BENCH_PATH.read_text())
+    payload["failover_serving"] = {
+        "workload": {
+            "n_entries": FAILOVER_N,
+            "dim": FAILOVER_DIM,
+            "nlist": FAILOVER_NLIST,
+            "nprobe": FAILOVER_NPROBE,
+            "n_batches": FAILOVER_BATCHES,
+            "batch_size": FAILOVER_BATCH,
+            "k": K,
+            "shards": FAILOVER_SHARDS,
+            "kill": {
+                "victim": FAILOVER_VICTIM,
+                "batch": FAILOVER_KILL_AT,
+                "barrier": "fine",
+            },
+            "placement": "cluster",
+            "device": "REIS-TINY per shard",
+            "environment": environment_block(),
+        },
+        "points": points,
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    show(f"  updated {BENCH_PATH.name} (failover_serving)")
+
+    by_r = {p["replication_factor"]: p for p in points}
+    # R=2 serves the whole stream through the kill, every result
+    # bit-identical to the single-device reference, and the failover
+    # reroute is visible in the phase accounting.
+    assert by_r[2]["served_queries"] == total
+    assert by_r[2]["failed_queries"] == 0
+    assert by_r[2]["result_mismatches"] == 0
+    assert by_r[2]["failover_seconds_total"] > 0
+    # R=1 has no replica to reroute to: batches probing the dead shard's
+    # clusters fail cleanly (and everything served stays bit-identical).
+    assert by_r[1]["failed_queries"] > 0
+    assert by_r[1]["result_mismatches"] == 0
+    assert by_r[1]["served_queries"] + by_r[1]["failed_queries"] == total

@@ -36,6 +36,7 @@ from repro.core.analytic import (
 )
 from repro.core.api import (
     BatchSearchResult,
+    MigrationResult,
     ReisDevice,
     ReisRetriever,
     ShardedReisDevice,
@@ -85,11 +86,14 @@ from repro.core.scheduler import (
     ShardedScheduler,
 )
 from repro.core.shard import (
+    KILL_BARRIERS,
     MergeCostModel,
     ShardAssignment,
     ShardedBatchExecutor,
+    ShardedBatchFormer,
     ShardedDatabase,
     ShardRouter,
+    ShardUnavailableError,
     plan_placement,
     shard_ivf_model,
 )
@@ -147,12 +151,16 @@ __all__ = [
     "DeploymentCodecs",
     "DeviceScheduler",
     "EngineParams",
+    "KILL_BARRIERS",
     "MergeCostModel",
     "MergeStage",
+    "MigrationResult",
     "ScheduleAccounting",
     "ShardAssignment",
     "ShardRouter",
+    "ShardUnavailableError",
     "ShardedBatchExecutor",
+    "ShardedBatchFormer",
     "ShardedDatabase",
     "ShardedReisDevice",
     "ShardedScheduler",

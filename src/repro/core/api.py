@@ -25,7 +25,7 @@ scale through the analytic model, which is how the end-to-end comparisons
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -45,8 +45,10 @@ from repro.core.queue import QueuePolicy, SubmissionQueue
 from repro.core.shard import (
     MergeCostModel,
     ShardedBatchExecutor,
+    ShardedBatchFormer,
     ShardedDatabase,
     ShardRouter,
+    ShardUnavailableError,
     plan_placement,
     shard_ivf_model,
 )
@@ -285,13 +287,55 @@ class ReisDevice:
         self.ssd.enter_rag_mode()
         return db_id
 
-    def drop(self, db_id: int) -> None:
-        """Remove a database from the R-DB (flash space is not reclaimed;
-        the paper treats deployment regions as long-lived reservations)."""
-        self.database(db_id)
+    def drop(self, db_id: int, reclaim: bool = False) -> None:
+        """Remove a database from the R-DB.  By default flash space is not
+        reclaimed (the paper treats deployment regions as long-lived
+        reservations); ``reclaim=True`` rolls the bump allocator back and
+        erases the freed blocks when the dropped database is the device's
+        most recent allocation -- the cluster-migration re-deploy path."""
+        db = self.database(db_id)
         del self._databases[db_id]
         self._ingest_managers.pop(db_id, None)
         self.deployer.r_db.drop(db_id)
+        if reclaim:
+            self._reclaim_regions(db)
+
+    def _reclaim_regions(self, db: DeployedDatabase) -> None:
+        regions = [
+            r
+            for r in (
+                db.embedding_region,
+                db.int8_region,
+                db.document_region,
+                db.centroid_region,
+            )
+            if r is not None
+        ]
+        if not regions:
+            return
+        start = min(r.region.start_page_in_plane for r in regions)
+        end = max(r.region.end_page_in_plane for r in regions)
+        if end != self.deployer._next_page_in_plane:
+            return  # not the top of the heap; leave it reserved
+        for other in self._databases.values():
+            for reg in (
+                other.embedding_region,
+                other.int8_region,
+                other.document_region,
+                other.centroid_region,
+            ):
+                if reg is not None and reg.region.end_page_in_plane > start:
+                    return
+        g = self.ssd.spec.geometry
+        ppb = g.pages_per_block
+        first_block = start // ppb
+        last_block = (end - 1) // ppb
+        for plane_index in range(g.total_planes):
+            plane = self.ssd.array.plane_by_index(plane_index)
+            for block_index in range(first_block, last_block + 1):
+                if plane.blocks[block_index].next_program_page:
+                    plane.erase_block(block_index)
+        self.deployer._next_page_in_plane = start
 
     # -------------------------------------------------------------- search
 
@@ -486,6 +530,19 @@ class ReisDevice:
         }
 
 
+@dataclass(frozen=True)
+class MigrationResult:
+    """Outcome and modeled cost of one live cluster migration."""
+
+    db_id: int
+    cluster: int
+    src: int
+    dst: int
+    vectors_moved: int
+    pages_copied: int
+    seconds: float
+
+
 class ShardedReisDevice:
     """N REIS drives serving one logical database behind one device API.
 
@@ -509,10 +566,12 @@ class ShardedReisDevice:
         flags: Optional[OptFlags] = None,
         placement: str = "cluster",
         merge_model: Optional[MergeCostModel] = None,
+        replication_factor: int = 1,
     ) -> None:
         if n_shards < 1:
             raise ValueError("n_shards must be at least 1")
         self.placement = placement
+        self.replication_factor = replication_factor
         self.config = config
         self.flags = flags if flags is not None else OptFlags()
         self.shards = [
@@ -626,7 +685,8 @@ class ShardedReisDevice:
         # threshold are fit globally and injected into every shard.
         codecs = fit_deployment_codecs(vectors, self.config.engine, seed)
         assignment = plan_placement(
-            n, self.n_shards, self.placement, ivf_model
+            n, self.n_shards, self.placement, ivf_model,
+            replication_factor=self.replication_factor,
         )
         shard_dbs: List[Optional[DeployedDatabase]] = []
         shard_db_ids: List[Optional[int]] = []
@@ -637,38 +697,16 @@ class ShardedReisDevice:
                 shard_dbs.append(None)
                 shard_db_ids.append(None)
                 continue
-            device = self.shards[shard]
-            local_corpus = None
-            if corpus is not None:
-                # Shard-local chunk ids (the shard's slot->original mapping
-                # is local); the router restores global identity on fetch.
-                local_corpus = Corpus(
-                    [
-                        DocumentChunk(
-                            chunk_id=local,
-                            text=corpus[int(global_id)].text,
-                            source=corpus[int(global_id)].source,
-                        )
-                        for local, global_id in enumerate(mine)
-                    ]
-                )
-            local_tags = (
-                metadata_tags[mine] if metadata_tags is not None else None
+            local_model = (
+                shard_ivf_model(ivf_model, assignment, shard)
+                if ivf_model is not None
+                else None
             )
-            if ivf_model is not None:
-                local_model = shard_ivf_model(ivf_model, assignment, shard)
-                local_id = device.ivf_deploy(
-                    f"{name}@{shard}", vectors[mine], ivf_model=local_model,
-                    corpus=local_corpus, metadata_tags=local_tags,
-                    seed=seed, codecs=codecs, growth_entries=growth_entries,
-                )
-            else:
-                local_id = device.db_deploy(
-                    f"{name}@{shard}", vectors[mine], corpus=local_corpus,
-                    metadata_tags=local_tags, seed=seed, codecs=codecs,
-                    growth_entries=growth_entries,
-                )
-            shard_dbs.append(device.database(local_id))
+            local_db, local_id = self._deploy_local(
+                shard, f"{name}@{shard}", vectors, mine, local_model,
+                corpus, metadata_tags, seed, codecs, growth_entries,
+            )
+            shard_dbs.append(local_db)
             shard_db_ids.append(local_id)
         sdb = ShardedDatabase(
             db_id=db_id,
@@ -681,9 +719,58 @@ class ShardedReisDevice:
             ivf_model=ivf_model,
             corpus=corpus,
             metadata_tags=metadata_tags,
+            vectors=vectors,
+            codecs=codecs,
+            growth_entries=growth_entries,
         )
         self._databases[db_id] = sdb
         return db_id
+
+    def _deploy_local(
+        self,
+        shard: int,
+        name: str,
+        vectors: np.ndarray,
+        mine: np.ndarray,
+        local_model: Optional[IvfModel],
+        corpus: Optional[Corpus],
+        metadata_tags: Optional[np.ndarray],
+        seed: object,
+        codecs: object,
+        growth_entries: int,
+    ) -> Tuple[DeployedDatabase, int]:
+        """Deploy one shard's piece (also the rebalancer's copy machinery)."""
+        device = self.shards[shard]
+        local_corpus = None
+        if corpus is not None:
+            # Shard-local chunk ids (the shard's slot->original mapping
+            # is local); the router restores global identity on fetch.
+            local_corpus = Corpus(
+                [
+                    DocumentChunk(
+                        chunk_id=local,
+                        text=corpus[int(global_id)].text,
+                        source=corpus[int(global_id)].source,
+                    )
+                    for local, global_id in enumerate(mine)
+                ]
+            )
+        local_tags = (
+            metadata_tags[mine] if metadata_tags is not None else None
+        )
+        if local_model is not None:
+            local_id = device.ivf_deploy(
+                name, vectors[mine], ivf_model=local_model,
+                corpus=local_corpus, metadata_tags=local_tags,
+                seed=seed, codecs=codecs, growth_entries=growth_entries,
+            )
+        else:
+            local_id = device.db_deploy(
+                name, vectors[mine], corpus=local_corpus,
+                metadata_tags=local_tags, seed=seed, codecs=codecs,
+                growth_entries=growth_entries,
+            )
+        return device.database(local_id), local_id
 
     def drop(self, db_id: int) -> None:
         """Remove the logical database from every shard."""
@@ -759,14 +846,16 @@ class ShardedReisDevice:
         sdb = self.database(db_id)
         if nprobe is not None and not sdb.is_ivf:
             raise ValueError(f"database {db_id} was deployed without IVF")
-        anchor = sdb.active_shards[0]
+        anchor = self.router.resolve_anchor(sdb)
+        queue_policy = policy if policy is not None else QueuePolicy()
         return SubmissionQueue(
             self.shards[anchor].engine, sdb.shard_dbs[anchor],
             k=k, nprobe=nprobe,
             fetch_documents=fetch_documents,
             metadata_filter=metadata_filter,
-            policy=policy, clock=clock,
+            policy=queue_policy, clock=clock,
             executor=ShardedBatchExecutor(self.router, sdb),
+            former=ShardedBatchFormer(self.router, sdb, nprobe, queue_policy),
         )
 
     def ingest_coordinator(self, db_id: int) -> ShardedIngestCoordinator:
@@ -800,21 +889,187 @@ class ShardedReisDevice:
         sdb = self.database(db_id)
         if not sdb.is_ivf:
             raise ValueError("streaming ingest requires an IVF deployment")
-        anchor = sdb.active_shards[0]
+        anchor = self.router.resolve_anchor(sdb)
+        queue_policy = policy if policy is not None else QueuePolicy()
         return IngestQueue(
             self.shards[anchor].engine, sdb.shard_dbs[anchor],
             k=k, nprobe=nprobe,
             fetch_documents=fetch_documents,
             metadata_filter=metadata_filter,
-            policy=policy, clock=clock,
+            policy=queue_policy, clock=clock,
             executor=ShardedBatchExecutor(self.router, sdb),
             manager=self.ingest_coordinator(db_id),
+            former=ShardedBatchFormer(self.router, sdb, nprobe, queue_policy),
         )
 
     def resolve_nprobe(self, db_id: int, recall_target: float) -> int:
         """Heuristic nprobe for a recall target, on the *global* cluster
         count (the per-shard plans trim it to owned centroids)."""
         return nprobe_for_recall(self.database(db_id).n_clusters, recall_target)
+
+    # --------------------------------------------------------------- faults
+
+    def kill_shard(self, shard: int) -> None:
+        """Take a shard down now; it serves nothing until revived."""
+        self.router.fail_shard(shard)
+
+    def revive_shard(self, shard: int) -> None:
+        """Bring a killed shard back into service."""
+        self.router.revive_shard(shard)
+
+    def schedule_shard_failure(self, shard: int, barrier: str) -> None:
+        """Arm a one-shot mid-batch shard death at the given barrier
+        (``coarse``/``fine``/``rerank``/``document``) for the next batch;
+        the shard stays dead afterwards until revived."""
+        self.router.schedule_failure(shard, barrier)
+
+    # ---------------------------------------------------------- rebalancing
+
+    def migrate_cluster(
+        self,
+        db_id: int,
+        cluster: int,
+        dst: int,
+        src: Optional[int] = None,
+    ) -> "MigrationResult":
+        """Move one cluster's serve-ownership from ``src`` to ``dst`` live.
+
+        The destination re-materializes its piece with the cluster added
+        -- the stored deployment codecs are deterministic, so re-encoding
+        the host mirror writes bit-for-bit the pages a physical page copy
+        from the source would have (the cost model bills the copy: cluster
+        pages read on the source, programmed on the destination).  Then
+        ownership flips in the :class:`~repro.core.shard.ShardAssignment`
+        (``cluster_owners``) and the source's copies are tombstoned for
+        future coordinators.  The source's deployed layout is untouched --
+        local cluster ids must keep matching its centroid region -- so
+        queries in flight and batches before/after the flip keep serving,
+        bit-identical.
+        """
+        sdb = self.database(db_id)
+        if not sdb.is_ivf or sdb.assignment.policy != "cluster":
+            raise ValueError(
+                "cluster migration needs an IVF cluster-affinity placement"
+            )
+        if sdb.assignment.cluster_owners is None or sdb.vectors is None:
+            raise ValueError(
+                "this database predates replica-aware placement; redeploy"
+            )
+        if not 0 <= cluster < sdb.n_clusters:
+            raise ValueError(f"cluster {cluster} is out of range")
+        self.router._check_shard(dst)
+        owners = list(sdb.assignment.cluster_owners[cluster])
+        if src is None:
+            live = self.router._live_owners(sdb, cluster)
+            if not live:
+                raise ShardUnavailableError(cluster)
+            src = live[0]
+        if src not in owners:
+            raise ValueError(f"shard {src} does not own cluster {cluster}")
+        if dst in owners:
+            raise ValueError(f"shard {dst} already owns cluster {cluster}")
+        if dst in self.router.failed_shards:
+            raise ValueError(f"cannot migrate onto dead shard {dst}")
+        assignment = sdb.assignment
+        members = np.flatnonzero(
+            np.asarray(assignment.cluster_of_vector, dtype=np.int64) == cluster
+        ).astype(np.int64)
+        # Live copies actually held by the source (excludes anything a
+        # streamed delete already removed from the shard's id list).
+        members = members[
+            np.isin(
+                members,
+                np.asarray(assignment.shard_vectors[src], dtype=np.int64),
+            )
+        ]
+
+        # Destination re-deploy: its current clusters plus the migrated one
+        # (appended, so existing local cluster ids keep their positions).
+        owned_new = np.concatenate(
+            [
+                np.asarray(assignment.shard_clusters[dst], dtype=np.int64),
+                np.asarray([cluster], dtype=np.int64),
+            ]
+        )
+        old_dst_vectors = (
+            np.asarray(assignment.shard_vectors[dst], dtype=np.int64)
+            if dst < len(assignment.shard_vectors)
+            else np.empty(0, dtype=np.int64)
+        )
+        new_mine = np.sort(
+            np.unique(np.concatenate([old_dst_vectors, members]))
+        )
+        centroids = np.asarray(sdb.ivf_model.centroids)
+        local_lists = []
+        for c in owned_new:
+            cluster_members = np.flatnonzero(
+                np.asarray(assignment.cluster_of_vector, dtype=np.int64) == c
+            )
+            cluster_members = cluster_members[
+                np.isin(cluster_members, new_mine)
+            ]
+            local_ids = np.searchsorted(new_mine, cluster_members)
+            local_lists.append(local_ids.astype(np.int64))
+        local_model = IvfModel(
+            centroids=centroids[owned_new].astype(np.float32),
+            lists=local_lists,
+        )
+        # Free the destination's old regions before re-materializing: the
+        # migration is synchronous (no batch in flight inside this call),
+        # and the old and new layouts together can exceed the planes.
+        old_local_id = sdb.shard_db_ids[dst]
+        if old_local_id is not None:
+            self.shards[dst].drop(old_local_id, reclaim=True)
+        new_db, new_id = self._deploy_local(
+            dst, f"{sdb.name}@{dst}", sdb.vectors, new_mine, local_model,
+            sdb.corpus, sdb.metadata_tags, 0, sdb.codecs,
+            sdb.growth_entries,
+        )
+
+        # Flip ownership: dst takes src's slot (primary stays primary).
+        owners[owners.index(src)] = dst
+        assignment.cluster_owners[cluster] = np.asarray(
+            owners, dtype=np.int64
+        )
+        assignment.shard_clusters[dst] = owned_new
+        assignment.shard_vectors[dst] = new_mine
+        primary = owners[0]
+        assignment.shard_of_vector[members] = primary
+        sdb.shard_dbs[dst] = new_db
+        sdb.shard_db_ids[dst] = new_id
+        sdb.source_tombstones[src].update(int(g) for g in members)
+        # A cached mutation router holds the pre-migration layout; rebuild
+        # lazily from the flipped assignment + tombstones on next use.
+        self._ingest_coordinators.pop(db_id, None)
+
+        # Bill the modeled page copy: the cluster's pages are read on the
+        # source and programmed on the destination (embedding/centroid on
+        # SLC, INT8 and documents on TLC).
+        timing = self.shards[dst].ssd.spec.timing
+        n_members = int(members.size)
+        pages = {"slc": 1, "tlc": 0}  # one centroid page rewrite
+        for region, mode in (
+            (new_db.embedding_region, "slc"),
+            (new_db.int8_region, "tlc"),
+            (new_db.document_region, "tlc"),
+        ):
+            if region is None:
+                continue
+            per_page = max(1, region.slots_per_page)
+            pages[mode] += -(-n_members // per_page)
+        seconds = sum(
+            count * (timing.read_time(mode) + timing.program_time(mode))
+            for mode, count in pages.items()
+        )
+        return MigrationResult(
+            db_id=db_id,
+            cluster=cluster,
+            src=src,
+            dst=dst,
+            vectors_moved=n_members,
+            pages_copied=sum(pages.values()),
+            seconds=seconds,
+        )
 
     # ----------------------------------------------------------- reporting
 

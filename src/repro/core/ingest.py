@@ -860,8 +860,10 @@ class ShardedIngestCoordinator:
             self.managers[shard] = IngestManager(
                 device.shards[shard].ssd, self.sdb.shard_dbs[shard]
             )
-        anchor = self.sdb.shard_dbs[self.sdb.active_shards[0]]
-        self._binary = anchor.binary_quantizer
+        # Codec anchor through the router, not shard 0 -- shard 0 may be
+        # drained (owns nothing under a skewed split) or dead.
+        anchor_shard = device.router.resolve_anchor(self.sdb)
+        self._binary = self.sdb.shard_dbs[anchor_shard].binary_quantizer
         self.centroid_codes = self._binary.encode(self.sdb.ivf_model.centroids)
         assignment = self.sdb.assignment
         self.next_id = int(assignment.shard_of_vector.size)
@@ -873,39 +875,78 @@ class ShardedIngestCoordinator:
         self._shard_vectors: List[List[int]] = [
             [int(v) for v in vec] for vec in assignment.shard_vectors
         ]
-        self._local_of: Dict[int, int] = {}
-        for vec in self._shard_vectors:
+        # Per-shard global id -> local position.  Under replication one
+        # global id lives on several shards; copies a migration tombstoned
+        # on their source shard are skipped (unreachable for serving, so
+        # mutations must not route to them either).
+        self._local_on: List[Dict[int, int]] = [
+            {} for _ in range(assignment.n_shards)
+        ]
+        for shard, vec in enumerate(self._shard_vectors):
+            tombstoned = (
+                self.sdb.source_tombstones[shard]
+                if shard < len(self.sdb.source_tombstones)
+                else set()
+            )
             for local, global_id in enumerate(vec):
-                self._local_of[global_id] = local
+                if global_id in tombstoned:
+                    continue
+                self._local_on[shard][global_id] = local
         self._members: List[List[int]] = [
             [] for _ in range(self.sdb.n_clusters)
         ]
         for global_id, cluster in enumerate(self._cluster_of):
             self._members[cluster].append(global_id)
-        self._cluster_owner: Dict[int, Tuple[int, int]] = {}
+        # (shard, global cluster) -> shard-local cluster id, for every
+        # shard *deploying* the cluster (the layout authority).
+        self._cluster_local: Dict[Tuple[int, int], int] = {}
         if assignment.policy == "cluster":
             for shard in self.sdb.active_shards:
                 owned = assignment.shard_clusters[shard]
                 for local, cluster in enumerate(owned):
-                    self._cluster_owner[int(cluster)] = (shard, local)
+                    self._cluster_local[(shard, int(cluster))] = local
         self.commits: List[CommitResult] = []
 
     # ------------------------------------------------------------- routing
 
-    def _route_insert(self, global_id: int, cluster: int) -> Tuple[int, int]:
-        """(owning shard, shard-local cluster id) for a new entry."""
-        if self.sdb.assignment.policy == "cluster":
-            if cluster not in self._cluster_owner:
+    def _route_insert(
+        self, global_id: int, cluster: int
+    ) -> List[Tuple[int, int]]:
+        """(owning shard, shard-local cluster id) per replica of a new entry.
+
+        Under cluster-affinity placement the entry lands on *every* owner
+        of its cluster (replicas hold full cluster membership, which is
+        what makes mid-batch failover bit-identical); striping keeps the
+        single round-robin target.
+        """
+        assignment = self.sdb.assignment
+        if assignment.policy == "cluster":
+            owners = assignment.owners_of(cluster)
+            if not owners:
+                # Pre-replication assignment without owner arrays: the
+                # deploying shard is the sole owner.
+                owners = [
+                    shard
+                    for shard in self.sdb.active_shards
+                    if (shard, cluster) in self._cluster_local
+                ]
+            targets = [
+                (shard, self._cluster_local[(shard, cluster)])
+                for shard in owners
+                if (shard, cluster) in self._cluster_local
+                and shard in self.managers
+            ]
+            if not targets:
                 raise RuntimeError(
                     f"cluster {cluster} is owned by a shard with no deployment"
                 )
-            return self._cluster_owner[cluster]
+            return targets
         # Round-robin placement replicates every centroid on every shard,
         # so the local cluster id is the global one.
-        shard = global_id % self.sdb.assignment.n_shards
+        shard = global_id % assignment.n_shards
         if shard not in self.managers:
             raise RuntimeError(f"shard {shard} has no deployment to ingest into")
-        return shard, cluster
+        return [(shard, cluster)]
 
     def apply(self, requests: Sequence[MutationRequest]) -> CommitResult:
         """Route one mutation group and commit it shard-by-shard."""
@@ -965,10 +1006,12 @@ class ShardedIngestCoordinator:
         )
         for ack, entry in plans:
             result.acks.append(ack)
-            if entry is not None:
-                shard, index = entry
-                shard_ack = shard_commits[shard].acks[index]
-                ack.applied = ack.applied and shard_ack.applied
+            if entry:
+                # AND over every replica's ack: a partially applied insert
+                # would silently desync replicas, so it reports failure.
+                for shard, index in entry:
+                    shard_ack = shard_commits[shard].acks[index]
+                    ack.applied = ack.applied and shard_ack.applied
         self._rebuild_assignment()
         self.commits.append(result)
         return result
@@ -1010,23 +1053,32 @@ class ShardedIngestCoordinator:
         cluster = int(np.argmin(hamming_packed(code, self.centroid_codes)))
         global_id = self.next_id
         self.next_id += 1
-        shard, local_cluster = self._route_insert(global_id, cluster)
+        targets = self._route_insert(global_id, cluster)
         text = request.text if request.text is not None else f"chunk-{global_id}"
-        index = enqueue(
-            shard,
-            MutationRequest(
-                op="insert",
-                vector=vector,
-                text=text,
-                metadata_tag=request.metadata_tag,
-                cluster=local_cluster,
-            ),
-        )
-        self._shard_of.append(shard)
+        entries: List[Tuple[int, int]] = []
+        for shard, local_cluster in targets:
+            index = enqueue(
+                shard,
+                MutationRequest(
+                    op="insert",
+                    vector=vector,
+                    text=text,
+                    metadata_tag=request.metadata_tag,
+                    cluster=local_cluster,
+                ),
+            )
+            entries.append((shard, index))
+            self._local_on[shard][global_id] = len(
+                self._shard_vectors[shard]
+            )
+            self._shard_vectors[shard].append(global_id)
+        self._shard_of.append(targets[0][0])
         self._cluster_of.append(cluster)
-        self._local_of[global_id] = len(self._shard_vectors[shard])
-        self._shard_vectors[shard].append(global_id)
         self._members[cluster].append(global_id)
+        if self.sdb.vectors is not None:
+            self.sdb.vectors = np.vstack(
+                [self.sdb.vectors, vector[None, :]]
+            )
         if self.sdb.corpus is not None:
             self.sdb.corpus.add(DocumentChunk(chunk_id=global_id, text=text))
         if self.sdb.metadata_tags is not None:
@@ -1034,7 +1086,7 @@ class ShardedIngestCoordinator:
                 self.sdb.metadata_tags, np.uint32(request.metadata_tag)
             )
         ack = MutationAck(op="insert", entry_id=global_id, applied=True)
-        return ack, (shard, index)
+        return ack, entries
 
     def _plan_delete(self, entry_id: int, enqueue):
         live = (
@@ -1048,16 +1100,21 @@ class ShardedIngestCoordinator:
                 ),
                 None,
             )
-        shard = self._shard_of[entry_id]
-        local_id = self._local_of[entry_id]
-        index = enqueue(
-            shard, MutationRequest(op="delete", entry_id=local_id)
-        )
+        # Every live copy gets tombstoned (replicas hold the entry too).
+        entries: List[Tuple[int, int]] = []
+        for shard, local_on in enumerate(self._local_on):
+            local_id = local_on.get(entry_id)
+            if local_id is None or shard not in self.managers:
+                continue
+            index = enqueue(
+                shard, MutationRequest(op="delete", entry_id=local_id)
+            )
+            entries.append((shard, index))
         self._dead.add(entry_id)
         self._members[self._cluster_of[entry_id]].remove(entry_id)
-        return MutationAck(op="delete", entry_id=entry_id, applied=True), (
-            shard,
-            index,
+        return (
+            MutationAck(op="delete", entry_id=entry_id, applied=True),
+            entries,
         )
 
     def _rebuild_assignment(self) -> None:
@@ -1078,6 +1135,8 @@ class ShardedIngestCoordinator:
             shard_clusters=old.shard_clusters,
             global_slot=global_slot,
             cluster_of_vector=np.array(self._cluster_of, dtype=np.int64),
+            replication_factor=old.replication_factor,
+            cluster_owners=old.cluster_owners,
         )
         self.sdb.n_entries = slot
 

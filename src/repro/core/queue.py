@@ -537,6 +537,7 @@ class SubmissionQueue:
         policy: Optional[QueuePolicy] = None,
         clock: Optional[SimClock] = None,
         executor: Optional[object] = None,
+        former: Optional[BatchFormer] = None,
     ) -> None:
         self.engine = engine
         self.db = db
@@ -546,7 +547,15 @@ class SubmissionQueue:
         self.metadata_filter = metadata_filter
         self.policy = policy if policy is not None else QueuePolicy()
         self.clock = clock if clock is not None else SimClock()
-        self.former = BatchFormer(engine, db, nprobe, self.policy)
+        # Occupancy forming defaults to this device's layout; a sharded
+        # deployment injects a cluster-wide former
+        # (:class:`~repro.core.shard.ShardedBatchFormer`) so the trigger
+        # sees every shard's planes instead of one anchor shard's.
+        self.former = (
+            former
+            if former is not None
+            else BatchFormer(engine, db, nprobe, self.policy)
+        )
         # The back end formed batches drain into.  Default: this device's
         # page-major executor.  A sharded deployment injects a
         # :class:`~repro.core.shard.ShardedBatchExecutor` so batches fan

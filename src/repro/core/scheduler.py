@@ -293,6 +293,11 @@ class ShardedScheduler:
         # wall clock (slowest shard per phase), merge_seconds the host
         # merge work on top of it.
         self.accounting = ScheduleAccounting()
+        # The router's replica selection balances on per-shard utilization:
+        # point its load source at the children's serving busy-time.
+        device.router.load_source = lambda: [
+            child.accounting.rag_seconds for child in self.children
+        ]
 
     @property
     def shard_accounting(self) -> List[ScheduleAccounting]:
@@ -406,6 +411,77 @@ class ShardedScheduler:
         total.seconds = slowest
         self.accounting.maintenance_seconds += slowest
         return total
+
+    def run_rebalance(
+        self,
+        db_id: int,
+        cluster: Optional[int] = None,
+        dst: Optional[int] = None,
+    ) -> Optional["MigrationResult"]:
+        """Migrate one cluster off the busiest shard, as maintenance.
+
+        Picks the busiest live shard (serving busy-time), its largest
+        serving cluster, and the lightest live shard that does not already
+        own it; the copy runs through
+        :meth:`~repro.core.api.ShardedReisDevice.migrate_cluster` while
+        queries keep serving (the flip is atomic between batches).  Billed
+        as maintenance: the copy work on both endpoints' children and the
+        cluster level.  Explicit ``cluster``/``dst`` override the pick.
+        Returns ``None`` when no profitable move exists.
+        """
+        device = self.device
+        sdb = device.database(db_id)
+        if not sdb.is_ivf or sdb.assignment.policy != "cluster":
+            return None
+        if sdb.assignment.cluster_owners is None:
+            return None
+        live = [
+            s for s in sdb.active_shards
+            if s not in device.router.failed_shards
+        ]
+        if len(live) < 2:
+            return None
+        load = {s: self.children[s].accounting.rag_seconds for s in live}
+        if cluster is None:
+            busiest = max(live, key=lambda s: (load[s], s))
+            sizes = np.bincount(
+                np.asarray(sdb.assignment.cluster_of_vector, dtype=np.int64),
+                minlength=sdb.n_clusters,
+            )
+            candidates = [
+                c for c in range(sdb.n_clusters)
+                if busiest in sdb.assignment.owners_of(c)
+            ]
+            if not candidates:
+                return None
+            cluster = max(candidates, key=lambda c: (int(sizes[c]), -c))
+            src = busiest
+        else:
+            owners = [
+                s for s in sdb.assignment.owners_of(cluster) if s in live
+            ]
+            if not owners:
+                return None
+            src = max(owners, key=lambda s: (load[s], s))
+        if dst is None:
+            options = [
+                s for s in live
+                if s not in sdb.assignment.owners_of(cluster)
+            ]
+            if not options:
+                return None
+            dst = min(options, key=lambda s: (load[s], s))
+        result = device.migrate_cluster(db_id, cluster, dst, src=src)
+        # The copy busies both endpoints for its duration; the cluster
+        # bills it once (the endpoints work concurrently).
+        self.children[result.src].accounting.maintenance_seconds += (
+            result.seconds
+        )
+        self.children[result.dst].accounting.maintenance_seconds += (
+            result.seconds
+        )
+        self.accounting.maintenance_seconds += result.seconds
+        return result
 
     # ---------------------------------------------------------- reporting
 

@@ -57,6 +57,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.ann.distances import hamming_packed
 from repro.ann.ivf import IvfModel
 from repro.core.batch import (
     BatchExecution,
@@ -68,12 +69,15 @@ from repro.core.costing import BatchPhaseBreakdown
 from repro.core.layout import DeployedDatabase, deployment_order
 from repro.core.plan import (
     MergeStage,
+    PageRequest,
     PlanContext,
     QueryPlan,
     ReisQueryResult,
     SearchStats,
+    build_page_schedule,
     compose_solo_report,
 )
+from repro.core.queue import BatchFormer, FormingEstimate
 from repro.rag.documents import Corpus, DocumentChunk
 from repro.sim.latency import LatencyReport
 
@@ -81,6 +85,32 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.engine import InStorageAnnsEngine
 
 PLACEMENT_POLICIES = ("round_robin", "cluster")
+
+#: Barriers a shard can be scheduled to die at, in pipeline order.  A kill
+#: at barrier X means the shard's output for phase X is lost before the
+#: router consumes it; everything the shard shipped at earlier barriers
+#: stays usable.
+KILL_BARRIERS = ("coarse", "fine", "rerank", "document")
+
+
+class ShardUnavailableError(RuntimeError):
+    """A batch cannot be served: a probed cluster has no live replica.
+
+    Raised instead of partial results -- the router never silently drops a
+    shard's slice.  ``cluster`` names the first probed cluster with zero
+    live owners when one is identifiable (cluster-affinity placement);
+    ``None`` for unreplicated layouts (flat / round-robin striping), where
+    any shard loss loses a slice of *every* query.
+    """
+
+    def __init__(self, cluster: Optional[int] = None, message: Optional[str] = None):
+        if message is None:
+            if cluster is not None:
+                message = f"cluster {cluster} has no live replica"
+            else:
+                message = "no live shard can serve the batch"
+        super().__init__(message)
+        self.cluster = cluster
 
 
 def merge_order(*keys: np.ndarray) -> np.ndarray:
@@ -112,11 +142,19 @@ class ShardAssignment:
 
     policy: str
     n_shards: int
-    shard_of_vector: np.ndarray  # (n,) owning shard per global vector id
+    shard_of_vector: np.ndarray  # (n,) primary owning shard per global id
     shard_vectors: List[np.ndarray]  # per shard: global ids, ascending
-    shard_clusters: List[np.ndarray]  # per shard: owned global cluster ids
+    shard_clusters: List[np.ndarray]  # per shard: deployed global cluster ids
     global_slot: np.ndarray  # (n,) canonical single-device slot
     cluster_of_vector: Optional[np.ndarray]  # (n,) global cluster (IVF)
+    # Replica groups (cluster-affinity IVF placement only): each cluster is
+    # owned by ``replication_factor`` shards, primary first.  A shard may
+    # keep a cluster in ``shard_clusters`` (deployed centroid layout) after
+    # losing serve-ownership -- migration tombstones the source but leaves
+    # its layout intact -- so ``cluster_owners`` is the authority on who may
+    # serve a cluster; ``shard_clusters`` is the authority on local ids.
+    replication_factor: int = 1
+    cluster_owners: Optional[List[np.ndarray]] = None
 
     @property
     def is_ivf(self) -> bool:
@@ -125,12 +163,21 @@ class ShardAssignment:
     def shard_sizes(self) -> np.ndarray:
         return np.array([v.size for v in self.shard_vectors], dtype=np.int64)
 
+    def owners_of(self, cluster: int) -> List[int]:
+        """Shards allowed to serve ``cluster`` (primary first)."""
+        if self.cluster_owners is not None:
+            return [int(s) for s in self.cluster_owners[int(cluster)]]
+        if self.policy == "round_robin":
+            return list(range(self.n_shards))
+        return []
+
 
 def plan_placement(
     n: int,
     n_shards: int,
     policy: str,
     ivf_model: Optional[IvfModel] = None,
+    replication_factor: int = 1,
 ) -> ShardAssignment:
     """Partition ``n`` vectors across ``n_shards`` under a placement policy.
 
@@ -141,6 +188,13 @@ def plan_placement(
     a probed cluster lives on exactly one shard and centroid scans divide;
     without a model it degrades to contiguous chunks.  Both policies are
     deterministic functions of their inputs.
+
+    ``replication_factor`` R > 1 (cluster-affinity IVF only) gives each
+    cluster R owner shards -- the greedy pass picks the R lightest distinct
+    shards per cluster, primary first, charging the cluster's size to every
+    owner -- so the router can pick one replica per probed cluster per
+    batch and fail over to a survivor when an owner dies.  Replication is a
+    SPANN-style posting-list replica scheme: whole clusters, full copies.
     """
     if n_shards < 1:
         raise ValueError("n_shards must be at least 1")
@@ -148,12 +202,24 @@ def plan_placement(
         raise ValueError(
             f"unknown placement policy {policy!r}; pick from {PLACEMENT_POLICIES}"
         )
+    if replication_factor < 1:
+        raise ValueError("replication_factor must be at least 1")
+    if replication_factor > n_shards:
+        raise ValueError(
+            f"replication_factor {replication_factor} exceeds {n_shards} shards"
+        )
+    if replication_factor > 1 and (policy != "cluster" or ivf_model is None):
+        raise ValueError(
+            "replication requires the 'cluster' placement of an IVF model "
+            "(whole clusters are the replication unit)"
+        )
     cluster_of: Optional[np.ndarray] = None
     if ivf_model is not None:
         cluster_of = np.empty(n, dtype=np.int64)
         for cluster, members in enumerate(ivf_model.lists):
             cluster_of[members] = cluster
 
+    cluster_owners: Optional[List[np.ndarray]] = None
     if policy == "round_robin":
         shard_of = np.arange(n, dtype=np.int64) % n_shards
         if ivf_model is not None:
@@ -161,32 +227,51 @@ def plan_placement(
             shard_clusters = [all_clusters.copy() for _ in range(n_shards)]
         else:
             shard_clusters = [np.empty(0, dtype=np.int64) for _ in range(n_shards)]
+        shard_vectors = [
+            np.nonzero(shard_of == s)[0].astype(np.int64)
+            for s in range(n_shards)
+        ]
     elif ivf_model is not None:  # cluster affinity
         sizes = ivf_model.cluster_sizes()
-        # Largest clusters first (ties by id), each to the lightest shard
-        # (ties by shard id): deterministic greedy balance.
+        # Largest clusters first (ties by id), each to the R lightest
+        # shards (ties by shard id): deterministic greedy balance.  With
+        # R == 1 this is exactly the unreplicated assignment.
         order = sorted(range(ivf_model.nlist), key=lambda c: (-sizes[c], c))
         load = [0] * n_shards
-        owner = np.empty(ivf_model.nlist, dtype=np.int64)
+        owners: List[List[int]] = [[] for _ in range(ivf_model.nlist)]
         owned: List[List[int]] = [[] for _ in range(n_shards)]
         for cluster in order:
-            shard = min(range(n_shards), key=lambda s: (load[s], s))
-            owner[cluster] = shard
-            owned[shard].append(cluster)
-            load[shard] += int(sizes[cluster])
+            picks = sorted(range(n_shards), key=lambda s: (load[s], s))
+            picks = picks[:replication_factor]
+            owners[cluster] = picks
+            for shard in picks:
+                owned[shard].append(cluster)
+                load[shard] += int(sizes[cluster])
+        owner = np.array([o[0] for o in owners], dtype=np.int64)
         shard_of = owner[cluster_of] if n else np.empty(0, dtype=np.int64)
         shard_clusters = [
             np.array(sorted(c), dtype=np.int64) for c in owned
         ]
+        cluster_owners = [np.array(o, dtype=np.int64) for o in owners]
+        # A shard holds the *full* membership of every cluster it owns
+        # (replicas are whole-cluster copies), in ascending global order.
+        shard_vectors = []
+        for shard in range(n_shards):
+            mine = np.concatenate(
+                [ivf_model.lists[int(c)] for c in shard_clusters[shard]]
+                or [np.empty(0, dtype=np.int64)]
+            )
+            shard_vectors.append(np.sort(mine).astype(np.int64))
     else:  # cluster affinity without clusters: contiguous chunks
         shard_of = np.empty(n, dtype=np.int64)
         for shard, chunk in enumerate(np.array_split(np.arange(n), n_shards)):
             shard_of[chunk] = shard
         shard_clusters = [np.empty(0, dtype=np.int64) for _ in range(n_shards)]
+        shard_vectors = [
+            np.nonzero(shard_of == s)[0].astype(np.int64)
+            for s in range(n_shards)
+        ]
 
-    shard_vectors = [
-        np.nonzero(shard_of == s)[0].astype(np.int64) for s in range(n_shards)
-    ]
     order = deployment_order(n, ivf_model)
     global_slot = np.empty(n, dtype=np.int64)
     global_slot[order] = np.arange(n, dtype=np.int64)
@@ -198,6 +283,8 @@ def plan_placement(
         shard_clusters=shard_clusters,
         global_slot=global_slot,
         cluster_of_vector=cluster_of,
+        replication_factor=replication_factor,
+        cluster_owners=cluster_owners,
     )
 
 
@@ -217,7 +304,10 @@ def shard_ivf_model(
     lists: List[np.ndarray] = []
     for cluster in owned:
         members = ivf_model.lists[int(cluster)]
-        local_members = members[assignment.shard_of_vector[members] == shard]
+        # Membership in the shard's id list, not primary ownership: under
+        # replication a shard holds the full membership of every owned
+        # cluster, under round-robin striping only its stripe of it.
+        local_members = members[np.isin(members, mine, assume_unique=True)]
         lists.append(
             np.searchsorted(mine, local_members).astype(np.int64)
         )
@@ -244,6 +334,21 @@ class ShardedDatabase:
     ivf_model: Optional[IvfModel]
     corpus: Optional[Corpus] = field(default=None, repr=False)
     metadata_tags: Optional[np.ndarray] = field(default=None, repr=False)
+    # Host-side mirrors for live rebalancing: migrating a cluster redeploys
+    # the destination shard from the float vectors (the deployed codecs are
+    # deterministic, so re-encoding is bit-identical to copying pages) with
+    # the same globally-fit codecs and growth headroom the original
+    # deployment used.  ``source_tombstones[s]`` records global ids
+    # tombstoned on shard ``s`` while still live elsewhere (migrated-away
+    # copies), so a later ingest coordinator does not route to them.
+    vectors: Optional[np.ndarray] = field(default=None, repr=False)
+    codecs: Optional[object] = field(default=None, repr=False)
+    growth_entries: int = 0
+    source_tombstones: List[set] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.source_tombstones:
+            self.source_tombstones = [set() for _ in range(len(self.shard_dbs))]
 
     @property
     def is_ivf(self) -> bool:
@@ -315,9 +420,16 @@ class _MergeAccounting:
 # ------------------------------------------------------------------ router
 
 
-@dataclass
+@dataclass(eq=False)
 class _ShardRun:
-    """One shard's in-flight state while the router serves a batch."""
+    """One shard's in-flight state while the router serves a batch.
+
+    A shard can host more than one run per batch: its primary run plus a
+    *failover* run re-executing a dead shard's slice.  ``dead`` marks a run
+    whose output was lost mid-batch (the shard died at a barrier); the run
+    stays in the list -- merged-shortlist provenance indexes into it -- but
+    contributes no further results.
+    """
 
     shard: int
     executor: BatchExecutor
@@ -326,6 +438,40 @@ class _ShardRun:
     ctxs: List[PlanContext]
     stats: BatchStats
     senses: Dict[str, Dict[int, int]] = field(default_factory=dict)
+    failover: bool = False
+    dead: bool = False
+    fine: Optional[object] = None  # _FineScanState once the fine scan ran
+    coarse_blocks: List = field(default_factory=list)  # per-query blocks
+
+
+@dataclass
+class _BatchState:
+    """Everything in flight while the router serves one batch."""
+
+    sdb: ShardedDatabase
+    queries: np.ndarray
+    k: int
+    nprobe: Optional[int]
+    fetch_documents: bool
+    metadata_filter: Optional[int]
+    merge_acc: _MergeAccounting
+    runs: List[_ShardRun] = field(default_factory=list)
+    # Per query: probed global clusters in rank order / {cluster: rank}.
+    probes: List[Optional[List[int]]] = field(default_factory=list)
+    probe_ranks: List[Optional[Dict[int, int]]] = field(default_factory=list)
+    # Cluster -> serving shard for this batch (cluster-affinity placement
+    # only; None means every shard serves its own slice of every cluster).
+    serving: Optional[Dict[int, int]] = None
+    cluster_sizes: Optional[np.ndarray] = None
+    retried: List[bool] = field(default_factory=list)
+    retry_indices: List[int] = field(default_factory=list)
+
+    @property
+    def n_queries(self) -> int:
+        return int(self.queries.shape[0])
+
+    def live_runs(self) -> List[_ShardRun]:
+        return [run for run in self.runs if not run.dead]
 
 
 @dataclass
@@ -366,10 +512,99 @@ class ShardRouter:
         self.engines = list(engines)
         self.executors = [BatchExecutor(engine) for engine in self.engines]
         self.merge_model = merge_model or MergeCostModel()
+        # Fault state: shards in ``failed_shards`` are dead until revived.
+        # ``_fail_plan`` is a one-shot scheduled mid-batch death -- (shard,
+        # barrier) -- consumed by the next execute(); the shard stays dead
+        # for subsequent batches.
+        self.failed_shards: set = set()
+        self._fail_plan: Optional[Tuple[int, str]] = None
+        # Cumulative per-shard busy seconds (replica selection load key).
+        # ``load_source`` lets a scheduler substitute its own utilization
+        # view (ShardedScheduler wires per-shard rag_seconds in).
+        self.shard_busy_s: List[float] = [0.0] * len(self.engines)
+        self.load_source = None
 
     @property
     def n_shards(self) -> int:
         return len(self.engines)
+
+    # --------------------------------------------------------------- faults
+
+    def fail_shard(self, shard: int) -> None:
+        """Kill a shard now: it serves nothing until :meth:`revive_shard`."""
+        self._check_shard(shard)
+        self.failed_shards.add(shard)
+
+    def revive_shard(self, shard: int) -> None:
+        """Bring a killed shard back (the simulator's state is intact)."""
+        self._check_shard(shard)
+        self.failed_shards.discard(shard)
+
+    def schedule_failure(self, shard: int, barrier: str) -> None:
+        """Arm a one-shot mid-batch death: ``shard`` dies at ``barrier``
+        during the next :meth:`execute` (its output for that phase is
+        lost), then stays dead for subsequent batches until revived."""
+        self._check_shard(shard)
+        if barrier not in KILL_BARRIERS:
+            raise ValueError(
+                f"unknown kill barrier {barrier!r}; pick from {KILL_BARRIERS}"
+            )
+        self._fail_plan = (shard, barrier)
+
+    def _check_shard(self, shard: int) -> None:
+        if not 0 <= shard < self.n_shards:
+            raise ValueError(f"shard {shard} is out of range")
+
+    def _pop_scheduled_kill(self, barrier: str) -> Optional[int]:
+        if self._fail_plan is not None and self._fail_plan[1] == barrier:
+            shard = self._fail_plan[0]
+            self._fail_plan = None
+            self.failed_shards.add(shard)
+            return shard
+        return None
+
+    def _shard_load(self, shard: int) -> float:
+        if self.load_source is not None:
+            return float(self.load_source()[shard])
+        return self.shard_busy_s[shard]
+
+    def resolve_anchor(self, sdb: ShardedDatabase) -> int:
+        """The first *live* shard holding a deployed piece -- the anchor
+        host paths (queue forming, codec lookups) resolve through instead
+        of hard-coding shard 0, which may be drained or dead."""
+        for shard in sdb.active_shards:
+            if shard not in self.failed_shards:
+                return shard
+        raise ShardUnavailableError(
+            None, f"database {sdb.db_id} has no live deployed shard"
+        )
+
+    def _can_fail_over(self, sdb: ShardedDatabase) -> bool:
+        """Whole-cluster replicas exist only under cluster-affinity IVF
+        placement; striped and flat layouts lose a slice of every query
+        with any shard, so they cannot reroute."""
+        return (
+            sdb.is_ivf
+            and sdb.assignment.policy == "cluster"
+            and sdb.assignment.cluster_owners is not None
+        )
+
+    def _live_owners(self, sdb: ShardedDatabase, cluster: int) -> List[int]:
+        return [
+            s
+            for s in sdb.assignment.owners_of(cluster)
+            if s not in self.failed_shards and sdb.shard_dbs[s] is not None
+        ]
+
+    def _down_clusters(self, sdb: ShardedDatabase) -> List[int]:
+        """Clusters with zero live owners (their pages are unreachable)."""
+        if not self._can_fail_over(sdb):
+            return []
+        return [
+            cluster
+            for cluster in range(sdb.n_clusters)
+            if not self._live_owners(sdb, cluster)
+        ]
 
     # ------------------------------------------------------------ plumbing
 
@@ -403,7 +638,7 @@ class ShardRouter:
         active = sdb.active_shards
         if not active:
             raise ValueError("database has no deployed shards")
-        anchor = active[0]
+        anchor = self.resolve_anchor(sdb)
         plan = build_query_plan(
             self.engines[anchor], sdb.shard_dbs[anchor], query, k,
             self.resolve_nprobe(sdb, nprobe), fetch_documents, metadata_filter,
@@ -427,71 +662,201 @@ class ShardRouter:
         fetch_documents: bool = True,
         metadata_filter: Optional[int] = None,
     ) -> BatchExecution:
-        """Serve a batch across all shards and merge to the global top-k."""
+        """Serve a batch across all shards and merge to the global top-k.
+
+        Shards already in ``failed_shards`` serve nothing; a scheduled
+        mid-batch death (:meth:`schedule_failure`) fires at its barrier and
+        the router re-executes the dead shard's serving slice on surviving
+        replicas.  Either way the batch completes bit-identical to a
+        healthy single device or raises :class:`ShardUnavailableError` --
+        never partial results.
+        """
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float32))
         n_queries = queries.shape[0]
-        active = sdb.active_shards
-        if not active:
+        if not sdb.active_shards:
             raise ValueError("database has no deployed shards")
-        nprobe = self.resolve_nprobe(sdb, nprobe)
-        merge_acc = _MergeAccounting()
-
-        runs: List[_ShardRun] = []
-        for shard in active:
-            executor = self.executors[shard]
-            db = sdb.shard_dbs[shard]
-            plans, ctxs = executor.prepare(
-                db, queries, k,
-                nprobe if db.is_ivf else None,
-                fetch_documents, metadata_filter,
+        live = [s for s in sdb.active_shards if s not in self.failed_shards]
+        if not live:
+            raise ShardUnavailableError(
+                None, f"database {sdb.db_id} has no live deployed shard"
             )
-            runs.append(
-                _ShardRun(
-                    shard=shard, executor=executor, db=db,
-                    plans=plans, ctxs=ctxs,
-                    stats=BatchStats(n_queries=n_queries),
-                )
+        if len(live) < len(sdb.active_shards) and not self._can_fail_over(sdb):
+            # A striped/flat layout lost a slice of every query already.
+            raise ShardUnavailableError(
+                None,
+                "a shard holding an unreplicated slice is down "
+                f"({sorted(set(sdb.active_shards) - set(live))})",
             )
-        for run in runs:
+        state = _BatchState(
+            sdb=sdb, queries=queries, k=k,
+            nprobe=self.resolve_nprobe(sdb, nprobe),
+            fetch_documents=fetch_documents,
+            metadata_filter=metadata_filter,
+            merge_acc=_MergeAccounting(),
+            probes=[None] * n_queries,
+            probe_ranks=[None] * n_queries,
+        )
+        if sdb.is_ivf and sdb.assignment.cluster_of_vector is not None:
+            state.cluster_sizes = np.bincount(
+                np.asarray(sdb.assignment.cluster_of_vector, dtype=np.int64),
+                minlength=sdb.n_clusters,
+            )
+        for shard in live:
+            state.runs.append(self._make_run(state, shard))
+        for run in state.runs:
             run.executor.run_ibc(run.plans, run.ctxs)
 
-        probe_ranks: List[Optional[Dict[int, int]]] = [None] * n_queries
         if sdb.is_ivf:
-            probe_ranks = self._coarse_barrier(sdb, runs, n_queries, nprobe, merge_acc)
+            self._coarse_barrier(state)
+        else:
+            dead = self._pop_scheduled_kill("coarse")
+            if dead is not None and self._mark_dead(state, dead):
+                self._spawn_replacements(state, dead, through="scan")
 
-        retried = self._fine_barrier(runs, n_queries)
-        shortlists = self._shortlist_barrier(
-            sdb, runs, n_queries, probe_ranks, merge_acc
-        )
-        ranked = self._rerank_barrier(sdb, runs, queries, shortlists, merge_acc)
-        documents = self._document_barrier(sdb, runs, ranked, fetch_documents)
-
-        return self._compose(
-            sdb, runs, queries, ranked, documents, retried,
-            probe_ranks, merge_acc,
-        )
+        self._fine_barrier(state)
+        shortlists = self._shortlist_barrier(state)
+        ranked = self._rerank_barrier(state, shortlists)
+        documents = self._document_barrier(state, ranked)
+        return self._compose(state, ranked, documents)
 
     # ------------------------------------------------------------- barriers
 
-    def _coarse_barrier(
+    def _make_run(
+        self, state: _BatchState, shard: int, failover: bool = False
+    ) -> _ShardRun:
+        executor = self.executors[shard]
+        db = state.sdb.shard_dbs[shard]
+        plans, ctxs = executor.prepare(
+            db, state.queries, state.k,
+            state.nprobe if db.is_ivf else None,
+            state.fetch_documents, state.metadata_filter,
+        )
+        return _ShardRun(
+            shard=shard, executor=executor, db=db,
+            plans=plans, ctxs=ctxs,
+            stats=BatchStats(n_queries=state.n_queries),
+            failover=failover,
+        )
+
+    def _mark_dead(self, state: _BatchState, shard: int) -> List[_ShardRun]:
+        """Mark every live run on ``shard`` dead; return the casualties."""
+        casualties = [
+            run for run in state.runs if run.shard == shard and not run.dead
+        ]
+        for run in casualties:
+            run.dead = True
+        return casualties
+
+    def _spawn_replacements(
         self,
-        sdb: ShardedDatabase,
-        runs: List[_ShardRun],
-        n_queries: int,
-        nprobe: int,
-        merge_acc: _MergeAccounting,
-    ) -> List[Optional[Dict[int, int]]]:
+        state: _BatchState,
+        dead: int,
+        through: str,
+        clusters: Optional[set] = None,
+    ) -> List[_ShardRun]:
+        """Re-execute the dead shard's serving slice on surviving replicas.
+
+        Reassigns each lost cluster to its least-loaded live owner, spawns
+        fresh failover runs on the chosen shards (IBC + filtered fine scan
+        over exactly the lost clusters of each query's probe set), and --
+        for ``through="finish"`` -- replays the batch's recorded filter
+        retry and finishes the local shortlist, so the replacement holds
+        bit-for-bit the candidates the dead shard would have shipped
+        (replicas are whole-cluster copies; determinism does the rest).
+        Raises :class:`ShardUnavailableError` naming the first cluster with
+        zero live owners, or with ``cluster=None`` for layouts that cannot
+        reroute at all.
+        """
+        sdb = state.sdb
+        if state.serving is None:
+            hint = next(
+                (int(p[0]) for p in state.probes if p), None
+            )
+            raise ShardUnavailableError(
+                hint,
+                f"shard {dead} died mid-batch and the "
+                f"{sdb.assignment.policy!r} placement has no cluster replicas",
+            )
+        if clusters is None:
+            lost = sorted(c for c, s in state.serving.items() if s == dead)
+        else:
+            lost = sorted(
+                c for c in clusters if state.serving.get(c) == dead
+            )
+        if not lost:
+            return []
+        sizes = state.cluster_sizes
+        new_owner: Dict[int, int] = {}
+        assigned: Dict[int, int] = {}
+        for cluster in lost:
+            owners = self._live_owners(sdb, cluster)
+            if not owners:
+                raise ShardUnavailableError(cluster)
+            pick = min(
+                owners,
+                key=lambda s: (self._shard_load(s), assigned.get(s, 0), s),
+            )
+            new_owner[cluster] = pick
+            assigned[pick] = assigned.get(pick, 0) + (
+                int(sizes[cluster]) if sizes is not None else 1
+            )
+            state.serving[cluster] = pick
+        by_shard: Dict[int, List[int]] = {}
+        for cluster, shard in new_owner.items():
+            by_shard.setdefault(shard, []).append(cluster)
+        new_runs: List[_ShardRun] = []
+        for shard in sorted(by_shard):
+            mine = set(by_shard[shard])
+            run = self._make_run(state, shard, failover=True)
+            run.executor.run_ibc(run.plans, run.ctxs)
+            position = {
+                int(c): i
+                for i, c in enumerate(sdb.assignment.shard_clusters[shard])
+            }
+            for qi in range(state.n_queries):
+                probe = state.probes[qi] or []
+                local = [
+                    position[int(c)] for c in probe if int(c) in mine
+                ]
+                run.ctxs[qi].clusters = local
+                run.ctxs[qi].stats.clusters_probed = len(local)
+            run.fine = run.executor._fine_scan(
+                run.db, run.plans, run.ctxs, run.stats, run.senses
+            )
+            if through == "finish":
+                run.executor._fine_retry(
+                    run.db, run.fine, run.ctxs, run.stats, run.senses,
+                    state.retry_indices,
+                )
+                run.executor._fine_finish(run.fine, run.ctxs)
+            state.runs.append(run)
+            new_runs.append(run)
+        return new_runs
+
+    def _coarse_barrier(self, state: _BatchState) -> None:
         """Per-shard coarse scans -> merged global probe set, rank order.
 
         Each shard quickselects its local top ``min(nprobe, local nlist)``
         centroids (the plan already trimmed its nprobe); the router merges
         by (distance, global cluster id) -- the single-device selection
-        key -- dedupes replicas (round-robin placement deploys every
-        centroid on every shard; replicas tie exactly), and hands each
-        shard its local ids of the winning clusters in global rank order.
+        key -- dedupes replicas (replicated centroids tie exactly), picks
+        one *serving* replica per probed cluster (least-loaded live owner),
+        and hands each serving shard its local ids of its clusters in
+        global rank order.
+
+        Fault paths: a shard dying at this barrier loses its whole coarse
+        block, and clusters whose every owner is down have their centroids
+        on no live shard at all.  The router reconstructs the latter
+        host-side -- the deployed coarse distance is the Hamming distance
+        between the query's and the centroid's binary codes, which the host
+        computes identically from the shared quantizer -- merges them into
+        the candidate set, and raises :class:`ShardUnavailableError` iff a
+        down cluster wins a probe slot, i.e. exactly when results would
+        diverge from a healthy device.
         """
-        local_blocks: Dict[int, List] = {}
-        for run in runs:
+        sdb = state.sdb
+        nprobe = state.nprobe
+        for run in state.live_runs():
             engine = run.executor.engine
             ttls = run.executor._coarse_scan(
                 run.db, run.plans, run.ctxs, run.stats, run.senses
@@ -504,8 +869,35 @@ class ShardRouter:
                 # Same tag cross-check the single device performs.
                 engine.resolve_cluster_block(run.db, block, ctx.stats)
                 per_query.append(block)
-                merge_acc.add(run.shard, len(block))
-            local_blocks[run.shard] = per_query
+            run.coarse_blocks = per_query
+
+        dead = self._pop_scheduled_kill("coarse")
+        if dead is not None and self._mark_dead(state, dead):
+            if not self._can_fail_over(sdb):
+                raise ShardUnavailableError(
+                    None,
+                    f"shard {dead} died at the coarse barrier and the "
+                    f"{sdb.assignment.policy!r} placement has no replicas",
+                )
+        runs = state.live_runs()
+        if not runs:
+            raise ShardUnavailableError(
+                None, "every shard serving the batch is down"
+            )
+        for run in runs:
+            for block in run.coarse_blocks:
+                state.merge_acc.add(run.shard, len(block))
+
+        # Clusters with zero live owners: reconstruct their coarse
+        # candidates host-side so the probe decision stays exact.
+        down = self._down_clusters(sdb)
+        down_codes = None
+        if down:
+            quantizer = sdb.shard_dbs[runs[0].shard].binary_quantizer
+            down_codes = quantizer.encode(
+                np.asarray(sdb.ivf_model.centroids)[down]
+            )
+        down_ids = np.asarray(down, dtype=np.int64)
 
         local_position = {
             run.shard: {
@@ -516,85 +908,134 @@ class ShardRouter:
             }
             for run in runs
         }
-        probe_ranks: List[Optional[Dict[int, int]]] = []
-        for qi in range(n_queries):
-            # Stack every shard's candidates and merge by the single-device
-            # selection key (distance, global cluster id) in one lexsort;
-            # replica copies of a centroid tie exactly, so a first-seen
-            # dedupe over the sorted order keeps one of each.
-            dists = np.concatenate(
-                [local_blocks[run.shard][qi].dists for run in runs]
-            )
-            clusters = np.concatenate(
-                [
-                    np.asarray(
-                        sdb.assignment.shard_clusters[run.shard], dtype=np.int64
-                    )[local_blocks[run.shard][qi].eadrs]
-                    for run in runs
-                ]
-            )
+        serving: Optional[Dict[int, int]] = (
+            {} if self._can_fail_over(sdb) else None
+        )
+        assigned: Dict[int, int] = {}
+        for qi in range(state.n_queries):
+            # Stack every live shard's candidates (plus host-computed down
+            # clusters) and merge by the single-device selection key
+            # (distance, global cluster id) in one lexsort; replica copies
+            # of a centroid tie exactly, so a first-seen dedupe over the
+            # sorted order keeps one of each.
+            dists_parts = [run.coarse_blocks[qi].dists for run in runs]
+            cluster_parts = [
+                np.asarray(
+                    sdb.assignment.shard_clusters[run.shard], dtype=np.int64
+                )[run.coarse_blocks[qi].eadrs]
+                for run in runs
+            ]
+            if down_codes is not None:
+                query_code = runs[0].ctxs[qi].query_code
+                dists_parts.append(
+                    hamming_packed(query_code, down_codes).astype(
+                        dists_parts[0].dtype if dists_parts else np.int64
+                    )
+                )
+                cluster_parts.append(down_ids)
+            dists = np.concatenate(dists_parts)
+            clusters = np.concatenate(cluster_parts)
             order = merge_order(dists, clusters)
             sorted_clusters = clusters[order]
             _, first = np.unique(sorted_clusters, return_index=True)
             probe = sorted_clusters[np.sort(first)][:nprobe]
+            if down:
+                down_set = set(down)
+                for cluster in probe:
+                    if int(cluster) in down_set:
+                        raise ShardUnavailableError(int(cluster))
             ranks = {int(cluster): rank for rank, cluster in enumerate(probe)}
-            probe_ranks.append(ranks)
+            state.probes[qi] = [int(cluster) for cluster in probe]
+            state.probe_ranks[qi] = ranks
+            if serving is not None:
+                # One serving replica per probed cluster: the least-loaded
+                # live owner (cumulative busy seconds, then vectors already
+                # assigned this batch, then shard id).  Disjoint serving
+                # sets keep the downstream merge keys a total order, so
+                # replica choice never changes results.
+                for cluster in state.probes[qi]:
+                    if cluster in serving:
+                        continue
+                    owners = self._live_owners(sdb, cluster)
+                    pick = min(
+                        owners,
+                        key=lambda s: (
+                            self._shard_load(s), assigned.get(s, 0), s,
+                        ),
+                    )
+                    serving[cluster] = pick
+                    assigned[pick] = assigned.get(pick, 0) + (
+                        int(state.cluster_sizes[cluster])
+                        if state.cluster_sizes is not None
+                        else 1
+                    )
             for run in runs:
                 position = local_position[run.shard]
-                local = [
-                    position[int(cluster)]
-                    for cluster in probe
-                    if int(cluster) in position
-                ]
+                if serving is None:
+                    local = [
+                        position[int(cluster)]
+                        for cluster in probe
+                        if int(cluster) in position
+                    ]
+                else:
+                    local = [
+                        position[int(cluster)]
+                        for cluster in probe
+                        if serving.get(int(cluster)) == run.shard
+                    ]
                 run.ctxs[qi].clusters = local
                 run.ctxs[qi].stats.clusters_probed = len(local)
-        return probe_ranks
+        state.serving = serving
 
-    def _fine_barrier(
-        self,
-        runs: List[_ShardRun],
-        n_queries: int,
-    ) -> List[bool]:
+    def _fine_barrier(self, state: _BatchState) -> None:
         """Filtered fine scans everywhere, then the cluster-wide retry.
 
         The retry predicate runs on summed survivor and candidate counts:
         the decision one device scanning the whole corpus would take.  A
         retry rescans *every* shard unfiltered, as the single device
         rescans its whole candidate set.
+
+        A shard dying at this barrier loses its fine output before the
+        retry decision; its serving clusters reroute to surviving replicas
+        (whole-cluster copies rescan the same slice bit-identically), so
+        the summed counts -- and therefore the retry decision -- match the
+        healthy device exactly.
         """
-        states = {}
-        for run in runs:
-            states[run.shard] = run.executor._fine_scan(
+        for run in state.live_runs():
+            run.fine = run.executor._fine_scan(
                 run.db, run.plans, run.ctxs, run.stats, run.senses
             )
+        dead = self._pop_scheduled_kill("fine")
+        if dead is not None and self._mark_dead(state, dead):
+            self._spawn_replacements(state, dead, through="scan")
+        runs = state.live_runs()
+        if not runs:
+            raise ShardUnavailableError(
+                None, "every shard serving the batch is down"
+            )
         retried: List[bool] = []
-        for qi in range(n_queries):
-            survivors = sum(states[run.shard].survivors(qi) for run in runs)
+        for qi in range(state.n_queries):
+            survivors = sum(run.fine.survivors(qi) for run in runs)
             candidates = sum(run.ctxs[qi].stats.candidates for run in runs)
-            state = states[runs[0].shard]
+            anchor = runs[0].fine
             retried.append(
                 runs[0].executor.engine.fine_retry_needed(
-                    survivors, state.threshold,
-                    state.shortlist_sizes[qi], candidates,
+                    survivors, anchor.threshold,
+                    anchor.shortlist_sizes[qi], candidates,
                 )
             )
-        retry_indices = [qi for qi in range(n_queries) if retried[qi]]
+        state.retried = retried
+        state.retry_indices = [
+            qi for qi in range(state.n_queries) if retried[qi]
+        ]
         for run in runs:
             run.executor._fine_retry(
-                run.db, states[run.shard], run.ctxs, run.stats, run.senses,
-                retry_indices,
+                run.db, run.fine, run.ctxs, run.stats, run.senses,
+                state.retry_indices,
             )
-            run.executor._fine_finish(states[run.shard], run.ctxs)
-        return retried
+            run.executor._fine_finish(run.fine, run.ctxs)
 
-    def _shortlist_barrier(
-        self,
-        sdb: ShardedDatabase,
-        runs: List[_ShardRun],
-        n_queries: int,
-        probe_ranks: List[Optional[Dict[int, int]]],
-        merge_acc: _MergeAccounting,
-    ) -> List[_MergedShortlist]:
+    def _shortlist_barrier(self, state: _BatchState) -> List[_MergedShortlist]:
         """Merge per-shard shortlists into the global rescoring shortlist.
 
         The merge key is (Hamming distance, single-device scan order):
@@ -602,23 +1043,29 @@ class ShardRouter:
         flat.  Each shard's local top-S contains its members of the global
         top-S, so the merged head *is* the single-device shortlist.  The
         merge itself is one ``np.lexsort`` over the stacked shard columns;
-        slots are globally unique (vectors are partitioned, never
-        replicated), so the key is a total order and the lexsort
-        reproduces the tuple sort exactly.
+        serving sets are disjoint per cluster (one replica serves each
+        cluster per batch), so slots stay unique, the key is a total order
+        and the lexsort reproduces the tuple sort exactly.  ``run_index``
+        is the run's absolute index in ``state.runs`` -- dead runs stay in
+        the list precisely so this provenance survives later failovers.
         """
+        sdb = state.sdb
         assignment = sdb.assignment
+        live = state.live_runs()
         shortlists: List[_MergedShortlist] = []
-        for qi in range(n_queries):
+        for qi in range(state.n_queries):
             # Every shard plans the same unclamped shortlist_factor * k.
             shortlist_size = next(
                 s.shortlist_size
-                for s in runs[0].plans[qi].stages
+                for s in live[0].plans[qi].stages
                 if s.name == "fine"
             )
             dists_parts, gid_parts, run_parts, row_parts = [], [], [], []
-            for run_idx, run in enumerate(runs):
+            for run_idx, run in enumerate(state.runs):
+                if run.dead:
+                    continue
                 block = run.ctxs[qi].shortlist
-                merge_acc.add(run.shard, len(block))
+                state.merge_acc.add(run.shard, len(block))
                 if len(block) == 0:
                     continue
                 mine = np.asarray(
@@ -641,8 +1088,8 @@ class ShardRouter:
             run_index = np.concatenate(run_parts)
             rows = np.concatenate(row_parts)
             slots = np.asarray(assignment.global_slot, dtype=np.int64)[gids]
-            if probe_ranks[qi] is not None:
-                ranks = probe_ranks[qi]
+            if state.probe_ranks[qi] is not None:
+                ranks = state.probe_ranks[qi]
                 rank_of_cluster = np.full(sdb.n_clusters, -1, dtype=np.int64)
                 for cluster, rank in ranks.items():
                     rank_of_cluster[cluster] = rank
@@ -657,13 +1104,79 @@ class ShardRouter:
             )
         return shortlists
 
+    def _failover_shortlists(
+        self,
+        state: _BatchState,
+        shortlists: List[_MergedShortlist],
+        dead: int,
+    ) -> None:
+        """Re-home merged-shortlist entries stranded on a dead shard.
+
+        Entries whose provenance points at the dead shard's runs get their
+        clusters re-executed on surviving replicas (fine scan + the batch's
+        recorded retry + finish, so the replacement's local shortlist holds
+        the exact candidates the dead shard shipped -- a global-top-S
+        member of cluster c is in the local top-S of *any* run scanning a
+        probe subset containing c), then their ``run_index``/``rows``
+        provenance is rewritten to the replacement runs.  Global rank
+        positions never move, so the downstream (distance, position) merge
+        key -- and therefore the final top-k -- is untouched.
+        """
+        dead_idxs = np.flatnonzero(
+            np.fromiter(
+                (run.dead and run.shard == dead for run in state.runs),
+                dtype=bool, count=len(state.runs),
+            )
+        )
+        cluster_of = np.asarray(
+            state.sdb.assignment.cluster_of_vector, dtype=np.int64
+        )
+        stranded: List[np.ndarray] = []
+        needed: set = set()
+        for shortlist in shortlists:
+            sel = np.flatnonzero(np.isin(shortlist.run_index, dead_idxs))
+            stranded.append(sel)
+            if sel.size:
+                needed.update(
+                    int(c) for c in cluster_of[shortlist.gids[sel]]
+                )
+        if not needed:
+            return
+        new_runs = self._spawn_replacements(
+            state, dead, through="finish", clusters=needed
+        )
+        # gid -> (absolute run index, row) over the replacement shortlists.
+        shard_vectors = state.sdb.assignment.shard_vectors
+        for qi, shortlist in enumerate(shortlists):
+            sel = stranded[qi]
+            if not sel.size:
+                continue
+            row_of: Dict[int, Tuple[int, int]] = {}
+            for run in new_runs:
+                abs_idx = state.runs.index(run)
+                block = run.ctxs[qi].shortlist
+                if len(block) == 0:
+                    continue
+                mine = np.asarray(shard_vectors[run.shard], dtype=np.int64)
+                gids = mine[run.db.slot_to_original[block.radrs]]
+                for row, gid in enumerate(gids):
+                    row_of.setdefault(int(gid), (abs_idx, row))
+            for p in sel:
+                gid = int(shortlist.gids[p])
+                if gid not in row_of:
+                    raise ShardUnavailableError(
+                        int(cluster_of[gid]),
+                        f"failover lost candidate {gid} of cluster "
+                        f"{int(cluster_of[gid])} (no replacement rescanned it)",
+                    )
+                abs_idx, row = row_of[gid]
+                shortlist.run_index[p] = abs_idx
+                shortlist.rows[p] = row
+
     def _rerank_barrier(
         self,
-        sdb: ShardedDatabase,
-        runs: List[_ShardRun],
-        queries: np.ndarray,
+        state: _BatchState,
         shortlists: List[_MergedShortlist],
-        merge_acc: _MergeAccounting,
     ) -> List[List[Tuple[int, int, int, int]]]:
         """Per-shard INT8 reranks of the global shortlist, merged to top-k.
 
@@ -675,17 +1188,37 @@ class ShardRouter:
         stable order the single device's rerank argsort produces, positions
         being unique -- and truncates to k.  Returns, per query, ranked
         (global id, refined distance, shard, local dadr) tuples.
+
+        A shard dying at this barrier loses its rerank output; the stranded
+        shortlist slices reroute through :meth:`_failover_shortlists` and
+        the replacements rerank alongside the survivors.  INT8 codes are
+        replica-identical and global rank positions are preserved, so the
+        merge is bit-identical.
         """
+        sdb = state.sdb
+        queries = state.queries
+        dead = self._pop_scheduled_kill("rerank")
+        if dead is not None and self._mark_dead(state, dead):
+            self._failover_shortlists(state, shortlists, dead)
+        if not state.live_runs():
+            raise ShardUnavailableError(
+                None, "every shard serving the batch is down"
+            )
         # Phase 1: each shard reranks all of its members in one batch call.
+        empty_sel = np.empty(0, dtype=np.int64)
         sel_of: List[List[np.ndarray]] = []
-        for run_idx, run in enumerate(runs):
+        for run_idx, run in enumerate(state.runs):
+            if run.dead:
+                # Placeholder keeps sel_of aligned with state.runs.
+                sel_of.append([empty_sel] * len(shortlists))
+                continue
             mines, sels = [], []
             for qi, shortlist in enumerate(shortlists):
                 sel = np.flatnonzero(shortlist.run_index == run_idx)
                 ctx = run.ctxs[qi]
                 mine = ctx.shortlist.take(shortlist.rows[sel])
                 ctx.shortlist = mine
-                merge_acc.add(run.shard, len(mine))
+                state.merge_acc.add(run.shard, len(mine))
                 mines.append(mine)
                 sels.append(sel)
             sel_of.append(sels)
@@ -700,13 +1233,16 @@ class ShardRouter:
                 ctx.distances, ctx.dadrs, ctx.slots = distances, dadrs, slots
 
         # Phase 2: host-side merge, unchanged from the per-query walk.
+        live = state.live_runs()
         ranked: List[List[Tuple[int, int, int, int]]] = []
         for qi, shortlist in enumerate(shortlists):
-            k = runs[0].plans[qi].k
+            k = live[0].plans[qi].k
             dist_parts, pos_parts, gid_parts, shard_parts, dadr_parts = (
                 [], [], [], [], [],
             )
-            for run_idx, run in enumerate(runs):
+            for run_idx, run in enumerate(state.runs):
+                if run.dead:
+                    continue
                 sel = sel_of[run_idx][qi]
                 ctx = run.ctxs[qi]
                 mine = ctx.shortlist
@@ -749,12 +1285,66 @@ class ShardRouter:
             )
         return ranked
 
+    def _failover_documents(
+        self,
+        state: _BatchState,
+        ranked: List[List[Tuple[int, int, int, int]]],
+        dead: int,
+    ) -> None:
+        """Re-home ranked winners whose document pages died with a shard.
+
+        A winner's document address on a replica is recoverable without
+        re-running the rerank: the rerank's DADRs originate from the fine
+        shortlist block, so a replacement run that rescans the winner's
+        cluster (fine + recorded retry + finish) carries the replica-local
+        DADR in its shortlist block.  The ranked (shard, dadr) tuples are
+        rewritten in place; ids and distances never move.
+        """
+        cluster_of = np.asarray(
+            state.sdb.assignment.cluster_of_vector, dtype=np.int64
+        )
+        needed: set = set()
+        for winners in ranked:
+            for gid, _dist, shard, _dadr in winners:
+                if shard == dead:
+                    needed.add(int(cluster_of[gid]))
+        if not needed:
+            return
+        new_runs = self._spawn_replacements(
+            state, dead, through="finish", clusters=needed
+        )
+        shard_vectors = state.sdb.assignment.shard_vectors
+        for qi, winners in enumerate(ranked):
+            if not any(shard == dead for _g, _d, shard, _a in winners):
+                continue
+            row_of: Dict[int, Tuple[int, int]] = {}
+            for run in new_runs:
+                block = run.ctxs[qi].shortlist
+                if len(block) == 0:
+                    continue
+                mine = np.asarray(shard_vectors[run.shard], dtype=np.int64)
+                gids = mine[run.db.slot_to_original[block.radrs]]
+                for row, gid in enumerate(gids):
+                    row_of.setdefault(
+                        int(gid), (run.shard, int(block.dadrs[row]))
+                    )
+            rewritten = []
+            for gid, dist, shard, dadr in winners:
+                if shard == dead:
+                    if gid not in row_of:
+                        raise ShardUnavailableError(
+                            int(cluster_of[gid]),
+                            f"failover lost document of vector {gid} "
+                            f"(cluster {int(cluster_of[gid])})",
+                        )
+                    shard, dadr = row_of[gid]
+                rewritten.append((gid, dist, shard, dadr))
+            ranked[qi] = rewritten
+
     def _document_barrier(
         self,
-        sdb: ShardedDatabase,
-        runs: List[_ShardRun],
+        state: _BatchState,
         ranked: List[List[Tuple[int, int, int, int]]],
-        fetch_documents: bool,
     ) -> List[List[DocumentChunk]]:
         """Fetch each winner's chunk from its owning shard, rank order kept.
 
@@ -762,22 +1352,45 @@ class ShardRouter:
         (:meth:`~repro.core.engine.InStorageAnnsEngine._fetch_documents_batch`),
         so a document page shared by several queries is materialized once per
         shard while every query is still billed its own senses.
+
+        A shard dying at this barrier loses its document reads; the affected
+        winners' clusters reroute through :meth:`_failover_documents` and the
+        fetch retries against replica-local addresses.  Document bytes are
+        replica-identical, so the returned chunks match the healthy run.
         """
+        sdb = state.sdb
+        dead = self._pop_scheduled_kill("document")
+        if dead is not None and self._mark_dead(state, dead):
+            if state.fetch_documents:
+                self._failover_documents(state, ranked, dead)
+        if not state.live_runs():
+            raise ShardUnavailableError(
+                None, "every shard serving the batch is down"
+            )
         documents: List[List[DocumentChunk]] = [[] for _ in ranked]
-        if not fetch_documents:
+        if not state.fetch_documents:
             return documents
-        # Group winner dadrs per owning shard, keeping the query index.
+        # Group winner dadrs per owning shard, keeping the query index; a
+        # shard can host two runs (primary + failover), so the fetch goes
+        # through the shard's first live run.
+        serving_run: Dict[int, _ShardRun] = {}
+        for run in state.live_runs():
+            serving_run.setdefault(run.shard, run)
         per_shard: Dict[int, List[Tuple[int, List[int]]]] = {
-            run.shard: [] for run in runs
+            shard: [] for shard in serving_run
         }
         for qi, winners in enumerate(ranked):
             mine: Dict[int, List[int]] = {}
             for _global_id, _dist, shard, dadr in winners:
                 mine.setdefault(shard, []).append(dadr)
             for shard, dadrs in mine.items():
+                if shard not in per_shard:
+                    raise ShardUnavailableError(
+                        None, f"winner document stranded on dead shard {shard}"
+                    )
                 per_shard[shard].append((qi, dadrs))
-        for run in runs:
-            groups = per_shard[run.shard]
+        for shard, run in serving_run.items():
+            groups = per_shard[shard]
             if not groups:
                 continue
             outs = run.executor.engine._fetch_documents_batch(
@@ -856,18 +1469,24 @@ class ShardRouter:
 
     def _compose(
         self,
-        sdb: ShardedDatabase,
-        runs: List[_ShardRun],
-        queries: np.ndarray,
+        state: _BatchState,
         ranked: List[List[Tuple[int, int, int, int]]],
         documents: List[List[DocumentChunk]],
-        retried: List[bool],
-        probe_ranks: List[Optional[Dict[int, int]]],
-        merge_acc: _MergeAccounting,
     ) -> BatchExecution:
-        """Assemble per-query results and the batch-level wall clock."""
-        n_queries = queries.shape[0]
-        merge_breakdown = self._merge_breakdown(merge_acc)
+        """Assemble per-query results and the batch-level wall clock.
+
+        Timing under failover stays honest: primary runs (dead ones
+        included -- their *completed* phases happened) barrier-compose as
+        usual, while every failover run's whole re-execution is billed to
+        a dedicated ``failover`` phase (replacements run concurrently, so
+        the phase costs the slowest one).  Stats counters sum over all
+        runs, completed or not -- work the cluster really did.
+        """
+        runs = state.runs
+        n_queries = state.n_queries
+        primary = [run for run in runs if not run.failover]
+        failover = [run for run in runs if run.failover]
+        merge_breakdown = self._merge_breakdown(state.merge_acc)
         per_query_merge = BatchPhaseBreakdown(
             name="merge",
             seconds=merge_breakdown.seconds / max(n_queries, 1),
@@ -883,9 +1502,19 @@ class ShardRouter:
         for qi in range(n_queries):
             solo_reports = [
                 compose_solo_report(run.executor.engine, run.ctxs[qi])
-                for run in runs
+                for run in primary
             ]
             report = self._merge_reports(solo_reports, per_query_merge)
+            if failover:
+                fo = max(
+                    compose_solo_report(
+                        run.executor.engine, run.ctxs[qi]
+                    ).total_s
+                    for run in failover
+                )
+                report.add_phase("failover", fo)
+                report.add_component("failover_recovery", fo)
+                report.total_s += fo
             stats = SearchStats()
             for run in runs:
                 shard_stats = run.ctxs[qi].stats
@@ -895,9 +1524,11 @@ class ShardRouter:
                 stats.entries_filtered += shard_stats.entries_filtered
                 stats.candidates += shard_stats.candidates
                 stats.ibc_transfers += shard_stats.ibc_transfers
-            stats.filter_retries = 1 if retried[qi] else 0
+            stats.filter_retries = 1 if state.retried[qi] else 0
             stats.clusters_probed = (
-                len(probe_ranks[qi]) if probe_ranks[qi] is not None else 0
+                len(state.probe_ranks[qi])
+                if state.probe_ranks[qi] is not None
+                else 0
             )
             results.append(
                 ReisQueryResult(
@@ -914,24 +1545,28 @@ class ShardRouter:
             )
 
         stats = BatchStats(n_queries=n_queries)
-        shard_reports: List[LatencyReport] = []
         shard_seconds = [0.0] * self.n_shards
+        primary_reports: List[LatencyReport] = []
+        failover_total = 0.0
         for run in runs:
             report = compose_batch_report(
                 run.executor.engine, run.ctxs, run.stats, run.senses
             )
-            shard_reports.append(report)
-            shard_seconds[run.shard] = report.total_s
+            shard_seconds[run.shard] += report.total_s
             stats.scan_requests += run.stats.scan_requests
             stats.scan_senses += run.stats.scan_senses
+            if run.failover:
+                failover_total = max(failover_total, report.total_s)
+            else:
+                primary_reports.append(report)
         phase_names: List[str] = []
-        for run in runs:
+        for run in primary:
             for name in run.stats.phases:
                 if name not in phase_names:
                     phase_names.append(name)
         for name in phase_names:
             breakdowns = [
-                run.stats.phases.get(name) for run in runs
+                run.stats.phases.get(name) for run in primary
             ]
             seconds = [b.seconds if b is not None else 0.0 for b in breakdowns]
             winner = breakdowns[int(np.argmax(seconds))]
@@ -947,7 +1582,24 @@ class ShardRouter:
                 ),
             )
         stats.phases["merge"] = merge_breakdown
-        report = self._merge_reports(shard_reports, merge_breakdown)
+        report = self._merge_reports(primary_reports, merge_breakdown)
+        if failover:
+            stats.phases["failover"] = BatchPhaseBreakdown(
+                name="failover",
+                seconds=failover_total,
+                components={"failover_recovery": failover_total},
+                unique_senses=sum(
+                    run.stats.scan_senses for run in failover
+                ),
+                total_senses=sum(
+                    run.stats.scan_senses for run in failover
+                ),
+            )
+            report.add_phase("failover", failover_total)
+            report.add_component("failover_recovery", failover_total)
+            report.total_s += failover_total
+        for shard in range(self.n_shards):
+            self.shard_busy_s[shard] += shard_seconds[shard]
         return BatchExecution(
             results=results,
             report=report,
@@ -978,8 +1630,198 @@ class ShardedBatchExecutor:
         metadata_filter: Optional[int] = None,
     ) -> BatchExecution:
         # ``db`` is the queue's forming anchor (one shard's layout, used
-        # for occupancy estimates); execution spans every shard.
+        # for submission validation); execution spans every shard.
         return self.router.execute(
             self.sdb, queries, k=k, nprobe=nprobe,
             fetch_documents=fetch_documents, metadata_filter=metadata_filter,
         )
+
+
+class ShardedBatchFormer(BatchFormer):
+    """Cluster-wide occupancy forming over the sharded placement.
+
+    The base :class:`~repro.core.queue.BatchFormer` estimates plane
+    coverage from a single :class:`~repro.core.layout.DeployedDatabase`
+    -- one shard's layout.  On a sharded deployment that misreads the
+    device: the anchor shard's planes saturate long before (balanced
+    splits) or after (skewed splits) the *cluster's* planes do, so the
+    occupancy trigger fires early or late.  This former spans every live
+    shard: footprints are (shard, region, page) triples, schedules build
+    per (shard, region) with the owning shard's real page->plane map,
+    planes are counted as (shard, plane) pairs, and the expected fine
+    footprint lands on the shard the router would pick to *serve* each
+    guessed cluster (first live owner under cluster-affinity placement;
+    every shard's local slice under striping).  Estimates steer admission
+    only; results never depend on them.
+    """
+
+    def __init__(
+        self,
+        router: ShardRouter,
+        sdb: ShardedDatabase,
+        nprobe: Optional[int],
+        policy: "QueuePolicy",
+    ) -> None:
+        anchor = router.resolve_anchor(sdb)
+        super().__init__(
+            router.engines[anchor], sdb.shard_dbs[anchor], nprobe, policy
+        )
+        self.router = router
+        self.sdb = sdb
+        # Re-clamp to the *global* cluster count: the base clamped to the
+        # anchor shard's local nlist.
+        if sdb.is_ivf:
+            if nprobe is None:
+                nprobe = max(1, int(round(sdb.n_clusters**0.5)))
+            self.nprobe = min(nprobe, sdb.n_clusters)
+
+    # ------------------------------------------------------- sharded layout
+
+    def _shard_views(self) -> List[Tuple[int, object, DeployedDatabase]]:
+        """(shard, engine, local db) for every live shard with a piece."""
+        return [
+            (shard, self.router.engines[shard], self.sdb.shard_dbs[shard])
+            for shard in self.sdb.active_shards
+            if shard not in self.router.failed_shards
+        ]
+
+    def _plane_on(
+        self, shard: int, engine: object, region: object, page_offset: int
+    ) -> int:
+        key = (shard, region.name, page_offset)
+        plane = self._plane_cache.get(key)
+        if plane is None:
+            plane = engine._locate(region, page_offset)[1]
+            self._plane_cache[key] = plane
+        return plane
+
+    def _count_planes(self) -> int:
+        if self._n_planes is None:
+            planes = set()
+            for shard, engine, db in self._shard_views():
+                regions = []
+                if db.is_ivf and db.centroid_region is not None:
+                    regions.append(db.centroid_region)
+                regions.append(db.embedding_region)
+                for region in regions:
+                    for page in range(region.n_pages):
+                        planes.add(
+                            (shard, self._plane_on(shard, engine, region, page))
+                        )
+            self._n_planes = len(planes)
+        return self._n_planes
+
+    def _guessed_clusters(self, sub_id: int) -> List[int]:
+        """The surrogate strides the *global* cluster list."""
+        assert self.nprobe is not None
+        nlist = self.sdb.n_clusters
+        stride = max(1, nlist // self.nprobe)
+        return [(sub_id + j * stride) % nlist for j in range(self.nprobe)]
+
+    def _expected_serving(
+        self, clusters: Sequence[int]
+    ) -> Optional[Dict[int, int]]:
+        """Cluster -> shard the router is expected to serve it on, or None
+        when every shard serves its own slice (striped placement)."""
+        sdb = self.sdb
+        if not (sdb.is_ivf and sdb.assignment.policy == "cluster"):
+            return None
+        serving: Dict[int, int] = {}
+        for cluster in clusters:
+            owners = self.router._live_owners(sdb, cluster)
+            if owners:
+                serving[cluster] = owners[0]
+        return serving
+
+    def footprint(self, submission: "Submission") -> List[Tuple]:
+        """(shard, engine, region, page_offset) the cluster will scan."""
+        cached = self._footprints.get(submission.sub_id)
+        if cached is not None:
+            return cached
+        pages: List[Tuple] = []
+        sdb = self.sdb
+        if sdb.is_ivf:
+            guessed = self._guessed_clusters(submission.sub_id)
+            serving = self._expected_serving(guessed)
+            for shard, engine, db in self._shard_views():
+                if db.centroid_region is not None:
+                    region = db.centroid_region
+                    pages.extend(
+                        (shard, engine, region, page)
+                        for page in range(region.n_pages)
+                    )
+                position = {
+                    int(c): i
+                    for i, c in enumerate(
+                        sdb.assignment.shard_clusters[shard]
+                    )
+                }
+                embedding = db.embedding_region
+                assert db.r_ivf is not None
+                seen = set()
+                for cluster in guessed:
+                    if serving is not None and serving.get(cluster) != shard:
+                        continue
+                    local = position.get(cluster)
+                    if local is None:
+                        continue
+                    entry = db.r_ivf[local]
+                    if entry.size <= 0:
+                        continue
+                    first = entry.first_embedding // embedding.slots_per_page
+                    last = entry.last_embedding // embedding.slots_per_page
+                    for page in range(first, last + 1):
+                        if page not in seen:
+                            seen.add(page)
+                            pages.append((shard, engine, embedding, page))
+        else:
+            for shard, engine, db in self._shard_views():
+                region = db.embedding_region
+                pages.extend(
+                    (shard, engine, region, page)
+                    for page in range(region.n_pages)
+                )
+        self._footprints[submission.sub_id] = pages
+        return pages
+
+    def estimate(self, candidates: Sequence["Submission"]) -> "FormingEstimate":
+        """Occupancy statistics over every shard's expected schedule."""
+        key = tuple(s.sub_id for s in candidates)
+        cached = self._estimates.get(key)
+        if cached is not None:
+            return cached
+        per_region: Dict[Tuple[int, str], List[Tuple]] = {}
+        for submission in candidates:
+            for shard, engine, region, page in self.footprint(submission):
+                per_region.setdefault((shard, region.name), []).append(
+                    (engine, region, page)
+                )
+        n_requests = 0
+        n_senses = 0
+        planes: set = set()
+        for (shard, _name), demands in per_region.items():
+            engine, region = demands[0][0], demands[0][1]
+            requests = [
+                PageRequest(task=index, page_offset=page)
+                for index, (_engine, _region, page) in enumerate(demands)
+            ]
+            schedule = build_page_schedule(
+                requests,
+                lambda page_offset, shard=shard, engine=engine, region=region: (
+                    self._plane_on(shard, engine, region, page_offset)
+                ),
+                optimize=self.engine.flags.schedule_optimization,
+            )
+            n_requests += schedule.n_requests
+            n_senses += schedule.n_senses
+            planes.update(
+                (shard, plane) for plane in schedule.senses_per_plane()
+            )
+        estimate = FormingEstimate(
+            n_requests=n_requests,
+            n_senses=n_senses,
+            planes_covered=len(planes),
+            n_planes=self._count_planes(),
+        )
+        self._estimates = {key: estimate}  # keep only the latest pending set
+        return estimate

@@ -22,6 +22,7 @@ from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.ann.ivf import build_ivf_model
 from repro.core import (
+    KILL_BARRIERS,
     BatchExecutor,
     MergeStage,
     QueuePolicy,
@@ -30,6 +31,7 @@ from repro.core import (
     ScheduleAccounting,
     ShardedReisDevice,
     ShardedScheduler,
+    ShardUnavailableError,
     plan_placement,
     shard_ivf_model,
     tiny_config,
@@ -175,6 +177,79 @@ class TestShardedBitIdentity:
             phases = batch.phase_seconds()
             assert "merge" in phases
             assert sum(phases.values()) == pytest.approx(batch.wall_seconds)
+
+    @given(
+        st.tuples(
+            st.integers(80, 160),  # n
+            st.sampled_from([32, 64]),  # dim
+            st.integers(2, 6),  # nlist
+            st.integers(1, 8),  # k
+            st.integers(2, 4),  # shards
+            st.integers(1, 2),  # replication factor
+            st.sampled_from(KILL_BARRIERS),
+            st.integers(0, 10**6),  # seed (also picks the victim shard)
+        )
+    )
+    @SETTINGS
+    def test_failover_matches_single_device_at_any_kill_point(self, shape):
+        """Tentpole property: kill any shard at any barrier, any R >= 1.
+
+        With a surviving replica (R >= 2, or the victim serving nothing
+        the batch probed) the rerouted batch must be bit-identical to the
+        single-device run.  With no surviving replica the router must
+        degrade to a clean :class:`ShardUnavailableError` naming a cluster
+        the dead shard owned -- never an IndexError.
+        """
+        n, dim, nlist, k, shards, repl, barrier, seed = shape
+        vectors, _ = make_clustered_embeddings(n, dim, max(nlist, 2), seed=seed)
+        queries = make_queries(vectors, 4, seed=(seed, "fq"))
+        model = build_ivf_model(vectors, nlist, seed=seed)
+        victim = seed % shards
+        nprobe = max(1, nlist // 2)
+
+        single = ReisDevice(tiny_config(f"FBI-{seed}-{n}"))
+        sid = single.ivf_deploy("s", vectors, ivf_model=model, seed=seed)
+        db = single.database(sid)
+        sharded = ShardedReisDevice(
+            shards,
+            tiny_config(f"FBI-SH-{seed}-{n}"),
+            placement="cluster",
+            replication_factor=repl,
+        )
+        did = sharded.ivf_deploy("s", vectors, ivf_model=model, seed=seed)
+        owned = sharded.database(did).assignment.shard_clusters[victim]
+
+        sharded.schedule_shard_failure(victim, barrier)
+        try:
+            batch = sharded.ivf_search(did, queries, k=k, nprobe=nprobe)
+        except ShardUnavailableError as err:
+            # Only a zero-replica loss may degrade, and the error names a
+            # cluster the dead shard actually owned.
+            assert repl == 1
+            assert err.cluster in set(int(c) for c in owned)
+            return
+        for query, result in zip(queries, batch):
+            solo = single.engine.search(db, query, k=k, nprobe=nprobe)
+            assert np.array_equal(solo.ids, result.ids)
+            assert np.array_equal(solo.distances, result.distances)
+            assert [d.chunk_id for d in solo.documents] == [
+                d.chunk_id for d in result.documents
+            ]
+        # Failover work is billed; the wall clock still decomposes exactly.
+        phases = batch.phase_seconds()
+        assert sum(phases.values()) == pytest.approx(batch.wall_seconds)
+        # The shard stays dead until revived; the next batch must reroute
+        # from the start (or degrade the same clean way at R=1).
+        try:
+            again = sharded.ivf_search(did, queries, k=k, nprobe=nprobe)
+        except ShardUnavailableError as err:
+            assert repl == 1
+            assert err.cluster in set(int(c) for c in owned)
+            return
+        for query, result in zip(queries, again):
+            solo = single.engine.search(db, query, k=k, nprobe=nprobe)
+            assert np.array_equal(solo.ids, result.ids)
+            assert np.array_equal(solo.distances, result.distances)
 
 
 @pytest.fixture(scope="module")
