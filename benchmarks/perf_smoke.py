@@ -13,6 +13,13 @@ wall spent in the TLC phases (``host_rerank`` + ``host_documents``):
 the page-major batch kernels hold it low, and a reintroduced per-query
 TLC walk inflates the share regardless of how fast the CI machine is.
 
+A third gate covers the DRAM page cache: the hot-Zipf (s=1.2) stream
+served with a working-set-sized cost-aware cache must beat the same
+stream uncached in host wall (best-of-5 each, same process).  Cache
+hits skip the sense simulation, the ECC decode and the latch kernels,
+so a cached steady state that is *slower* means the hit path grew a
+per-page Python loop or the lookup stopped short-circuiting the sense.
+
 Usage: ``PYTHONPATH=src python benchmarks/perf_smoke.py``
 """
 
@@ -25,6 +32,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent))
 from test_serving_throughput import (  # noqa: E402
     BENCH_PATH,
     HOST_SCALE_POINTS,
+    run_cache_smoke,
     run_host_scaling_point,
 )
 
@@ -92,6 +100,21 @@ def main() -> int:
         print(
             "perf-smoke: FAIL -- rerank+documents host share regressed "
             "(per-query TLC walk reintroduced?)"
+        )
+        return 1
+
+    cache = run_cache_smoke(repeats=REPEATS)
+    print(
+        f"perf-smoke: hot-Zipf cache gate: cached "
+        f"{cache['cached_host_wall_seconds'] * 1e3:.1f}ms vs uncached "
+        f"{cache['uncached_host_wall_seconds'] * 1e3:.1f}ms "
+        f"(best of {REPEATS}, hit rate {cache['hit_rate']:.1%}, "
+        f"budget {cache['budget_bytes']:,}B)"
+    )
+    if cache["cached_host_wall_seconds"] >= cache["uncached_host_wall_seconds"]:
+        print(
+            "perf-smoke: FAIL -- cached hot-Zipf serving is not faster "
+            "than uncached (cache hit path stopped skipping the sense?)"
         )
         return 1
     print("perf-smoke: OK")

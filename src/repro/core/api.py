@@ -32,6 +32,7 @@ import numpy as np
 from repro.ann.ivf import IvfModel, build_ivf_model
 from repro.core.analytic import AnalyticWorkload, ReisAnalyticModel
 from repro.core.batch import BatchExecution, BatchStats
+from repro.core.cache import DEFAULT_CACHE_KINDS, EvictionPolicy, PageCache
 from repro.core.config import OptFlags, ReisConfig, REIS_SSD1
 from repro.core.engine import InStorageAnnsEngine, ReisQueryResult
 from repro.core.ingest import IngestManager, IngestQueue, ShardedIngestCoordinator
@@ -297,8 +298,61 @@ class ReisDevice:
         del self._databases[db_id]
         self._ingest_managers.pop(db_id, None)
         self.deployer.r_db.drop(db_id)
+        self._invalidate_cached_regions(db)
         if reclaim:
             self._reclaim_regions(db)
+
+    # ------------------------------------------------------ DRAM page cache
+
+    @property
+    def page_cache(self) -> Optional["PageCache"]:
+        """The device's DRAM page cache (``None`` when disabled)."""
+        return getattr(self.ssd, "page_cache", None)
+
+    def enable_page_cache(
+        self,
+        budget_bytes: int,
+        policy: Optional["EvictionPolicy"] = None,
+        kinds=DEFAULT_CACHE_KINDS,
+    ) -> "PageCache":
+        """Reserve ``budget_bytes`` of internal DRAM as a hot-page mirror.
+
+        The budget is a named :class:`~repro.ssd.dram.InternalDram` region
+        (0.1% provisioning rule; over-budget raises
+        :class:`~repro.core.layout.CapacityError`); ``policy`` defaults to
+        LRU.  Re-enabling replaces the previous cache.
+        """
+        old = self.page_cache
+        if old is not None:
+            old.close()
+        cache = PageCache(
+            self.ssd.dram, budget_bytes, policy=policy, kinds=kinds
+        )
+        self.ssd.page_cache = cache
+        return cache
+
+    def disable_page_cache(self) -> None:
+        """Release the cache's DRAM reservation and serve from NAND again."""
+        cache = self.page_cache
+        if cache is not None:
+            cache.close()
+            self.ssd.page_cache = None
+
+    def _invalidate_cached_regions(self, db: DeployedDatabase) -> None:
+        """Authority-change barrier: a dropped database's pages may be
+        reused by the next deployment (the ``migrate_cluster`` re-deploy
+        path), so every mirrored page of its regions must go."""
+        cache = self.page_cache
+        if cache is None:
+            return
+        for region in (
+            db.centroid_region,
+            db.embedding_region,
+            db.int8_region,
+            db.document_region,
+        ):
+            if region is not None:
+                cache.invalidate_region(region)
 
     def _reclaim_regions(self, db: DeployedDatabase) -> None:
         regions = [
@@ -591,6 +645,33 @@ class ShardedReisDevice:
     @property
     def n_shards(self) -> int:
         return len(self.shards)
+
+    # ------------------------------------------------------ DRAM page cache
+
+    def enable_page_cache(
+        self,
+        budget_bytes: int,
+        policy_factory=None,
+        kinds=DEFAULT_CACHE_KINDS,
+    ) -> List["PageCache"]:
+        """Give every shard its own ``budget_bytes`` DRAM mirror.
+
+        Caches are strictly per shard (each drive's internal DRAM is
+        private); ``policy_factory`` is called once per shard so policies
+        never share mutable state.  Returns the per-shard caches.
+        """
+        return [
+            shard.enable_page_cache(
+                budget_bytes,
+                policy=policy_factory() if policy_factory is not None else None,
+                kinds=kinds,
+            )
+            for shard in self.shards
+        ]
+
+    def disable_page_cache(self) -> None:
+        for shard in self.shards:
+            shard.disable_page_cache()
 
     # ----------------------------------------------------------- inventory
 

@@ -62,6 +62,7 @@ from repro.core.plan import (
     finalize_query_result,
     schedule_order,
     schedule_senses,
+    schedule_senses_cached,
 )
 from repro.core.registry import TemporalTopList
 from repro.sim.latency import LatencyReport
@@ -100,6 +101,9 @@ class BatchStats:
     # for those phases (compose_batch_phase bills the schedule verbatim).
     scan_requests: int = 0
     scan_senses: int = 0
+    # Page visits the DRAM page cache served (all phases, summed over
+    # queries); disjoint from the sense counts above.
+    cache_hits: int = 0
     # Host-side wait: the batch-forming window (first member's submission
     # to service start) when the batch was formed by a
     # :class:`~repro.core.queue.SubmissionQueue`; zero for batches handed
@@ -132,6 +136,7 @@ class BatchStats:
         self.n_queries += other.n_queries
         self.scan_requests += other.scan_requests
         self.scan_senses += other.scan_senses
+        self.cache_hits += other.cache_hits
         self.queue_seconds += other.queue_seconds
         for name, breakdown in other.phases.items():
             mine = self.phases.get(name)
@@ -325,7 +330,24 @@ class BatchExecutor:
         def locate_plane(page_offset: int) -> int:
             return engine._locate(region, page_offset)[1]
 
-        sensed, planes = schedule_senses(pages_o, locate_plane)
+        cache = engine.page_cache
+        entry_of: Dict[int, object] = {}
+        if cache is not None:
+            # One residency snapshot per unique page: pages admitted while
+            # this phase drains don't retroactively serve it (the schedule
+            # partition is fixed, like the sense/latch plan itself).
+            def is_cached(page_offset: int) -> bool:
+                entry = cache.lookup(region, page_offset)
+                if entry is None:
+                    return False
+                entry_of[page_offset] = entry
+                return True
+
+            sensed, planes, _cached = schedule_senses_cached(
+                pages_o, locate_plane, is_cached
+            )
+        else:
+            sensed, planes = schedule_senses(pages_o, locate_plane)
 
         starts = np.flatnonzero(np.r_[True, pages_o[1:] != pages_o[:-1]])
         ends = np.r_[starts[1:], n_tasks]
@@ -335,21 +357,45 @@ class BatchExecutor:
         for s, e in zip(starts.tolist(), ends.tolist()):
             rows = order[s:e]
             qrows = q_of[rows]
-            run_hits = engine.scan_page_run(
-                region,
-                int(pages_o[s]),
-                code_rows[qrows],
-                tasks.lo[rows],
-                tasks.hi[rows],
-                [tasks.threshold] * (e - s),
-                [filters[qi] for qi in qrows],
-                coarse,
-                code_bytes,
-                oob_record_bytes,
-                sense=bool(sensed[s]),
-            )
+            page_offset = int(pages_o[s])
+            entry = entry_of.get(page_offset)
+            if entry is not None:
+                # Mirror-served run: the scan kernel math runs on the golden
+                # DRAM bytes; no sense, no latch occupancy.
+                run_hits = engine.scan_page_cached(
+                    region,
+                    page_offset,
+                    entry,
+                    code_rows[qrows],
+                    tasks.lo[rows],
+                    tasks.hi[rows],
+                    [tasks.threshold] * (e - s),
+                    [filters[qi] for qi in qrows],
+                    coarse,
+                    code_bytes,
+                    oob_record_bytes,
+                )
+            else:
+                run_hits = engine.scan_page_run(
+                    region,
+                    page_offset,
+                    code_rows[qrows],
+                    tasks.lo[rows],
+                    tasks.hi[rows],
+                    [tasks.threshold] * (e - s),
+                    [filters[qi] for qi in qrows],
+                    coarse,
+                    code_bytes,
+                    oob_record_bytes,
+                    sense=bool(sensed[s]),
+                )
             for row, hit in zip(rows.tolist(), run_hits):
                 hits[row] = hit
+        if cache is not None:
+            kind = "centroid" if coarse else "cluster"
+            for page_offset in np.unique(pages_o).tolist():
+                if int(page_offset) not in entry_of:
+                    engine._admit_page(region, int(page_offset), kind)
         return sensed, planes, hits
 
     @staticmethod
@@ -775,6 +821,7 @@ def compose_batch_report(
     for ctx in ctxs:
         ibc_seconds += ctx.ibc_seconds
         host_seconds += ctx.host_seconds
+        stats.cache_hits += ctx.stats.cache_hits
         for name, cost in ctx.phase_costs.items():
             phase_costs.setdefault(name, []).append(cost)
 

@@ -1,0 +1,317 @@
+"""DRAM-budgeted hot-data cache tier.
+
+Every query re-senses everything from NAND: centroids, cluster pages,
+INT8 rerank pages and document pages all pay a full page sense (plus ECC
+for TLC) even when every batch probes the same hot clusters.  This module
+mirrors hot pages in the SSD's internal DRAM so a cache hit skips the
+NAND sense entirely:
+
+* The mirror stores the **golden** ``(data, oob)`` bytes of a page.
+  ESP-SLC senses are error-free by construction and TLC senses are
+  ECC-corrected back to golden before any byte is used, so serving a
+  query from the mirror is bit-identical to re-sensing -- the scan kernel
+  math (XOR + popcount + threshold + OOB decode) runs on the controller
+  against the same bytes the latch would hold.
+* Capacity comes out of :class:`~repro.ssd.dram.InternalDram` as a named
+  region, so the cache competes with the R-DB/R-IVF/TTL structures under
+  the 0.1% provisioning rule and an over-budget configuration raises
+  :class:`~repro.core.layout.CapacityError` up front.
+* Admission/eviction is pluggable: :class:`LruPolicy` (least recently
+  used) and :class:`CostAwarePolicy` (sense-energy-saved per DRAM byte)
+  ship; both see the full entry map and pick a victim.
+
+Three object classes are cached, tagged by ``kind``: hot centroid array
+pages (``"centroid"``), hot cluster data pages -- embedding and INT8
+regions -- (``"cluster"``) and recently-sensed document pages
+(``"document"``).  Invalidation hooks live at the same barriers that
+already carry authority changes: streaming ingest invalidates every page
+it programs, compaction clears the cache, and dropping a database (the
+``migrate_cluster`` path re-deploys through ``drop``) invalidates the
+dropped regions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Tuple
+
+import numpy as np
+
+from repro.core.layout import CapacityError, RegionInfo
+from repro.ssd.dram import InternalDram
+
+__all__ = [
+    "CacheEntry",
+    "CacheStats",
+    "CostAwarePolicy",
+    "EvictionPolicy",
+    "LruPolicy",
+    "PageCache",
+    "DEFAULT_CACHE_KINDS",
+]
+
+# The three cacheable object classes.
+DEFAULT_CACHE_KINDS = ("centroid", "cluster", "document")
+
+# (value-hashable CoarseRegion, page offset) -- the same key shape the
+# engine's page-translation memo uses, so region identity is by value.
+CacheKey = Tuple[object, int]
+
+
+@dataclass
+class CacheStats:
+    """Lifetime counters of one :class:`PageCache`."""
+
+    hits: int = 0
+    misses: int = 0
+    admitted: int = 0
+    evicted: int = 0
+    invalidated: int = 0
+    hit_bytes: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        if not self.lookups:
+            return 0.0
+        return self.hits / self.lookups
+
+
+@dataclass
+class CacheEntry:
+    """One mirrored page: golden data + OOB plus the policy's bookkeeping."""
+
+    kind: str
+    data: np.ndarray
+    oob: np.ndarray
+    uses: int = 0
+    last_tick: int = 0
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.size + self.oob.size)
+
+
+class EvictionPolicy:
+    """Picks which resident entry to evict when an admission needs room."""
+
+    name: str = "policy"
+
+    def victim(self, entries: Dict[CacheKey, CacheEntry]) -> CacheKey:
+        raise NotImplementedError
+
+
+class LruPolicy(EvictionPolicy):
+    """Evict the least recently used entry."""
+
+    name = "lru"
+
+    def victim(self, entries: Dict[CacheKey, CacheEntry]) -> CacheKey:
+        return min(entries, key=lambda key: entries[key].last_tick)
+
+
+class CostAwarePolicy(EvictionPolicy):
+    """Evict the entry with the least sense energy saved per DRAM byte.
+
+    Each residency re-use saves one page sense, so an entry's value is
+    ``uses * sense_energy / nbytes``; TLC pages additionally save their
+    per-page ECC decode, expressed as a kind weight.  Ties break LRU.
+    """
+
+    name = "cost_aware"
+
+    # TLC-backed kinds carry the ECC decode on top of the sense.
+    DEFAULT_KIND_WEIGHTS = {"centroid": 1.0, "cluster": 1.0, "document": 1.5}
+
+    def __init__(
+        self,
+        sense_energy_j: float = 6.0e-6,
+        kind_weights: Optional[Dict[str, float]] = None,
+    ) -> None:
+        self.sense_energy_j = sense_energy_j
+        self.kind_weights = dict(
+            kind_weights if kind_weights is not None else self.DEFAULT_KIND_WEIGHTS
+        )
+
+    def score(self, entry: CacheEntry) -> float:
+        weight = self.kind_weights.get(entry.kind, 1.0)
+        return entry.uses * weight * self.sense_energy_j / max(entry.nbytes, 1)
+
+    def victim(self, entries: Dict[CacheKey, CacheEntry]) -> CacheKey:
+        return min(
+            entries,
+            key=lambda key: (self.score(entries[key]), entries[key].last_tick),
+        )
+
+
+class PageCache:
+    """A DRAM-budgeted mirror of hot NAND pages.
+
+    The budget is reserved as a named :class:`InternalDram` region at
+    construction -- an over-budget configuration fails immediately with
+    :class:`CapacityError` -- and released by :meth:`close`.  Lookups
+    return the resident :class:`CacheEntry` (whose ``data``/``oob`` are
+    the golden page bytes) or ``None``; admissions copy their inputs so
+    no caller ever aliases the mirror.
+    """
+
+    def __init__(
+        self,
+        dram: InternalDram,
+        budget_bytes: int,
+        policy: Optional[EvictionPolicy] = None,
+        name: str = "page_cache",
+        kinds: Iterable[str] = DEFAULT_CACHE_KINDS,
+    ) -> None:
+        if budget_bytes <= 0:
+            raise ValueError("cache budget must be positive")
+        self.name = name
+        self.budget_bytes = int(budget_bytes)
+        self.policy = policy if policy is not None else LruPolicy()
+        self.kinds = frozenset(kinds)
+        self.stats = CacheStats()
+        self._entries: Dict[CacheKey, CacheEntry] = {}
+        # Ghost frequency: touch counts of absent pages (misses plus the
+        # uses of evicted entries), restored when a page is admitted.
+        # Without it a budget smaller than one batch's footprint can
+        # never converge -- every hot page is flushed by the cold flood
+        # before it earns a reuse, so the cost-aware score stays zero for
+        # everything.  (Metadata only, a few ints per page ever touched;
+        # the mirrored bytes are gone.)
+        self._ghost_uses: Dict[CacheKey, int] = {}
+        self._used_bytes = 0
+        self._tick = 0
+        try:
+            dram.allocate(name, self.budget_bytes)
+        except MemoryError as exc:
+            raise CapacityError(
+                f"DRAM cache budget of {budget_bytes}B does not fit: {exc}"
+            ) from exc
+        self._dram = dram
+
+    # ------------------------------------------------------------- lookup
+
+    @staticmethod
+    def _key(region: RegionInfo, page_offset: int) -> CacheKey:
+        return (region.region, int(page_offset))
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        return self.budget_bytes - self._used_bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def peek(self, region: RegionInfo, page_offset: int) -> Optional[CacheEntry]:
+        """Residency probe that records no statistics (scheduling snapshot)."""
+        return self._entries.get(self._key(region, page_offset))
+
+    def lookup(self, region: RegionInfo, page_offset: int) -> Optional[CacheEntry]:
+        """Return the resident entry for a page, recording hit/miss stats."""
+        key = self._key(region, page_offset)
+        entry = self._entries.get(key)
+        if entry is None:
+            # A miss is still a touch: bank it so a page that keeps being
+            # wanted carries its popularity into the next admission.
+            self._ghost_uses[key] = self._ghost_uses.get(key, 0) + 1
+            self.stats.misses += 1
+            return None
+        self._tick += 1
+        entry.uses += 1
+        entry.last_tick = self._tick
+        self.stats.hits += 1
+        self.stats.hit_bytes += entry.nbytes
+        return entry
+
+    # ---------------------------------------------------------- admission
+
+    def admit(
+        self,
+        region: RegionInfo,
+        page_offset: int,
+        kind: str,
+        data: np.ndarray,
+        oob: np.ndarray,
+    ) -> bool:
+        """Mirror a freshly-sensed page (copied); evicts until it fits.
+
+        Returns ``False`` without touching the cache when the kind is not
+        enabled or the page alone exceeds the whole budget.
+        """
+        if kind not in self.kinds:
+            return False
+        nbytes = int(data.size + oob.size)
+        if nbytes > self.budget_bytes:
+            return False
+        key = self._key(region, page_offset)
+        old = self._entries.pop(key, None)
+        if old is not None:
+            self._used_bytes -= old.nbytes
+        while self._used_bytes + nbytes > self.budget_bytes:
+            victim = self.policy.victim(self._entries)
+            evicted = self._entries.pop(victim)
+            self._ghost_uses[victim] = (
+                self._ghost_uses.get(victim, 0) + evicted.uses
+            )
+            self._used_bytes -= evicted.nbytes
+            self.stats.evicted += 1
+        self._tick += 1
+        self._entries[key] = CacheEntry(
+            kind=kind,
+            data=np.array(data, dtype=np.uint8, copy=True),
+            oob=np.array(oob, dtype=np.uint8, copy=True),
+            uses=(
+                old.uses if old is not None
+                else self._ghost_uses.pop(key, 0)
+            ),
+            last_tick=self._tick,
+        )
+        self._used_bytes += nbytes
+        self.stats.admitted += 1
+        return True
+
+    # -------------------------------------------------------- invalidation
+
+    def invalidate_page(self, region: RegionInfo, page_offset: int) -> bool:
+        """Drop one page's entry (streaming-ingest program barrier)."""
+        key = self._key(region, page_offset)
+        self._ghost_uses.pop(key, None)  # rewritten page, stale history
+        entry = self._entries.pop(key, None)
+        if entry is None:
+            return False
+        self._used_bytes -= entry.nbytes
+        self.stats.invalidated += 1
+        return True
+
+    def invalidate_region(self, region: RegionInfo) -> int:
+        """Drop every entry of one region (drop/migrate authority barrier)."""
+        coarse = region.region
+        for key in [k for k in self._ghost_uses if k[0] == coarse]:
+            del self._ghost_uses[key]
+        doomed = [key for key in self._entries if key[0] == coarse]
+        for key in doomed:
+            self._used_bytes -= self._entries.pop(key).nbytes
+        self.stats.invalidated += len(doomed)
+        return len(doomed)
+
+    def clear(self) -> int:
+        """Drop everything (compaction rewrites whole region windows)."""
+        n = len(self._entries)
+        self.stats.invalidated += n
+        self._entries.clear()
+        self._ghost_uses.clear()
+        self._used_bytes = 0
+        return n
+
+    def close(self) -> None:
+        """Release the DRAM reservation; the cache is unusable afterwards."""
+        self._entries.clear()
+        self._used_bytes = 0
+        self._dram.free(self.name)

@@ -50,17 +50,37 @@ class PhaseCost:
     with_compute: bool = True  # latch XOR + bit count per page
     with_filter: bool = False  # pass/fail check per page
     ecc_bytes: float = 0.0  # bytes ECC-decoded on the controller
+    # DRAM-cache service: senses skipped because the page was mirrored in
+    # the internal DRAM.  Hits bill InternalDram.access_time instead of the
+    # page-sense latency and carry their byte load for the energy model.
+    dram_seconds: float = 0.0
+    dram_bytes: float = 0.0
     total_pages_override: int = 0  # analytic: true total when spread evenly
     # Identities of the sensed pages (global linear page index), per plane.
     # The functional engine records them so the batch executor can amortize
     # senses across queries that touch the same page; the analytic twin
     # leaves them empty.
     sensed_page_ids: Dict[int, List[int]] = field(default_factory=dict)
+    # Identities of the DRAM-cache streams ((region, page) -> [visits,
+    # seconds per visit]).  Mirrors ``sensed_page_ids``: the batch executor
+    # streams each mirrored page out of the DRAM once for every query that
+    # wants it functionally, but cross-query visits share the stream, so
+    # compose_batch_phase amortizes them the same way it shares senses.
+    dram_streams: Dict[object, List[float]] = field(default_factory=dict)
 
     def add_page(self, plane_index: int, n: int = 1, page_id: Optional[int] = None) -> None:
         self.pages_per_plane[plane_index] = self.pages_per_plane.get(plane_index, 0) + n
         if page_id is not None:
             self.sensed_page_ids.setdefault(plane_index, []).append(page_id)
+
+    def add_dram_stream(self, key: object, seconds: float) -> None:
+        """One cache-served page visit, identified for batch amortization."""
+        self.dram_seconds += seconds
+        entry = self.dram_streams.get(key)
+        if entry is None:
+            self.dram_streams[key] = [1, seconds]
+        else:
+            entry[0] += 1
 
     def add_channel_bytes(self, channel: int, n_bytes: float) -> None:
         self.channel_bytes[channel] = self.channel_bytes.get(channel, 0.0) + n_bytes
@@ -136,7 +156,8 @@ def compose_phase(
         default=0.0,
     )
     core_s = cost.core_seconds + cost.ecc_bytes * ecc_decode_seconds_per_byte
-    stages = [read_s, transfer_s, core_s]
+    dram_s = cost.dram_seconds
+    stages = [read_s, transfer_s, core_s, dram_s]
     if flags.pipelining:
         # Steady-state: the bottleneck stage sets throughput; the other
         # stages amortize over the page iterations of the phase.
@@ -150,6 +171,8 @@ def compose_phase(
         f"{cost.name}_transfer": transfer_s,
         f"{cost.name}_core": core_s,
     }
+    if dram_s:
+        components[f"{cost.name}_dram"] = dram_s
     return total, components
 
 
@@ -246,7 +269,19 @@ def compose_batch_phase(
     plane_senses: Dict[int, Dict[int, int]] = {}
     channel_load: Dict[int, float] = {}
     core_s = 0.0
+    dram_s = 0.0
+    # page key -> DRAM stream time the batch needs: the max over queries
+    # of one query's visits to that page (cross-query visits share the
+    # stream out of the mirror, exactly like cross-query senses).
+    dram_shared: Dict[object, float] = {}
     for cost in costs:
+        tracked_s = 0.0
+        for key, (visits, per_visit_s) in cost.dram_streams.items():
+            need = visits * per_visit_s
+            tracked_s += need
+            if need > dram_shared.get(key, 0.0):
+                dram_shared[key] = need
+        dram_s += cost.dram_seconds - tracked_s
         for plane, n in cost.pages_per_plane.items():
             plane_visits[plane] = plane_visits.get(plane, 0) + n
         for plane, ids in cost.sensed_page_ids.items():
@@ -260,6 +295,7 @@ def compose_batch_phase(
         for channel, n_bytes in cost.channel_bytes.items():
             channel_load[channel] = channel_load.get(channel, 0.0) + n_bytes
         core_s += cost.core_seconds + cost.ecc_bytes * ecc_decode_seconds_per_byte
+    dram_s += sum(dram_shared.values())
 
     read_s = 0.0
     unique_total = 0
@@ -276,7 +312,7 @@ def compose_batch_phase(
         (load / timing.channel_bandwidth_bps for load in channel_load.values()),
         default=0.0,
     )
-    stages = [read_s, transfer_s, core_s]
+    stages = [read_s, transfer_s, core_s, dram_s]
     iterations = max(plane_visits.values(), default=0)
     if flags.pipelining:
         bottleneck = max(stages)
@@ -289,6 +325,8 @@ def compose_batch_phase(
         f"{first.name}_transfer": transfer_s,
         f"{first.name}_core": core_s,
     }
+    if dram_s:
+        components[f"{first.name}_dram"] = dram_s
     return BatchPhaseBreakdown(
         name=first.name,
         seconds=total,

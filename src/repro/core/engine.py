@@ -40,6 +40,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.batch import BatchExecution, BatchExecutor
+from repro.core.cache import CacheEntry, PageCache
 from repro.core.commands import DieCommandInterface
 from repro.core.config import OptFlags, ReisConfig
 from repro.core.costing import PhaseCost, ibc_time
@@ -52,6 +53,7 @@ from repro.core.plan import (
 )
 from repro.core.registry import TemporalTopList, TtlBlock, TtlEntry
 from repro.nand.geometry import PhysicalPageAddress
+from repro.nand.latches import _POPCOUNT_TABLE
 from repro.rag.documents import DocumentChunk
 from repro.ssd.device import SimulatedSSD
 
@@ -96,6 +98,10 @@ class PageScanHit:
     n_valid: int
     n_filtered: int  # dropped in-die: distance threshold + metadata tag
     block: Optional[TtlBlock] = None
+    # Served from the DRAM cache mirror: no sense, no latch work, no
+    # channel crossing -- the visit bills ``cache_bytes`` of DRAM instead.
+    from_cache: bool = False
+    cache_bytes: int = 0
 
     @property
     def entries(self) -> List[TtlEntry]:
@@ -179,6 +185,50 @@ class InStorageAnnsEngine:
             cached = (ppa, plane_index, ppa.channel, ppa.to_linear(self.geometry))
             self._locate_cache[key] = cached
         return cached
+
+    # ------------------------------------------------------ DRAM page cache
+
+    @property
+    def page_cache(self) -> Optional[PageCache]:
+        """The device's DRAM page cache (attached to the SSD; default off)."""
+        return getattr(self.ssd, "page_cache", None)
+
+    def _bill_dram_hit(
+        self, cost: PhaseCost, stats: SearchStats, nbytes: int,
+        key: object = None,
+    ) -> None:
+        """Account one cache-served page visit.
+
+        A hit skips the sense, the latch work and the channel crossing; the
+        controller streams the mirrored bytes out of the internal DRAM, so
+        the visit bills :meth:`InternalDram.access_time` and advances the
+        ``dram_cache_*`` counters -- the energy invariant becomes: billed
+        work = unique NAND senses + DRAM hit bytes.  Batch kernels pass the
+        page identity as ``key`` so compose_batch_phase can share the
+        stream across the queries that drain it (each query still bills
+        the full visit solo, mirroring per-query sense billing).
+        """
+        seconds = self.ssd.dram.access_time(nbytes)
+        if key is not None:
+            cost.add_dram_stream(key, seconds)
+        else:
+            cost.dram_seconds += seconds
+        cost.dram_bytes += nbytes
+        self.ssd.counters.add("dram_cache_hits", 1)
+        self.ssd.counters.add("dram_cache_bytes", nbytes)
+        stats.cache_hits += 1
+
+    def _admit_page(
+        self, region: RegionInfo, page_offset: int, kind: str
+    ) -> None:
+        """Mirror a page's golden bytes after a fresh sense (copied)."""
+        cache = self.page_cache
+        if cache is None:
+            return
+        ppa = self._locate(region, page_offset)[0]
+        plane = self.ssd.array.plane(ppa)
+        data, oob = plane.golden_view(ppa.block, ppa.page)
+        cache.admit(region, page_offset, kind, data, oob)
 
     # ----------------------------------------------------------------- IBC
 
@@ -339,6 +389,147 @@ class InStorageAnnsEngine:
             )
         return hits
 
+    def scan_page_cached(
+        self,
+        region: RegionInfo,
+        page_offset: int,
+        entry: CacheEntry,
+        codes: np.ndarray,
+        los: Sequence[int],
+        his: Sequence[int],
+        thresholds: Sequence[Optional[int]],
+        metadata_filters: Sequence[Optional[int]],
+        coarse: bool,
+        code_bytes: int,
+        oob_record_bytes: int,
+    ) -> List[PageScanHit]:
+        """The DRAM-mirror twin of :meth:`scan_page_run`: zero NAND work.
+
+        Runs the identical extraction math -- XOR + popcount distances, the
+        strict-below threshold mask, the OOB linkage decode with the
+        before-RD_TTL metadata drop -- against the cached golden
+        ``(data, oob)`` bytes on the *controller*.  Scan regions are
+        ESP-SLC, whose senses latch the golden bytes verbatim, so the
+        results are bit-identical to a fresh sense; but no READ_PAGE /
+        XOR / GEN_DIST / PASS_FAIL / RD_TTL command is issued and no latch
+        or sense counter advances (the billing difference *is* the cache).
+        """
+        _ppa, plane_index, channel, page_id = self._locate(region, page_offset)
+        n_segments = region.slots_in_page(page_offset)
+        page_first = page_offset * region.slots_per_page
+        data = entry.data
+        patterns = np.atleast_2d(np.asarray(codes, dtype=np.uint8))
+        view = data[: code_bytes * n_segments].reshape(1, n_segments, code_bytes)
+        diff = np.bitwise_xor(view, patterns[:, None, :])
+        distances = _POPCOUNT_TABLE[diff].sum(axis=2, dtype=np.int64)
+
+        hits: List[PageScanHit] = []
+        for row in range(len(patterns)):
+            lo = max(int(los[row]), 0)
+            hi = min(int(his[row]), n_segments - 1)
+            n_valid = hi - lo + 1
+            if n_valid <= 0:
+                hits.append(
+                    PageScanHit(
+                        plane_index, channel, page_id, 0, 0,
+                        from_cache=True, cache_bytes=entry.nbytes,
+                    )
+                )
+                continue
+            window_dists = distances[row, lo : hi + 1]
+            threshold = thresholds[row]
+            if threshold is not None:
+                mask = window_dists < threshold
+                kept = np.arange(lo, hi + 1, dtype=np.intp)[mask]
+                kept_dists = window_dists[mask]
+                n_dist_filtered = n_valid - kept.size
+            else:
+                kept = np.arange(lo, hi + 1, dtype=np.intp)
+                kept_dists = window_dists
+                n_dist_filtered = 0
+            block, n_meta_filtered = self._rd_ttl_cached(
+                entry,
+                kept,
+                kept_dists,
+                code_bytes,
+                oob_record_bytes,
+                coarse,
+                page_first,
+                metadata_filters[row],
+            )
+            hits.append(
+                PageScanHit(
+                    plane_index=plane_index,
+                    channel=channel,
+                    page_id=page_id,
+                    n_valid=n_valid,
+                    n_filtered=n_dist_filtered + n_meta_filtered,
+                    block=block,
+                    from_cache=True,
+                    cache_bytes=entry.nbytes,
+                )
+            )
+        return hits
+
+    @staticmethod
+    def _rd_ttl_cached(
+        entry: CacheEntry,
+        slots: np.ndarray,
+        dists: np.ndarray,
+        code_bytes: int,
+        oob_record_bytes: int,
+        coarse: bool,
+        eadr_base: int,
+        metadata_filter: Optional[int],
+    ) -> Tuple[Optional[TtlBlock], int]:
+        """The mirror twin of ``rd_ttl_batch``: same decode, no commands.
+
+        Gathers embedding codes and OOB linkage records from the cached
+        bytes with the exact slot arithmetic the die performs; the fancy
+        gathers materialize fresh arrays, so TTL blocks never alias the
+        mirror.  The metadata equality drop runs before any row is
+        assembled, as the in-die comparator does.
+        """
+        slots = np.asarray(slots, dtype=np.intp)
+        if slots.size == 0:
+            return None, 0
+        data, oob = entry.data, entry.oob
+        n_fit = data.size // code_bytes
+        codes_view = data[: n_fit * code_bytes].reshape(n_fit, code_bytes)
+        if coarse:
+            tags = oob[slots * oob_record_bytes].astype(np.int64)
+            block = TtlBlock(
+                dists=dists,
+                embs=codes_view[slots],
+                eadrs=eadr_base + slots.astype(np.int64),
+                tags=tags,
+            )
+            return block, 0
+        rows = oob.size // oob_record_bytes
+        records = oob[: rows * oob_record_bytes].reshape(rows, oob_record_bytes)
+        words = np.ascontiguousarray(records[slots]).view("<u4")
+        if words.shape[1] >= 3:
+            metas = words[:, 2].astype(np.int64)
+        else:
+            metas = np.full(slots.size, -1, dtype=np.int64)
+        n_filtered = 0
+        if metadata_filter is not None:
+            keep = metas == metadata_filter
+            n_filtered = int(slots.size - keep.sum())
+            slots, dists = slots[keep], dists[keep]
+            words, metas = words[keep], metas[keep]
+            if slots.size == 0:
+                return None, n_filtered
+        block = TtlBlock(
+            dists=dists,
+            embs=codes_view[slots],
+            eadrs=eadr_base + slots.astype(np.int64),
+            dadrs=words[:, 0].astype(np.int64),
+            radrs=words[:, 1].astype(np.int64),
+            metas=metas,
+        )
+        return block, n_filtered
+
     def absorb_scan_hit(
         self,
         hit: PageScanHit,
@@ -355,16 +546,25 @@ class InStorageAnnsEngine:
         still pays its visit (latch compute), its channel transfers, and
         its per-iteration quickselect exactly as it would solo -- which is
         what keeps solo latency reports identical under batching.
+
+        A cache-served visit replaces the sense/channel charges with its
+        DRAM bill; the TTL mechanics (extend + per-iteration quickselect)
+        are identical either way, which is what keeps cached serving
+        bit-identical to sensing.
         """
-        cost.add_page(hit.plane_index, page_id=hit.page_id)
-        stats.pages_read += 1
+        if hit.from_cache:
+            self._bill_dram_hit(cost, stats, hit.cache_bytes, key=hit.page_id)
+        else:
+            cost.add_page(hit.plane_index, page_id=hit.page_id)
+            stats.pages_read += 1
         stats.entries_scanned += hit.n_valid
         stats.entries_filtered += hit.n_filtered
         if hit.block is not None and len(hit.block):
             ttl.extend(hit.block)
             n = len(hit.block)
-            cost.add_channel_bytes(hit.channel, n * entry_bytes)
-            self.ssd.counters.add("channel_bytes", n * entry_bytes)
+            if not hit.from_cache:
+                cost.add_channel_bytes(hit.channel, n * entry_bytes)
+                self.ssd.counters.add("channel_bytes", n * entry_bytes)
             stats.entries_transferred += n
         # Per-iteration quickselect (Sec. 4.3.1): after each page the
         # embedded core trims the TTL back to the running top list,
@@ -408,12 +608,27 @@ class InStorageAnnsEngine:
             if coarse
             else self.params.fine_entry_bytes(code_bytes)
         )
+        cache = self.page_cache
+        kind = "centroid" if coarse else "cluster"
         for page_offset, window in iter_page_windows(
             region, query_code, first_slot, last_slot, threshold, metadata_filter
         ):
-            (hit,) = self.scan_page_windows(
-                region, page_offset, [window], coarse, code_bytes, oob_record
+            entry = (
+                cache.lookup(region, page_offset) if cache is not None else None
             )
+            if entry is not None:
+                (hit,) = self.scan_page_cached(
+                    region, page_offset, entry,
+                    window.code[None, :],
+                    [window.lo], [window.hi],
+                    [window.threshold], [window.metadata_filter],
+                    coarse, code_bytes, oob_record,
+                )
+            else:
+                (hit,) = self.scan_page_windows(
+                    region, page_offset, [window], coarse, code_bytes, oob_record
+                )
+                self._admit_page(region, page_offset, kind)
             self.absorb_scan_hit(hit, ttl, cost, stats, entry_bytes, select_k)
 
     # --------------------------------------------------------- search steps
@@ -705,15 +920,28 @@ class InStorageAnnsEngine:
         touch_order = np.argsort(first_rows, kind="stable")
         codes = np.empty((n_short, dim), dtype=np.int8)
         cw = self.ssd.ecc.config.codeword_bytes
+        cache = self.page_cache
+        cached_u = np.zeros(unique_pages.size, dtype=bool)
         channel_of_page: Dict[int, int] = {}
         for rank in touch_order:
             page_offset = int(unique_pages[rank])
-            first_start = int(starts[first_rows[rank]])
-            # The sense itself; channel/ECC charges are per codeword below.
-            page = self._read_corrected(
-                region, page_offset, cost, stats, first_start, dim,
-                charge_transfer=False,
+            entry = (
+                cache.lookup(region, page_offset) if cache is not None else None
             )
+            if entry is not None:
+                # A hit serves the golden bytes straight from the mirror:
+                # no sense, no ECC -- the visit bills DRAM instead.
+                cached_u[rank] = True
+                page = entry.data
+                self._bill_dram_hit(cost, stats, entry.nbytes)
+            else:
+                first_start = int(starts[first_rows[rank]])
+                # The sense; channel/ECC charges are per codeword below.
+                page = self._read_corrected(
+                    region, page_offset, cost, stats, first_start, dim,
+                    charge_transfer=False,
+                )
+                self._admit_page(region, page_offset, "cluster")
             channel_of_page[page_offset] = self._locate(region, page_offset)[2]
             rows = np.flatnonzero(page_offsets == page_offset)
             gathered = page[starts[rows, None] + np.arange(dim)]
@@ -723,7 +951,8 @@ class InStorageAnnsEngine:
         )
         # Charge each distinct ECC codeword the shortlist touches once:
         # expand every row's [first_cw, last_cw] range, then dedupe the
-        # (page, codeword) pairs in one unique() pass.
+        # (page, codeword) pairs in one unique() pass.  Codewords on
+        # cache-served pages never cross the channel or the ECC engine.
         first_cw = starts // cw
         last_cw = (starts + dim - 1) // cw
         counts = (last_cw - first_cw + 1).astype(np.int64)
@@ -735,9 +964,10 @@ class InStorageAnnsEngine:
         cw_per_page = int(last_cw.max()) + 1
         keys = page_offsets[cw_rows] * cw_per_page + cw_index
         unique_keys = np.unique(keys)
-        key_channels = page_channels[
-            np.searchsorted(unique_pages, unique_keys // cw_per_page)
-        ]
+        key_ranks = np.searchsorted(unique_pages, unique_keys // cw_per_page)
+        sensed_keys = ~cached_u[key_ranks]
+        unique_keys = unique_keys[sensed_keys]
+        key_channels = page_channels[key_ranks[sensed_keys]]
         for channel in np.unique(key_channels):
             moved = int((key_channels == channel).sum()) * cw
             cost.add_channel_bytes(int(channel), moved)
@@ -831,6 +1061,8 @@ class InStorageAnnsEngine:
 
         unique_pages, first_rows = np.unique(page_offsets, return_index=True)
         touch_order = np.argsort(first_rows, kind="stable")
+        cache = self.page_cache
+        cached_u = np.zeros(unique_pages.size, dtype=bool)
         pages: Dict[int, np.ndarray] = {}
         plane_of_page = np.empty(unique_pages.size, dtype=np.int64)
         channel_of_page = np.empty(unique_pages.size, dtype=np.int64)
@@ -838,24 +1070,37 @@ class InStorageAnnsEngine:
         for rank in touch_order:
             page_offset = int(unique_pages[rank])
             ppa, plane_index, channel, page_id = self._locate(region, page_offset)
-            plane = self.ssd.array.plane(ppa)
-            raw, _ = plane.read_page(ppa.block, ppa.page)
-            golden, _ = plane.golden_view(ppa.block, ppa.page)
-            pages[page_offset] = self.ssd.ecc.correct(
-                raw, golden, candidate_bytes=plane.last_flipped_bytes
+            entry = (
+                cache.lookup(region, page_offset) if cache is not None else None
             )
+            if entry is not None:
+                cached_u[rank] = True
+                pages[page_offset] = entry.data
+                self._bill_dram_hit(cost, stats, entry.nbytes)
+            else:
+                plane = self.ssd.array.plane(ppa)
+                raw, _ = plane.read_page(ppa.block, ppa.page)
+                golden, _ = plane.golden_view(ppa.block, ppa.page)
+                pages[page_offset] = self.ssd.ecc.correct(
+                    raw, golden, candidate_bytes=plane.last_flipped_bytes
+                )
+                self._admit_page(region, page_offset, "document")
             plane_of_page[rank] = plane_index
             channel_of_page[rank] = channel
             page_id_of_page[rank] = page_id
 
-        # One sense charge per distinct page, in first-touch order.
+        # One sense charge per distinct uncached page, in first-touch order;
+        # cache hits already billed their DRAM access above.
         for rank in touch_order:
+            if cached_u[rank]:
+                continue
             cost.add_page(
                 int(plane_of_page[rank]), page_id=int(page_id_of_page[rank])
             )
-        stats.pages_read += unique_pages.size
+        stats.pages_read += int((~cached_u).sum())
         # One channel/ECC codeword per distinct (page, codeword) pair the
-        # results touch, deduplicated in a single unique() pass.
+        # results touch, deduplicated in a single unique() pass.  Codewords
+        # on cache-served pages never cross the channel or the ECC engine.
         counts = (last_cw - first_cw + 1).astype(np.int64)
         within = np.arange(counts.sum()) - np.repeat(
             np.cumsum(counts) - counts, counts
@@ -865,9 +1110,10 @@ class InStorageAnnsEngine:
         cw_per_page = int(last_cw.max()) + 1
         keys = page_offsets[cw_rows] * cw_per_page + cw_index
         unique_keys = np.unique(keys)
-        key_channels = channel_of_page[
-            np.searchsorted(unique_pages, unique_keys // cw_per_page)
-        ]
+        key_ranks = np.searchsorted(unique_pages, unique_keys // cw_per_page)
+        sensed_keys = ~cached_u[key_ranks]
+        unique_keys = unique_keys[sensed_keys]
+        key_channels = channel_of_page[key_ranks[sensed_keys]]
         for channel in np.unique(key_channels):
             moved = int((key_channels == channel).sum()) * cw
             cost.add_channel_bytes(int(channel), moved)
@@ -934,6 +1180,90 @@ class InStorageAnnsEngine:
         assert raws is not None and goldens is not None
         corrected = self.ssd.ecc.correct_batch(raws, goldens, candidates)
         return corrected, planes, channels, page_ids
+
+    def _materialize_tlc_batch(
+        self,
+        region: RegionInfo,
+        unique_pages: np.ndarray,
+        touch_order: np.ndarray,
+        kind: str,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray,
+               np.ndarray]:
+        """Cache-aware :meth:`_sense_corrected_batch`.
+
+        Each batch-unique page is looked up in the DRAM mirror once (the
+        scheduling snapshot); hits fill their ``corrected`` row from the
+        golden mirror bytes while the remaining pages sense in first-touch
+        order and ECC-correct in one batch call, then admit into the cache.
+        Returns ``(corrected, planes, channels, page_ids, cached, nbytes)``
+        aligned with ``unique_pages``: ``cached`` marks mirror-served rows
+        and ``nbytes`` carries each hit's entry size for DRAM billing
+        (0 for sensed rows).  Billing remains the caller's job.
+        """
+        n_pages = unique_pages.size
+        cache = self.page_cache
+        cached = np.zeros(n_pages, dtype=bool)
+        entry_nbytes = np.zeros(n_pages, dtype=np.int64)
+        if cache is None:
+            corrected, planes, channels, page_ids = (
+                self._sense_corrected_batch(region, unique_pages, touch_order)
+            )
+            return corrected, planes, channels, page_ids, cached, entry_nbytes
+
+        entries: List[Optional[CacheEntry]] = [None] * n_pages
+        for rank in range(n_pages):
+            entry = cache.lookup(region, int(unique_pages[rank]))
+            if entry is not None:
+                entries[rank] = entry
+                cached[rank] = True
+                entry_nbytes[rank] = entry.nbytes
+        planes = np.empty(n_pages, dtype=np.int64)
+        channels = np.empty(n_pages, dtype=np.int64)
+        page_ids = np.empty(n_pages, dtype=np.int64)
+        corrected: Optional[np.ndarray] = None
+        raws: Optional[np.ndarray] = None
+        goldens: Optional[np.ndarray] = None
+        candidates: List[Optional[np.ndarray]] = [None] * n_pages
+        sensed_ranks: List[int] = []
+        for rank in touch_order:
+            page_offset = int(unique_pages[rank])
+            ppa, plane_index, channel, page_id = self._locate(region, page_offset)
+            planes[rank] = plane_index
+            channels[rank] = channel
+            page_ids[rank] = page_id
+            if cached[rank]:
+                continue
+            plane = self.ssd.array.plane(ppa)
+            raw, _ = plane.read_page(ppa.block, ppa.page)
+            golden, _ = plane.golden_view(ppa.block, ppa.page)
+            if raws is None:
+                raws = np.empty((n_pages, raw.size), dtype=np.uint8)
+                goldens = np.empty((n_pages, raw.size), dtype=np.uint8)
+            raws[rank] = raw
+            goldens[rank] = golden
+            candidates[rank] = plane.last_flipped_bytes
+            sensed_ranks.append(int(rank))
+        if sensed_ranks:
+            assert raws is not None and goldens is not None
+            rows = np.array(sensed_ranks, dtype=np.int64)
+            corrected = np.empty_like(raws)
+            corrected[rows] = self.ssd.ecc.correct_batch(
+                raws[rows], goldens[rows], [candidates[r] for r in rows]
+            )
+        for rank in range(n_pages):
+            entry = entries[rank]
+            if entry is None:
+                continue
+            if corrected is None:
+                corrected = np.empty(
+                    (n_pages, entry.data.size), dtype=np.uint8
+                )
+            corrected[rank] = entry.data
+        assert corrected is not None
+        # Freshly-sensed pages are now golden (ECC-corrected): mirror them.
+        for rank in sensed_ranks:
+            self._admit_page(region, int(unique_pages[rank]), kind)
+        return corrected, planes, channels, page_ids, cached, entry_nbytes
 
     def _bill_shared_tlc_senses(self, n_query_unique: int, n_physical: int,
                                 page_bytes: int) -> None:
@@ -1016,8 +1346,10 @@ class InStorageAnnsEngine:
         starts = (radrs_all % region.slots_per_page) * dim
         unique_pages, first_rows = np.unique(page_offsets, return_index=True)
         touch_order = np.argsort(first_rows, kind="stable")
-        corrected, plane_of, channel_of, page_id_of = (
-            self._sense_corrected_batch(region, unique_pages, touch_order)
+        corrected, plane_of, channel_of, page_id_of, cached_u, hit_nbytes = (
+            self._materialize_tlc_batch(
+                region, unique_pages, touch_order, "cluster"
+            )
         )
         page_rank = np.searchsorted(unique_pages, page_offsets)
         codes_all = corrected[
@@ -1040,12 +1372,21 @@ class InStorageAnnsEngine:
             seg_rank = page_rank[lo:hi]
             u_first = np.unique(seg_pages, return_index=True)[1]
             u_order = np.argsort(u_first, kind="stable")
-            n_query_unique += u_first.size
             for rank in u_order:
                 row = int(seg_rank[u_first[rank]])
-                cost.add_page(int(plane_of[row]), page_id=int(page_id_of[row]))
-                stats_list[qi].pages_read += 1
-            # Same (page, codeword) dedupe the scalar walk performs.
+                if cached_u[row]:
+                    self._bill_dram_hit(
+                        cost, stats_list[qi], int(hit_nbytes[row]),
+                        key=int(page_id_of[row]),
+                    )
+                else:
+                    n_query_unique += 1
+                    cost.add_page(
+                        int(plane_of[row]), page_id=int(page_id_of[row])
+                    )
+                    stats_list[qi].pages_read += 1
+            # Same (page, codeword) dedupe the scalar walk performs; mirror
+            # hits never cross the channel or the ECC engine.
             first_cw = seg_starts // cw
             last_cw = (seg_starts + dim - 1) // cw
             cw_counts = (last_cw - first_cw + 1).astype(np.int64)
@@ -1057,9 +1398,10 @@ class InStorageAnnsEngine:
             cw_per_page = int(last_cw.max()) + 1
             keys = seg_pages[cw_rows] * cw_per_page + cw_index
             unique_keys = np.unique(keys)
-            key_channels = channel_of[
-                np.searchsorted(unique_pages, unique_keys // cw_per_page)
-            ]
+            key_ranks = np.searchsorted(unique_pages, unique_keys // cw_per_page)
+            sensed_keys = ~cached_u[key_ranks]
+            unique_keys = unique_keys[sensed_keys]
+            key_channels = channel_of[key_ranks[sensed_keys]]
             for channel in np.unique(key_channels):
                 moved = int((key_channels == channel).sum()) * cw
                 cost.add_channel_bytes(int(channel), moved)
@@ -1074,7 +1416,7 @@ class InStorageAnnsEngine:
             radrs, all_dadrs = per_query[qi]
             outs[qi] = (refined[top], all_dadrs[top], radrs[top], cost)
         self._bill_shared_tlc_senses(
-            n_query_unique, unique_pages.size, corrected.shape[1]
+            n_query_unique, int((~cached_u).sum()), corrected.shape[1]
         )
         return outs
 
@@ -1125,8 +1467,10 @@ class InStorageAnnsEngine:
 
         unique_pages, first_rows = np.unique(page_offsets, return_index=True)
         touch_order = np.argsort(first_rows, kind="stable")
-        corrected, plane_of, channel_of, page_id_of = (
-            self._sense_corrected_batch(region, unique_pages, touch_order)
+        corrected, plane_of, channel_of, page_id_of, cached_u, hit_nbytes = (
+            self._materialize_tlc_batch(
+                region, unique_pages, touch_order, "document"
+            )
         )
         page_rank = np.searchsorted(unique_pages, page_offsets)
 
@@ -1140,14 +1484,24 @@ class InStorageAnnsEngine:
                 name="documents", read_mode="tlc", with_compute=False
             )
             seg_rank = page_rank[lo:hi]
-            # One sense per query-distinct page, in this query's
-            # first-touch order -- identical to the scalar walk's charges.
+            # One sense per query-distinct uncached page, in this query's
+            # first-touch order -- identical to the scalar walk's charges;
+            # mirror hits bill their DRAM access instead.
             seg_unique, seg_first = np.unique(seg_rank, return_index=True)
             for rank in seg_unique[np.argsort(seg_first, kind="stable")]:
-                cost.add_page(int(plane_of[rank]), page_id=int(page_id_of[rank]))
-            n_query_unique += seg_unique.size
-            stats_list[qi].pages_read += seg_unique.size
-            # One channel/ECC codeword per query-distinct (page, codeword).
+                if cached_u[rank]:
+                    self._bill_dram_hit(
+                        cost, stats_list[qi], int(hit_nbytes[rank]),
+                        key=int(page_id_of[rank]),
+                    )
+                else:
+                    n_query_unique += 1
+                    cost.add_page(
+                        int(plane_of[rank]), page_id=int(page_id_of[rank])
+                    )
+                    stats_list[qi].pages_read += 1
+            # One channel/ECC codeword per query-distinct (page, codeword)
+            # on uncached pages only.
             seg_first_cw = first_cw[lo:hi]
             seg_counts = (last_cw[lo:hi] - seg_first_cw + 1).astype(np.int64)
             within = np.arange(seg_counts.sum()) - np.repeat(
@@ -1157,9 +1511,10 @@ class InStorageAnnsEngine:
             cw_index = np.repeat(seg_first_cw, seg_counts) + within
             keys = page_offsets[lo:hi][cw_rows] * cw_per_page + cw_index
             unique_keys = np.unique(keys)
-            key_channels = channel_of[
-                np.searchsorted(unique_pages, unique_keys // cw_per_page)
-            ]
+            key_ranks = np.searchsorted(unique_pages, unique_keys // cw_per_page)
+            sensed_keys = ~cached_u[key_ranks]
+            unique_keys = unique_keys[sensed_keys]
+            key_channels = channel_of[key_ranks[sensed_keys]]
             for channel in np.unique(key_channels):
                 moved = int((key_channels == channel).sum()) * cw
                 cost.add_channel_bytes(int(channel), moved)
@@ -1185,7 +1540,7 @@ class InStorageAnnsEngine:
             host_s = host_bytes / self.ssd.spec.host_link_bandwidth_bps
             outs[qi] = (documents, cost, host_s)
         self._bill_shared_tlc_senses(
-            n_query_unique, unique_pages.size, corrected.shape[1]
+            n_query_unique, int((~cached_u).sum()), corrected.shape[1]
         )
         return outs
 

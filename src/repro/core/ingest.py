@@ -526,6 +526,11 @@ class IngestManager:
                     )
                 self.ssd.array.program(ppa, data, oob)
                 seconds += self.timing.program_time(region.mode.timing_key)
+                # Authority barrier: the programmed tail page supersedes any
+                # DRAM-mirrored copy of that page offset.
+                cache = getattr(self.ssd, "page_cache", None)
+                if cache is not None:
+                    cache.invalidate_page(region, cursor // spp + j)
             self._cursor[key] = (cursor // spp + n_pages) * spp
             pages_programmed[key] = n_pages
         return seconds, pages_programmed
@@ -565,6 +570,11 @@ class IngestManager:
         """
         db = self.db
         g = self.geometry
+        # Compaction rewrites whole region windows, so every mirrored page
+        # of this device is suspect: clear the DRAM cache at the barrier.
+        device_cache = getattr(self.ssd, "page_cache", None)
+        if device_cache is not None:
+            device_cache.clear()
         order: List[Tuple[int, EntryInfo]] = [
             (entry_id, self.index.entries[entry_id])
             for entry_id in self.index.live_ids()

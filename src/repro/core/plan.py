@@ -59,6 +59,9 @@ class SearchStats:
     candidates: int = 0
     filter_retries: int = 0
     ibc_transfers: int = 0
+    # Page visits served from the DRAM cache mirror instead of a NAND
+    # sense (disjoint from ``pages_read``, which counts sensed visits).
+    cache_hits: int = 0
 
     @property
     def filter_pass_fraction(self) -> float:
@@ -290,6 +293,11 @@ class PageSchedule:
     requests: List[PageRequest]
     sensed: List[bool]
     planes: List[int]
+    # ``cached[i]`` marks request ``i`` as served from the DRAM cache
+    # mirror: it never senses and never occupies its plane's latch (a
+    # cached request between two same-plane requests does not evict the
+    # latched page).  Empty when the schedule was built without a cache.
+    cached: List[bool] = field(default_factory=list)
 
     @property
     def n_requests(self) -> int:
@@ -298,6 +306,10 @@ class PageSchedule:
     @property
     def n_senses(self) -> int:
         return sum(self.sensed)
+
+    @property
+    def n_cached(self) -> int:
+        return sum(self.cached)
 
     def senses_per_plane(self) -> Dict[int, int]:
         out: Dict[int, int] = {}
@@ -331,6 +343,7 @@ def build_page_schedule(
     requests: Iterable[PageRequest],
     plane_of_page: Callable[[int], int],
     optimize: bool = True,
+    is_cached: Optional[Callable[[int], bool]] = None,
 ) -> PageSchedule:
     """Order a phase's page demands and mark which ones really sense.
 
@@ -343,6 +356,14 @@ def build_page_schedule(
     other page was sensed on that plane in between.  Either way the sense
     decision is a pure function of service order and per-plane latch state,
     so the cost model can bill the schedule verbatim.
+
+    ``is_cached`` partitions the demands into cached vs to-sense pages: a
+    request whose page the DRAM cache mirrors is marked ``cached``, never
+    senses, and is excluded from the latch simulation entirely -- the
+    controller serves it from DRAM, so it cannot evict a latched page
+    between two same-plane to-sense requests.  The predicate is evaluated
+    once per unique page (a snapshot: pages admitted while the schedule
+    executes do not retroactively change it).
     """
     reqs = list(requests)
     if not reqs:
@@ -354,9 +375,19 @@ def build_page_schedule(
     if order is not None:
         reqs = [reqs[i] for i in order]
         pages = pages[order]
-    sensed, planes = schedule_senses(pages, plane_of_page)
+    if is_cached is None:
+        sensed, planes = schedule_senses(pages, plane_of_page)
+        return PageSchedule(
+            requests=reqs, sensed=sensed.tolist(), planes=planes.tolist()
+        )
+    sensed, planes, cached = schedule_senses_cached(
+        pages, plane_of_page, is_cached
+    )
     return PageSchedule(
-        requests=reqs, sensed=sensed.tolist(), planes=planes.tolist()
+        requests=reqs,
+        sensed=sensed.tolist(),
+        planes=planes.tolist(),
+        cached=cached.tolist(),
     )
 
 
@@ -402,6 +433,45 @@ def schedule_senses(
     sensed = np.empty(n, dtype=bool)
     sensed[by_plane] = fresh_sorted
     return sensed, planes
+
+
+def schedule_senses_cached(
+    pages: np.ndarray,
+    plane_of_page: Callable[[int], int],
+    is_cached: Callable[[int], bool],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """:func:`schedule_senses` with a cached-page partition.
+
+    Cached requests never sense and never occupy a latch, so the latch
+    simulation runs over the to-sense subsequence only; their planes are
+    still resolved (billing metadata).  Both predicates are evaluated once
+    per unique page.
+    """
+    n = pages.size
+    uniq, inverse = np.unique(pages, return_inverse=True)
+    plane_of_uniq = np.fromiter(
+        (plane_of_page(int(page)) for page in uniq), dtype=np.int64, count=uniq.size
+    )
+    cached_of_uniq = np.fromiter(
+        (bool(is_cached(int(page))) for page in uniq), dtype=bool, count=uniq.size
+    )
+    planes = plane_of_uniq[inverse]
+    cached = cached_of_uniq[inverse]
+    sensed = np.zeros(n, dtype=bool)
+    to_sense = ~cached
+    if to_sense.any():
+        sub_pages = pages[to_sense]
+        sub_planes = planes[to_sense]
+        by_plane = np.argsort(sub_planes, kind="stable")
+        pg = sub_pages[by_plane]
+        pl = sub_planes[by_plane]
+        fresh_sorted = np.ones(sub_pages.size, dtype=bool)
+        if sub_pages.size > 1:
+            fresh_sorted[1:] = ~((pl[1:] == pl[:-1]) & (pg[1:] == pg[:-1]))
+        sub_sensed = np.empty(sub_pages.size, dtype=bool)
+        sub_sensed[by_plane] = fresh_sorted
+        sensed[to_sense] = sub_sensed
+    return sensed, planes, cached
 
 
 @dataclass

@@ -107,6 +107,9 @@ class ScheduleAccounting:
     queue_wait_seconds: float = 0.0
     deadline_misses: int = 0
     batches_formed: int = 0
+    # Page visits the DRAM page cache served instead of a NAND sense
+    # (0 unless the device has an enabled page cache).
+    cache_hits: int = 0
 
     @property
     def total_seconds(self) -> float:
@@ -199,6 +202,8 @@ class DeviceScheduler:
         self.accounting.queue_wait_seconds += report.total_queue_wait_s
         self.accounting.deadline_misses += len(report.deadline_misses)
         self.accounting.batches_formed += len(report.batches)
+        if batch.batch_stats is not None:
+            self.accounting.cache_hits += batch.batch_stats.cache_hits
         return batch
 
     # --------------------------------------------------------- normal side
@@ -271,6 +276,7 @@ class DeviceScheduler:
             "batches_formed": acc.batches_formed,
             "queue_wait_seconds": acc.queue_wait_seconds,
             "deadline_misses": acc.deadline_misses,
+            "cache_hits": acc.cache_hits,
         }
 
 
@@ -356,6 +362,8 @@ class ShardedScheduler:
         acc.queue_wait_seconds += report.total_queue_wait_s
         acc.deadline_misses += len(report.deadline_misses)
         acc.batches_formed += len(report.batches)
+        if batch.batch_stats is not None:
+            acc.cache_hits += batch.batch_stats.cache_hits
         return batch
 
     # --------------------------------------------------------- normal side
@@ -500,6 +508,7 @@ class ShardedScheduler:
             "batches_formed": acc.batches_formed,
             "queue_wait_seconds": acc.queue_wait_seconds,
             "deadline_misses": acc.deadline_misses,
+            "cache_hits": acc.cache_hits,
             "per_shard": [
                 {
                     "rag_seconds": child.accounting.rag_seconds,

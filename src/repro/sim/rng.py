@@ -17,3 +17,30 @@ def make_rng(*seed_parts: object) -> np.random.Generator:
     digest = hashlib.sha256(material.encode("utf-8")).digest()
     seed = int.from_bytes(digest[:8], "little")
     return np.random.default_rng(seed)
+
+
+def zipf_weights(n_items: int, s: float) -> np.ndarray:
+    """Normalized Zipf popularity weights: ``P(rank i) ~ (i + 1) ** -s``.
+
+    ``s=0`` degenerates to the uniform distribution; larger ``s`` skews
+    mass onto the head ranks (``s=1.2`` puts most traffic on a handful of
+    items).  Rank 0 is the most popular item.
+    """
+    if n_items < 1:
+        raise ValueError("n_items must be positive")
+    weights = np.arange(1, n_items + 1, dtype=np.float64) ** (-float(s))
+    return weights / weights.sum()
+
+
+def zipf_ranks(
+    n_items: int, s: float, size: int, *seed_parts: object
+) -> np.ndarray:
+    """A seeded Zipf-popularity stream of ``size`` item ranks in [0, n_items).
+
+    The workload generator behind the serving sweeps: rank 0 is the
+    hottest item, and the same seed parts always reproduce the same
+    stream.  Arrival and ingest sweeps can reuse it for skewed key
+    popularity.
+    """
+    rng = make_rng("zipf", n_items, s, *seed_parts)
+    return rng.choice(n_items, size=size, p=zipf_weights(n_items, s))

@@ -23,6 +23,8 @@ class SsdPowerParams:
     block_erase_energy_j: float = 1.5e-4
     latch_op_energy_j: float = 2.0e-7  # XOR / copy / count over one page
     channel_energy_j_per_byte: float = 1.6e-11  # ~16 pJ/bit / 8
+    # DRAM access energy for page-cache hits (CACTI-class LPDDR read).
+    dram_energy_j_per_byte: float = 1.1e-10
     core_active_power_w: float = 0.35
     dram_active_power_w: float = 0.35
     controller_idle_power_w: float = 2.2
@@ -48,8 +50,11 @@ class SsdPowerModel:
         """Dynamic energy (J) split by activity class.
 
         Keys: ``sense`` (page reads -- bills unique senses), ``program``,
-        ``erase``, ``latch`` (per-visit in-plane compute), ``channel`` and
-        ``core``.  The values sum to :meth:`dynamic_energy`.
+        ``erase``, ``latch`` (per-visit in-plane compute), ``channel``,
+        ``core`` and ``dram_cache`` (bytes page-cache hits served from the
+        internal DRAM mirror instead of a sense).  The values sum to
+        :meth:`dynamic_energy`, so the energy invariant reads: billed work
+        = unique NAND senses + DRAM hit bytes.
         """
         p = self.params
         latch_ops = (
@@ -65,6 +70,9 @@ class SsdPowerModel:
             "latch": latch_ops * p.latch_op_energy_j,
             "channel": counters["channel_bytes"] * p.channel_energy_j_per_byte,
             "core": core_busy_s * p.core_active_power_w,
+            "dram_cache": (
+                counters["dram_cache_bytes"] * p.dram_energy_j_per_byte
+            ),
         }
 
     def dynamic_energy(self, counters: CounterSet, core_busy_s: float = 0.0) -> float:
